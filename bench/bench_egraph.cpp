@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Performance of the e-graph oracle (the egg substitute of
+ * section 3.2): equality-saturation time and e-graph growth on
+ * Split/Join residues of increasing depth — the structures Pure
+ * generation hands the oracle.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "egraph/egraph.hpp"
+
+namespace {
+
+using namespace graphiti::eg;
+
+/** A split/join round-trip nest of the given depth. */
+TermExpr
+roundTrip(int depth)
+{
+    if (depth == 0)
+        return TermExpr::leaf("in");
+    TermExpr inner = roundTrip(depth - 1);
+    return TermExpr::node(
+        "pair", {TermExpr::node("fst", {inner}),
+                 TermExpr::node("snd", {roundTrip(depth - 1)})});
+}
+
+void
+BM_SaturatePairAlgebra(benchmark::State& state)
+{
+    int depth = static_cast<int>(state.range(0));
+    std::size_t nodes = 0, applications = 0;
+    for (auto _ : state) {
+        EGraph g;
+        ClassId cls = g.addTerm(roundTrip(depth));
+        SaturationStats stats = g.saturate(pairAlgebraRules(), 30,
+                                           200000);
+        graphiti::Result<TermExpr> best = g.extract(cls);
+        if (!best.ok())
+            state.SkipWithError("extraction failed");
+        nodes = g.numNodes();
+        applications = stats.applications;
+        benchmark::DoNotOptimize(best);
+    }
+    state.counters["enodes"] = static_cast<double>(nodes);
+    state.counters["rule_applications"] =
+        static_cast<double>(applications);
+}
+BENCHMARK(BM_SaturatePairAlgebra)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_ExtractMinimal(benchmark::State& state)
+{
+    EGraph g;
+    ClassId cls = g.addTerm(roundTrip(5));
+    g.saturate(pairAlgebraRules(), 30, 200000);
+    for (auto _ : state) {
+        graphiti::Result<TermExpr> best = g.extract(cls);
+        benchmark::DoNotOptimize(best);
+    }
+}
+BENCHMARK(BM_ExtractMinimal)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

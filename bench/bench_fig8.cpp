@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates figure 8 of the paper: per-benchmark performance of
+ * DF-IO and GRAPHITI *relative to DF-OoO* (cycle count, execution
+ * time, and the area panels), printed as normalized series. Values
+ * above 1.0 mean worse than DF-OoO (more cycles / time / area).
+ *
+ * Also prints the tag-count ablation called out in DESIGN.md: matvec
+ * throughput and FF cost as the Tagger's tag budget shrinks — the
+ * sizing knob behind the paper's per-benchmark tag choices.
+ */
+
+#include <cstdio>
+
+#include "flows.hpp"
+
+int
+main()
+{
+    using graphiti::bench::BenchmarkMetrics;
+
+    std::printf("Figure 8 (left/middle): relative cycle count and "
+                "execution time, normalized to DF-OoO\n\n");
+    std::printf("%-12s | %10s %10s | %10s %10s\n", "benchmark",
+                "IO cyc", "GRA cyc", "IO time", "GRA time");
+    std::vector<BenchmarkMetrics> all;
+    for (const std::string& name : graphiti::circuits::benchmarkNames())
+        all.push_back(graphiti::bench::evaluateBenchmark(name));
+    for (const BenchmarkMetrics& m : all) {
+        std::printf("%-12s | %10.2f %10.2f | %10.2f %10.2f%s\n",
+                    m.name.c_str(),
+                    static_cast<double>(m.df_io.cycles) /
+                        static_cast<double>(m.df_ooo.cycles),
+                    static_cast<double>(m.graphiti.cycles) /
+                        static_cast<double>(m.df_ooo.cycles),
+                    m.df_io.exec_time_ns / m.df_ooo.exec_time_ns,
+                    m.graphiti.exec_time_ns / m.df_ooo.exec_time_ns,
+                    m.graphiti_refused ? "  (refused; = DF-IO)" : "");
+    }
+
+    std::printf("\nFigure 8 (right): relative LUT / FF, normalized to "
+                "DF-OoO\n\n");
+    std::printf("%-12s | %8s %8s | %8s %8s\n", "benchmark", "IO LUT",
+                "GRA LUT", "IO FF", "GRA FF");
+    for (const BenchmarkMetrics& m : all) {
+        std::printf("%-12s | %8.2f %8.2f | %8.2f %8.2f\n",
+                    m.name.c_str(),
+                    static_cast<double>(m.df_io.area.lut) /
+                        static_cast<double>(m.df_ooo.area.lut),
+                    static_cast<double>(m.graphiti.area.lut) /
+                        static_cast<double>(m.df_ooo.area.lut),
+                    static_cast<double>(m.df_io.area.ff) /
+                        static_cast<double>(m.df_ooo.area.ff),
+                    static_cast<double>(m.graphiti.area.ff) /
+                        static_cast<double>(m.df_ooo.area.ff));
+    }
+
+    std::printf("\nAblation: matvec vs Tagger tag budget "
+                "(throughput/area knob)\n\n");
+    std::printf("%5s | %8s | %10s | %8s\n", "tags", "cycles",
+                "speedup/IO", "FF");
+    for (int tags : {2, 4, 8, 16, 32, 50}) {
+        BenchmarkMetrics m =
+            graphiti::bench::evaluateBenchmark("matvec", tags);
+        std::printf("%5d | %8zu | %10.2f | %8d\n", tags,
+                    m.graphiti.cycles,
+                    static_cast<double>(m.df_io.cycles) /
+                        static_cast<double>(m.graphiti.cycles),
+                    m.graphiti.area.ff);
+    }
+    return 0;
+}

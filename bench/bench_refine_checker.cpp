@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Performance of the refinement checker (the executable stand-in for
+ * the paper's Lean proofs): state-space size and solving time as the
+ * input budget grows, on the theorem 5.3 instance (out-of-order GCD
+ * loop vs sequential loop) and on catalog rewrites.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_circuits/gcd.hpp"
+#include "refine/refinement.hpp"
+#include "refine/trace.hpp"
+#include "rewrite/catalog.hpp"
+
+namespace {
+
+using namespace graphiti;
+
+std::vector<Token>
+gcdPairs()
+{
+    return {Token(Value::tuple(Value(3), Value(2))),
+            Token(Value::tuple(Value(4), Value(2)))};
+}
+
+void
+BM_LoopRewriteRefinement(benchmark::State& state)
+{
+    std::size_t budget = static_cast<std::size_t>(state.range(0));
+    std::size_t pairs = 0, impl_states = 0;
+    for (auto _ : state) {
+        Environment env(4);
+        ExprHigh seq = circuits::buildGcdNormalizedLoop(env.functions());
+        ExprHigh ooo = circuits::buildGcdOutOfOrder(env.functions(), 2);
+        auto report = checkGraphRefinement(
+            ooo, seq, env, gcdPairs(),
+            {.max_states = 2000000, .input_budget = budget});
+        if (!report.ok() || !report.value().refines)
+            state.SkipWithError("refinement check failed");
+        else {
+            pairs = report.value().reachable_pairs;
+            impl_states = report.value().impl_states;
+        }
+    }
+    state.counters["impl_states"] = static_cast<double>(impl_states);
+    state.counters["game_pairs"] = static_cast<double>(pairs);
+}
+BENCHMARK(BM_LoopRewriteRefinement)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_CatalogRewriteRefinement(benchmark::State& state)
+{
+    RewriteDef def = catalog::combineMux();
+    for (auto _ : state) {
+        Environment env(3);
+        auto report = verifyRewrite(
+            def, env, {Token(Value(true)), Token(Value(1))},
+            {.max_states = 300000, .input_budget = 2});
+        if (!report.ok() || !report.value().refines)
+            state.SkipWithError("catalog check failed");
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_CatalogRewriteRefinement)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceInclusion(benchmark::State& state)
+{
+    Environment env(6);
+    ExprHigh seq = circuits::buildGcdNormalizedLoop(env.functions());
+    ExprHigh ooo = circuits::buildGcdOutOfOrder(env.functions(), 3);
+    DenotedModule impl =
+        DenotedModule::denote(lowerToExprLow(ooo).value(), env).take();
+    DenotedModule spec =
+        DenotedModule::denote(lowerToExprLow(seq).value(), env).take();
+    std::vector<Token> pool = {Token(Value::tuple(Value(6), Value(4))),
+                               Token(Value::tuple(Value(9), Value(6)))};
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        Rng rng(seed++);
+        IoTrace trace = randomTrace(impl, pool, rng,
+                                    {.max_steps = 300,
+                                     .input_bias = 0.4,
+                                     .max_inputs = 3});
+        Result<bool> admitted = admitsTrace(spec, trace);
+        if (!admitted.ok() || !admitted.value())
+            state.SkipWithError("trace not admitted");
+        benchmark::DoNotOptimize(admitted);
+    }
+}
+BENCHMARK(BM_TraceInclusion)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Section 6.3's rewriting-cost evaluation: wall time and number of
+ * rewrites applied by the full pipeline per benchmark circuit (the
+ * paper reports e.g. matvec: 90 nodes / 1650 rewrites / 9.76 s and
+ * gemm: 180 nodes / 4416 rewrites / 81.49 s for the Lean
+ * implementation; the counters here show this implementation's
+ * node/rewrite scaling on the same pipeline structure).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_circuits/benchmarks.hpp"
+#include "bench_circuits/gcd.hpp"
+#include "rewrite/ooo_pipeline.hpp"
+
+namespace {
+
+using namespace graphiti;
+
+void
+runPipeline(benchmark::State& state, const ExprHigh& graph, int tags)
+{
+    std::size_t rewrites = 0;
+    std::size_t out_nodes = 0;
+    for (auto _ : state) {
+        Environment env;
+        Result<PipelineResult> result =
+            runOooPipeline(graph, env, {.num_tags = tags});
+        if (!result.ok())
+            state.SkipWithError(result.error().message.c_str());
+        else {
+            rewrites = result.value().stats.rewrites_applied;
+            out_nodes = result.value().graph.numNodes();
+        }
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["input_nodes"] =
+        static_cast<double>(graph.numNodes());
+    state.counters["output_nodes"] = static_cast<double>(out_nodes);
+    state.counters["rewrites"] = static_cast<double>(rewrites);
+}
+
+void
+BM_PipelineGcd(benchmark::State& state)
+{
+    runPipeline(state, circuits::buildGcdInOrder(), 8);
+}
+BENCHMARK(BM_PipelineGcd)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineBenchmark(benchmark::State& state, const std::string& name)
+{
+    circuits::BenchmarkSpec spec =
+        circuits::buildBenchmark(name).take();
+    const ExprHigh& input =
+        spec.df_ooo_input ? *spec.df_ooo_input : spec.df_io;
+    runPipeline(state, input, spec.num_tags);
+}
+
+void
+BM_PipelineMatvec(benchmark::State& state)
+{
+    BM_PipelineBenchmark(state, "matvec");
+}
+BENCHMARK(BM_PipelineMatvec)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineGemm(benchmark::State& state)
+{
+    BM_PipelineBenchmark(state, "gemm");
+}
+BENCHMARK(BM_PipelineGemm)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineMvt(benchmark::State& state)
+{
+    BM_PipelineBenchmark(state, "mvt");
+}
+BENCHMARK(BM_PipelineMvt)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineBicgForced(benchmark::State& state)
+{
+    BM_PipelineBenchmark(state, "bicg");
+}
+BENCHMARK(BM_PipelineBicgForced)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineGsum(benchmark::State& state)
+{
+    BM_PipelineBenchmark(state, "gsum-many");
+}
+BENCHMARK(BM_PipelineGsum)->Unit(benchmark::kMillisecond);
+
+/** Scaling with graph size (section 6.3: "graphs with a couple of
+ * hundred nodes"): a farm of N independent GCD loops. */
+void
+BM_PipelineFarm(benchmark::State& state)
+{
+    runPipeline(state,
+                circuits::buildGcdFarm(static_cast<int>(state.range(0))),
+                4);
+}
+BENCHMARK(BM_PipelineFarm)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates table 3 of the paper: LUT, FF and DSP usage of DF-IO,
+ * DF-OoO, GRAPHITI and Vericert on the six benchmarks, plus
+ * geometric means. The tagged flows cost more LUTs/FFs (tag bits,
+ * Tagger completion buffers, extra synchronization); matvec's 50 tags
+ * blow up its FF count; Vericert's shared-FU design is smallest.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "flows.hpp"
+
+namespace {
+
+double
+geomean(const std::vector<double>& xs)
+{
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Table 3: area (LUT / FF / DSP)\n");
+    std::printf("flows: DF-IO | DF-OoO | GRAPHITI | Vericert\n\n");
+    std::printf("%-12s | %27s | %27s | %23s\n", "benchmark", "LUT count",
+                "FF count", "DSP count");
+    std::printf("%-12s | %6s %6s %6s %6s | %6s %6s %6s %6s | %5s %5s "
+                "%5s %5s\n",
+                "", "IO", "OoO", "GRA", "Ver", "IO", "OoO", "GRA", "Ver",
+                "IO", "OoO", "GRA", "Ver");
+
+    std::vector<std::vector<double>> lut(4), ff(4), dsp(4);
+    for (const std::string& name : graphiti::circuits::benchmarkNames()) {
+        graphiti::bench::BenchmarkMetrics m =
+            graphiti::bench::evaluateBenchmark(name);
+        const graphiti::bench::FlowMetrics* flows[4] = {
+            &m.df_io, &m.df_ooo, &m.graphiti, &m.vericert};
+        std::printf("%-12s | %6d %6d %6d %6d | %6d %6d %6d %6d | %5d "
+                    "%5d %5d %5d\n",
+                    name.c_str(), flows[0]->area.lut, flows[1]->area.lut,
+                    flows[2]->area.lut, flows[3]->area.lut,
+                    flows[0]->area.ff, flows[1]->area.ff,
+                    flows[2]->area.ff, flows[3]->area.ff,
+                    flows[0]->area.dsp, flows[1]->area.dsp,
+                    flows[2]->area.dsp, flows[3]->area.dsp);
+        for (int f = 0; f < 4; ++f) {
+            lut[f].push_back(flows[f]->area.lut);
+            ff[f].push_back(flows[f]->area.ff);
+            dsp[f].push_back(flows[f]->area.dsp);
+        }
+    }
+    std::printf("%-12s | %6.0f %6.0f %6.0f %6.0f | %6.0f %6.0f %6.0f "
+                "%6.0f | %5.1f %5.1f %5.1f %5.1f\n",
+                "geomean", geomean(lut[0]), geomean(lut[1]),
+                geomean(lut[2]), geomean(lut[3]), geomean(ff[0]),
+                geomean(ff[1]), geomean(ff[2]), geomean(ff[3]),
+                geomean(dsp[0]), geomean(dsp[1]), geomean(dsp[2]),
+                geomean(dsp[3]));
+    return 0;
+}

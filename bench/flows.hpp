@@ -1,0 +1,135 @@
+#ifndef GRAPHITI_BENCH_FLOWS_HPP
+#define GRAPHITI_BENCH_FLOWS_HPP
+
+/**
+ * @file
+ * Shared evaluation harness for the table/figure benches: build and
+ * measure all four flows of section 6 on one benchmark.
+ *
+ *  - DF-IO:    the untagged input circuit (Elakhras et al. [21]);
+ *  - DF-OoO:   the unverified out-of-order flow (Elakhras et al.
+ *              [22]) — reproduced by transforming the benchmark's
+ *              df_ooo_input (for bicg, the store-suppressed variant
+ *              the buggy flow effectively transformed);
+ *  - GRAPHITI: the verified pipeline on the true circuit (refuses
+ *              bicg);
+ *  - Vericert: the statically scheduled baseline.
+ */
+
+#include <iostream>
+
+#include "arch/area_timing.hpp"
+#include "bench_circuits/benchmarks.hpp"
+#include "rewrite/ooo_pipeline.hpp"
+#include "sim/sim.hpp"
+#include "static_hls/static_hls.hpp"
+
+namespace graphiti::bench {
+
+/** Metrics of one flow on one benchmark. */
+struct FlowMetrics
+{
+    std::size_t cycles = 0;
+    double clock_period_ns = 0.0;
+    double exec_time_ns = 0.0;
+    arch::AreaReport area;
+};
+
+/** All four flows on one benchmark. */
+struct BenchmarkMetrics
+{
+    std::string name;
+    FlowMetrics df_io;
+    FlowMetrics df_ooo;
+    FlowMetrics graphiti;
+    FlowMetrics vericert;
+    bool graphiti_refused = false;  ///< the bicg case
+};
+
+inline std::size_t
+simulateFlow(const ExprHigh& g, const circuits::BenchmarkSpec& spec,
+             std::shared_ptr<FnRegistry> registry)
+{
+    sim::Simulator simulator =
+        sim::Simulator::build(g, registry).take();
+    for (const auto& [name, data] : spec.memories)
+        simulator.setMemory(name, data);
+    Result<sim::SimResult> r = simulator.run(
+        spec.inputs, spec.expected_outputs, spec.serial_io);
+    if (!r.ok()) {
+        std::cerr << spec.name << ": simulation failed: "
+                  << r.error().message << "\n";
+        return 0;
+    }
+    return r.value().cycles;
+}
+
+inline FlowMetrics
+measureCircuit(const ExprHigh& g, const circuits::BenchmarkSpec& spec,
+               std::shared_ptr<FnRegistry> registry)
+{
+    FlowMetrics m;
+    m.cycles = simulateFlow(g, spec, registry);
+    m.clock_period_ns = arch::clockPeriodOf(g);
+    m.exec_time_ns = arch::executionTimeNs(m.cycles, m.clock_period_ns);
+    m.area = arch::areaOf(g);
+    return m;
+}
+
+/** Evaluate every flow on benchmark @p name. */
+inline BenchmarkMetrics
+evaluateBenchmark(const std::string& name, int tag_override = 0)
+{
+    circuits::BenchmarkSpec spec =
+        circuits::buildBenchmark(name).take();
+    int tags = tag_override > 0 ? tag_override : spec.num_tags;
+
+    BenchmarkMetrics out;
+    out.name = name;
+
+    // DF-IO.
+    {
+        auto registry = std::make_shared<FnRegistry>();
+        out.df_io = measureCircuit(spec.df_io, spec, registry);
+    }
+    // GRAPHITI (verified; may refuse).
+    {
+        Environment env;
+        Result<PipelineResult> transformed = runOooPipeline(
+            spec.df_io, env, {.num_tags = tags, .reexpand = true});
+        if (transformed.ok()) {
+            out.graphiti_refused = true;
+            for (const LoopTransformReport& loop :
+                 transformed.value().loops)
+                out.graphiti_refused &= !loop.transformed;
+            out.graphiti = measureCircuit(transformed.value().graph,
+                                          spec, env.functionsPtr());
+        }
+    }
+    // DF-OoO (unverified: transforms even bicg's variant).
+    {
+        Environment env;
+        const ExprHigh& input =
+            spec.df_ooo_input ? *spec.df_ooo_input : spec.df_io;
+        Result<PipelineResult> transformed = runOooPipeline(
+            input, env, {.num_tags = tags, .reexpand = true});
+        if (transformed.ok())
+            out.df_ooo = measureCircuit(transformed.value().graph, spec,
+                                        env.functionsPtr());
+    }
+    // Vericert.
+    {
+        static_hls::StaticReport report =
+            static_hls::scheduleAndEvaluate(spec.static_kernel);
+        out.vericert.cycles = report.cycles;
+        out.vericert.clock_period_ns = report.clock_period_ns;
+        out.vericert.exec_time_ns = arch::executionTimeNs(
+            report.cycles, report.clock_period_ns);
+        out.vericert.area = report.area;
+    }
+    return out;
+}
+
+}  // namespace graphiti::bench
+
+#endif  // GRAPHITI_BENCH_FLOWS_HPP

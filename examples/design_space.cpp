@@ -1,0 +1,78 @@
+/**
+ * @file
+ * design_space: tag-budget exploration on one benchmark.
+ *
+ * The Tagger/Untagger's tag count bounds how many loop instances can
+ * be in flight, trading throughput against flip-flops (the mechanism
+ * behind the per-benchmark tag choices of Elakhras et al. and the
+ * matvec FF blow-up in table 3). This example sweeps the budget on a
+ * chosen benchmark and prints the pareto table.
+ *
+ * Usage: design_space [benchmark] (default: matvec)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "arch/area_timing.hpp"
+#include "bench_circuits/benchmarks.hpp"
+#include "rewrite/ooo_pipeline.hpp"
+#include "sim/sim.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace graphiti;
+
+    std::string name = argc > 1 ? argv[1] : "matvec";
+    Result<circuits::BenchmarkSpec> spec_result =
+        circuits::buildBenchmark(name);
+    if (!spec_result.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     spec_result.error().message.c_str());
+        return 1;
+    }
+    circuits::BenchmarkSpec spec = spec_result.take();
+
+    auto simulate = [&](const ExprHigh& g,
+                        std::shared_ptr<FnRegistry> registry) {
+        sim::Simulator simulator =
+            sim::Simulator::build(g, registry).take();
+        for (const auto& [mem, data] : spec.memories)
+            simulator.setMemory(mem, data);
+        auto r = simulator.run(spec.inputs, spec.expected_outputs,
+                               spec.serial_io);
+        return r.ok() ? r.value().cycles : std::size_t{0};
+    };
+
+    std::size_t io_cycles = simulate(
+        spec.df_io, std::make_shared<FnRegistry>());
+    arch::AreaReport io_area = arch::areaOf(spec.df_io);
+    std::printf("benchmark %s: DF-IO %zu cycles, %d FF\n\n",
+                name.c_str(), io_cycles, io_area.ff);
+    std::printf("%5s | %8s | %8s | %8s | %9s\n", "tags", "cycles",
+                "speedup", "FF", "FF ratio");
+
+    for (int tags : {1, 2, 4, 8, 16, 32, 50, 64}) {
+        Environment env;
+        Result<PipelineResult> transformed = runOooPipeline(
+            spec.df_io, env, {.num_tags = tags, .reexpand = true});
+        if (!transformed.ok() ||
+            !transformed.value().loops.at(0).transformed) {
+            std::printf("%5d | refused/failed\n", tags);
+            continue;
+        }
+        std::size_t cycles = simulate(transformed.value().graph,
+                                      env.functionsPtr());
+        arch::AreaReport area =
+            arch::areaOf(transformed.value().graph);
+        std::printf("%5d | %8zu | %7.2fx | %8d | %8.2fx\n", tags,
+                    cycles,
+                    static_cast<double>(io_cycles) /
+                        static_cast<double>(cycles),
+                    area.ff,
+                    static_cast<double>(area.ff) /
+                        static_cast<double>(io_area.ff));
+    }
+    return 0;
+}

@@ -1,0 +1,177 @@
+#include "arch/area_timing.hpp"
+
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "graph/signatures.hpp"
+#include "support/strings.hpp"
+
+namespace graphiti::arch {
+
+namespace {
+
+/** Cost table for operators (32-bit datapath, Kintex-7 flavor). */
+ComponentCost
+operatorCost(const std::string& op)
+{
+    if (op == "add" || op == "sub")
+        return {{36, 0, 0}, 2.0};
+    if (op == "mul")
+        return {{45, 120, 3}, 2.9};
+    if (op == "div" || op == "mod")
+        return {{1150, 900, 0}, 3.5};
+    if (op == "fadd" || op == "fsub")
+        return {{320, 480, 2}, 3.2};
+    if (op == "fmul")
+        return {{95, 170, 3}, 3.0};
+    if (op == "fdiv")
+        return {{800, 1400, 0}, 3.6};
+    if (op == "flt" || op == "fge")
+        return {{82, 60, 0}, 2.2};
+    if (op == "select")
+        return {{34, 0, 0}, 1.1};
+    if (operatorIsPredicate(op))
+        return {{36, 0, 0}, 1.9};
+    // Logic / shifts / casts.
+    return {{20, 0, 0}, 1.2};
+}
+
+ComponentCost
+baseCost(const std::string& type, const AttrMap& attrs)
+{
+    if (type == "fork") {
+        int n = attrInt(attrs, "out", 2);
+        return {{4 + 3 * n, 2 + n, 0}, 0.5};
+    }
+    if (type == "join") {
+        int n = attrInt(attrs, "in", 2);
+        return {{6 * n, 2 * n, 0}, 0.6};
+    }
+    if (type == "split")
+        return {{4, 2, 0}, 0.4};
+    if (type == "mux")
+        return {{42, 34, 0}, 1.2};
+    if (type == "merge")
+        return {{36, 34, 0}, 1.1};
+    if (type == "branch")
+        return {{20, 2, 0}, 0.8};
+    if (type == "init")
+        return {{10, 35, 0}, 0.6};
+    if (type == "buffer")
+        return {{16, 66, 0}, 0.5};
+    if (type == "sink")
+        return {{1, 0, 0}, 0.1};
+    if (type == "source")
+        return {{1, 0, 0}, 0.1};
+    if (type == "constant")
+        return {{3, 0, 0}, 0.2};
+    if (type == "operator")
+        return operatorCost(attrStr(attrs, "op", ""));
+    if (type == "load")
+        return {{35, 42, 0}, 1.8};
+    if (type == "store")
+        return {{28, 22, 0}, 1.6};
+    if (type == "tagger") {
+        // Completion buffer: one data+tag slot per tag, allocation
+        // and commit counters, tag-compare commit logic.
+        int tags = attrInt(attrs, "tags", 4);
+        return {{60 + 25 * tags, 40 + 70 * tags, 0},
+                2.8 + 0.02 * tags};
+    }
+    if (type == "pure") {
+        // Sum the absorbed inventory (set by pure generation).
+        ComponentCost total{{0, 0, 0}, 0.0};
+        for (const std::string& entry :
+             split(attrStr(attrs, "absorbed", ""), ',')) {
+            if (entry.empty())
+                continue;
+            std::vector<std::string> parts = split(entry, ':');
+            AttrMap sub_attrs;
+            if (parts.size() > 1)
+                sub_attrs["op"] = parts[1];
+            ComponentCost c = baseCost(parts[0], sub_attrs);
+            total.area += c.area;
+            total.delay_ns = std::max(total.delay_ns, c.delay_ns);
+        }
+        return total;
+    }
+    return {{0, 0, 0}, 0.0};
+}
+
+}  // namespace
+
+ComponentCost
+costOf(const NodeDecl& node, bool tagged)
+{
+    ComponentCost cost = baseCost(node.type, node.attrs);
+    if (tagged && node.type != "tagger") {
+        // Tag bits widen queues and handshake logic; joining paths
+        // additionally compare tags.
+        cost.area.lut = static_cast<int>(cost.area.lut * 1.15) + 6;
+        cost.area.ff = static_cast<int>(cost.area.ff * 1.2) + 8;
+        cost.delay_ns += 0.55;
+    }
+    return cost;
+}
+
+std::set<std::string>
+taggedRegionOf(const ExprHigh& graph)
+{
+    std::set<std::string> tagged;
+    for (const NodeDecl& node : graph.nodes()) {
+        if (node.type != "tagger")
+            continue;
+        // Forward flood from tagger.out0, stopping at the tagger.
+        std::deque<PortRef> frontier;
+        for (const PortRef& c :
+             graph.consumersOf(PortRef{node.name, "out0"}))
+            frontier.push_back(c);
+        while (!frontier.empty()) {
+            PortRef at = frontier.front();
+            frontier.pop_front();
+            if (at.inst == node.name)
+                continue;
+            if (!tagged.insert(at.inst).second)
+                continue;
+            const NodeDecl* n = graph.findNode(at.inst);
+            if (n == nullptr)
+                continue;
+            Result<Signature> sig = signatureOf(n->type, n->attrs);
+            if (!sig.ok())
+                continue;
+            for (const std::string& port : sig.value().outputs)
+                for (const PortRef& c :
+                     graph.consumersOf(PortRef{at.inst, port}))
+                    frontier.push_back(c);
+        }
+    }
+    return tagged;
+}
+
+AreaReport
+areaOf(const ExprHigh& graph)
+{
+    std::set<std::string> tagged = taggedRegionOf(graph);
+    AreaReport total;
+    for (const NodeDecl& node : graph.nodes())
+        total += costOf(node, tagged.count(node.name) > 0).area;
+    return total;
+}
+
+double
+clockPeriodOf(const ExprHigh& graph)
+{
+    std::set<std::string> tagged = taggedRegionOf(graph);
+    AreaReport total;
+    double max_delay = 0.0;
+    for (const NodeDecl& node : graph.nodes()) {
+        ComponentCost cost = costOf(node, tagged.count(node.name) > 0);
+        total += cost.area;
+        max_delay = std::max(max_delay, cost.delay_ns);
+    }
+    // Register + clock overhead, slowest stage, routing congestion.
+    return 1.2 + max_delay + 0.0006 * total.lut;
+}
+
+}  // namespace graphiti::arch

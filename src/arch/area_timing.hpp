@@ -1,0 +1,74 @@
+#ifndef GRAPHITI_ARCH_AREA_TIMING_HPP
+#define GRAPHITI_ARCH_AREA_TIMING_HPP
+
+/**
+ * @file
+ * FPGA area and timing model (the Vivado substitute).
+ *
+ * Per-component LUT/FF/DSP costs and combinational delays are
+ * calibrated to the 32-bit Kintex-7 component library a Dynamatic
+ * flow uses. Components inside a Tagger/Untagger region carry tag
+ * bits, widening their datapaths and adding tag-match logic — the
+ * mechanism behind the area and clock-period increases of table 3.
+ *
+ * The clock period is modelled as a fixed register/routing overhead
+ * plus the slowest component's combinational delay plus a congestion
+ * term that grows with total LUT usage.
+ */
+
+#include <set>
+
+#include "graph/expr_high.hpp"
+
+namespace graphiti::arch {
+
+/** Resource usage, in table 3's units. */
+struct AreaReport
+{
+    int lut = 0;
+    int ff = 0;
+    int dsp = 0;
+
+    AreaReport&
+    operator+=(const AreaReport& other)
+    {
+        lut += other.lut;
+        ff += other.ff;
+        dsp += other.dsp;
+        return *this;
+    }
+};
+
+/** Area and delay of one component instance. */
+struct ComponentCost
+{
+    AreaReport area;
+    double delay_ns = 0.0;
+};
+
+/**
+ * Cost of one node; @p tagged widens the datapath for components
+ * inside a Tagger/Untagger region. Pure nodes cost the sum of their
+ * `absorbed` inventory.
+ */
+ComponentCost costOf(const NodeDecl& node, bool tagged);
+
+/** Nodes inside any Tagger/Untagger region of @p graph. */
+std::set<std::string> taggedRegionOf(const ExprHigh& graph);
+
+/** Total area of @p graph (table 3's LUT/FF/DSP columns). */
+AreaReport areaOf(const ExprHigh& graph);
+
+/** Post-place-and-route clock period estimate in ns (table 2). */
+double clockPeriodOf(const ExprHigh& graph);
+
+/** Execution time in ns: cycles x clock period. */
+inline double
+executionTimeNs(std::size_t cycles, double clock_period_ns)
+{
+    return static_cast<double>(cycles) * clock_period_ns;
+}
+
+}  // namespace graphiti::arch
+
+#endif  // GRAPHITI_ARCH_AREA_TIMING_HPP

@@ -1,0 +1,41 @@
+#include "arch/buffers.hpp"
+
+#include <algorithm>
+
+#include "arch/area_timing.hpp"
+#include "graph/signatures.hpp"
+
+namespace graphiti::arch {
+
+BufferPlacement
+placeBuffers(const ExprHigh& graph, std::size_t default_slots)
+{
+    std::set<std::string> tagged = taggedRegionOf(graph);
+    std::size_t region_tags = 0;
+    for (const NodeDecl& node : graph.nodes()) {
+        if (node.type == "tagger") {
+            tagged.insert(node.name);
+            region_tags = std::max(
+                region_tags, static_cast<std::size_t>(
+                                  attrInt(node.attrs, "tags", 4)));
+        }
+    }
+
+    BufferPlacement placement;
+    for (const Edge& e : graph.edges()) {
+        std::size_t slots = default_slots;
+        if (tagged.count(e.src.inst) > 0 &&
+            tagged.count(e.dst.inst) > 0)
+            slots = std::max(slots, region_tags);
+        placement.slots[e] = slots;
+        // A slot is roughly a 32-bit word plus valid bit; only the
+        // slots beyond the default pair are *extra* area relative to
+        // the component library's built-in buffering.
+        if (slots > default_slots)
+            placement.buffer_ff +=
+                static_cast<int>(slots - default_slots) * 33 / 4;
+    }
+    return placement;
+}
+
+}  // namespace graphiti::arch

@@ -1,0 +1,50 @@
+#ifndef GRAPHITI_ARCH_BUFFERS_HPP
+#define GRAPHITI_ARCH_BUFFERS_HPP
+
+/**
+ * @file
+ * Buffer placement (the Josipovic et al. [40] substitute, as adapted
+ * by Elakhras et al. for tagged circuits).
+ *
+ * Dataflow circuits need slack on their channels: by default every
+ * channel gets a transparent+opaque slot pair, but inside a
+ * Tagger/Untagger region short bypass paths must hold one token per
+ * in-flight loop instance, or the region serializes (and, with
+ * adversarial arrival orders, deadlocks). This pass computes the slot
+ * budget of every channel; the cycle simulator consumes it, and the
+ * area model can charge for it.
+ */
+
+#include <map>
+
+#include "graph/expr_high.hpp"
+
+namespace graphiti::arch {
+
+/** Slot assignment for every edge of a graph. */
+struct BufferPlacement
+{
+    /** Edge -> number of buffer slots on that channel. */
+    std::map<Edge, std::size_t> slots;
+    /** Flip-flops implied by the slots above (for area accounting). */
+    int buffer_ff = 0;
+
+    std::size_t
+    slotsFor(const Edge& e, std::size_t fallback) const
+    {
+        auto it = slots.find(e);
+        return it == slots.end() ? fallback : it->second;
+    }
+};
+
+/**
+ * Compute buffer slots: @p default_slots everywhere, widened to the
+ * tagger's tag count on channels whose endpoints both lie inside a
+ * tagged region (including the tagger itself).
+ */
+BufferPlacement placeBuffers(const ExprHigh& graph,
+                             std::size_t default_slots = 2);
+
+}  // namespace graphiti::arch
+
+#endif  // GRAPHITI_ARCH_BUFFERS_HPP

@@ -1,0 +1,741 @@
+#include "bench_circuits/benchmarks.hpp"
+
+#include <cmath>
+
+namespace graphiti::circuits {
+
+namespace {
+
+using static_hls::StaticKernel;
+using static_hls::StaticLoop;
+using static_hls::StaticOp;
+
+/**
+ * Add the Mux/Init/Branch scaffolding for a multi-variable loop:
+ * for each var v: mux_v, init_v (false), branch_v; loopback
+ * branch_v.out0 -> mux_v.in1; condition fanned out from @p cond_src
+ * to every branch_v.in1 and init_v.in0.
+ */
+void
+addLoopScaffold(ExprHigh& g, const std::vector<std::string>& vars,
+                const PortRef& cond_src)
+{
+    for (const std::string& v : vars) {
+        g.addNode("mux_" + v, "mux");
+        g.addNode("init_" + v, "init", {{"value", "false"}});
+        g.addNode("branch_" + v, "branch");
+        g.connect("init_" + v, "out0", "mux_" + v, "in0");
+        g.connect("branch_" + v, "out0", "mux_" + v, "in1");
+    }
+    int n = static_cast<int>(vars.size());
+    g.addNode("forkCond", "fork", {{"out", std::to_string(2 * n)}});
+    g.connect(cond_src, PortRef{"forkCond", "in0"});
+    for (int i = 0; i < n; ++i) {
+        g.connect("forkCond", "out" + std::to_string(i),
+                  "branch_" + vars[i], "in1");
+        g.connect("forkCond", "out" + std::to_string(n + i),
+                  "init_" + vars[i], "in0");
+    }
+}
+
+std::vector<Token>
+intStream(int count, int stride = 1, int base = 0)
+{
+    std::vector<Token> out;
+    for (int i = 0; i < count; ++i)
+        out.emplace_back(Value(base + i * stride));
+    return out;
+}
+
+std::vector<double>
+rampMemory(std::size_t size, double base, double step)
+{
+    std::vector<double> out(size);
+    for (std::size_t i = 0; i < size; ++i)
+        out[i] = base + step * static_cast<double>(i % 17);
+    return out;
+}
+
+// -------------------------------------------------------------------
+// matvec: result[i] = sum_j A[i*M+j] * x[j]
+// -------------------------------------------------------------------
+
+constexpr int kMatvecN = 24;
+constexpr int kMatvecM = 24;
+
+BenchmarkSpec
+buildMatvec()
+{
+    BenchmarkSpec spec;
+    spec.name = "matvec";
+    spec.num_tags = 50;  // per Elakhras et al.
+
+    ExprHigh& g = spec.df_io;
+    addLoopScaffold(g, {"j", "acc", "i"}, PortRef{"lt", "out0"});
+
+    // Entry: one token per outer iteration carrying i; constants give
+    // the (j = 0, acc = 0.0) initial state.
+    g.addNode("forkEntry", "fork", {{"out", "3"}});
+    g.addNode("cJ0", "constant", {{"value", "0"}});
+    g.addNode("cAcc0", "constant", {{"value", "0.0"}});
+    g.bindInput(0, PortRef{"forkEntry", "in0"});
+    g.connect("forkEntry", "out0", "mux_i", "in2");
+    g.connect("forkEntry", "out1", "cJ0", "in0");
+    g.connect("forkEntry", "out2", "cAcc0", "in0");
+    g.connect("cJ0", "out0", "mux_j", "in2");
+    g.connect("cAcc0", "out0", "mux_acc", "in2");
+
+    // Body.
+    g.addNode("forkJ", "fork", {{"out", "5"}});
+    g.addNode("forkI", "fork", {{"out", "2"}});
+    g.addNode("cM", "constant", {{"value", std::to_string(kMatvecM)}});
+    g.addNode("mulIM", "operator", {{"op", "mul"}});
+    g.addNode("addA", "operator", {{"op", "add"}});
+    g.addNode("loadA", "load", {{"memory", "A"}});
+    g.addNode("loadX", "load", {{"memory", "x"}});
+    g.addNode("fmul", "operator", {{"op", "fmul"}});
+    g.addNode("fadd", "operator", {{"op", "fadd"}});
+    g.addNode("c1", "constant", {{"value", "1"}});
+    g.addNode("addJ", "operator", {{"op", "add"}});
+    g.addNode("forkJ2", "fork", {{"out", "3"}});
+    g.addNode("cM2", "constant", {{"value", std::to_string(kMatvecM)}});
+    g.addNode("lt", "operator", {{"op", "lt"}});
+
+    g.connect("mux_j", "out0", "forkJ", "in0");
+    g.connect("mux_i", "out0", "forkI", "in0");
+    g.connect("forkJ", "out3", "cM", "in0");
+    g.connect("forkI", "out0", "mulIM", "in0");
+    g.connect("cM", "out0", "mulIM", "in1");
+    g.connect("mulIM", "out0", "addA", "in0");
+    g.connect("forkJ", "out0", "addA", "in1");
+    g.connect("addA", "out0", "loadA", "in0");
+    g.connect("forkJ", "out1", "loadX", "in0");
+    g.connect("loadA", "out0", "fmul", "in0");
+    g.connect("loadX", "out0", "fmul", "in1");
+    g.connect("fmul", "out0", "fadd", "in0");
+    g.connect("mux_acc", "out0", "fadd", "in1");
+    g.connect("forkJ", "out4", "c1", "in0");
+    g.connect("forkJ", "out2", "addJ", "in0");
+    g.connect("c1", "out0", "addJ", "in1");
+    g.connect("addJ", "out0", "forkJ2", "in0");
+    g.connect("forkJ2", "out2", "cM2", "in0");
+    g.connect("forkJ2", "out1", "lt", "in0");
+    g.connect("cM2", "out0", "lt", "in1");
+
+    g.connect("forkJ2", "out0", "branch_j", "in0");
+    g.connect("fadd", "out0", "branch_acc", "in0");
+    g.connect("forkI", "out1", "branch_i", "in0");
+
+    // Exits: store result[i], emit the result token.
+    g.addNode("sinkJ", "sink");
+    g.addNode("forkRes", "fork", {{"out", "2"}});
+    g.addNode("store", "store", {{"memory", "result"}});
+    g.addNode("sinkSt", "sink");
+    g.connect("branch_j", "out1", "sinkJ", "in0");
+    g.connect("branch_acc", "out1", "forkRes", "in0");
+    g.connect("branch_i", "out1", "store", "in0");
+    g.connect("forkRes", "out0", "store", "in1");
+    g.connect("store", "out0", "sinkSt", "in0");
+    g.bindOutput(0, PortRef{"forkRes", "out1"});
+
+    // Workload.
+    spec.memories["A"] = rampMemory(kMatvecN * kMatvecM, 1.0, 0.25);
+    spec.memories["x"] = rampMemory(kMatvecM, 0.5, 0.125);
+    spec.memories["result"] =
+        std::vector<double>(kMatvecN, 0.0);
+    spec.inputs = {intStream(kMatvecN)};
+    spec.expected_outputs = kMatvecN;
+    for (int i = 0; i < kMatvecN; ++i) {
+        double acc = 0.0;
+        for (int j = 0; j < kMatvecM; ++j)
+            acc += spec.memories["A"][i * kMatvecM + j] *
+                   spec.memories["x"][j];
+        spec.golden.push_back(acc);
+    }
+    spec.golden_memory = "result";
+    spec.golden_memory_values = spec.golden;
+
+    // Vericert model of the same kernel.
+    StaticLoop inner;
+    inner.body = {
+        {"mul_im", "mul", {}},
+        {"addr", "add", {"mul_im"}},
+        {"load_a", "load", {"addr"}},
+        {"load_x", "load", {}},
+        {"fmul", "fmul", {"load_a", "load_x"}},
+        {"fadd", "fadd", {"fmul"}},
+        {"add_j", "add", {}},
+        {"lt", "lt", {"add_j"}},
+    };
+    inner.trips = kMatvecM;
+    spec.static_kernel =
+        StaticKernel{"matvec", kMatvecN, {inner}, 3};
+    return spec;
+}
+
+// -------------------------------------------------------------------
+// bicg: q[i] = sum_j A[i*M+j] * p[j]   and   s[j] += r[i] * A[i*M+j]
+// The s[j] update stores inside the inner loop body (section 6.2).
+// -------------------------------------------------------------------
+
+constexpr int kBicgN = 24;
+constexpr int kBicgM = 24;
+
+ExprHigh
+buildBicgCircuit(bool suppress_store)
+{
+    ExprHigh g;
+    addLoopScaffold(g, {"j", "acc", "i"}, PortRef{"lt", "out0"});
+
+    g.addNode("forkEntry", "fork", {{"out", "3"}});
+    g.addNode("cJ0", "constant", {{"value", "0"}});
+    g.addNode("cAcc0", "constant", {{"value", "0.0"}});
+    g.bindInput(0, PortRef{"forkEntry", "in0"});
+    g.connect("forkEntry", "out0", "mux_i", "in2");
+    g.connect("forkEntry", "out1", "cJ0", "in0");
+    g.connect("forkEntry", "out2", "cAcc0", "in0");
+    g.connect("cJ0", "out0", "mux_j", "in2");
+    g.connect("cAcc0", "out0", "mux_acc", "in2");
+
+    g.addNode("forkJ", "fork", {{"out", "7"}});
+    g.addNode("forkI", "fork", {{"out", "3"}});
+    g.addNode("cM", "constant", {{"value", std::to_string(kBicgM)}});
+    g.addNode("mulIM", "operator", {{"op", "mul"}});
+    g.addNode("addA", "operator", {{"op", "add"}});
+    g.addNode("loadA", "load", {{"memory", "A"}});
+    g.addNode("forkA", "fork", {{"out", "2"}});
+    g.addNode("loadP", "load", {{"memory", "p"}});
+    g.addNode("loadR", "load", {{"memory", "r"}});
+    g.addNode("loadS", "load", {{"memory", "s"}});
+    g.addNode("fmulQ", "operator", {{"op", "fmul"}});
+    g.addNode("faddQ", "operator", {{"op", "fadd"}});
+    g.addNode("fmulS", "operator", {{"op", "fmul"}});
+    g.addNode("faddS", "operator", {{"op", "fadd"}});
+    g.addNode("c1", "constant", {{"value", "1"}});
+    g.addNode("addJ", "operator", {{"op", "add"}});
+    g.addNode("forkJ2", "fork", {{"out", "3"}});
+    g.addNode("cM2", "constant", {{"value", std::to_string(kBicgM)}});
+    g.addNode("lt", "operator", {{"op", "lt"}});
+    g.addNode("sinkUpd", "sink");
+
+    g.connect("mux_j", "out0", "forkJ", "in0");
+    g.connect("mux_i", "out0", "forkI", "in0");
+    g.connect("forkJ", "out3", "cM", "in0");
+    g.connect("forkI", "out0", "mulIM", "in0");
+    g.connect("cM", "out0", "mulIM", "in1");
+    g.connect("mulIM", "out0", "addA", "in0");
+    g.connect("forkJ", "out0", "addA", "in1");
+    g.connect("addA", "out0", "loadA", "in0");
+    g.connect("loadA", "out0", "forkA", "in0");
+    g.connect("forkJ", "out1", "loadP", "in0");
+    g.connect("forkI", "out1", "loadR", "in0");
+    g.connect("forkJ", "out5", "loadS", "in0");
+    g.connect("forkA", "out0", "fmulQ", "in0");
+    g.connect("loadP", "out0", "fmulQ", "in1");
+    g.connect("fmulQ", "out0", "faddQ", "in0");
+    g.connect("mux_acc", "out0", "faddQ", "in1");
+    g.connect("forkA", "out1", "fmulS", "in0");
+    g.connect("loadR", "out0", "fmulS", "in1");
+    g.connect("fmulS", "out0", "faddS", "in0");
+    g.connect("loadS", "out0", "faddS", "in1");
+
+    // The s[j] update: a store in DF-IO, a timing-equivalent dummy
+    // operator in the variant the unverified flow transformed.
+    if (suppress_store) {
+        // Consume value and address like the store would, with a
+        // one-cycle dummy unit; no memory effect.
+        g.addNode("upd", "operator", {{"op", "id"}, {"latency", "1"}});
+        g.connect("faddS", "out0", "upd", "in0");
+        g.connect("upd", "out0", "sinkUpd", "in0");
+        g.addNode("sinkAddr", "sink");
+        g.connect("forkJ", "out6", "sinkAddr", "in0");
+    } else {
+        g.addNode("upd", "store", {{"memory", "s"}});
+        g.connect("forkJ", "out6", "upd", "in0");   // address j
+        g.connect("faddS", "out0", "upd", "in1");   // data
+        g.connect("upd", "out0", "sinkUpd", "in0");
+    }
+
+    g.connect("forkJ", "out4", "c1", "in0");
+    g.connect("forkJ", "out2", "addJ", "in0");
+    g.connect("c1", "out0", "addJ", "in1");
+    g.connect("addJ", "out0", "forkJ2", "in0");
+    g.connect("forkJ2", "out2", "cM2", "in0");
+    g.connect("forkJ2", "out1", "lt", "in0");
+    g.connect("cM2", "out0", "lt", "in1");
+
+    g.connect("forkJ2", "out0", "branch_j", "in0");
+    g.connect("faddQ", "out0", "branch_acc", "in0");
+    g.connect("forkI", "out2", "branch_i", "in0");
+
+    g.addNode("sinkJ", "sink");
+    g.addNode("forkRes", "fork", {{"out", "2"}});
+    g.addNode("storeQ", "store", {{"memory", "q"}});
+    g.addNode("sinkSt", "sink");
+    g.connect("branch_j", "out1", "sinkJ", "in0");
+    g.connect("branch_acc", "out1", "forkRes", "in0");
+    g.connect("branch_i", "out1", "storeQ", "in0");
+    g.connect("forkRes", "out0", "storeQ", "in1");
+    g.connect("storeQ", "out0", "sinkSt", "in0");
+    g.bindOutput(0, PortRef{"forkRes", "out1"});
+    return g;
+}
+
+BenchmarkSpec
+buildBicg()
+{
+    BenchmarkSpec spec;
+    spec.name = "bicg";
+    spec.num_tags = 24;
+    spec.df_io = buildBicgCircuit(false);
+    spec.df_ooo_input = buildBicgCircuit(true);
+
+    spec.memories["A"] = rampMemory(kBicgN * kBicgM, 1.0, 0.5);
+    spec.memories["p"] = rampMemory(kBicgM, 0.25, 0.25);
+    spec.memories["r"] = rampMemory(kBicgN, 0.75, 0.125);
+    spec.memories["s"] = std::vector<double>(kBicgM, 0.0);
+    spec.memories["q"] = std::vector<double>(kBicgN, 0.0);
+    spec.inputs = {intStream(kBicgN)};
+    spec.expected_outputs = kBicgN;
+
+    std::vector<double> s(kBicgM, 0.0);
+    for (int i = 0; i < kBicgN; ++i) {
+        double acc = 0.0;
+        for (int j = 0; j < kBicgM; ++j) {
+            double a = spec.memories["A"][i * kBicgM + j];
+            acc += a * spec.memories["p"][j];
+            s[j] += spec.memories["r"][i] * a;
+        }
+        spec.golden.push_back(acc);
+    }
+    spec.golden_memory = "s";
+    spec.golden_memory_values = s;
+
+    StaticLoop inner;
+    inner.body = {
+        {"mul_im", "mul", {}},
+        {"addr", "add", {"mul_im"}},
+        {"load_a", "load", {"addr"}},
+        {"load_p", "load", {}},
+        {"load_r", "load", {}},
+        {"load_s", "load", {}},
+        {"fmul_q", "fmul", {"load_a", "load_p"}},
+        {"fadd_q", "fadd", {"fmul_q"}},
+        {"fmul_s", "fmul", {"load_a", "load_r"}},
+        {"fadd_s", "fadd", {"fmul_s", "load_s"}},
+        {"store_s", "store", {"fadd_s"}},
+        {"add_j", "add", {}},
+        {"lt", "lt", {"add_j"}},
+    };
+    inner.trips = kBicgM;
+    spec.static_kernel = StaticKernel{"bicg", kBicgN, {inner}, 3};
+    return spec;
+}
+
+// -------------------------------------------------------------------
+// gemm: C[i][j] = sum_k A[i*K+k] * B[k*M+j], streamed (i, j) pairs.
+// -------------------------------------------------------------------
+
+constexpr int kGemmN = 12;   // rows
+constexpr int kGemmM = 12;   // cols
+constexpr int kGemmK = 24;   // reduction depth
+
+BenchmarkSpec
+buildGemm()
+{
+    BenchmarkSpec spec;
+    spec.name = "gemm";
+    spec.num_tags = 32;
+
+    ExprHigh& g = spec.df_io;
+    addLoopScaffold(g, {"k", "acc", "rb", "cb"}, PortRef{"lt", "out0"});
+
+    // Entries: io0 = row base (i*K), io1 = column index j.
+    g.addNode("forkEntry", "fork", {{"out", "3"}});
+    g.addNode("cK0", "constant", {{"value", "0"}});
+    g.addNode("cAcc0", "constant", {{"value", "0.0"}});
+    g.bindInput(0, PortRef{"forkEntry", "in0"});
+    g.bindInput(1, PortRef{"mux_cb", "in2"});
+    g.connect("forkEntry", "out0", "mux_rb", "in2");
+    g.connect("forkEntry", "out1", "cK0", "in0");
+    g.connect("forkEntry", "out2", "cAcc0", "in0");
+    g.connect("cK0", "out0", "mux_k", "in2");
+    g.connect("cAcc0", "out0", "mux_acc", "in2");
+
+    g.addNode("forkK", "fork", {{"out", "5"}});
+    g.addNode("forkRB", "fork", {{"out", "2"}});
+    g.addNode("forkCB", "fork", {{"out", "2"}});
+    g.addNode("addA", "operator", {{"op", "add"}});
+    g.addNode("loadA", "load", {{"memory", "A"}});
+    g.addNode("cMdim", "constant", {{"value", std::to_string(kGemmM)}});
+    g.addNode("mulKM", "operator", {{"op", "mul"}});
+    g.addNode("addB", "operator", {{"op", "add"}});
+    g.addNode("loadB", "load", {{"memory", "B"}});
+    g.addNode("fmul", "operator", {{"op", "fmul"}});
+    g.addNode("fadd", "operator", {{"op", "fadd"}});
+    g.addNode("c1", "constant", {{"value", "1"}});
+    g.addNode("addK", "operator", {{"op", "add"}});
+    g.addNode("forkK2", "fork", {{"out", "3"}});
+    g.addNode("cKdim", "constant", {{"value", std::to_string(kGemmK)}});
+    g.addNode("lt", "operator", {{"op", "lt"}});
+
+    g.connect("mux_k", "out0", "forkK", "in0");
+    g.connect("mux_rb", "out0", "forkRB", "in0");
+    g.connect("mux_cb", "out0", "forkCB", "in0");
+    g.connect("forkRB", "out0", "addA", "in0");
+    g.connect("forkK", "out0", "addA", "in1");
+    g.connect("addA", "out0", "loadA", "in0");
+    g.connect("forkK", "out3", "cMdim", "in0");
+    g.connect("forkK", "out1", "mulKM", "in0");
+    g.connect("cMdim", "out0", "mulKM", "in1");
+    g.connect("mulKM", "out0", "addB", "in0");
+    g.connect("forkCB", "out0", "addB", "in1");
+    g.connect("addB", "out0", "loadB", "in0");
+    g.connect("loadA", "out0", "fmul", "in0");
+    g.connect("loadB", "out0", "fmul", "in1");
+    g.connect("fmul", "out0", "fadd", "in0");
+    g.connect("mux_acc", "out0", "fadd", "in1");
+    g.connect("forkK", "out4", "c1", "in0");
+    g.connect("forkK", "out2", "addK", "in0");
+    g.connect("c1", "out0", "addK", "in1");
+    g.connect("addK", "out0", "forkK2", "in0");
+    g.connect("forkK2", "out2", "cKdim", "in0");
+    g.connect("forkK2", "out1", "lt", "in0");
+    g.connect("cKdim", "out0", "lt", "in1");
+
+    g.connect("forkK2", "out0", "branch_k", "in0");
+    g.connect("fadd", "out0", "branch_acc", "in0");
+    g.connect("forkRB", "out1", "branch_rb", "in0");
+    g.connect("forkCB", "out1", "branch_cb", "in0");
+
+    g.addNode("sinkK", "sink");
+    g.addNode("sinkRB", "sink");
+    g.addNode("sinkCB", "sink");
+    g.connect("branch_k", "out1", "sinkK", "in0");
+    g.connect("branch_rb", "out1", "sinkRB", "in0");
+    g.connect("branch_cb", "out1", "sinkCB", "in0");
+    g.bindOutput(0, PortRef{"branch_acc", "out1"});
+
+    spec.memories["A"] = rampMemory(kGemmN * kGemmK, 1.0, 0.5);
+    spec.memories["B"] = rampMemory(kGemmK * kGemmM, 0.5, 0.25);
+    std::vector<Token> row_bases, cols;
+    for (int i = 0; i < kGemmN; ++i)
+        for (int j = 0; j < kGemmM; ++j) {
+            row_bases.emplace_back(Value(i * kGemmK));
+            cols.emplace_back(Value(j));
+            double acc = 0.0;
+            for (int k = 0; k < kGemmK; ++k)
+                acc += spec.memories["A"][i * kGemmK + k] *
+                       spec.memories["B"][k * kGemmM + j];
+            spec.golden.push_back(acc);
+        }
+    spec.inputs = {row_bases, cols};
+    spec.expected_outputs = spec.golden.size();
+
+    StaticLoop inner;
+    inner.body = {
+        {"addr_a", "add", {}},
+        {"load_a", "load", {"addr_a"}},
+        {"mul_km", "mul", {}},
+        {"addr_b", "add", {"mul_km"}},
+        {"load_b", "load", {"addr_b"}},
+        {"fmul", "fmul", {"load_a", "load_b"}},
+        {"fadd", "fadd", {"fmul"}},
+        {"add_k", "add", {}},
+        {"lt", "lt", {"add_k"}},
+    };
+    inner.trips = kGemmK;
+    spec.static_kernel = StaticKernel{
+        "gemm", static_cast<std::size_t>(kGemmN * kGemmM), {inner}, 3};
+    return spec;
+}
+
+// -------------------------------------------------------------------
+// mvt: x1[i] = sum_j A[i*M+j]*y1[j];  x2[i] = sum_j A[j*M+i]*y2[j]
+// Both accumulations fused into one inner loop; the circuit emits
+// x1[i] + x2[i] so the result stream stays single.
+// -------------------------------------------------------------------
+
+constexpr int kMvtN = 24;
+constexpr int kMvtM = 24;
+
+BenchmarkSpec
+buildMvt()
+{
+    BenchmarkSpec spec;
+    spec.name = "mvt";
+    spec.num_tags = 12;
+
+    ExprHigh& g = spec.df_io;
+    addLoopScaffold(g, {"j", "acc1", "acc2", "i"},
+                    PortRef{"lt", "out0"});
+
+    g.addNode("forkEntry", "fork", {{"out", "4"}});
+    g.addNode("cJ0", "constant", {{"value", "0"}});
+    g.addNode("cAcc10", "constant", {{"value", "0.0"}});
+    g.addNode("cAcc20", "constant", {{"value", "0.0"}});
+    g.bindInput(0, PortRef{"forkEntry", "in0"});
+    g.connect("forkEntry", "out0", "mux_i", "in2");
+    g.connect("forkEntry", "out1", "cJ0", "in0");
+    g.connect("forkEntry", "out2", "cAcc10", "in0");
+    g.connect("forkEntry", "out3", "cAcc20", "in0");
+    g.connect("cJ0", "out0", "mux_j", "in2");
+    g.connect("cAcc10", "out0", "mux_acc1", "in2");
+    g.connect("cAcc20", "out0", "mux_acc2", "in2");
+
+    g.addNode("forkJ", "fork", {{"out", "8"}});
+    g.addNode("forkI", "fork", {{"out", "3"}});
+    g.addNode("cM1", "constant", {{"value", std::to_string(kMvtM)}});
+    g.addNode("mulIM", "operator", {{"op", "mul"}});
+    g.addNode("addA1", "operator", {{"op", "add"}});
+    g.addNode("loadA1", "load", {{"memory", "A"}});
+    g.addNode("loadY1", "load", {{"memory", "y1"}});
+    g.addNode("fmul1", "operator", {{"op", "fmul"}});
+    g.addNode("fadd1", "operator", {{"op", "fadd"}});
+    g.addNode("cM2c", "constant", {{"value", std::to_string(kMvtM)}});
+    g.addNode("mulJM", "operator", {{"op", "mul"}});
+    g.addNode("addA2", "operator", {{"op", "add"}});
+    g.addNode("loadA2", "load", {{"memory", "A"}});
+    g.addNode("loadY2", "load", {{"memory", "y2"}});
+    g.addNode("fmul2", "operator", {{"op", "fmul"}});
+    g.addNode("fadd2", "operator", {{"op", "fadd"}});
+    g.addNode("c1", "constant", {{"value", "1"}});
+    g.addNode("addJ", "operator", {{"op", "add"}});
+    g.addNode("forkJ2", "fork", {{"out", "2"}});
+    g.addNode("cMT", "constant", {{"value", std::to_string(kMvtM)}});
+    g.addNode("lt", "operator", {{"op", "lt"}});
+
+    g.connect("mux_j", "out0", "forkJ", "in0");
+    g.connect("mux_i", "out0", "forkI", "in0");
+    // x1 chain: A[i*M+j] * y1[j]
+    g.connect("forkJ", "out5", "cM1", "in0");
+    g.connect("forkI", "out0", "mulIM", "in0");
+    g.connect("cM1", "out0", "mulIM", "in1");
+    g.connect("mulIM", "out0", "addA1", "in0");
+    g.connect("forkJ", "out0", "addA1", "in1");
+    g.connect("addA1", "out0", "loadA1", "in0");
+    g.connect("forkJ", "out1", "loadY1", "in0");
+    g.connect("loadA1", "out0", "fmul1", "in0");
+    g.connect("loadY1", "out0", "fmul1", "in1");
+    g.connect("fmul1", "out0", "fadd1", "in0");
+    g.connect("mux_acc1", "out0", "fadd1", "in1");
+    // x2 chain: A[j*M+i] * y2[j]
+    g.connect("forkJ", "out6", "cM2c", "in0");
+    g.connect("forkJ", "out2", "mulJM", "in0");
+    g.connect("cM2c", "out0", "mulJM", "in1");
+    g.connect("mulJM", "out0", "addA2", "in0");
+    g.connect("forkI", "out1", "addA2", "in1");
+    g.connect("addA2", "out0", "loadA2", "in0");
+    g.connect("forkJ", "out3", "loadY2", "in0");
+    g.connect("loadA2", "out0", "fmul2", "in0");
+    g.connect("loadY2", "out0", "fmul2", "in1");
+    g.connect("fmul2", "out0", "fadd2", "in0");
+    g.connect("mux_acc2", "out0", "fadd2", "in1");
+    // induction: triggers for the two constants come from forkJ
+    // (before the increment) to avoid a self-dependence.
+    g.addNode("forkC1", "fork", {{"out", "2"}});
+    g.connect("forkJ", "out4", "addJ", "in0");
+    g.connect("forkJ", "out7", "forkC1", "in0");
+    g.connect("forkC1", "out0", "c1", "in0");
+    g.connect("forkC1", "out1", "cMT", "in0");
+    g.connect("c1", "out0", "addJ", "in1");
+    g.connect("addJ", "out0", "forkJ2", "in0");
+    g.connect("forkJ2", "out1", "lt", "in0");
+    g.connect("cMT", "out0", "lt", "in1");
+
+    g.connect("forkJ2", "out0", "branch_j", "in0");
+    g.connect("fadd1", "out0", "branch_acc1", "in0");
+    g.connect("fadd2", "out0", "branch_acc2", "in0");
+    g.connect("forkI", "out2", "branch_i", "in0");
+
+    g.addNode("sinkJ", "sink");
+    g.addNode("sinkI", "sink");
+    g.addNode("faddOut", "operator", {{"op", "fadd"}});
+    g.connect("branch_j", "out1", "sinkJ", "in0");
+    g.connect("branch_i", "out1", "sinkI", "in0");
+    g.connect("branch_acc1", "out1", "faddOut", "in0");
+    g.connect("branch_acc2", "out1", "faddOut", "in1");
+    g.bindOutput(0, PortRef{"faddOut", "out0"});
+
+    spec.memories["A"] = rampMemory(kMvtN * kMvtM, 1.0, 0.5);
+    spec.memories["y1"] = rampMemory(kMvtM, 0.5, 0.25);
+    spec.memories["y2"] = rampMemory(kMvtM, 0.25, 0.5);
+    spec.inputs = {intStream(kMvtN)};
+    spec.expected_outputs = kMvtN;
+    for (int i = 0; i < kMvtN; ++i) {
+        double a1 = 0.0, a2 = 0.0;
+        for (int j = 0; j < kMvtM; ++j) {
+            a1 += spec.memories["A"][i * kMvtM + j] *
+                  spec.memories["y1"][j];
+            a2 += spec.memories["A"][j * kMvtM + i] *
+                  spec.memories["y2"][j];
+        }
+        spec.golden.push_back(a1 + a2);
+    }
+
+    StaticLoop inner;
+    inner.body = {
+        {"mul_im", "mul", {}},
+        {"addr1", "add", {"mul_im"}},
+        {"load_a1", "load", {"addr1"}},
+        {"load_y1", "load", {}},
+        {"fmul1", "fmul", {"load_a1", "load_y1"}},
+        {"fadd1", "fadd", {"fmul1"}},
+        {"mul_jm", "mul", {}},
+        {"addr2", "add", {"mul_jm"}},
+        {"load_a2", "load", {"addr2"}},
+        {"load_y2", "load", {}},
+        {"fmul2", "fmul", {"load_a2", "load_y2"}},
+        {"fadd2", "fadd", {"fmul2"}},
+        {"add_j", "add", {}},
+        {"lt", "lt", {"add_j"}},
+    };
+    inner.trips = kMvtM;
+    spec.static_kernel = StaticKernel{"mvt", kMvtN, {inner}, 4};
+    return spec;
+}
+
+// -------------------------------------------------------------------
+// gsum: acc = sum_j (d[base+j] >= 0.5 ? d[base+j]^2 : 0)
+// gsum-many streams independent segments; gsum-single serializes them
+// (each segment's start waits for the previous result).
+// -------------------------------------------------------------------
+
+constexpr int kGsumItems = 40;
+constexpr int kGsumTrips = 16;
+
+BenchmarkSpec
+buildGsum(bool single)
+{
+    BenchmarkSpec spec;
+    spec.name = single ? "gsum-single" : "gsum-many";
+    spec.num_tags = 6;
+    spec.serial_io = single;
+
+    ExprHigh& g = spec.df_io;
+    addLoopScaffold(g, {"j", "acc", "base"}, PortRef{"lt", "out0"});
+
+    g.addNode("forkEntry", "fork", {{"out", "3"}});
+    g.addNode("cJ0", "constant", {{"value", "0"}});
+    g.addNode("cAcc0", "constant", {{"value", "0.0"}});
+    g.bindInput(0, PortRef{"forkEntry", "in0"});
+    g.connect("forkEntry", "out0", "mux_base", "in2");
+    g.connect("forkEntry", "out1", "cJ0", "in0");
+    g.connect("forkEntry", "out2", "cAcc0", "in0");
+    g.connect("cJ0", "out0", "mux_j", "in2");
+    g.connect("cAcc0", "out0", "mux_acc", "in2");
+
+    g.addNode("forkJ", "fork", {{"out", "4"}});
+    g.addNode("forkB", "fork", {{"out", "2"}});
+    g.addNode("addD", "operator", {{"op", "add"}});
+    g.addNode("loadD", "load", {{"memory", "d"}});
+    g.addNode("forkD", "fork", {{"out", "3"}});
+    g.addNode("cHalf", "constant", {{"value", "0.5"}});
+    g.addNode("fge", "operator", {{"op", "fge"}});
+    g.addNode("sq", "operator", {{"op", "fmul"}});
+    g.addNode("forkDD", "fork", {{"out", "2"}});
+    g.addNode("cZero", "constant", {{"value", "0.0"}});
+    g.addNode("sel", "operator", {{"op", "select"}});
+    g.addNode("fadd", "operator", {{"op", "fadd"}});
+    g.addNode("c1", "constant", {{"value", "1"}});
+    g.addNode("addJ", "operator", {{"op", "add"}});
+    g.addNode("forkJ2", "fork", {{"out", "3"}});
+    g.addNode("cT", "constant",
+              {{"value", std::to_string(kGsumTrips)}});
+    g.addNode("lt", "operator", {{"op", "lt"}});
+
+    g.connect("mux_j", "out0", "forkJ", "in0");
+    g.connect("mux_base", "out0", "forkB", "in0");
+    g.connect("forkB", "out0", "addD", "in0");
+    g.connect("forkJ", "out0", "addD", "in1");
+    g.connect("addD", "out0", "loadD", "in0");
+    g.connect("loadD", "out0", "forkD", "in0");
+    g.connect("forkD", "out0", "fge", "in0");
+    g.connect("forkD", "out1", "forkDD", "in0");
+    g.connect("forkD", "out2", "cHalf", "in0");
+    g.connect("cHalf", "out0", "fge", "in1");
+    g.connect("forkDD", "out0", "sq", "in0");
+    g.connect("forkDD", "out1", "sq", "in1");
+    g.connect("fge", "out0", "sel", "in0");
+    g.connect("sq", "out0", "sel", "in1");
+    g.connect("forkJ", "out3", "cZero", "in0");
+    g.connect("cZero", "out0", "sel", "in2");
+    g.connect("sel", "out0", "fadd", "in0");
+    g.connect("mux_acc", "out0", "fadd", "in1");
+    g.connect("forkJ", "out1", "addJ", "in0");
+    g.connect("forkJ", "out2", "c1", "in0");
+    g.connect("c1", "out0", "addJ", "in1");
+    g.connect("addJ", "out0", "forkJ2", "in0");
+    g.connect("forkJ2", "out2", "cT", "in0");
+    g.connect("forkJ2", "out1", "lt", "in0");
+    g.connect("cT", "out0", "lt", "in1");
+
+    g.connect("forkJ2", "out0", "branch_j", "in0");
+    g.connect("fadd", "out0", "branch_acc", "in0");
+    g.connect("forkB", "out1", "branch_base", "in0");
+
+    g.addNode("sinkJ", "sink");
+    g.addNode("sinkB", "sink");
+    g.connect("branch_j", "out1", "sinkJ", "in0");
+    g.connect("branch_base", "out1", "sinkB", "in0");
+    g.bindOutput(0, PortRef{"branch_acc", "out1"});
+
+    spec.memories["d"] =
+        rampMemory(kGsumItems * kGsumTrips, -0.4, 0.35);
+    spec.inputs = {intStream(kGsumItems, kGsumTrips)};
+    spec.expected_outputs = kGsumItems;
+    for (int item = 0; item < kGsumItems; ++item) {
+        double acc = 0.0;
+        for (int j = 0; j < kGsumTrips; ++j) {
+            double x =
+                spec.memories["d"][item * kGsumTrips + j];
+            acc += x >= 0.5 ? x * x : 0.0;
+        }
+        spec.golden.push_back(acc);
+    }
+
+    StaticLoop inner;
+    inner.body = {
+        {"addr", "add", {}},
+        {"load_d", "load", {"addr"}},
+        {"fge", "fge", {"load_d"}},
+        {"sq", "fmul", {"load_d"}},
+        {"sel", "select", {"fge", "sq"}},
+        {"fadd", "fadd", {"sel"}},
+        {"add_j", "add", {}},
+        {"lt", "lt", {"add_j"}},
+    };
+    inner.trips = kGsumTrips;
+    spec.static_kernel = StaticKernel{
+        spec.name, kGsumItems, {inner}, 3};
+    return spec;
+}
+
+}  // namespace
+
+std::vector<std::string>
+benchmarkNames()
+{
+    return {"bicg",        "gemm",   "gsum-many",
+            "gsum-single", "matvec", "mvt"};
+}
+
+Result<BenchmarkSpec>
+buildBenchmark(const std::string& name)
+{
+    if (name == "matvec")
+        return buildMatvec();
+    if (name == "bicg")
+        return buildBicg();
+    if (name == "gemm")
+        return buildGemm();
+    if (name == "mvt")
+        return buildMvt();
+    if (name == "gsum-many")
+        return buildGsum(false);
+    if (name == "gsum-single")
+        return buildGsum(true);
+    return err("unknown benchmark: " + name);
+}
+
+}  // namespace graphiti::circuits

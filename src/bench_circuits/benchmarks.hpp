@@ -1,0 +1,80 @@
+#ifndef GRAPHITI_BENCH_CIRCUITS_BENCHMARKS_HPP
+#define GRAPHITI_BENCH_CIRCUITS_BENCHMARKS_HPP
+
+/**
+ * @file
+ * The evaluation benchmarks of section 6 (tables 2 and 3, figure 8).
+ *
+ * Each benchmark provides the untagged fast-token-delivery dataflow
+ * circuit a Dynamatic front-end would emit (DF-IO), the workload
+ * (memories + input streams), golden results, the tag count used by
+ * Elakhras et al., and the dependence-DAG description consumed by the
+ * Vericert-style static scheduler.
+ *
+ * Circuit shape: the outer loop is the input stream (one token per
+ * outer iteration); the inner loop is a multi-variable Mux/Branch
+ * loop with a long-latency loop-carried dependence (the floating
+ * point accumulation) that the out-of-order transformation overlaps
+ * across outer iterations.
+ *
+ * bicg deliberately stores to memory *inside* the inner loop body —
+ * the shape that made the original out-of-order transform unsound
+ * (section 6.2). GRAPHITI's pipeline refuses it; the DF-OoO column is
+ * produced from the store-suppressed variant (dfOooInput), mimicking
+ * the unverified flow that transformed it anyway.
+ */
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/expr_high.hpp"
+#include "static_hls/static_hls.hpp"
+#include "support/result.hpp"
+#include "support/token.hpp"
+
+namespace graphiti::circuits {
+
+/** Everything needed to evaluate one benchmark across the four flows. */
+struct BenchmarkSpec
+{
+    std::string name;
+    /** Tag count per Elakhras et al. (matvec uses 50). */
+    int num_tags = 8;
+    /** Outer iterations depend on each other (gsum-single). */
+    bool serial_io = false;
+
+    /** The untagged DF-IO circuit. */
+    ExprHigh df_io;
+    /**
+     * Input handed to the pipeline for the DF-OoO column when it
+     * differs from df_io (bicg: the store-suppressed variant the
+     * unverified flow effectively transformed).
+     */
+    std::optional<ExprHigh> df_ooo_input;
+
+    std::map<std::string, std::vector<double>> memories;
+    std::vector<std::vector<Token>> inputs;
+    std::size_t expected_outputs = 0;
+
+    /** Expected output-stream values, in program order. */
+    std::vector<double> golden;
+
+    /** Memory whose final contents are also checked (bicg's s). */
+    std::string golden_memory;
+    std::vector<double> golden_memory_values;
+
+    /** Vericert model of the same kernel. */
+    static_hls::StaticKernel static_kernel;
+};
+
+/** Names of all table 2/3 benchmarks, in table order. */
+std::vector<std::string> benchmarkNames();
+
+/** Build benchmark @p name; fails on unknown names. */
+Result<BenchmarkSpec> buildBenchmark(const std::string& name);
+
+}  // namespace graphiti::circuits
+
+#endif  // GRAPHITI_BENCH_CIRCUITS_BENCHMARKS_HPP

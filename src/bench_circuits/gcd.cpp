@@ -1,0 +1,138 @@
+#include "bench_circuits/gcd.hpp"
+
+namespace graphiti::circuits {
+
+ExprHigh
+buildGcdInOrder()
+{
+    ExprHigh g;
+    g.addNode("muxA", "mux");
+    g.addNode("muxB", "mux");
+    g.addNode("initA", "init", {{"value", "false"}});
+    g.addNode("initB", "init", {{"value", "false"}});
+    g.addNode("forkB", "fork", {{"out", "2"}});
+    g.addNode("mod", "operator", {{"op", "mod"}, {"latency", "4"}});
+    g.addNode("forkMod", "fork", {{"out", "3"}});
+    g.addNode("const0", "constant", {{"value", "0"}});
+    g.addNode("ne", "operator", {{"op", "ne"}});
+    g.addNode("forkCond", "fork", {{"out", "4"}});
+    g.addNode("branchA", "branch");
+    g.addNode("branchB", "branch");
+    g.addNode("sinkB", "sink");
+
+    g.bindInput(0, PortRef{"muxA", "in2"});  // a
+    g.bindInput(1, PortRef{"muxB", "in2"});  // b
+    g.bindOutput(0, PortRef{"branchA", "out1"});  // gcd(a, b)
+
+    g.connect("initA", "out0", "muxA", "in0");
+    g.connect("initB", "out0", "muxB", "in0");
+    g.connect("muxA", "out0", "mod", "in0");
+    g.connect("muxB", "out0", "forkB", "in0");
+    g.connect("forkB", "out0", "mod", "in1");
+    g.connect("forkB", "out1", "branchA", "in0");  // a' = old b
+    g.connect("mod", "out0", "forkMod", "in0");    // b' = a % b
+    g.connect("forkMod", "out0", "ne", "in0");
+    g.connect("forkMod", "out1", "const0", "in0");
+    g.connect("forkMod", "out2", "branchB", "in0");
+    g.connect("const0", "out0", "ne", "in1");
+    g.connect("ne", "out0", "forkCond", "in0");    // cond = b' != 0
+    g.connect("forkCond", "out0", "branchA", "in1");
+    g.connect("forkCond", "out1", "branchB", "in1");
+    g.connect("forkCond", "out2", "initA", "in0");
+    g.connect("forkCond", "out3", "initB", "in0");
+    g.connect("branchA", "out0", "muxA", "in1");   // continue
+    g.connect("branchB", "out0", "muxB", "in1");
+    g.connect("branchB", "out1", "sinkB", "in0");  // final b' == 0
+    return g;
+}
+
+void
+registerGcdBody(FnRegistry& registry)
+{
+    registry.add("gcd_body", [](const Value& in) {
+        const ValueTuple& ab = in.asTuple();
+        std::int64_t a = ab[0].asInt();
+        std::int64_t b = ab[1].asInt();
+        std::int64_t next_b = b == 0 ? 0 : a % b;
+        return Value::tuple(Value::tuple(Value(b), Value(next_b)),
+                            Value(next_b != 0));
+    });
+}
+
+ExprHigh
+buildGcdNormalizedLoop(FnRegistry& registry)
+{
+    registerGcdBody(registry);
+
+    ExprHigh g;
+    g.addNode("mux", "mux");
+    g.addNode("init", "init", {{"value", "false"}});
+    g.addNode("body", "pure", {{"fn", "gcd_body"}});
+    g.addNode("split", "split");
+    g.addNode("forkC", "fork", {{"out", "2"}});
+    g.addNode("branch", "branch");
+
+    g.bindInput(0, PortRef{"mux", "in2"});
+    g.bindOutput(0, PortRef{"branch", "out1"});
+
+    g.connect("init", "out0", "mux", "in0");
+    g.connect("mux", "out0", "body", "in0");
+    g.connect("body", "out0", "split", "in0");
+    g.connect("split", "out0", "branch", "in0");
+    g.connect("split", "out1", "forkC", "in0");
+    g.connect("forkC", "out0", "branch", "in1");
+    g.connect("forkC", "out1", "init", "in0");
+    g.connect("branch", "out0", "mux", "in1");
+    return g;
+}
+
+ExprHigh
+buildGcdFarm(int copies)
+{
+    ExprHigh g;
+    for (int k = 0; k < copies; ++k) {
+        ExprHigh unit = buildGcdInOrder();
+        std::string prefix = "u" + std::to_string(k) + "_";
+        for (const NodeDecl& node : unit.nodes())
+            g.addNode(prefix + node.name, node.type, node.attrs);
+        for (const Edge& e : unit.edges())
+            g.connect(PortRef{prefix + e.src.inst, e.src.port},
+                      PortRef{prefix + e.dst.inst, e.dst.port});
+        for (std::size_t i = 0; i < unit.inputs().size(); ++i)
+            g.bindInput(2 * static_cast<std::size_t>(k) + i,
+                        PortRef{prefix + unit.inputs()[i]->inst,
+                                unit.inputs()[i]->port});
+        g.bindOutput(static_cast<std::size_t>(k),
+                     PortRef{prefix + unit.outputs()[0]->inst,
+                             unit.outputs()[0]->port});
+    }
+    return g;
+}
+
+ExprHigh
+buildGcdOutOfOrder(FnRegistry& registry, int num_tags)
+{
+    registerGcdBody(registry);
+
+    ExprHigh g;
+    g.addNode("tagger", "tagger",
+              {{"tags", std::to_string(num_tags)}});
+    g.addNode("merge", "merge");
+    g.addNode("body", "pure", {{"fn", "gcd_body"}});
+    g.addNode("split", "split");
+    g.addNode("branch", "branch");
+
+    g.bindInput(0, PortRef{"tagger", "in0"});
+    g.bindOutput(0, PortRef{"tagger", "out1"});
+
+    g.connect("tagger", "out0", "merge", "in1");
+    g.connect("branch", "out0", "merge", "in0");
+    g.connect("merge", "out0", "body", "in0");
+    g.connect("body", "out0", "split", "in0");
+    g.connect("split", "out0", "branch", "in0");
+    g.connect("split", "out1", "branch", "in1");
+    g.connect("branch", "out1", "tagger", "in1");
+    return g;
+}
+
+}  // namespace graphiti::circuits

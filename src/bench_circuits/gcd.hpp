@@ -1,0 +1,61 @@
+#ifndef GRAPHITI_BENCH_CIRCUITS_GCD_HPP
+#define GRAPHITI_BENCH_CIRCUITS_GCD_HPP
+
+/**
+ * @file
+ * The GCD example of section 2 (figures 2b and 2c).
+ *
+ * buildGcdInOrder() constructs the untagged sequential inner-loop
+ * circuit a dynamic HLS tool produces for
+ *
+ *     do { int temp = b; b = a % b; a = temp; } while (b != 0);
+ *
+ * with graph inputs io0 = a, io1 = b and graph output io0 = gcd(a, b).
+ * The loop is guarded by two Mux/Branch pairs (one per loop-carried
+ * variable), the canonical fast-token-delivery shape the rewrites of
+ * section 3 normalize.
+ *
+ * buildGcdOutOfOrder() constructs the tagged circuit of figure 2c
+ * (single Merge/Branch pair around a Pure body, wrapped in a
+ * Tagger/Untagger) — the shape the rewrite pipeline produces.
+ */
+
+#include "graph/expr_high.hpp"
+#include "semantics/functions.hpp"
+
+namespace graphiti::circuits {
+
+/** Figure 2b: the sequential (in-order) GCD inner loop. */
+ExprHigh buildGcdInOrder();
+
+/**
+ * Figure 2c: the tagged out-of-order GCD inner loop.
+ *
+ * Registers the loop-body function "gcd_body" in @p registry:
+ * (a, b) -> ((b, a % b), b' != 0).
+ *
+ * @param num_tags tag count for the Tagger/Untagger region.
+ */
+ExprHigh buildGcdOutOfOrder(FnRegistry& registry, int num_tags = 4);
+
+/** Register the "gcd_body" pure function without building a graph. */
+void registerGcdBody(FnRegistry& registry);
+
+/**
+ * The normalized sequential loop (figure 3d lhs): one Mux, one Branch,
+ * a Pure body and a Split — the shape the main loop rewrite matches.
+ * Registers "gcd_body" in @p registry.
+ */
+ExprHigh buildGcdNormalizedLoop(FnRegistry& registry);
+
+/**
+ * A farm of @p copies independent in-order GCD loops, each with its
+ * own I/O pair (inputs 2k, 2k+1; output k). Used to exercise the
+ * rewriting pipeline on graphs with hundreds of nodes (the
+ * scalability discussion of section 6.3).
+ */
+ExprHigh buildGcdFarm(int copies);
+
+}  // namespace graphiti::circuits
+
+#endif  // GRAPHITI_BENCH_CIRCUITS_GCD_HPP

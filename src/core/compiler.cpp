@@ -1,0 +1,72 @@
+#include "core/compiler.hpp"
+
+#include <chrono>
+
+#include "dot/dot.hpp"
+#include "graph/typecheck.hpp"
+#include "rewrite/catalog_verify.hpp"
+
+namespace graphiti {
+
+Result<CompileReport>
+Compiler::compileDot(const std::string& dot_text,
+                     const CompileOptions& options)
+{
+    Result<ExprHigh> parsed = parseDot(dot_text);
+    if (!parsed.ok())
+        return parsed.error().context("compileDot");
+    return compileGraph(parsed.value(), options);
+}
+
+Result<CompileReport>
+Compiler::compileGraph(const ExprHigh& graph,
+                       const CompileOptions& options)
+{
+    // Well-typedness (section 6.3): every wire must carry one
+    // consistent type before we reason about rewrites.
+    Result<TypeReport> typed = checkWellTyped(graph);
+    if (!typed.ok())
+        return typed.error().context("compileGraph");
+
+    if (options.verify_rewrites) {
+        Result<CatalogVerification> catalog = verifyCatalog();
+        if (!catalog.ok())
+            return catalog.error().context("compileGraph");
+        if (!catalog.value().all_ok)
+            return err("catalog verification failed: " +
+                       catalog.value().first_failure);
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    Result<PipelineResult> pipeline = runOooPipeline(
+        graph, env_,
+        PipelineOptions{options.num_tags, options.reexpand});
+    if (!pipeline.ok())
+        return pipeline.error().context("compileGraph");
+    auto end = std::chrono::steady_clock::now();
+
+    CompileReport report;
+    report.graph = std::move(pipeline.value().graph);
+    report.output_dot = printDot(report.graph);
+    report.loops = std::move(pipeline.value().loops);
+    report.rewrites = pipeline.value().stats;
+    report.seconds =
+        std::chrono::duration<double>(end - start).count();
+    return report;
+}
+
+Result<RefinementReport>
+Compiler::verifyCompilation(const ExprHigh& original,
+                            const ExprHigh& transformed,
+                            const std::vector<Token>& tokens,
+                            const ExplorationLimits& limits)
+{
+    // Bounded-queue environment sharing this compiler's registry (the
+    // transformed graph references pure functions registered during
+    // compilation).
+    Environment bounded(limits.input_budget + 2, env_.functionsPtr());
+    return checkGraphRefinement(transformed, original, bounded, tokens,
+                                limits);
+}
+
+}  // namespace graphiti

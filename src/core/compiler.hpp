@@ -1,0 +1,93 @@
+#ifndef GRAPHITI_CORE_COMPILER_HPP
+#define GRAPHITI_CORE_COMPILER_HPP
+
+/**
+ * @file
+ * The public compiler API: the tool flow of figure 1.
+ *
+ * A Compiler accepts a dataflow circuit (dot text or ExprHigh), runs
+ * the verified out-of-order rewriting pipeline, and returns the
+ * optimized circuit together with a report: which loops were
+ * transformed, which were refused (and why), how many rewrites were
+ * applied and how long rewriting took (section 6.3's metrics).
+ *
+ * Usage:
+ *
+ *     graphiti::Compiler compiler;
+ *     auto result = compiler.compileDot(dot_text, {.num_tags = 8});
+ *     if (result.ok())
+ *         std::cout << result.value().output_dot;
+ *
+ * For bounded formal validation of a specific compilation,
+ * verifyCompilation checks transformed ⊑ original with the refinement
+ * checker on a caller-provided token domain.
+ */
+
+#include <string>
+
+#include "refine/refinement.hpp"
+#include "rewrite/ooo_pipeline.hpp"
+#include "semantics/environment.hpp"
+#include "support/result.hpp"
+
+namespace graphiti {
+
+/** Options of one compilation. */
+struct CompileOptions
+{
+    /** Tag count for inserted Tagger/Untagger components. */
+    int num_tags = 8;
+    /** Re-expand Pure bodies into their original operators. */
+    bool reexpand = true;
+    /**
+     * Paranoid mode: re-discharge the refinement obligation of every
+     * verified catalog rewrite before rewriting (slower; the checks
+     * are also run by the test suite).
+     */
+    bool verify_rewrites = false;
+};
+
+/** Outcome of one compilation. */
+struct CompileReport
+{
+    ExprHigh graph;          ///< the optimized circuit
+    std::string output_dot;  ///< the same circuit, printed
+    std::vector<LoopTransformReport> loops;
+    EngineStats rewrites;
+    double seconds = 0.0;    ///< rewriting wall time
+};
+
+/** The GRAPHITI compiler. */
+class Compiler
+{
+  public:
+    Compiler() = default;
+
+    /** The environment (component semantics + pure-fn registry). */
+    Environment& environment() { return env_; }
+    const Environment& environment() const { return env_; }
+
+    /** Compile a dot document. */
+    Result<CompileReport> compileDot(const std::string& dot_text,
+                                     const CompileOptions& options = {});
+
+    /** Compile an already-parsed graph. */
+    Result<CompileReport> compileGraph(const ExprHigh& graph,
+                                       const CompileOptions& options = {});
+
+    /**
+     * Bounded formal validation: check transformed ⊑ original on the
+     * finite instantiation given by @p tokens and @p limits, using a
+     * bounded-queue copy of this compiler's environment.
+     */
+    Result<RefinementReport> verifyCompilation(
+        const ExprHigh& original, const ExprHigh& transformed,
+        const std::vector<Token>& tokens, const ExplorationLimits& limits);
+
+  private:
+    Environment env_;
+};
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_CORE_COMPILER_HPP

@@ -1,0 +1,398 @@
+#include "dot/dot.hpp"
+
+#include <cctype>
+
+#include "graph/signatures.hpp"
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace graphiti {
+
+namespace {
+
+/** Token kinds produced by the dot lexer. */
+enum class TokKind {
+    ident,    // bare identifier or quoted string
+    symbol,   // one of { } [ ] = , ;
+    arrow,    // ->
+    end,      // end of input
+};
+
+struct Tok
+{
+    TokKind kind;
+    std::string text;
+    int line;
+};
+
+/** Lexer for the restricted dot dialect. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string& text) : text_(text) {}
+
+    Result<std::vector<Tok>>
+    run()
+    {
+        std::vector<Tok> toks;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '/' && peek(1) == '/') {
+                skipLine();
+            } else if (c == '#') {
+                skipLine();
+            } else if (c == '/' && peek(1) == '*') {
+                if (!skipBlockComment())
+                    return err("unterminated block comment at line " +
+                               std::to_string(line_));
+            } else if (c == '-' && peek(1) == '>') {
+                toks.push_back(Tok{TokKind::arrow, "->", line_});
+                pos_ += 2;
+            } else if (std::string("{}[]=,;").find(c) !=
+                       std::string::npos) {
+                toks.push_back(Tok{TokKind::symbol, std::string(1, c),
+                                   line_});
+                ++pos_;
+            } else if (c == '"') {
+                Result<std::string> s = lexQuoted();
+                if (!s.ok())
+                    return s.error();
+                toks.push_back(Tok{TokKind::ident, s.take(), line_});
+            } else if (std::isalnum(static_cast<unsigned char>(c)) ||
+                       c == '_' || c == '.' || c == '-') {
+                toks.push_back(Tok{TokKind::ident, lexBare(), line_});
+            } else {
+                return err("unexpected character '" + std::string(1, c) +
+                           "' at line " + std::to_string(line_));
+            }
+        }
+        toks.push_back(Tok{TokKind::end, "", line_});
+        return toks;
+    }
+
+  private:
+    char
+    peek(std::size_t ahead) const
+    {
+        return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+    }
+
+    void
+    skipLine()
+    {
+        while (pos_ < text_.size() && text_[pos_] != '\n')
+            ++pos_;
+    }
+
+    bool
+    skipBlockComment()
+    {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size()) {
+            if (text_[pos_] == '\n')
+                ++line_;
+            if (text_[pos_] == '*' && text_[pos_ + 1] == '/') {
+                pos_ += 2;
+                return true;
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    Result<std::string>
+    lexQuoted()
+    {
+        ++pos_;  // opening quote
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\' && pos_ + 1 < text_.size())
+                ++pos_;
+            if (text_[pos_] == '\n')
+                ++line_;
+            out += text_[pos_++];
+        }
+        if (pos_ >= text_.size())
+            return err("unterminated string at line " +
+                       std::to_string(line_));
+        ++pos_;  // closing quote
+        return out;
+    }
+
+    std::string
+    lexBare()
+    {
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '.' || c == '-') {
+                out += c;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        return out;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+/** Recursive-descent parser over the token stream. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+    Result<ExprHigh>
+    run()
+    {
+        if (!expectIdent("digraph"))
+            return fail("expected 'digraph'");
+        if (cur().kind == TokKind::ident)
+            advance();  // optional graph name
+        if (!expectSymbol("{"))
+            return fail("expected '{'");
+
+        while (!atSymbol("}") && cur().kind != TokKind::end) {
+            Result<bool> stmt = parseStatement();
+            if (!stmt.ok())
+                return stmt.error();
+        }
+        if (!expectSymbol("}"))
+            return fail("expected '}'");
+        return finish();
+    }
+
+  private:
+    const Tok& cur() const { return toks_[idx_]; }
+    void advance() { if (idx_ + 1 < toks_.size()) ++idx_; }
+
+    bool
+    atSymbol(const std::string& s) const
+    {
+        return cur().kind == TokKind::symbol && cur().text == s;
+    }
+
+    bool
+    expectSymbol(const std::string& s)
+    {
+        if (!atSymbol(s))
+            return false;
+        advance();
+        return true;
+    }
+
+    bool
+    expectIdent(const std::string& s)
+    {
+        if (cur().kind != TokKind::ident || cur().text != s)
+            return false;
+        advance();
+        return true;
+    }
+
+    Error
+    fail(const std::string& what) const
+    {
+        return err("dot parse error at line " + std::to_string(cur().line) +
+                   ": " + what + " (got '" + cur().text + "')");
+    }
+
+    Result<AttrMap>
+    parseAttrList()
+    {
+        AttrMap attrs;
+        if (!atSymbol("["))
+            return attrs;
+        advance();
+        while (!atSymbol("]")) {
+            if (cur().kind != TokKind::ident)
+                return fail("expected attribute name");
+            std::string key = cur().text;
+            advance();
+            if (!expectSymbol("="))
+                return fail("expected '=' after attribute name");
+            if (cur().kind != TokKind::ident)
+                return fail("expected attribute value");
+            attrs[key] = cur().text;
+            advance();
+            if (atSymbol(","))
+                advance();
+        }
+        advance();  // ]
+        return attrs;
+    }
+
+    Result<bool>
+    parseStatement()
+    {
+        if (cur().kind != TokKind::ident)
+            return fail("expected node name");
+        std::string name = cur().text;
+        advance();
+
+        if (cur().kind == TokKind::arrow) {
+            advance();
+            if (cur().kind != TokKind::ident)
+                return fail("expected edge target");
+            std::string target = cur().text;
+            advance();
+            Result<AttrMap> attrs = parseAttrList();
+            if (!attrs.ok())
+                return attrs.error();
+            RawEdge e;
+            e.src = name;
+            e.dst = target;
+            e.from = attrStr(attrs.value(), "from", "out0");
+            e.to = attrStr(attrs.value(), "to", "in0");
+            edges_.push_back(std::move(e));
+        } else {
+            Result<AttrMap> attrs = parseAttrList();
+            if (!attrs.ok())
+                return attrs.error();
+            nodes_.emplace_back(name, attrs.take());
+        }
+        if (atSymbol(";"))
+            advance();
+        return true;
+    }
+
+    Result<ExprHigh>
+    finish()
+    {
+        ExprHigh graph;
+        // io pseudo-node -> index
+        std::map<std::string, std::pair<bool, std::size_t>> io_nodes;
+
+        for (auto& [name, attrs] : nodes_) {
+            auto type_it = attrs.find("type");
+            if (type_it == attrs.end())
+                return err("node '" + name + "' has no type attribute");
+            std::string type = type_it->second;
+            if (type == "input" || type == "output") {
+                int index = attrInt(attrs, "index", -1);
+                if (index < 0)
+                    return err("io node '" + name +
+                               "' needs an index attribute");
+                io_nodes[name] = {type == "input",
+                                  static_cast<std::size_t>(index)};
+                continue;
+            }
+            AttrMap rest = attrs;
+            rest.erase("type");
+            graph.addNode(name, type, std::move(rest));
+        }
+
+        for (const RawEdge& e : edges_) {
+            auto src_io = io_nodes.find(e.src);
+            auto dst_io = io_nodes.find(e.dst);
+            if (src_io != io_nodes.end() && dst_io != io_nodes.end())
+                return err("edge connects two io pseudo-nodes: " + e.src +
+                           " -> " + e.dst);
+            if (src_io != io_nodes.end()) {
+                if (!src_io->second.first)
+                    return err("edge leaves an output pseudo-node: " +
+                               e.src);
+                graph.bindInput(src_io->second.second,
+                                PortRef{e.dst, e.to});
+            } else if (dst_io != io_nodes.end()) {
+                if (dst_io->second.first)
+                    return err("edge enters an input pseudo-node: " +
+                               e.dst);
+                graph.bindOutput(dst_io->second.second,
+                                 PortRef{e.src, e.from});
+            } else {
+                graph.connect(PortRef{e.src, e.from}, PortRef{e.dst, e.to});
+            }
+        }
+
+        Result<bool> valid = graph.validate();
+        if (!valid.ok())
+            return valid.error().context("parseDot");
+        return graph;
+    }
+
+    struct RawEdge
+    {
+        std::string src, dst, from, to;
+    };
+
+    std::vector<Tok> toks_;
+    std::size_t idx_ = 0;
+    std::vector<std::pair<std::string, AttrMap>> nodes_;
+    std::vector<RawEdge> edges_;
+};
+
+std::string
+quote(const std::string& s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+Result<ExprHigh>
+parseDot(const std::string& text)
+{
+    Lexer lexer(text);
+    Result<std::vector<Tok>> toks = lexer.run();
+    if (!toks.ok())
+        return toks.error();
+    Parser parser(toks.take());
+    return parser.run();
+}
+
+std::string
+printDot(const ExprHigh& graph, const std::string& name)
+{
+    std::ostringstream os;
+    os << "digraph " << name << " {\n";
+    for (const NodeDecl& node : graph.nodes()) {
+        os << "  " << node.name << " [type = " << quote(node.type);
+        for (const auto& [key, value] : node.attrs)
+            os << ", " << key << " = " << quote(value);
+        os << "];\n";
+    }
+    for (std::size_t i = 0; i < graph.inputs().size(); ++i) {
+        if (!graph.inputs()[i])
+            continue;
+        os << "  __in" << i << " [type = \"input\", index = \"" << i
+           << "\"];\n";
+        os << "  __in" << i << " -> " << graph.inputs()[i]->inst
+           << " [to = " << quote(graph.inputs()[i]->port) << "];\n";
+    }
+    for (std::size_t i = 0; i < graph.outputs().size(); ++i) {
+        if (!graph.outputs()[i])
+            continue;
+        os << "  __out" << i << " [type = \"output\", index = \"" << i
+           << "\"];\n";
+        os << "  " << graph.outputs()[i]->inst << " -> __out" << i
+           << " [from = " << quote(graph.outputs()[i]->port) << "];\n";
+    }
+    for (const Edge& e : graph.edges()) {
+        os << "  " << e.src.inst << " -> " << e.dst.inst
+           << " [from = " << quote(e.src.port)
+           << ", to = " << quote(e.dst.port) << "];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace graphiti

@@ -1,0 +1,42 @@
+#ifndef GRAPHITI_DOT_DOT_HPP
+#define GRAPHITI_DOT_DOT_HPP
+
+/**
+ * @file
+ * Parser and printer for the dot dialect exchanged with Dynamatic.
+ *
+ * The dialect is a restricted Graphviz digraph (figure 1 of the paper):
+ *
+ *     digraph circuit {
+ *       mux1   [type = "mux"];
+ *       mod1   [type = "operator", op = "mod", latency = "4"];
+ *       in_a   [type = "input", index = "0"];
+ *       out_r  [type = "output", index = "0"];
+ *       mux1 -> mod1 [from = "out0", to = "in0"];
+ *       in_a -> mux1 [to = "in2"];
+ *       mod1 -> out_r [from = "out0"];
+ *     }
+ *
+ * Nodes carry a mandatory `type` attribute plus type parameters. The
+ * pseudo-types `input` / `output` with an `index` attribute represent
+ * the circuit's dangling I/O ports. Edges carry `from` / `to` port
+ * attributes (defaulting to out0 / in0).
+ */
+
+#include <string>
+
+#include "graph/expr_high.hpp"
+#include "support/result.hpp"
+
+namespace graphiti {
+
+/** Parse a dot document into an ExprHigh graph. */
+Result<ExprHigh> parseDot(const std::string& text);
+
+/** Render an ExprHigh graph as a dot document (round-trips parseDot). */
+std::string printDot(const ExprHigh& graph,
+                     const std::string& name = "circuit");
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_DOT_DOT_HPP

@@ -1,0 +1,315 @@
+#include "egraph/egraph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+namespace graphiti::eg {
+
+std::size_t
+TermExpr::size() const
+{
+    std::size_t n = 1;
+    for (const TermExpr& c : children)
+        n += c.size();
+    return n;
+}
+
+std::string
+TermExpr::toString() const
+{
+    if (children.empty())
+        return op;
+    std::ostringstream os;
+    os << "(" << op;
+    for (const TermExpr& c : children)
+        os << " " << c.toString();
+    os << ")";
+    return os.str();
+}
+
+std::vector<RewriteRule>
+pairAlgebraRules()
+{
+    using T = TermExpr;
+    auto v = [](const char* name) { return T::leaf(name); };
+    return {
+        // Elimination: projecting out of a constructed pair.
+        {"fst-pair", T::node("fst", {T::node("pair", {v("?a"), v("?b")})}),
+         v("?a")},
+        {"snd-pair", T::node("snd", {T::node("pair", {v("?a"), v("?b")})}),
+         v("?b")},
+        // Eta: re-pairing both projections of the same value.
+        {"pair-eta",
+         T::node("pair", {T::node("fst", {v("?x")}),
+                          T::node("snd", {v("?x")})}),
+         v("?x")},
+    };
+}
+
+std::vector<RewriteRule>
+pairStructuralRules()
+{
+    using T = TermExpr;
+    auto v = [](const char* name) { return T::leaf(name); };
+    std::vector<RewriteRule> rules = pairAlgebraRules();
+    rules.push_back(
+        {"assoc-right",
+         T::node("pair", {T::node("pair", {v("?a"), v("?b")}), v("?c")}),
+         T::node("pair",
+                 {v("?a"), T::node("pair", {v("?b"), v("?c")})})});
+    rules.push_back(
+        {"assoc-left",
+         T::node("pair", {v("?a"), T::node("pair", {v("?b"), v("?c")})}),
+         T::node("pair",
+                 {T::node("pair", {v("?a"), v("?b")}), v("?c")})});
+    return rules;
+}
+
+ClassId
+EGraph::find(ClassId id) const
+{
+    while (parent_[id] != id)
+        id = parent_[id];
+    return id;
+}
+
+ENode
+EGraph::canonicalize(ENode node) const
+{
+    for (ClassId& c : node.children)
+        c = find(c);
+    return node;
+}
+
+ClassId
+EGraph::add(ENode node)
+{
+    node = canonicalize(std::move(node));
+    auto it = hashcons_.find(node);
+    if (it != hashcons_.end())
+        return find(node_class_[it->second]);
+
+    ClassId cls = static_cast<ClassId>(parent_.size());
+    parent_.push_back(cls);
+    std::size_t idx = nodes_.size();
+    nodes_.push_back(node);
+    node_class_.push_back(cls);
+    hashcons_.emplace(std::move(node), idx);
+    class_nodes_[cls].push_back(idx);
+    return cls;
+}
+
+ClassId
+EGraph::addTerm(const TermExpr& term)
+{
+    ENode node;
+    node.op = term.op;
+    for (const TermExpr& child : term.children)
+        node.children.push_back(addTerm(child));
+    return add(std::move(node));
+}
+
+bool
+EGraph::merge(ClassId a, ClassId b)
+{
+    a = find(a);
+    b = find(b);
+    if (a == b)
+        return false;
+    // Keep the smaller id as representative for determinism.
+    if (b < a)
+        std::swap(a, b);
+    parent_[b] = a;
+    auto& into = class_nodes_[a];
+    auto& from = class_nodes_[b];
+    into.insert(into.end(), from.begin(), from.end());
+    class_nodes_.erase(b);
+    return true;
+}
+
+void
+EGraph::rebuild()
+{
+    // Re-canonicalize every node; merge classes whose nodes collide
+    // (congruence closure), iterating until stable.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::map<ENode, ClassId> seen;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            ENode canon = canonicalize(nodes_[i]);
+            ClassId cls = find(node_class_[i]);
+            auto [it, inserted] = seen.emplace(canon, cls);
+            if (!inserted && find(it->second) != cls) {
+                merge(it->second, cls);
+                changed = true;
+            }
+        }
+    }
+    // Refresh the hashcons and per-class node lists.
+    hashcons_.clear();
+    class_nodes_.clear();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        nodes_[i] = canonicalize(nodes_[i]);
+        node_class_[i] = find(node_class_[i]);
+        hashcons_.emplace(nodes_[i], i);
+        class_nodes_[node_class_[i]].push_back(i);
+    }
+}
+
+void
+EGraph::matchPattern(const TermExpr& pattern, ClassId cls, Subst subst,
+                     std::vector<Subst>& out) const
+{
+    cls = find(cls);
+    if (pattern.isVar()) {
+        auto it = subst.find(pattern.op);
+        if (it != subst.end()) {
+            if (find(it->second) == cls)
+                out.push_back(std::move(subst));
+            return;
+        }
+        subst[pattern.op] = cls;
+        out.push_back(std::move(subst));
+        return;
+    }
+    auto class_it = class_nodes_.find(cls);
+    if (class_it == class_nodes_.end())
+        return;
+    for (std::size_t idx : class_it->second) {
+        const ENode& node = nodes_[idx];
+        if (node.op != pattern.op ||
+            node.children.size() != pattern.children.size())
+            continue;
+        std::vector<Subst> partial = {subst};
+        for (std::size_t c = 0;
+             c < pattern.children.size() && !partial.empty(); ++c) {
+            std::vector<Subst> next;
+            for (Subst& p : partial)
+                matchPattern(pattern.children[c], node.children[c],
+                             std::move(p), next);
+            partial = std::move(next);
+        }
+        for (Subst& p : partial)
+            out.push_back(std::move(p));
+    }
+}
+
+ClassId
+EGraph::instantiate(const TermExpr& pattern, const Subst& subst)
+{
+    if (pattern.isVar())
+        return find(subst.at(pattern.op));
+    ENode node;
+    node.op = pattern.op;
+    for (const TermExpr& child : pattern.children)
+        node.children.push_back(instantiate(child, subst));
+    return add(std::move(node));
+}
+
+SaturationStats
+EGraph::saturate(const std::vector<RewriteRule>& rules,
+                 std::size_t max_iterations, std::size_t max_nodes)
+{
+    SaturationStats stats;
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+        ++stats.iterations;
+        // Collect matches against a frozen snapshot of classes.
+        struct PendingMerge
+        {
+            const RewriteRule* rule;
+            Subst subst;
+            ClassId cls;
+        };
+        std::vector<PendingMerge> pending;
+        std::vector<ClassId> classes;
+        for (const auto& [cls, nodes] : class_nodes_)
+            classes.push_back(cls);
+        for (const RewriteRule& rule : rules) {
+            for (ClassId cls : classes) {
+                std::vector<Subst> matches;
+                matchPattern(rule.lhs, cls, {}, matches);
+                for (Subst& m : matches)
+                    pending.push_back(
+                        PendingMerge{&rule, std::move(m), cls});
+            }
+        }
+        bool changed = false;
+        for (PendingMerge& p : pending) {
+            if (nodes_.size() > max_nodes)
+                return stats;
+            ClassId rhs_cls = instantiate(p.rule->rhs, p.subst);
+            if (merge(p.cls, rhs_cls)) {
+                changed = true;
+                ++stats.applications;
+            }
+        }
+        rebuild();
+        if (!changed) {
+            stats.saturated = true;
+            return stats;
+        }
+    }
+    return stats;
+}
+
+Result<TermExpr>
+EGraph::extract(ClassId id) const
+{
+    id = find(id);
+    constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+    // Fixpoint over node costs: cost(node) = 1 + sum cost(children).
+    std::map<ClassId, std::size_t> best_cost;
+    std::map<ClassId, std::size_t> best_node;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto& [cls, node_idxs] : class_nodes_) {
+            for (std::size_t idx : node_idxs) {
+                const ENode& node = nodes_[idx];
+                std::size_t cost = 1;
+                bool ok = true;
+                for (ClassId child : node.children) {
+                    auto it = best_cost.find(find(child));
+                    if (it == best_cost.end()) {
+                        ok = false;
+                        break;
+                    }
+                    cost += it->second;
+                }
+                if (!ok)
+                    continue;
+                auto it = best_cost.find(cls);
+                if (it == best_cost.end() || cost < it->second) {
+                    best_cost[cls] = cost;
+                    best_node[cls] = idx;
+                    changed = true;
+                }
+            }
+        }
+    }
+    if (best_cost.find(id) == best_cost.end())
+        return err("extract: class has no finite derivation");
+
+    // Rebuild the term top-down from the chosen nodes.
+    std::function<TermExpr(ClassId)> build = [&](ClassId cls) {
+        const ENode& node = nodes_[best_node.at(find(cls))];
+        TermExpr t;
+        t.op = node.op;
+        for (ClassId child : node.children)
+            t.children.push_back(build(child));
+        return t;
+    };
+    (void)kInf;
+    return build(id);
+}
+
+std::size_t
+EGraph::numClasses() const
+{
+    return class_nodes_.size();
+}
+
+}  // namespace graphiti::eg

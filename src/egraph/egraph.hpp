@@ -1,0 +1,165 @@
+#ifndef GRAPHITI_EGRAPH_EGRAPH_HPP
+#define GRAPHITI_EGRAPH_EGRAPH_HPP
+
+/**
+ * @file
+ * A from-scratch e-graph with equality saturation.
+ *
+ * Section 3.2 uses egg as an *oracle* to decide in which order the
+ * associativity / commutativity / elimination rewrites of the residual
+ * Split/Join subgraph should be applied. This module is that oracle: a
+ * hashconsed e-graph with union-find congruence closure, backtracking
+ * e-matching for rewrite rules, a saturation loop with node/iteration
+ * limits, and smallest-term extraction.
+ *
+ * The oracle is untrusted (exactly as in the paper): the rewriting
+ * pipeline uses its output only as guidance and re-validates the
+ * resulting graph replacement with the refinement checker.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace graphiti::eg {
+
+/** A concrete term, also used (with "?x" ops) as a pattern. */
+struct TermExpr
+{
+    std::string op;
+    std::vector<TermExpr> children;
+
+    bool operator==(const TermExpr&) const = default;
+
+    /** True when this node is a pattern variable ("?name"). */
+    bool isVar() const { return !op.empty() && op[0] == '?'; }
+
+    /** Number of nodes in the term. */
+    std::size_t size() const;
+
+    std::string toString() const;
+
+    static TermExpr
+    leaf(std::string name)
+    {
+        return TermExpr{std::move(name), {}};
+    }
+
+    static TermExpr
+    node(std::string op, std::vector<TermExpr> children)
+    {
+        return TermExpr{std::move(op), std::move(children)};
+    }
+};
+
+/** A rewrite rule lhs -> rhs over patterns. */
+struct RewriteRule
+{
+    std::string name;
+    TermExpr lhs;
+    TermExpr rhs;
+};
+
+/**
+ * The *semantic* pair-algebra rules used for Split/Join reduction:
+ * projection elimination and eta. Every rule is a value-level
+ * equality, so terms minimized under these rules compile to the same
+ * function (Pure generation relies on this).
+ */
+std::vector<RewriteRule> pairAlgebraRules();
+
+/**
+ * The semantic rules plus nesting (re)association. Associativity is
+ * *not* a value-level equality — ((a,b),c) and (a,(b,c)) are distinct
+ * tuples — but it captures which Join-tree shapes are interconvertible
+ * by the paper's graph rewrites (which insert compensating tuple
+ * shuffles). Use for structural exploration only, never to justify a
+ * Pure function replacement.
+ */
+std::vector<RewriteRule> pairStructuralRules();
+
+using ClassId = std::uint32_t;
+
+/** An e-node: an operator applied to e-class ids. */
+struct ENode
+{
+    std::string op;
+    std::vector<ClassId> children;
+
+    bool operator==(const ENode&) const = default;
+    auto operator<=>(const ENode&) const = default;
+};
+
+/** Statistics of a saturation run. */
+struct SaturationStats
+{
+    std::size_t iterations = 0;
+    std::size_t applications = 0;
+    bool saturated = false;  ///< true when a fixpoint was reached
+};
+
+/** The e-graph. */
+class EGraph
+{
+  public:
+    /** Add (hashconsing) an e-node; children must be canonical ids. */
+    ClassId add(ENode node);
+
+    /** Add a concrete term bottom-up; returns its e-class. */
+    ClassId addTerm(const TermExpr& term);
+
+    /** Canonical representative of @p id. */
+    ClassId find(ClassId id) const;
+
+    /** Merge two classes; returns true when they were distinct. */
+    bool merge(ClassId a, ClassId b);
+
+    /** Restore congruence and hashcons invariants after merges. */
+    void rebuild();
+
+    bool
+    equivalent(ClassId a, ClassId b) const
+    {
+        return find(a) == find(b);
+    }
+
+    /**
+     * Run @p rules to saturation, stopping at @p max_iterations rounds
+     * or when the e-graph exceeds @p max_nodes.
+     */
+    SaturationStats saturate(const std::vector<RewriteRule>& rules,
+                             std::size_t max_iterations = 30,
+                             std::size_t max_nodes = 50000);
+
+    /**
+     * Extract the smallest (node-count) term of class @p id.
+     * Fails when the class has no acyclic derivation.
+     */
+    Result<TermExpr> extract(ClassId id) const;
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    std::size_t numClasses() const;
+
+  private:
+    /** Variable bindings of a pattern match. */
+    using Subst = std::map<std::string, ClassId>;
+
+    void matchPattern(const TermExpr& pattern, ClassId cls, Subst subst,
+                      std::vector<Subst>& out) const;
+    ClassId instantiate(const TermExpr& pattern, const Subst& subst);
+    ENode canonicalize(ENode node) const;
+
+    std::vector<ClassId> parent_;  ///< union-find
+    std::vector<ENode> nodes_;     ///< all distinct e-nodes
+    std::vector<ClassId> node_class_;
+    std::map<ENode, std::size_t> hashcons_;
+    /** node indices per canonical class. */
+    std::map<ClassId, std::vector<std::size_t>> class_nodes_;
+};
+
+}  // namespace graphiti::eg
+
+#endif  // GRAPHITI_EGRAPH_EGRAPH_HPP

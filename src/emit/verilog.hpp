@@ -1,0 +1,50 @@
+#ifndef GRAPHITI_EMIT_VERILOG_HPP
+#define GRAPHITI_EMIT_VERILOG_HPP
+
+/**
+ * @file
+ * Structural Verilog emission.
+ *
+ * The paper's flow hands the rewritten dot graph back to Dynamatic for
+ * VHDL netlist generation; this module is the analogous back-end: it
+ * emits a synthesizable structural netlist where every component
+ * becomes an instance of a parameterized elastic primitive
+ * (valid/ready handshake, data bus sized by the type checker) and
+ * every edge becomes a data/valid/ready wire triple.
+ *
+ * emitPrimitives() produces the behavioral library the netlist
+ * instantiates, so the pair of outputs forms a self-contained design.
+ */
+
+#include <string>
+
+#include "graph/expr_high.hpp"
+#include "support/result.hpp"
+
+namespace graphiti::emit {
+
+/** Options for Verilog emission. */
+struct VerilogOptions
+{
+    /** Module name of the emitted top. */
+    std::string module_name = "circuit";
+    /** Data width for integer wires. */
+    int int_width = 32;
+    /** Data width for floating-point wires. */
+    int float_width = 32;
+};
+
+/**
+ * Emit a structural netlist for @p graph. Runs the type checker to
+ * size the buses; fails on ill-typed graphs or components without a
+ * primitive mapping.
+ */
+Result<std::string> emitVerilog(const ExprHigh& graph,
+                                const VerilogOptions& options = {});
+
+/** The behavioral primitive library the netlists instantiate. */
+std::string emitPrimitives();
+
+}  // namespace graphiti::emit
+
+#endif  // GRAPHITI_EMIT_VERILOG_HPP

@@ -1,0 +1,381 @@
+#include "graph/expr_low.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/signatures.hpp"
+
+namespace graphiti {
+
+std::string
+LowPortId::toString() const
+{
+    if (kind == Kind::io)
+        return "io" + std::to_string(io);
+    return "(" + inst + "," + wire + ")";
+}
+
+ExprLow
+ExprLow::base(LowBase component)
+{
+    ExprLow e;
+    e.kind_ = Kind::base;
+    e.base_ = std::make_unique<LowBase>(std::move(component));
+    return e;
+}
+
+ExprLow
+ExprLow::product(ExprLow lhs, ExprLow rhs)
+{
+    ExprLow e;
+    e.kind_ = Kind::product;
+    e.lhs_ = std::make_unique<ExprLow>(std::move(lhs));
+    e.rhs_ = std::make_unique<ExprLow>(std::move(rhs));
+    return e;
+}
+
+ExprLow
+ExprLow::connect(LowPortId output, LowPortId input, ExprLow inner)
+{
+    ExprLow e;
+    e.kind_ = Kind::connect;
+    e.conn_output_ = std::move(output);
+    e.conn_input_ = std::move(input);
+    e.lhs_ = std::make_unique<ExprLow>(std::move(inner));
+    return e;
+}
+
+ExprLow::ExprLow(const ExprLow& other) { *this = other; }
+
+ExprLow&
+ExprLow::operator=(const ExprLow& other)
+{
+    if (this == &other)
+        return *this;
+    kind_ = other.kind_;
+    base_ = other.base_ ? std::make_unique<LowBase>(*other.base_) : nullptr;
+    lhs_ = other.lhs_ ? std::make_unique<ExprLow>(*other.lhs_) : nullptr;
+    rhs_ = other.rhs_ ? std::make_unique<ExprLow>(*other.rhs_) : nullptr;
+    conn_output_ = other.conn_output_;
+    conn_input_ = other.conn_input_;
+    return *this;
+}
+
+bool
+ExprLow::operator==(const ExprLow& other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::base:
+        return *base_ == *other.base_;
+      case Kind::product:
+        return *lhs_ == *other.lhs_ && *rhs_ == *other.rhs_;
+      case Kind::connect:
+        return conn_output_ == other.conn_output_ &&
+               conn_input_ == other.conn_input_ && *lhs_ == *other.lhs_;
+    }
+    return false;
+}
+
+std::pair<ExprLow, int>
+ExprLow::substitute(const ExprLow& lhs, const ExprLow& rhs) const
+{
+    if (*this == lhs)
+        return {rhs, 1};
+    switch (kind_) {
+      case Kind::base:
+        return {*this, 0};
+      case Kind::product: {
+        auto [l, nl] = lhs_->substitute(lhs, rhs);
+        auto [r, nr] = rhs_->substitute(lhs, rhs);
+        return {product(std::move(l), std::move(r)), nl + nr};
+      }
+      case Kind::connect: {
+        auto [e, n] = lhs_->substitute(lhs, rhs);
+        return {connect(conn_output_, conn_input_, std::move(e)), n};
+      }
+    }
+    return {*this, 0};
+}
+
+void
+ExprLow::forEachBase(const std::function<void(const LowBase&)>& fn) const
+{
+    switch (kind_) {
+      case Kind::base:
+        fn(*base_);
+        return;
+      case Kind::product:
+        lhs_->forEachBase(fn);
+        rhs_->forEachBase(fn);
+        return;
+      case Kind::connect:
+        lhs_->forEachBase(fn);
+        return;
+    }
+}
+
+void
+ExprLow::forEachConnection(
+    const std::function<void(const LowPortId&, const LowPortId&)>& fn) const
+{
+    switch (kind_) {
+      case Kind::base:
+        return;
+      case Kind::product:
+        lhs_->forEachConnection(fn);
+        rhs_->forEachConnection(fn);
+        return;
+      case Kind::connect:
+        lhs_->forEachConnection(fn);
+        fn(conn_output_, conn_input_);
+        return;
+    }
+}
+
+std::size_t
+ExprLow::numBases() const
+{
+    std::size_t n = 0;
+    forEachBase([&](const LowBase&) { ++n; });
+    return n;
+}
+
+std::string
+ExprLow::toString() const
+{
+    switch (kind_) {
+      case Kind::base:
+        return base_->inst + ":" + base_->type;
+      case Kind::product:
+        return "(" + lhs_->toString() + " (x) " + rhs_->toString() + ")";
+      case Kind::connect:
+        return "connect(" + conn_output_.toString() + ", " +
+               conn_input_.toString() + ", " + lhs_->toString() + ")";
+    }
+    return "?";
+}
+
+namespace {
+
+/** A connection pending placement in the lowered expression. */
+struct PendingConn
+{
+    LowPortId output;
+    LowPortId input;
+    std::size_t max_position;  ///< latest group index among endpoints
+
+    auto
+    key() const
+    {
+        return std::tuple(output, input);
+    }
+};
+
+}  // namespace
+
+namespace {
+
+Result<std::pair<ExprLow, ExprLow>>
+lowerImpl(const ExprHigh& graph, const std::vector<std::string>& order,
+          std::size_t prefix);
+
+}  // namespace
+
+Result<ExprLow>
+lowerToExprLow(const ExprHigh& graph, const std::vector<std::string>& order)
+{
+    Result<std::pair<ExprLow, ExprLow>> result =
+        lowerImpl(graph, order, 0);
+    if (!result.ok())
+        return result.error();
+    return std::move(result.value().first);
+}
+
+Result<std::pair<ExprLow, ExprLow>>
+lowerWithPrefix(const ExprHigh& graph,
+                const std::vector<std::string>& order, std::size_t prefix)
+{
+    if (prefix == 0 || prefix > order.size())
+        return err("lowerWithPrefix: prefix out of range");
+    return lowerImpl(graph, order, prefix);
+}
+
+namespace {
+
+Result<std::pair<ExprLow, ExprLow>>
+lowerImpl(const ExprHigh& graph, const std::vector<std::string>& order_in,
+          std::size_t prefix)
+{
+    const std::vector<std::string>& order = order_in;
+    Result<bool> valid = graph.validate();
+    if (!valid.ok())
+        return valid.error().context("lowerToExprLow");
+    if (graph.numNodes() == 0)
+        return err("lowerToExprLow: empty graph");
+
+    std::vector<std::string> node_order = order;
+    if (node_order.empty())
+        for (const NodeDecl& n : graph.nodes())
+            node_order.push_back(n.name);
+    if (node_order.size() != graph.numNodes())
+        return err("lowerToExprLow: order must list every node");
+
+    std::map<std::string, std::size_t> position;
+    for (std::size_t i = 0; i < node_order.size(); ++i) {
+        if (!graph.hasNode(node_order[i]))
+            return err("lowerToExprLow: unknown node in order: " +
+                       node_order[i]);
+        position[node_order[i]] = i;
+    }
+    if (position.size() != node_order.size())
+        return err("lowerToExprLow: duplicate node in order");
+
+    // Graph-level names: every port is named by its own
+    // (instance, port) identity, unless it is bound to a numbered I/O
+    // port (figure 6b of the paper). Edges become connect() wrappers.
+    std::map<PortRef, std::uint32_t> io_inputs;
+    std::map<PortRef, std::uint32_t> io_outputs;
+    for (std::size_t i = 0; i < graph.inputs().size(); ++i)
+        if (graph.inputs()[i])
+            io_inputs[*graph.inputs()[i]] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = 0; i < graph.outputs().size(); ++i)
+        if (graph.outputs()[i])
+            io_outputs[*graph.outputs()[i]] = static_cast<std::uint32_t>(i);
+
+    std::vector<LowBase> bases;
+    for (const std::string& name : node_order) {
+        const NodeDecl& node = *graph.findNode(name);
+        Result<Signature> sig = signatureOf(node.type, node.attrs);
+        if (!sig.ok())
+            return sig.error().context("lowerToExprLow: node " + name);
+        LowBase base;
+        base.inst = node.name;
+        base.type = node.type;
+        base.attrs = node.attrs;
+        for (const std::string& port : sig.value().inputs) {
+            auto it = io_inputs.find(PortRef{name, port});
+            base.inputs[port] = it != io_inputs.end()
+                                    ? LowPortId::ioPort(it->second)
+                                    : LowPortId::localPort(name, port);
+        }
+        for (const std::string& port : sig.value().outputs) {
+            auto it = io_outputs.find(PortRef{name, port});
+            base.outputs[port] = it != io_outputs.end()
+                                     ? LowPortId::ioPort(it->second)
+                                     : LowPortId::localPort(name, port);
+        }
+        bases.push_back(std::move(base));
+    }
+
+    // Every edge becomes a connect wrapped just outside the product
+    // prefix that contains both endpoints. Building the fold left to
+    // right and applying each connect as soon as its endpoints are in
+    // scope keeps sub-graphs that appear as a prefix of `order`
+    // contiguous, which is what lets the rewriter substitute them
+    // structurally (section 4.2's base-motion step).
+    std::vector<PendingConn> conns;
+    for (const Edge& e : graph.edges()) {
+        conns.push_back(PendingConn{
+            LowPortId::localPort(e.src.inst, e.src.port),
+            LowPortId::localPort(e.dst.inst, e.dst.port),
+            std::max(position[e.src.inst], position[e.dst.inst])});
+    }
+    std::stable_sort(conns.begin(), conns.end(),
+                     [](const PendingConn& a, const PendingConn& b) {
+                         if (a.max_position != b.max_position)
+                             return a.max_position < b.max_position;
+                         return a.key() < b.key();
+                     });
+
+    ExprLow expr = ExprLow::base(bases[0]);
+    std::size_t next_conn = 0;
+    auto applyConns = [&](std::size_t upto) {
+        while (next_conn < conns.size() &&
+               conns[next_conn].max_position <= upto) {
+            expr = ExprLow::connect(conns[next_conn].output,
+                                    conns[next_conn].input,
+                                    std::move(expr));
+            ++next_conn;
+        }
+    };
+    applyConns(0);
+    ExprLow prefix_expr = expr;
+    for (std::size_t i = 1; i < bases.size(); ++i) {
+        expr = ExprLow::product(std::move(expr), ExprLow::base(bases[i]));
+        applyConns(i);
+        if (prefix > 0 && i == prefix - 1)
+            prefix_expr = expr;
+    }
+    return std::pair<ExprLow, ExprLow>(std::move(expr),
+                                       std::move(prefix_expr));
+}
+
+}  // namespace
+
+Result<ExprHigh>
+liftToExprHigh(const ExprLow& expr)
+{
+    ExprHigh graph;
+    std::map<LowPortId, PortRef> producers;  // graph name -> output port
+    std::map<LowPortId, PortRef> consumers;  // consumer name -> input port
+    bool dup_error = false;
+    std::string dup_name;
+
+    expr.forEachBase([&](const LowBase& base) {
+        if (graph.hasNode(base.inst)) {
+            dup_error = true;
+            dup_name = base.inst;
+            return;
+        }
+        graph.addNode(base.inst, base.type, base.attrs);
+        for (const auto& [port, name] : base.outputs) {
+            if (name.kind == LowPortId::Kind::io) {
+                graph.bindOutput(name.io, PortRef{base.inst, port});
+            } else if (!producers.emplace(name, PortRef{base.inst, port})
+                            .second) {
+                dup_error = true;
+                dup_name = name.toString();
+                return;
+            }
+        }
+        for (const auto& [port, name] : base.inputs) {
+            if (name.kind == LowPortId::Kind::io) {
+                graph.bindInput(name.io, PortRef{base.inst, port});
+            } else if (!consumers.emplace(name, PortRef{base.inst, port})
+                            .second) {
+                dup_error = true;
+                dup_name = name.toString();
+                return;
+            }
+        }
+    });
+    if (dup_error)
+        return err("liftToExprHigh: duplicate instance or port name: " +
+                   dup_name);
+
+    Result<ExprHigh> failure = err("");
+    bool failed = false;
+    expr.forEachConnection([&](const LowPortId& out, const LowPortId& in) {
+        auto pit = producers.find(out);
+        auto cit = consumers.find(in);
+        if (pit == producers.end() || cit == consumers.end()) {
+            if (!failed)
+                failure = err("liftToExprHigh: dangling connect " +
+                              out.toString() + " -> " + in.toString());
+            failed = true;
+            return;
+        }
+        graph.connect(pit->second, cit->second);
+    });
+    if (failed)
+        return failure;
+
+    Result<bool> valid = graph.validate();
+    if (!valid.ok())
+        return valid.error().context("liftToExprHigh");
+    return graph;
+}
+
+}  // namespace graphiti

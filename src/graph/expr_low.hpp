@@ -1,0 +1,184 @@
+#ifndef GRAPHITI_GRAPH_EXPR_LOW_HPP
+#define GRAPHITI_GRAPH_EXPR_LOW_HPP
+
+/**
+ * @file
+ * EXPRLOW: the inductively defined graph representation (section 4.1).
+ *
+ * An ExprLow expression is either a base component (with port maps from
+ * module-local port names to graph-level port names), a product of two
+ * expressions, or a connection of an output port to an input port of a
+ * sub-expression:
+ *
+ *     ExprLow ::= C_L | ExprLow (x) ExprLow | connect(o, i, ExprLow)
+ *
+ * Graph-level port names (the paper's I) are either numbered I/O ports
+ * or (instance, wire) pairs. The denotational semantics (semantics/)
+ * interprets ExprLow by structural recursion; the rewriting function
+ * (section 4.2) substitutes structurally equal sub-expressions.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/expr_high.hpp"
+#include "support/result.hpp"
+
+namespace graphiti {
+
+/**
+ * A graph-level port name: a numbered I/O port, or a local
+ * (instance, wire) pair (section 4.1's I).
+ */
+struct LowPortId
+{
+    enum class Kind { io, local };
+
+    Kind kind = Kind::local;
+    std::uint32_t io = 0;
+    std::string inst;
+    std::string wire;
+
+    static LowPortId ioPort(std::uint32_t n)
+    {
+        LowPortId p;
+        p.kind = Kind::io;
+        p.io = n;
+        return p;
+    }
+
+    static LowPortId localPort(std::string inst, std::string wire)
+    {
+        LowPortId p;
+        p.kind = Kind::local;
+        p.inst = std::move(inst);
+        p.wire = std::move(wire);
+        return p;
+    }
+
+    bool operator==(const LowPortId&) const = default;
+    auto operator<=>(const LowPortId&) const = default;
+
+    std::string toString() const;
+};
+
+/**
+ * A base component C_L = (port maps) x type: the module-local input
+ * and output port names mapped to graph-level names.
+ */
+struct LowBase
+{
+    std::string inst;  ///< instance name (kept for lifting)
+    std::string type;
+    AttrMap attrs;
+    std::map<std::string, LowPortId> inputs;   ///< local -> graph name
+    std::map<std::string, LowPortId> outputs;  ///< local -> graph name
+
+    bool operator==(const LowBase&) const = default;
+};
+
+/**
+ * The inductive graph expression. Immutable after construction; all
+ * mutation happens by rebuilding (which is what the rewriting function
+ * does anyway).
+ */
+class ExprLow
+{
+  public:
+    enum class Kind { base, product, connect };
+
+    /** Construct a base component expression. */
+    static ExprLow base(LowBase component);
+
+    /** Construct a product of two expressions. */
+    static ExprLow product(ExprLow lhs, ExprLow rhs);
+
+    /** Construct connect(o, i, e). */
+    static ExprLow connect(LowPortId output, LowPortId input, ExprLow e);
+
+    ExprLow(const ExprLow& other);
+    ExprLow& operator=(const ExprLow& other);
+    ExprLow(ExprLow&&) noexcept = default;
+    ExprLow& operator=(ExprLow&&) noexcept = default;
+
+    Kind kind() const { return kind_; }
+    const LowBase& asBase() const { return *base_; }
+    const ExprLow& left() const { return *lhs_; }
+    const ExprLow& right() const { return *rhs_; }
+    const LowPortId& connectOutput() const { return conn_output_; }
+    const LowPortId& connectInput() const { return conn_input_; }
+
+    /** Structural equality. */
+    bool operator==(const ExprLow& other) const;
+
+    /**
+     * The rewriting function e[lhs := rhs] of section 4.2: replace
+     * every sub-expression structurally equal to @p lhs by @p rhs.
+     * Returns the rewritten expression and how many replacements
+     * occurred.
+     */
+    std::pair<ExprLow, int> substitute(const ExprLow& lhs,
+                                       const ExprLow& rhs) const;
+
+    /** Visit all base components, left to right. */
+    void forEachBase(const std::function<void(const LowBase&)>& fn) const;
+
+    /** Visit all connections, innermost first. */
+    void forEachConnection(
+        const std::function<void(const LowPortId&, const LowPortId&)>& fn)
+        const;
+
+    /** Number of base components. */
+    std::size_t numBases() const;
+
+    std::string toString() const;
+
+  private:
+    ExprLow() = default;
+
+    Kind kind_ = Kind::base;
+    std::unique_ptr<LowBase> base_;
+    std::unique_ptr<ExprLow> lhs_;
+    std::unique_ptr<ExprLow> rhs_;
+    LowPortId conn_output_;
+    LowPortId conn_input_;
+};
+
+/**
+ * Lower an ExprHigh graph to ExprLow.
+ *
+ * Base components appear in @p order (instance names; defaults to the
+ * graph's node order). The matched-subgraph isolation the paper
+ * performs with base-motion lemmas (section 4.2) is realized here by
+ * choosing an order that groups the matched nodes first, so the lowered
+ * lhs appears literally as a sub-expression.
+ *
+ * Connections are emitted outermost for edges between nodes later in
+ * the order, so that connections internal to a prefix group stay inside
+ * that group's sub-expression.
+ */
+Result<ExprLow> lowerToExprLow(const ExprHigh& graph,
+                               const std::vector<std::string>& order = {});
+
+/**
+ * Lower @p graph with the first @p prefix nodes of @p order isolated:
+ * returns the full expression and the sub-expression covering exactly
+ * those nodes (their product wrapped in their internal connections).
+ * The sub-expression appears literally inside the full expression, so
+ * ExprLow::substitute can replace it (the base-motion isolation of
+ * section 4.2).
+ */
+Result<std::pair<ExprLow, ExprLow>>
+lowerWithPrefix(const ExprHigh& graph,
+                const std::vector<std::string>& order, std::size_t prefix);
+
+/** Lift an ExprLow expression back to an ExprHigh graph. */
+Result<ExprHigh> liftToExprHigh(const ExprLow& expr);
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_GRAPH_EXPR_LOW_HPP

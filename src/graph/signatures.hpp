@@ -1,0 +1,73 @@
+#ifndef GRAPHITI_GRAPH_SIGNATURES_HPP
+#define GRAPHITI_GRAPH_SIGNATURES_HPP
+
+/**
+ * @file
+ * Port signatures for the dataflow component catalog (Table 1).
+ *
+ * Every layer of the system — validation, denotation, rewriting, the
+ * cycle simulator and the area model — must agree on which ports a
+ * component exposes. This header is the single source of truth.
+ *
+ * Conventions (fixed across the library):
+ *  - input ports are named in0, in1, ...; outputs out0, out1, ...
+ *  - branch: in0 = data, in1 = condition; out0 = taken when the
+ *    condition is true, out1 when false.
+ *  - mux: in0 = condition, in1 = selected when true, in2 when false.
+ *  - tagger: in0 = fresh token entering the region, in1 = tagged token
+ *    returning from the loop exit; out0 = tagged token into the loop,
+ *    out1 = in-order untagged output.
+ */
+
+#include <string>
+#include <vector>
+
+#include "graph/expr_high.hpp"
+#include "support/result.hpp"
+
+namespace graphiti {
+
+/** The input/output port lists of a component instance. */
+struct Signature
+{
+    std::vector<std::string> inputs;
+    std::vector<std::string> outputs;
+};
+
+/**
+ * Signature of component @p type parameterized by @p attrs.
+ *
+ * Fails when the type is unknown or a required attribute is missing
+ * (e.g. an "operator" without an "op" attribute).
+ */
+Result<Signature> signatureOf(const std::string& type,
+                              const AttrMap& attrs);
+
+/** Arity of a named operator (mod: 2, select: 3, ...); -1 if unknown. */
+int operatorArity(const std::string& op);
+
+/** True when the operator produces a boolean (comparisons). */
+bool operatorIsPredicate(const std::string& op);
+
+/**
+ * Pipeline latency (cycles) of the hardware unit implementing @p op,
+ * matching the component library Dynamatic-style flows use (floating
+ * point units are deeply pipelined, integer logic is combinational).
+ * Unknown operators get 0.
+ */
+int operatorLatency(const std::string& op);
+
+/** True for component types with externally visible side effects. */
+bool typeHasSideEffects(const std::string& type);
+
+/** Read an integer attribute with a default. */
+int attrInt(const AttrMap& attrs, const std::string& key,
+            int default_value);
+
+/** Read a string attribute with a default. */
+std::string attrStr(const AttrMap& attrs, const std::string& key,
+                    const std::string& default_value);
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_GRAPH_SIGNATURES_HPP

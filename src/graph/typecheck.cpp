@@ -1,0 +1,341 @@
+#include "graph/typecheck.hpp"
+
+#include <vector>
+
+#include "graph/signatures.hpp"
+
+namespace graphiti {
+
+WireType
+WireType::pairOf(WireType a, WireType b)
+{
+    WireType t;
+    t.kind = Kind::pair;
+    t.first = std::make_shared<WireType>(std::move(a));
+    t.second = std::make_shared<WireType>(std::move(b));
+    return t;
+}
+
+std::string
+WireType::toString() const
+{
+    switch (kind) {
+      case Kind::unknown:
+        return "?";
+      case Kind::control:
+        return "ctrl";
+      case Kind::boolean:
+        return "bool";
+      case Kind::integer:
+        return "int";
+      case Kind::floating:
+        return "float";
+      case Kind::pair:
+        return "(" + first->toString() + ", " + second->toString() + ")";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Mutable inference node (union-find over type terms). */
+struct TNode
+{
+    enum class K { var, control, boolean, integer, floating, pair };
+
+    K k = K::var;
+    TNode* parent = nullptr;  // union-find link (vars only)
+    TNode* a = nullptr;       // pair components
+    TNode* b = nullptr;
+};
+
+class Unifier
+{
+  public:
+    TNode*
+    fresh(TNode::K k = TNode::K::var)
+    {
+        arena_.push_back(std::make_unique<TNode>());
+        arena_.back()->k = k;
+        return arena_.back().get();
+    }
+
+    TNode*
+    pair(TNode* a, TNode* b)
+    {
+        TNode* p = fresh(TNode::K::pair);
+        p->a = a;
+        p->b = b;
+        return p;
+    }
+
+    TNode*
+    find(TNode* t)
+    {
+        while (t->parent != nullptr)
+            t = t->parent;
+        return t;
+    }
+
+    bool
+    occurs(TNode* var, TNode* in)
+    {
+        in = find(in);
+        if (in == var)
+            return true;
+        if (in->k == TNode::K::pair)
+            return occurs(var, in->a) || occurs(var, in->b);
+        return false;
+    }
+
+    /** Unify two type terms; on failure, returns a description. */
+    Result<bool>
+    unify(TNode* x, TNode* y)
+    {
+        x = find(x);
+        y = find(y);
+        if (x == y)
+            return true;
+        if (x->k == TNode::K::var) {
+            if (occurs(x, y))
+                return err("cyclic type");
+            x->parent = y;
+            return true;
+        }
+        if (y->k == TNode::K::var)
+            return unify(y, x);
+        if (x->k != y->k)
+            return err(describe(x) + " vs " + describe(y));
+        if (x->k == TNode::K::pair) {
+            Result<bool> left = unify(x->a, y->a);
+            if (!left.ok())
+                return left;
+            return unify(x->b, y->b);
+        }
+        return true;
+    }
+
+    std::string
+    describe(TNode* t)
+    {
+        t = find(t);
+        switch (t->k) {
+          case TNode::K::var:
+            return "?";
+          case TNode::K::control:
+            return "ctrl";
+          case TNode::K::boolean:
+            return "bool";
+          case TNode::K::integer:
+            return "int";
+          case TNode::K::floating:
+            return "float";
+          case TNode::K::pair:
+            return "(" + describe(t->a) + ", " + describe(t->b) + ")";
+        }
+        return "?";
+    }
+
+    WireType
+    resolve(TNode* t)
+    {
+        t = find(t);
+        switch (t->k) {
+          case TNode::K::var:
+            return WireType::unknown();
+          case TNode::K::control:
+            return WireType::control();
+          case TNode::K::boolean:
+            return WireType::boolean();
+          case TNode::K::integer:
+            return WireType::integer();
+          case TNode::K::floating:
+            return WireType::floating();
+          case TNode::K::pair:
+            return WireType::pairOf(resolve(t->a), resolve(t->b));
+        }
+        return WireType::unknown();
+    }
+
+  private:
+    std::vector<std::unique_ptr<TNode>> arena_;
+};
+
+bool
+intArith(const std::string& op)
+{
+    return op == "add" || op == "sub" || op == "mul" || op == "div" ||
+           op == "mod" || op == "shl" || op == "shr" || op == "and" ||
+           op == "or" || op == "xor" || op == "neg" || op == "abs";
+}
+
+bool
+intCompare(const std::string& op)
+{
+    return op == "lt" || op == "le" || op == "gt" || op == "ge";
+}
+
+bool
+floatArith(const std::string& op)
+{
+    return op == "fadd" || op == "fsub" || op == "fmul" ||
+           op == "fdiv" || op == "fneg";
+}
+
+}  // namespace
+
+Result<TypeReport>
+checkWellTyped(const ExprHigh& graph)
+{
+    Result<bool> valid = graph.validate();
+    if (!valid.ok())
+        return valid.error().context("checkWellTyped");
+
+    Unifier u;
+    std::map<PortRef, TNode*> port_type;
+    auto port = [&](const std::string& inst, const std::string& name) {
+        PortRef ref{inst, name};
+        auto it = port_type.find(ref);
+        if (it != port_type.end())
+            return it->second;
+        TNode* t = u.fresh();
+        port_type.emplace(ref, t);
+        return t;
+    };
+
+    // Per-component typing rules.
+    for (const NodeDecl& node : graph.nodes()) {
+        Result<Signature> sig = signatureOf(node.type, node.attrs);
+        if (!sig.ok())
+            return sig.error().context("checkWellTyped: " + node.name);
+        const std::string& n = node.name;
+        std::vector<std::pair<TNode*, TNode*>> eqs;
+
+        if (node.type == "fork") {
+            for (const std::string& out : sig.value().outputs)
+                eqs.emplace_back(port(n, "in0"), port(n, out));
+        } else if (node.type == "join") {
+            TNode* t = port(n, sig.value().inputs.back());
+            for (std::size_t i = sig.value().inputs.size() - 1; i-- > 0;)
+                t = u.pair(port(n, sig.value().inputs[i]), t);
+            eqs.emplace_back(port(n, "out0"), t);
+        } else if (node.type == "split") {
+            eqs.emplace_back(
+                port(n, "in0"),
+                u.pair(port(n, "out0"), port(n, "out1")));
+        } else if (node.type == "branch") {
+            eqs.emplace_back(port(n, "in1"),
+                             u.fresh(TNode::K::boolean));
+            eqs.emplace_back(port(n, "in0"), port(n, "out0"));
+            eqs.emplace_back(port(n, "in0"), port(n, "out1"));
+        } else if (node.type == "mux") {
+            eqs.emplace_back(port(n, "in0"),
+                             u.fresh(TNode::K::boolean));
+            eqs.emplace_back(port(n, "in1"), port(n, "out0"));
+            eqs.emplace_back(port(n, "in2"), port(n, "out0"));
+        } else if (node.type == "merge") {
+            eqs.emplace_back(port(n, "in0"), port(n, "out0"));
+            eqs.emplace_back(port(n, "in1"), port(n, "out0"));
+        } else if (node.type == "init") {
+            eqs.emplace_back(port(n, "in0"),
+                             u.fresh(TNode::K::boolean));
+            eqs.emplace_back(port(n, "out0"),
+                             u.fresh(TNode::K::boolean));
+        } else if (node.type == "buffer" || node.type == "tagger") {
+            eqs.emplace_back(port(n, "in0"), port(n, "out0"));
+            if (node.type == "tagger")
+                eqs.emplace_back(port(n, "in1"), port(n, "out1"));
+        } else if (node.type == "constant") {
+            std::string value = attrStr(node.attrs, "value", "0");
+            TNode::K k = TNode::K::integer;
+            if (value == "true" || value == "false")
+                k = TNode::K::boolean;
+            else if (value.find('.') != std::string::npos)
+                k = TNode::K::floating;
+            else if (value == "unit" || value.empty())
+                k = TNode::K::control;
+            eqs.emplace_back(port(n, "out0"), u.fresh(k));
+        } else if (node.type == "load") {
+            eqs.emplace_back(port(n, "in0"),
+                             u.fresh(TNode::K::integer));
+            eqs.emplace_back(port(n, "out0"),
+                             u.fresh(TNode::K::floating));
+        } else if (node.type == "store") {
+            eqs.emplace_back(port(n, "in0"),
+                             u.fresh(TNode::K::integer));
+            eqs.emplace_back(port(n, "out0"),
+                             u.fresh(TNode::K::integer));
+        } else if (node.type == "operator") {
+            std::string op = attrStr(node.attrs, "op", "");
+            auto all_inputs = [&](TNode::K k) {
+                for (const std::string& in : sig.value().inputs)
+                    eqs.emplace_back(port(n, in), u.fresh(k));
+            };
+            if (intArith(op)) {
+                all_inputs(TNode::K::integer);
+                eqs.emplace_back(port(n, "out0"),
+                                 u.fresh(TNode::K::integer));
+            } else if (intCompare(op)) {
+                all_inputs(TNode::K::integer);
+                eqs.emplace_back(port(n, "out0"),
+                                 u.fresh(TNode::K::boolean));
+            } else if (floatArith(op)) {
+                all_inputs(TNode::K::floating);
+                eqs.emplace_back(port(n, "out0"),
+                                 u.fresh(TNode::K::floating));
+            } else if (op == "flt" || op == "fge") {
+                all_inputs(TNode::K::floating);
+                eqs.emplace_back(port(n, "out0"),
+                                 u.fresh(TNode::K::boolean));
+            } else if (op == "eq" || op == "ne") {
+                eqs.emplace_back(port(n, "in0"), port(n, "in1"));
+                eqs.emplace_back(port(n, "out0"),
+                                 u.fresh(TNode::K::boolean));
+            } else if (op == "not") {
+                eqs.emplace_back(port(n, "in0"),
+                                 u.fresh(TNode::K::boolean));
+                eqs.emplace_back(port(n, "out0"),
+                                 u.fresh(TNode::K::boolean));
+            } else if (op == "select") {
+                eqs.emplace_back(port(n, "in0"),
+                                 u.fresh(TNode::K::boolean));
+                eqs.emplace_back(port(n, "in1"), port(n, "out0"));
+                eqs.emplace_back(port(n, "in2"), port(n, "out0"));
+            } else if (op == "id" || op == "trunc" || op == "zext" ||
+                       op == "sext") {
+                eqs.emplace_back(port(n, "in0"), port(n, "out0"));
+            }
+        }
+        // pure / sink / source: no constraints.
+
+        for (auto& [x, y] : eqs) {
+            Result<bool> unified = u.unify(x, y);
+            if (!unified.ok())
+                return err("type conflict at " + n + ": " +
+                           unified.error().message);
+        }
+    }
+
+    // Connections: both endpoints carry one type (the section 6.3
+    // well-typedness condition).
+    for (const Edge& e : graph.edges()) {
+        Result<bool> unified =
+            u.unify(port(e.src.inst, e.src.port),
+                    port(e.dst.inst, e.dst.port));
+        if (!unified.ok())
+            return err("type conflict on wire " + e.src.toString() +
+                       " -> " + e.dst.toString() + ": " +
+                       unified.error().message);
+    }
+
+    TypeReport report;
+    for (const NodeDecl& node : graph.nodes()) {
+        Result<Signature> sig = signatureOf(node.type, node.attrs);
+        for (const std::string& out : sig.value().outputs)
+            report.wire_types[PortRef{node.name, out}] =
+                u.resolve(port(node.name, out));
+    }
+    return report;
+}
+
+}  // namespace graphiti

@@ -1,0 +1,56 @@
+#include "refine/liveness.hpp"
+
+#include <vector>
+
+namespace graphiti {
+
+Result<DeadlockReport>
+checkDeadlockFree(const DenotedModule& mod, const InputDomain& domain,
+                  const ExplorationLimits& limits)
+{
+    Result<StateSpace> space = StateSpace::explore(mod, domain, limits);
+    if (!space.ok())
+        return space.error().context("checkDeadlockFree");
+    const StateSpace& s = space.value();
+
+    // Mark states that can (eventually, possibly with the
+    // environment's help) make internal or output progress: a state
+    // is live when it has an internal/output move, or an input move
+    // into a live state. Budget-exhausted quiescent states are
+    // horizon artifacts, not verdicts; only states with remaining
+    // budget are flagged.
+    std::vector<bool> live(s.numStates(), false);
+    for (std::uint32_t id = 0; id < s.numStates(); ++id)
+        live[id] = !s.internalEdges(id).empty() ||
+                   !s.outputEdges(id).empty();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t id = 0; id < s.numStates(); ++id) {
+            if (live[id])
+                continue;
+            for (const StateSpace::InputEdge& edge : s.inputEdges(id)) {
+                if (live[edge.dst]) {
+                    live[id] = true;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    DeadlockReport report;
+    report.states_explored = s.numStates();
+    for (std::uint32_t id = 0; id < s.numStates(); ++id) {
+        if (live[id] || s.tokensInFlight(id) == 0 || s.budget(id) == 0)
+            continue;
+        report.deadlock_free = false;
+        report.stuck_state = s.describeState(id);
+        report.input_could_unblock = !s.inputEdges(id).empty();
+        return report;
+    }
+    report.deadlock_free = true;
+    return report;
+}
+
+}  // namespace graphiti

@@ -1,0 +1,44 @@
+#ifndef GRAPHITI_REFINE_LIVENESS_HPP
+#define GRAPHITI_REFINE_LIVENESS_HPP
+
+/**
+ * @file
+ * Bounded deadlock-freedom checking.
+ *
+ * The evaluation flow relies on a buffer placement strategy "to
+ * prevent deadlocks" (section 6.1); this checker is the diagnostic
+ * companion: it explores a module's finite instantiation and reports
+ * any reachable state that still holds tokens but can make no internal
+ * or output progress — a deadlock unless further *input* would unblock
+ * it (which the report distinguishes).
+ */
+
+#include "refine/state_space.hpp"
+
+namespace graphiti {
+
+/** Outcome of a deadlock search. */
+struct DeadlockReport
+{
+    /** No reachable token-holding state is stuck. */
+    bool deadlock_free = false;
+    /** A stuck state description (empty when deadlock_free). */
+    std::string stuck_state;
+    /** Whether the stuck state could still accept input (so the
+     * deadlock only manifests once the environment stops feeding). */
+    bool input_could_unblock = false;
+    std::size_t states_explored = 0;
+};
+
+/**
+ * Search for reachable stuck states of @p mod under @p domain.
+ * A state is stuck when it holds tokens but enables no internal and no
+ * output transition.
+ */
+Result<DeadlockReport> checkDeadlockFree(const DenotedModule& mod,
+                                         const InputDomain& domain,
+                                         const ExplorationLimits& limits);
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_REFINE_LIVENESS_HPP

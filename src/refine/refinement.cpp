@@ -1,0 +1,285 @@
+#include "refine/refinement.hpp"
+
+#include <deque>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace graphiti {
+
+namespace {
+
+using PairKey = std::uint64_t;
+
+PairKey
+pairKey(std::uint32_t impl_state, std::uint32_t spec_state)
+{
+    return (static_cast<std::uint64_t>(impl_state) << 32) | spec_state;
+}
+
+/**
+ * The simulation game over reachable pairs.
+ *
+ * Pairs are discovered forward from the initial pair: every attacker
+ * (impl) move generates all defender (spec) responses as candidate
+ * pairs. The greatest fixpoint then prunes pairs with an unmatched
+ * attacker move; pruning iterates because a response may itself die.
+ */
+class SimulationGame
+{
+  public:
+    SimulationGame(const StateSpace& impl, const StateSpace& spec)
+        : impl_(impl), spec_(spec)
+    {
+    }
+
+    RefinementReport
+    run()
+    {
+        discover();
+        prune();
+
+        RefinementReport report;
+        report.impl_states = impl_.numStates();
+        report.spec_states = spec_.numStates();
+        report.reachable_pairs = alive_.size() + dead_.size();
+        report.fixpoint_iterations = iterations_;
+        PairKey initial = pairKey(impl_.initialState(),
+                                  spec_.initialState());
+        report.refines = alive_.count(initial) > 0;
+        if (!report.refines)
+            report.counterexample = attackStrategy(initial);
+        return report;
+    }
+
+    /**
+     * Reconstruct the attacker's winning strategy from the initial
+     * pair: at each dead pair, play the recorded unmatched move and
+     * descend into a representative dead response (when the move had
+     * responses at all). This is the counterexample a user debugs
+     * with: the impl move sequence the spec cannot follow.
+     */
+    std::string
+    attackStrategy(PairKey initial) const
+    {
+        std::ostringstream os;
+        PairKey at = initial;
+        for (int depth = 0; depth < 32; ++depth) {
+            auto why = reason_.find(at);
+            if (why == reason_.end()) {
+                os << "  (pair not reachable in the game)\n";
+                break;
+            }
+            os << "  step " << depth << ": " << why->second << "\n";
+            auto next = descend_.find(at);
+            if (next == descend_.end())
+                break;  // the move had no surviving-or-dead responses
+            at = next->second;
+        }
+        return os.str();
+    }
+
+  private:
+    /**
+     * Defender responses to each attacker move from pair (s, t).
+     * Invokes @p on_move once per attacker move with the vector of
+     * response pairs and a label for diagnostics.
+     */
+    template <typename Fn>
+    void
+    forEachAttackerMove(std::uint32_t s, std::uint32_t t, Fn on_move) const
+    {
+        // Internal moves (definition 4.3).
+        for (std::uint32_t s_next : impl_.internalEdges(s)) {
+            std::vector<PairKey> responses;
+            for (std::uint32_t t_next : spec_.internalClosure(t))
+                responses.push_back(pairKey(s_next, t_next));
+            on_move(responses, [&] {
+                return "internal step of impl (" +
+                       std::to_string(s) + " -> " +
+                       std::to_string(s_next) + ")";
+            });
+        }
+        // Input moves (definition 4.1): spec takes the same input,
+        // then any number of internal steps.
+        for (const StateSpace::InputEdge& edge : impl_.inputEdges(s)) {
+            std::vector<PairKey> responses;
+            for (const StateSpace::InputEdge& spec_edge :
+                 spec_.inputEdges(t)) {
+                if (spec_edge.port_idx != edge.port_idx ||
+                    spec_edge.token_idx != edge.token_idx)
+                    continue;
+                for (std::uint32_t t_next :
+                     spec_.internalClosure(spec_edge.dst))
+                    responses.push_back(pairKey(edge.dst, t_next));
+            }
+            on_move(responses, [&] {
+                return "input of " +
+                       impl_.domainTokens(edge.port_idx)[edge.token_idx]
+                           .toString() +
+                       " at " +
+                       impl_.inputPorts()[edge.port_idx].toString();
+            });
+        }
+        // Output moves (definition 4.2): spec runs internal steps
+        // *first*, then emits the identical token at the same port.
+        for (const StateSpace::OutputEdge& edge : impl_.outputEdges(s)) {
+            std::vector<PairKey> responses;
+            for (std::uint32_t t_mid : spec_.internalClosure(t)) {
+                for (const StateSpace::OutputEdge& spec_edge :
+                     spec_.outputEdges(t_mid)) {
+                    if (spec_edge.port_idx == edge.port_idx &&
+                        spec_edge.token == edge.token)
+                        responses.push_back(
+                            pairKey(edge.dst, spec_edge.dst));
+                }
+            }
+            on_move(responses, [&] {
+                return "output of " + edge.token.toString() + " at " +
+                       impl_.outputPorts()[edge.port_idx].toString();
+            });
+        }
+    }
+
+    void
+    discover()
+    {
+        PairKey initial = pairKey(impl_.initialState(),
+                                  spec_.initialState());
+        alive_.insert(initial);
+        std::deque<PairKey> frontier{initial};
+        while (!frontier.empty()) {
+            PairKey key = frontier.front();
+            frontier.pop_front();
+            std::uint32_t s = static_cast<std::uint32_t>(key >> 32);
+            std::uint32_t t = static_cast<std::uint32_t>(key);
+            forEachAttackerMove(s, t, [&](const std::vector<PairKey>& rs,
+                                          auto /*label*/) {
+                for (PairKey r : rs) {
+                    if (alive_.insert(r).second)
+                        frontier.push_back(r);
+                }
+            });
+        }
+    }
+
+    void
+    prune()
+    {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            ++iterations_;
+            std::vector<PairKey> to_kill;
+            for (PairKey key : alive_) {
+                std::uint32_t s = static_cast<std::uint32_t>(key >> 32);
+                std::uint32_t t = static_cast<std::uint32_t>(key);
+                std::string why;
+                bool losing = false;
+                std::optional<PairKey> dead_response;
+                forEachAttackerMove(
+                    s, t,
+                    [&](const std::vector<PairKey>& rs, auto label) {
+                        if (losing)
+                            return;
+                        for (PairKey r : rs)
+                            if (alive_.count(r) > 0)
+                                return;  // some response survives
+                        losing = true;
+                        why = label();
+                        if (!rs.empty())
+                            dead_response = rs.front();
+                    });
+                if (losing) {
+                    to_kill.push_back(key);
+                    reason_[key] =
+                        "impl move unmatched by spec: " + why +
+                        " [impl state " + std::to_string(s) +
+                        ", spec state " + std::to_string(t) + "]";
+                    if (dead_response)
+                        descend_[key] = *dead_response;
+                }
+            }
+            for (PairKey key : to_kill) {
+                alive_.erase(key);
+                dead_.insert(key);
+                changed = true;
+            }
+        }
+    }
+
+    const StateSpace& impl_;
+    const StateSpace& spec_;
+    std::unordered_set<PairKey> alive_;
+    std::unordered_set<PairKey> dead_;
+    std::unordered_map<PairKey, std::string> reason_;
+    std::unordered_map<PairKey, PairKey> descend_;
+    std::size_t iterations_ = 0;
+};
+
+}  // namespace
+
+Result<RefinementReport>
+checkRefinement(const DenotedModule& impl, const DenotedModule& spec,
+                const InputDomain& domain,
+                const ExplorationLimits& limits)
+{
+    if (impl.inputNames() != spec.inputNames() ||
+        impl.outputNames() != spec.outputNames()) {
+        std::ostringstream os;
+        os << "port interfaces differ; impl inputs:";
+        for (const auto& p : impl.inputNames())
+            os << " " << p.toString();
+        os << ", spec inputs:";
+        for (const auto& p : spec.inputNames())
+            os << " " << p.toString();
+        os << "; impl outputs:";
+        for (const auto& p : impl.outputNames())
+            os << " " << p.toString();
+        os << ", spec outputs:";
+        for (const auto& p : spec.outputNames())
+            os << " " << p.toString();
+        return err(os.str());
+    }
+
+    Result<StateSpace> impl_space = StateSpace::explore(impl, domain,
+                                                        limits);
+    if (!impl_space.ok())
+        return impl_space.error().context("impl");
+    Result<StateSpace> spec_space = StateSpace::explore(spec, domain,
+                                                        limits);
+    if (!spec_space.ok())
+        return spec_space.error().context("spec");
+
+    SimulationGame game(impl_space.value(), spec_space.value());
+    return game.run();
+}
+
+Result<RefinementReport>
+checkGraphRefinement(const ExprHigh& impl, const ExprHigh& spec,
+                     const Environment& env,
+                     const std::vector<Token>& uniform_tokens,
+                     const ExplorationLimits& limits)
+{
+    Result<ExprLow> impl_low = lowerToExprLow(impl);
+    if (!impl_low.ok())
+        return impl_low.error().context("impl graph");
+    Result<ExprLow> spec_low = lowerToExprLow(spec);
+    if (!spec_low.ok())
+        return spec_low.error().context("spec graph");
+    Result<DenotedModule> impl_mod =
+        DenotedModule::denote(impl_low.value(), env);
+    if (!impl_mod.ok())
+        return impl_mod.error().context("impl graph");
+    Result<DenotedModule> spec_mod =
+        DenotedModule::denote(spec_low.value(), env);
+    if (!spec_mod.ok())
+        return spec_mod.error().context("spec graph");
+    return checkRefinement(impl_mod.value(), spec_mod.value(),
+                           InputDomain::uniform(impl_mod.value(),
+                                                uniform_tokens),
+                           limits);
+}
+
+}  // namespace graphiti

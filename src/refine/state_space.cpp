@@ -1,0 +1,158 @@
+#include "refine/state_space.hpp"
+
+#include <deque>
+#include <sstream>
+
+namespace graphiti {
+
+InputDomain
+InputDomain::uniform(const DenotedModule& mod, std::vector<Token> tokens)
+{
+    InputDomain d;
+    for (const LowPortId& port : mod.inputNames())
+        d.tokens[port] = tokens;
+    return d;
+}
+
+namespace {
+
+/** Dedup key: graph state plus remaining budget. */
+struct Key
+{
+    GraphState state;
+    std::uint32_t budget;
+
+    bool operator==(const Key&) const = default;
+};
+
+struct KeyHash
+{
+    std::size_t
+    operator()(const Key& k) const
+    {
+        return k.state.hash() * 31 + k.budget;
+    }
+};
+
+}  // namespace
+
+Result<StateSpace>
+StateSpace::explore(const DenotedModule& mod, const InputDomain& domain,
+                    const ExplorationLimits& limits)
+{
+    StateSpace space;
+    space.in_ports_ = mod.inputNames();
+    space.out_ports_ = mod.outputNames();
+    for (const LowPortId& port : space.in_ports_) {
+        auto it = domain.tokens.find(port);
+        space.domain_tokens_.push_back(
+            it == domain.tokens.end() ? std::vector<Token>{} : it->second);
+    }
+
+    std::unordered_map<Key, std::uint32_t, KeyHash> index;
+    std::deque<std::uint32_t> frontier;
+
+    auto intern = [&](GraphState state,
+                      std::uint32_t budget) -> std::optional<std::uint32_t> {
+        Key key{std::move(state), budget};
+        auto it = index.find(key);
+        if (it != index.end())
+            return it->second;
+        if (space.concrete_.size() >= limits.max_states)
+            return std::nullopt;
+        std::uint32_t id = static_cast<std::uint32_t>(
+            space.concrete_.size());
+        space.concrete_.push_back(key.state);
+        space.budget_.push_back(budget);
+        space.internal_.emplace_back();
+        space.inputs_.emplace_back();
+        space.outputs_.emplace_back();
+        index.emplace(std::move(key), id);
+        frontier.push_back(id);
+        return id;
+    };
+
+    std::optional<std::uint32_t> init = intern(
+        mod.initialState(), static_cast<std::uint32_t>(limits.input_budget));
+    if (!init)
+        return err("state space exploration exceeded max_states");
+
+    while (!frontier.empty()) {
+        std::uint32_t id = frontier.front();
+        frontier.pop_front();
+        // Copy, since intern() may reallocate concrete_.
+        GraphState state = space.concrete_[id];
+        std::uint32_t budget = space.budget_[id];
+
+        for (GraphState& succ : mod.internalSteps(state)) {
+            auto dst = intern(std::move(succ), budget);
+            if (!dst)
+                return err("state space exploration exceeded max_states");
+            space.internal_[id].push_back(*dst);
+        }
+        if (budget > 0) {
+            for (std::uint32_t p = 0; p < space.in_ports_.size(); ++p) {
+                const auto& toks = space.domain_tokens_[p];
+                for (std::uint32_t t = 0; t < toks.size(); ++t) {
+                    for (GraphState& succ : mod.inputStep(
+                             state, space.in_ports_[p], toks[t])) {
+                        auto dst = intern(std::move(succ), budget - 1);
+                        if (!dst)
+                            return err("state space exploration exceeded "
+                                       "max_states");
+                        space.inputs_[id].push_back(InputEdge{p, t, *dst});
+                    }
+                }
+            }
+        }
+        for (std::uint32_t p = 0; p < space.out_ports_.size(); ++p) {
+            for (auto& [token, succ] :
+                 mod.outputStep(state, space.out_ports_[p])) {
+                auto dst = intern(std::move(succ), budget);
+                if (!dst)
+                    return err("state space exploration exceeded "
+                               "max_states");
+                space.outputs_[id].push_back(
+                    OutputEdge{p, std::move(token), *dst});
+            }
+        }
+    }
+
+    space.closure_.resize(space.concrete_.size());
+    return space;
+}
+
+const std::vector<std::uint32_t>&
+StateSpace::internalClosure(std::uint32_t s) const
+{
+    if (closure_[s])
+        return *closure_[s];
+    std::vector<std::uint32_t> reach;
+    std::vector<bool> seen(numStates(), false);
+    std::deque<std::uint32_t> frontier{s};
+    seen[s] = true;
+    while (!frontier.empty()) {
+        std::uint32_t cur = frontier.front();
+        frontier.pop_front();
+        reach.push_back(cur);
+        for (std::uint32_t next : internal_[cur]) {
+            if (!seen[next]) {
+                seen[next] = true;
+                frontier.push_back(next);
+            }
+        }
+    }
+    closure_[s] = std::move(reach);
+    return *closure_[s];
+}
+
+std::string
+StateSpace::describeState(std::uint32_t s) const
+{
+    std::ostringstream os;
+    os << "state " << s << " (budget " << budget_[s] << ")\n"
+       << concrete_[s].toString();
+    return os.str();
+}
+
+}  // namespace graphiti

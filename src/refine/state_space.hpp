@@ -1,0 +1,141 @@
+#ifndef GRAPHITI_REFINE_STATE_SPACE_HPP
+#define GRAPHITI_REFINE_STATE_SPACE_HPP
+
+/**
+ * @file
+ * Finite-state exploration of denoted modules.
+ *
+ * The refinement checker needs the full transition system of a module
+ * restricted to a finite instantiation: a finite token domain per
+ * external input and a total budget of input tokens. Exploration
+ * enumerates every reachable state and records internal, input and
+ * output edges; the weak-simulation solver then works on these finite
+ * graphs.
+ *
+ * The budget is part of the state, so both sides of a refinement
+ * check consume inputs in lock-step (matched executions always agree
+ * on the number of inputs consumed).
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "semantics/module.hpp"
+#include "support/result.hpp"
+
+namespace graphiti {
+
+/** Finite instantiation: tokens offered at each external input. */
+struct InputDomain
+{
+    /** Per-port candidate tokens. */
+    std::map<LowPortId, std::vector<Token>> tokens;
+
+    /** Offer the same tokens at every input of @p mod. */
+    static InputDomain uniform(const DenotedModule& mod,
+                               std::vector<Token> tokens);
+};
+
+/** Exploration bounds. */
+struct ExplorationLimits
+{
+    /** Abort when more states than this are reachable. */
+    std::size_t max_states = 200000;
+    /** Total number of input tokens consumed along any execution. */
+    std::size_t input_budget = 3;
+};
+
+/** The explored transition system of one module instantiation. */
+class StateSpace
+{
+  public:
+    /** An input edge: consuming domain token @p token_idx at a port. */
+    struct InputEdge
+    {
+        std::uint32_t port_idx;   ///< index into inputPorts()
+        std::uint32_t token_idx;  ///< index into domain tokens
+        std::uint32_t dst;
+    };
+
+    /** An output edge: emitting @p token at a port. */
+    struct OutputEdge
+    {
+        std::uint32_t port_idx;  ///< index into outputPorts()
+        Token token;
+        std::uint32_t dst;
+    };
+
+    /**
+     * Explore @p mod under @p domain and @p limits.
+     * Fails when max_states is exceeded.
+     */
+    static Result<StateSpace> explore(const DenotedModule& mod,
+                                      const InputDomain& domain,
+                                      const ExplorationLimits& limits);
+
+    std::size_t numStates() const { return internal_.size(); }
+    std::uint32_t initialState() const { return 0; }
+
+    const std::vector<std::uint32_t>&
+    internalEdges(std::uint32_t s) const
+    {
+        return internal_[s];
+    }
+    const std::vector<InputEdge>& inputEdges(std::uint32_t s) const
+    {
+        return inputs_[s];
+    }
+    const std::vector<OutputEdge>& outputEdges(std::uint32_t s) const
+    {
+        return outputs_[s];
+    }
+
+    /** Remaining input budget in state @p s. */
+    std::uint32_t budget(std::uint32_t s) const { return budget_[s]; }
+
+    /** Port tables shared with the sibling space in a check. */
+    const std::vector<LowPortId>& inputPorts() const { return in_ports_; }
+    const std::vector<LowPortId>& outputPorts() const
+    {
+        return out_ports_;
+    }
+    /** Domain tokens offered at input port @p port_idx. */
+    const std::vector<Token>& domainTokens(std::uint32_t port_idx) const
+    {
+        return domain_tokens_[port_idx];
+    }
+
+    /**
+     * States reachable from @p s by zero or more internal transitions
+     * (the weak closure int*), memoized.
+     */
+    const std::vector<std::uint32_t>& internalClosure(std::uint32_t s) const;
+
+    /** Pretty-printed concrete state, for counterexamples. */
+    std::string describeState(std::uint32_t s) const;
+
+    /** Tokens held anywhere inside the concrete state @p s. */
+    std::size_t tokensInFlight(std::uint32_t s) const
+    {
+        return concrete_[s].totalTokens();
+    }
+
+  private:
+    std::vector<std::vector<std::uint32_t>> internal_;
+    std::vector<std::vector<InputEdge>> inputs_;
+    std::vector<std::vector<OutputEdge>> outputs_;
+    std::vector<std::uint32_t> budget_;
+    std::vector<GraphState> concrete_;
+    std::vector<LowPortId> in_ports_;
+    std::vector<LowPortId> out_ports_;
+    std::vector<std::vector<Token>> domain_tokens_;
+    mutable std::vector<std::optional<std::vector<std::uint32_t>>>
+        closure_;
+};
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_REFINE_STATE_SPACE_HPP

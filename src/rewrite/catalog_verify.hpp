@@ -1,0 +1,45 @@
+#ifndef GRAPHITI_REWRITE_CATALOG_VERIFY_HPP
+#define GRAPHITI_REWRITE_CATALOG_VERIFY_HPP
+
+/**
+ * @file
+ * Self-verification of the rewrite catalog.
+ *
+ * Discharges the refinement obligation (rhs ⊑ lhs) of every
+ * verified-flagged catalog rewrite on its canonical finite
+ * instantiation — the library-level equivalent of re-checking the
+ * paper's proofs before trusting the pipeline. The Compiler exposes
+ * this as a paranoid compile option; the test suite runs it
+ * unconditionally.
+ */
+
+#include <map>
+
+#include "refine/refinement.hpp"
+#include "rewrite/rewrite.hpp"
+
+namespace graphiti {
+
+/** Outcome of verifying the catalog. */
+struct CatalogVerification
+{
+    /** rule name -> refines (only verified-flagged, checkable rules). */
+    std::map<std::string, bool> results;
+    bool all_ok = true;
+    /** First failing rule's counterexample (empty when all_ok). */
+    std::string first_failure;
+};
+
+/**
+ * Verify every catalog rewrite that carries the verified flag and has
+ * a denotable rhs. Wire rewrites (no rhs module) and explicitly
+ * unverified rewrites are skipped, mirroring the paper's
+ * verified/unverified split.
+ */
+Result<CatalogVerification> verifyCatalog(
+    const ExplorationLimits& limits = {.max_states = 300000,
+                                       .input_budget = 2});
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_REWRITE_CATALOG_VERIFY_HPP

@@ -1,0 +1,83 @@
+#include "rewrite/engine.hpp"
+
+namespace graphiti {
+
+Result<bool>
+RewriteEngine::addRule(RewriteDef def)
+{
+    Result<bool> valid = def.validate();
+    if (!valid.ok())
+        return valid;
+    if (rules_.count(def.name) > 0)
+        return err("duplicate rule name: " + def.name);
+    rules_.emplace(def.name, std::move(def));
+    return true;
+}
+
+const RewriteDef*
+RewriteEngine::findRule(const std::string& name) const
+{
+    auto it = rules_.find(name);
+    return it == rules_.end() ? nullptr : &it->second;
+}
+
+Result<ExprHigh>
+RewriteEngine::applyOnce(const ExprHigh& graph, const std::string& rule)
+{
+    const RewriteDef* def = findRule(rule);
+    if (def == nullptr)
+        return err("unknown rule: " + rule);
+    std::optional<RewriteMatch> match = matchRewriteOnce(graph, *def);
+    if (!match)
+        return err(rule + ": no match");
+    Result<ExprHigh> out = applyRewrite(graph, *def, *match);
+    if (out.ok())
+        stats_.record(rule);
+    return out;
+}
+
+Result<ExprHigh>
+RewriteEngine::applyAt(const ExprHigh& graph, const RewriteDef& def,
+                       const RewriteMatch& match)
+{
+    Result<ExprHigh> out = applyRewrite(graph, def, match);
+    if (out.ok())
+        stats_.record(def.name);
+    return out;
+}
+
+Result<ExprHigh>
+RewriteEngine::applyExhaustively(const ExprHigh& graph,
+                                 const std::vector<std::string>& rules,
+                                 std::size_t max_applications)
+{
+    ExprHigh current = graph;
+    for (std::size_t applied = 0; applied < max_applications;) {
+        bool progressed = false;
+        for (const std::string& rule : rules) {
+            const RewriteDef* def = findRule(rule);
+            if (def == nullptr)
+                return err("unknown rule: " + rule);
+            // A match can be inapplicable (e.g. a wire rewrite whose
+            // fused wire would connect io to io); try the next one.
+            for (const RewriteMatch& match : matchRewrite(current, *def)) {
+                Result<ExprHigh> next = applyRewrite(current, *def,
+                                                     match);
+                if (!next.ok())
+                    continue;
+                current = next.take();
+                stats_.record(rule);
+                ++applied;
+                progressed = true;
+                break;
+            }
+            if (progressed)
+                break;
+        }
+        if (!progressed)
+            return current;
+    }
+    return err("applyExhaustively: exceeded max applications");
+}
+
+}  // namespace graphiti

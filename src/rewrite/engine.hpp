@@ -1,0 +1,87 @@
+#ifndef GRAPHITI_REWRITE_ENGINE_HPP
+#define GRAPHITI_REWRITE_ENGINE_HPP
+
+/**
+ * @file
+ * The rewriting engine: a registry of rewrite definitions plus
+ * application strategies.
+ *
+ * Following section 3, the *strategy* (which rewrite to apply where)
+ * is untrusted oracle territory; only the application mechanism and
+ * each rewrite's refinement obligation carry correctness weight. The
+ * engine therefore exposes both oracle-directed application
+ * (applyAt) and exhaustive application of confluent rule sets
+ * (applyExhaustively), and keeps statistics for the rewriting-cost
+ * evaluation of section 6.3.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rewrite/rewrite.hpp"
+
+namespace graphiti {
+
+/** Counters reported by the engine (section 6.3's evaluation). */
+struct EngineStats
+{
+    std::size_t rewrites_applied = 0;
+    std::map<std::string, std::size_t> per_rule;
+
+    void
+    record(const std::string& rule)
+    {
+        ++rewrites_applied;
+        ++per_rule[rule];
+    }
+
+    void
+    merge(const EngineStats& other)
+    {
+        rewrites_applied += other.rewrites_applied;
+        for (const auto& [rule, count] : other.per_rule)
+            per_rule[rule] += count;
+    }
+};
+
+/** The rewrite engine. */
+class RewriteEngine
+{
+  public:
+    /** Register @p def; fails when the definition is malformed. */
+    Result<bool> addRule(RewriteDef def);
+
+    /** Look up a registered rule; nullptr when absent. */
+    const RewriteDef* findRule(const std::string& name) const;
+
+    /**
+     * Apply @p rule at its first match. Returns the rewritten graph,
+     * or an error mentioning "no match" when the rule does not apply.
+     */
+    Result<ExprHigh> applyOnce(const ExprHigh& graph,
+                               const std::string& rule);
+
+    /** Apply a (possibly unregistered) definition at a given match. */
+    Result<ExprHigh> applyAt(const ExprHigh& graph, const RewriteDef& def,
+                             const RewriteMatch& match);
+
+    /**
+     * Repeatedly apply the rules named in @p rules (first match, first
+     * rule wins) until none applies or @p max_applications is hit.
+     */
+    Result<ExprHigh> applyExhaustively(
+        const ExprHigh& graph, const std::vector<std::string>& rules,
+        std::size_t max_applications = 10000);
+
+    const EngineStats& stats() const { return stats_; }
+    void resetStats() { stats_ = EngineStats{}; }
+
+  private:
+    std::map<std::string, RewriteDef> rules_;
+    EngineStats stats_;
+};
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_REWRITE_ENGINE_HPP

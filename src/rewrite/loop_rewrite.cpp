@@ -1,0 +1,162 @@
+#include "rewrite/loop_rewrite.hpp"
+
+#include <deque>
+#include <set>
+
+#include "graph/signatures.hpp"
+
+namespace graphiti {
+
+RewriteDef
+oooLoopRewrite()
+{
+    RewriteDef def;
+    def.name = "ooo-loop";
+    def.verified = true;
+
+    // lhs: the normalized sequential loop (figure 3d left).
+    def.lhs.addNode("mux", "mux");
+    def.lhs.addNode("init", "init", {{"value", "false"}});
+    def.lhs.addNode("body", "pure", {{"fn", "$f"}});
+    def.lhs.addNode("split", "split");
+    def.lhs.addNode("forkC", "fork", {{"out", "2"}});
+    def.lhs.addNode("branch", "branch");
+    def.lhs.connect("init", "out0", "mux", "in0");
+    def.lhs.connect("mux", "out0", "body", "in0");
+    def.lhs.connect("body", "out0", "split", "in0");
+    def.lhs.connect("split", "out0", "branch", "in0");
+    def.lhs.connect("split", "out1", "forkC", "in0");
+    def.lhs.connect("forkC", "out0", "branch", "in1");
+    def.lhs.connect("forkC", "out1", "init", "in0");
+    def.lhs.connect("branch", "out0", "mux", "in1");
+    def.lhs.bindInput(0, PortRef{"mux", "in2"});
+    def.lhs.bindOutput(0, PortRef{"branch", "out1"});
+
+    // rhs: the tagged out-of-order loop (figure 3d right).
+    def.rhs.addNode("tagger", "tagger", {{"tags", "$tags"}});
+    def.rhs.addNode("merge", "merge");
+    def.rhs.addNode("body", "pure", {{"fn", "$f"}});
+    def.rhs.addNode("split", "split");
+    def.rhs.addNode("branch", "branch");
+    def.rhs.connect("tagger", "out0", "merge", "in1");
+    def.rhs.connect("branch", "out0", "merge", "in0");
+    def.rhs.connect("merge", "out0", "body", "in0");
+    def.rhs.connect("body", "out0", "split", "in0");
+    def.rhs.connect("split", "out0", "branch", "in0");
+    def.rhs.connect("split", "out1", "branch", "in1");
+    def.rhs.connect("branch", "out1", "tagger", "in1");
+    def.rhs.bindInput(0, PortRef{"tagger", "in0"});
+    def.rhs.bindOutput(0, PortRef{"tagger", "out1"});
+    return def;
+}
+
+namespace {
+
+/** Forward reachable node set starting from the consumers of @p from,
+ * stopping at (not entering) nodes in @p stop. */
+std::set<std::string>
+forwardReach(const ExprHigh& g, const PortRef& from,
+             const std::set<std::string>& stop)
+{
+    std::set<std::string> seen;
+    std::deque<std::string> frontier;
+    for (const PortRef& consumer : g.consumersOf(from)) {
+        if (stop.count(consumer.inst) == 0 &&
+            seen.insert(consumer.inst).second)
+            frontier.push_back(consumer.inst);
+    }
+    while (!frontier.empty()) {
+        std::string node = frontier.front();
+        frontier.pop_front();
+        for (const Edge& e : g.edges()) {
+            if (e.src.inst != node)
+                continue;
+            if (stop.count(e.dst.inst) > 0)
+                continue;
+            if (seen.insert(e.dst.inst).second)
+                frontier.push_back(e.dst.inst);
+        }
+    }
+    return seen;
+}
+
+}  // namespace
+
+bool
+groupHasSideEffects(const ExprHigh& graph,
+                    const std::vector<LoopInfo>& group)
+{
+    std::set<std::string> stop;
+    for (const LoopInfo& loop : group) {
+        stop.insert(loop.mux);
+        stop.insert(loop.branch);
+        stop.insert(loop.init);
+    }
+    for (const LoopInfo& loop : group) {
+        for (const std::string& node :
+             forwardReach(graph, PortRef{loop.mux, "out0"}, stop)) {
+            const NodeDecl* decl = graph.findNode(node);
+            if (decl != nullptr && typeHasSideEffects(decl->type))
+                return true;
+        }
+    }
+    return false;
+}
+
+std::vector<LoopInfo>
+findLoops(const ExprHigh& graph)
+{
+    std::vector<LoopInfo> loops;
+    for (const NodeDecl& mux : graph.nodes()) {
+        if (mux.type != "mux")
+            continue;
+        // mux.in1 (the true side) must be fed by a branch's out0.
+        std::optional<PortRef> loopback =
+            graph.driverOf(PortRef{mux.name, "in1"});
+        if (!loopback || loopback->port != "out0")
+            continue;
+        const NodeDecl* branch = graph.findNode(loopback->inst);
+        if (branch == nullptr || branch->type != "branch")
+            continue;
+        // mux.in0 (the condition) must trace back to an init,
+        // possibly through a fork.
+        std::optional<PortRef> cond =
+            graph.driverOf(PortRef{mux.name, "in0"});
+        while (cond) {
+            const NodeDecl* node = graph.findNode(cond->inst);
+            if (node == nullptr)
+                break;
+            if (node->type == "init")
+                break;
+            if (node->type == "fork") {
+                cond = graph.driverOf(PortRef{node->name, "in0"});
+                continue;
+            }
+            cond.reset();
+        }
+        if (!cond)
+            continue;
+
+        LoopInfo loop;
+        loop.mux = mux.name;
+        loop.branch = branch->name;
+        loop.init = cond->inst;
+
+        // The body is everything the loop header reaches before the
+        // loop's own control nodes — including dead-end computations
+        // that feed only sinks (they execute every iteration).
+        std::set<std::string> stop = {loop.mux, loop.branch, loop.init};
+        std::set<std::string> fwd =
+            forwardReach(graph, PortRef{mux.name, "out0"}, stop);
+        for (const NodeDecl& node : graph.nodes()) {
+            if (fwd.count(node.name) > 0) {
+                loop.body.push_back(node.name);
+                loop.has_side_effects |= typeHasSideEffects(node.type);
+            }
+        }
+        loops.push_back(std::move(loop));
+    }
+    return loops;
+}
+
+}  // namespace graphiti

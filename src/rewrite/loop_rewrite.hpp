@@ -1,0 +1,67 @@
+#ifndef GRAPHITI_REWRITE_LOOP_REWRITE_HPP
+#define GRAPHITI_REWRITE_LOOP_REWRITE_HPP
+
+/**
+ * @file
+ * The core out-of-order loop rewrite (figure 3d, verified in
+ * section 5) and the loop-structure detector that locates where it
+ * applies.
+ *
+ * The rewrite matches the normalized loop — one Mux guarded by an
+ * Init, a Pure body, a Split producing (next state, continue?), a
+ * condition Fork and one Branch — and replaces it by a tagged Merge
+ * loop wrapped in a Tagger/Untagger. Section 5 proves the refinement
+ * for arbitrary f; the catalog test discharges it on representative
+ * instantiations with the checker.
+ */
+
+#include <optional>
+#include <vector>
+
+#include "rewrite/rewrite.hpp"
+
+namespace graphiti {
+
+/**
+ * Figure 3d. The Pure body's function is captured as $f; the rhs
+ * tagger's tag count is the $tags capture, which the caller supplies
+ * via instantiateCaptures (it does not occur in the lhs).
+ */
+RewriteDef oooLoopRewrite();
+
+/** A detected Mux/Branch loop in a dataflow graph. */
+struct LoopInfo
+{
+    std::string mux;     ///< loop-header mux
+    std::string branch;  ///< loop-exit branch
+    std::string init;    ///< init driving the mux condition
+    /** Nodes strictly inside the loop body (mux out -> branch in). */
+    std::vector<std::string> body;
+    /** True when the body contains a component with side effects
+     * (stores) — the condition that makes the out-of-order rewrite
+     * unsound (the bicg case of section 6.2). */
+    bool has_side_effects = false;
+};
+
+/**
+ * Detect Mux/Branch loops: a mux whose in1 is fed (directly) from a
+ * branch.out0 and whose condition comes from an init. The body is the
+ * forward reachable set from mux.out0 intersected with the backward
+ * reachable set from the branch and the init, minus the control
+ * nodes themselves.
+ */
+std::vector<LoopInfo> findLoops(const ExprHigh& graph);
+
+/**
+ * Whether the *group* of loops (Mux/Branch pairs sharing one
+ * condition, i.e. one source-level loop with several variables) has a
+ * side-effecting component in its shared body. Computed with every
+ * group member's control nodes as boundaries, so stores after the
+ * loop exits are not miscounted.
+ */
+bool groupHasSideEffects(const ExprHigh& graph,
+                         const std::vector<LoopInfo>& group);
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_REWRITE_LOOP_REWRITE_HPP

@@ -1,0 +1,74 @@
+#ifndef GRAPHITI_REWRITE_PURE_GEN_HPP
+#define GRAPHITI_REWRITE_PURE_GEN_HPP
+
+/**
+ * @file
+ * Pure generation (section 3.2): collapse a loop body into a single
+ * Pure component followed by a Split.
+ *
+ * The body of a normalized loop is evaluated *symbolically*: every
+ * wire is assigned a term over the loop-state variable (operators and
+ * existing Pures become uninterpreted function nodes; Fork duplicates
+ * terms; Join pairs them; Split projects). The resulting
+ * (next-state, continue?) term is minimized with the e-graph oracle —
+ * the role egg plays in the paper, deciding the order in which the
+ * Split/Join algebra collapses — compiled into a registered PureFn,
+ * and the whole region is replaced by Pure + Split through the
+ * verified rewriting function.
+ *
+ * Bodies containing side-effecting components (stores) are rejected:
+ * this is the guard that caught the original Dynamatic bug on bicg
+ * (section 6.2), where the unverified flow reordered a loop with a
+ * store in its body.
+ */
+
+#include "egraph/egraph.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/loop_rewrite.hpp"
+#include "semantics/environment.hpp"
+
+namespace graphiti {
+
+/** Result of collapsing one loop body. */
+struct PureGenResult
+{
+    ExprHigh graph;           ///< rewritten graph
+    std::string fn_name;      ///< registered PureFn name
+    std::string pure_node;    ///< inserted pure instance
+    std::string split_node;   ///< inserted split instance
+    RewriteDef region_def;    ///< the generated region rewrite
+    RewriteMatch region_match;  ///< identity match it was applied at
+    eg::TermExpr term;        ///< minimized (state', continue?) term
+    std::size_t term_size_before = 0;
+    std::size_t term_size_after = 0;
+    int latency = 0;          ///< critical path of the absorbed ops
+};
+
+/**
+ * Collapse the body of @p loop in @p graph into Pure + Split.
+ *
+ * Preconditions (established by the normalization phases):
+ *  - the region is single-entry: mux.out0 has one consumer, in the
+ *    body;
+ *  - the region's only outputs drive branch.in0 (next state) and the
+ *    condition fork / branch.in1.
+ *
+ * Fails with a descriptive error when the body has side effects or an
+ * unsupported shape.
+ */
+Result<PureGenResult> generatePureBody(const ExprHigh& graph,
+                                       const LoopInfo& loop,
+                                       Environment& env,
+                                       RewriteEngine& engine);
+
+/**
+ * Compile a body term to an executable unary function. Exposed for
+ * testing; generatePureBody registers the compiled function under
+ * PureGenResult::fn_name.
+ */
+Result<PureFn> compileTerm(const eg::TermExpr& term,
+                           std::shared_ptr<FnRegistry> registry);
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_REWRITE_PURE_GEN_HPP

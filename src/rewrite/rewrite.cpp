@@ -1,0 +1,494 @@
+#include "rewrite/rewrite.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/signatures.hpp"
+
+namespace graphiti {
+
+namespace {
+
+/** Check port coverage: every signature port has an edge or io bind. */
+Result<bool>
+checkCoverage(const ExprHigh& g, const std::string& side)
+{
+    for (const NodeDecl& node : g.nodes()) {
+        Result<Signature> sig = signatureOf(node.type, node.attrs);
+        if (!sig.ok())
+            return sig.error().context(side + " node " + node.name);
+        for (const std::string& port : sig.value().inputs) {
+            PortRef ref{node.name, port};
+            bool covered = g.driverOf(ref).has_value();
+            for (const auto& io : g.inputs())
+                covered |= io && *io == ref;
+            if (!covered)
+                return err(side + " port uncovered: " + ref.toString());
+        }
+        for (const std::string& port : sig.value().outputs) {
+            PortRef ref{node.name, port};
+            bool covered = !g.consumersOf(ref).empty();
+            for (const auto& io : g.outputs())
+                covered |= io && *io == ref;
+            if (!covered)
+                return err(side + " port uncovered: " + ref.toString());
+        }
+    }
+    return true;
+}
+
+std::set<std::size_t>
+boundIndices(const std::vector<std::optional<PortRef>>& ios)
+{
+    std::set<std::size_t> out;
+    for (std::size_t i = 0; i < ios.size(); ++i)
+        if (ios[i])
+            out.insert(i);
+    return out;
+}
+
+bool
+attrsMatch(const AttrMap& pattern, const AttrMap& concrete,
+           std::map<std::string, std::string>& captures)
+{
+    for (const auto& [key, value] : pattern) {
+        auto it = concrete.find(key);
+        if (it == concrete.end())
+            return false;
+        if (!value.empty() && value[0] == '$') {
+            auto [cap, inserted] = captures.emplace(value, it->second);
+            if (!inserted && cap->second != it->second)
+                return false;
+        } else if (value != it->second) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+Result<bool>
+RewriteDef::validate() const
+{
+    Result<bool> lhs_ok = lhs.validate();
+    if (!lhs_ok.ok())
+        return lhs_ok.error().context(name + " lhs");
+    Result<bool> coverage = checkCoverage(lhs, name + " lhs");
+    if (!coverage.ok())
+        return coverage;
+    if (lhs.numNodes() == 0)
+        return err(name + ": empty lhs");
+
+    if (rhs.numNodes() == 0) {
+        // Wire rewrite: passthroughs must pair existing boundary ports.
+        if (passthrough.empty())
+            return err(name + ": empty rhs needs passthrough wires");
+        std::set<std::size_t> ins = boundIndices(lhs.inputs());
+        std::set<std::size_t> outs = boundIndices(lhs.outputs());
+        for (auto [in_io, out_io] : passthrough) {
+            if (ins.count(in_io) == 0 || outs.count(out_io) == 0)
+                return err(name + ": passthrough references unbound io");
+        }
+        return true;
+    }
+
+    Result<bool> rhs_ok = rhs.validate();
+    if (!rhs_ok.ok())
+        return rhs_ok.error().context(name + " rhs");
+    coverage = checkCoverage(rhs, name + " rhs");
+    if (!coverage.ok())
+        return coverage;
+    if (boundIndices(lhs.inputs()) != boundIndices(rhs.inputs()) ||
+        boundIndices(lhs.outputs()) != boundIndices(rhs.outputs()))
+        return err(name + ": lhs/rhs boundary indices differ");
+    return true;
+}
+
+std::vector<std::string>
+RewriteMatch::matchedNodes(const RewriteDef& def) const
+{
+    std::vector<std::string> out;
+    for (const NodeDecl& pn : def.lhs.nodes())
+        out.push_back(binding.at(pn.name));
+    return out;
+}
+
+namespace {
+
+/** Backtracking pattern matcher. */
+class Matcher
+{
+  public:
+    Matcher(const ExprHigh& graph, const RewriteDef& def)
+        : graph_(graph), def_(def)
+    {
+    }
+
+    std::vector<RewriteMatch>
+    run(bool first_only)
+    {
+        first_only_ = first_only;
+        RewriteMatch seed;
+        assign(0, seed);
+        return std::move(results_);
+    }
+
+  private:
+    void
+    assign(std::size_t idx, RewriteMatch& partial)
+    {
+        if (first_only_ && !results_.empty())
+            return;
+        if (idx == def_.lhs.nodes().size()) {
+            if (verify(partial))
+                results_.push_back(partial);
+            return;
+        }
+        const NodeDecl& pn = def_.lhs.nodes()[idx];
+        for (const NodeDecl& cn : graph_.nodes()) {
+            if (cn.type != pn.type)
+                continue;
+            bool taken = false;
+            for (const auto& [p, c] : partial.binding)
+                taken |= c == cn.name;
+            if (taken)
+                continue;
+            RewriteMatch attempt = partial;
+            if (!attrsMatch(pn.attrs, cn.attrs, attempt.captures))
+                continue;
+            attempt.binding[pn.name] = cn.name;
+            assign(idx + 1, attempt);
+            if (first_only_ && !results_.empty())
+                return;
+        }
+    }
+
+    bool
+    verify(const RewriteMatch& match) const
+    {
+        // Every pattern edge must exist concretely.
+        for (const Edge& pe : def_.lhs.edges()) {
+            Edge ce{PortRef{match.binding.at(pe.src.inst), pe.src.port},
+                    PortRef{match.binding.at(pe.dst.inst), pe.dst.port}};
+            if (std::find(graph_.edges().begin(), graph_.edges().end(),
+                          ce) == graph_.edges().end())
+                return false;
+        }
+        // Every concrete edge between matched nodes must have a
+        // pattern counterpart (no unaccounted internal wiring).
+        std::map<std::string, std::string> reverse;
+        for (const auto& [p, c] : match.binding)
+            reverse[c] = p;
+        for (const Edge& ce : graph_.edges()) {
+            auto src = reverse.find(ce.src.inst);
+            auto dst = reverse.find(ce.dst.inst);
+            if (src == reverse.end() || dst == reverse.end())
+                continue;
+            Edge pe{PortRef{src->second, ce.src.port},
+                    PortRef{dst->second, ce.dst.port}};
+            if (std::find(def_.lhs.edges().begin(),
+                          def_.lhs.edges().end(),
+                          pe) == def_.lhs.edges().end())
+                return false;
+        }
+        return true;
+    }
+
+    const ExprHigh& graph_;
+    const RewriteDef& def_;
+    bool first_only_ = false;
+    std::vector<RewriteMatch> results_;
+};
+
+/** The graph-level name of a concrete port (io or local identity). */
+LowPortId
+boundaryName(const ExprHigh& graph, const PortRef& port, bool is_input)
+{
+    const auto& ios = is_input ? graph.inputs() : graph.outputs();
+    for (std::size_t i = 0; i < ios.size(); ++i)
+        if (ios[i] && *ios[i] == port)
+            return LowPortId::ioPort(static_cast<std::uint32_t>(i));
+    return LowPortId::localPort(port.inst, port.port);
+}
+
+/** Apply a wire rewrite (empty rhs) by direct graph surgery. */
+Result<ExprHigh>
+applyWireRewrite(const ExprHigh& graph, const RewriteDef& def,
+                 const RewriteMatch& match)
+{
+    ExprHigh out = graph;
+
+    struct Wire
+    {
+        std::optional<PortRef> driver;      // or graph input
+        std::optional<std::size_t> in_io;
+        std::vector<PortRef> consumers;     // or graph output
+        std::vector<std::size_t> out_ios;
+    };
+    std::vector<Wire> wires;
+    for (auto [in_io, out_io] : def.passthrough) {
+        const PortRef& lhs_in = *def.lhs.inputs()[in_io];
+        const PortRef& lhs_out = *def.lhs.outputs()[out_io];
+        PortRef concrete_in{match.binding.at(lhs_in.inst), lhs_in.port};
+        PortRef concrete_out{match.binding.at(lhs_out.inst),
+                             lhs_out.port};
+        Wire wire;
+        wire.driver = out.driverOf(concrete_in);
+        for (std::size_t i = 0; i < out.inputs().size(); ++i)
+            if (out.inputs()[i] && *out.inputs()[i] == concrete_in)
+                wire.in_io = i;
+        wire.consumers = out.consumersOf(concrete_out);
+        for (std::size_t i = 0; i < out.outputs().size(); ++i)
+            if (out.outputs()[i] && *out.outputs()[i] == concrete_out)
+                wire.out_ios.push_back(i);
+        wires.push_back(std::move(wire));
+    }
+
+    for (const auto& [pn, cn] : match.binding)
+        out.removeNode(cn);
+
+    for (const Wire& wire : wires) {
+        if (wire.driver) {
+            for (const PortRef& consumer : wire.consumers)
+                out.connect(*wire.driver, consumer);
+            for (std::size_t io : wire.out_ios)
+                out.bindOutput(io, *wire.driver);
+        } else if (wire.in_io) {
+            if (wire.consumers.size() + wire.out_ios.size() > 1)
+                return err(def.name +
+                           ": passthrough would fan out a graph input");
+            for (const PortRef& consumer : wire.consumers)
+                out.bindInput(*wire.in_io, consumer);
+            if (!wire.out_ios.empty())
+                return err(def.name +
+                           ": passthrough connects graph input directly "
+                           "to graph output");
+        }
+        // A wire with neither driver nor io simply disappears.
+    }
+
+    Result<bool> valid = out.validate();
+    if (!valid.ok())
+        return valid.error().context(def.name + " wire application");
+    return out;
+}
+
+}  // namespace
+
+Result<bool>
+validateMatch(const ExprHigh& graph, const RewriteDef& def,
+              RewriteMatch& match)
+{
+    // Node types and attribute constraints.
+    std::map<std::string, std::string>& captures = match.captures;
+    for (const NodeDecl& pn : def.lhs.nodes()) {
+        auto it = match.binding.find(pn.name);
+        if (it == match.binding.end())
+            return err(def.name + ": match misses pattern node " +
+                       pn.name);
+        const NodeDecl* cn = graph.findNode(it->second);
+        if (cn == nullptr)
+            return err(def.name + ": match names missing node " +
+                       it->second);
+        if (cn->type != pn.type)
+            return err(def.name + ": type mismatch at " + cn->name);
+        if (!attrsMatch(pn.attrs, cn->attrs, captures))
+            return err(def.name + ": attribute mismatch at " + cn->name);
+    }
+    // Pattern edges exist.
+    for (const Edge& pe : def.lhs.edges()) {
+        Edge ce{PortRef{match.binding.at(pe.src.inst), pe.src.port},
+                PortRef{match.binding.at(pe.dst.inst), pe.dst.port}};
+        if (std::find(graph.edges().begin(), graph.edges().end(), ce) ==
+            graph.edges().end())
+            return err(def.name + ": pattern edge missing: " +
+                       ce.src.toString() + " -> " + ce.dst.toString());
+    }
+    // No unaccounted internal wiring.
+    std::map<std::string, std::string> reverse;
+    for (const auto& [p, c] : match.binding)
+        reverse[c] = p;
+    for (const Edge& ce : graph.edges()) {
+        auto src = reverse.find(ce.src.inst);
+        auto dst = reverse.find(ce.dst.inst);
+        if (src == reverse.end() || dst == reverse.end())
+            continue;
+        Edge pe{PortRef{src->second, ce.src.port},
+                PortRef{dst->second, ce.dst.port}};
+        if (std::find(def.lhs.edges().begin(), def.lhs.edges().end(),
+                      pe) == def.lhs.edges().end())
+            return err(def.name + ": unaccounted internal edge: " +
+                       ce.src.toString() + " -> " + ce.dst.toString());
+    }
+    return true;
+}
+
+std::vector<RewriteMatch>
+matchRewrite(const ExprHigh& graph, const RewriteDef& def)
+{
+    Matcher matcher(graph, def);
+    return matcher.run(false);
+}
+
+std::optional<RewriteMatch>
+matchRewriteOnce(const ExprHigh& graph, const RewriteDef& def)
+{
+    Matcher matcher(graph, def);
+    std::vector<RewriteMatch> all = matcher.run(true);
+    if (all.empty())
+        return std::nullopt;
+    return std::move(all[0]);
+}
+
+RewriteDef
+instantiateCaptures(const RewriteDef& def,
+                    const std::map<std::string, std::string>& captures)
+{
+    RewriteDef out = def;
+    auto substitute = [&](ExprHigh& g) {
+        for (const NodeDecl& node : g.nodes()) {
+            AttrMap updated = node.attrs;
+            for (auto& [key, value] : updated) {
+                auto it = captures.find(value);
+                if (it != captures.end())
+                    value = it->second;
+            }
+            g.findNode(node.name)->attrs = std::move(updated);
+        }
+    };
+    substitute(out.lhs);
+    substitute(out.rhs);
+    return out;
+}
+
+Result<ExprHigh>
+applyRewrite(const ExprHigh& graph, const RewriteDef& def,
+             const RewriteMatch& match_in)
+{
+    RewriteMatch match = match_in;
+    Result<bool> match_ok = validateMatch(graph, def, match);
+    if (!match_ok.ok())
+        return match_ok.error();
+
+    if (def.rhs.numNodes() == 0)
+        return applyWireRewrite(graph, def, match);
+
+    RewriteDef concrete = instantiateCaptures(def, match.captures);
+
+    // Lower the graph with the matched nodes isolated as a prefix.
+    std::vector<std::string> matched = match.matchedNodes(concrete);
+    std::vector<std::string> order = matched;
+    std::set<std::string> matched_set(matched.begin(), matched.end());
+    for (const NodeDecl& node : graph.nodes())
+        if (matched_set.count(node.name) == 0)
+            order.push_back(node.name);
+
+    Result<std::pair<ExprLow, ExprLow>> lowered =
+        lowerWithPrefix(graph, order, matched.size());
+    if (!lowered.ok())
+        return lowered.error().context(def.name);
+    const ExprLow& full = lowered.value().first;
+    const ExprLow& lhs_sub = lowered.value().second;
+
+    // Boundary graph-level names, per lhs io index.
+    std::map<std::size_t, LowPortId> in_names;
+    std::map<std::size_t, LowPortId> out_names;
+    for (std::size_t i = 0; i < concrete.lhs.inputs().size(); ++i) {
+        if (!concrete.lhs.inputs()[i])
+            continue;
+        const PortRef& p = *concrete.lhs.inputs()[i];
+        in_names[i] = boundaryName(
+            graph, PortRef{match.binding.at(p.inst), p.port}, true);
+    }
+    for (std::size_t i = 0; i < concrete.lhs.outputs().size(); ++i) {
+        if (!concrete.lhs.outputs()[i])
+            continue;
+        const PortRef& p = *concrete.lhs.outputs()[i];
+        out_names[i] = boundaryName(
+            graph, PortRef{match.binding.at(p.inst), p.port}, false);
+    }
+
+    // Fresh instance names for the rhs template nodes.
+    std::set<std::string> used;
+    for (const NodeDecl& node : graph.nodes())
+        used.insert(node.name);
+    std::map<std::string, std::string> fresh;
+    for (const NodeDecl& node : concrete.rhs.nodes()) {
+        for (std::size_t i = 0;; ++i) {
+            std::string candidate = node.name + std::to_string(i);
+            if (used.insert(candidate).second) {
+                fresh[node.name] = candidate;
+                break;
+            }
+        }
+    }
+
+    // Build the rhs sub-expression: identity names internally, the
+    // lhs boundary names on the boundary.
+    std::vector<LowBase> bases;
+    for (const NodeDecl& node : concrete.rhs.nodes()) {
+        Result<Signature> sig = signatureOf(node.type, node.attrs);
+        if (!sig.ok())
+            return sig.error().context(def.name + " rhs");
+        LowBase base;
+        base.inst = fresh[node.name];
+        base.type = node.type;
+        base.attrs = node.attrs;
+        for (const std::string& port : sig.value().inputs) {
+            LowPortId id = LowPortId::localPort(base.inst, port);
+            for (std::size_t i = 0; i < concrete.rhs.inputs().size();
+                 ++i) {
+                if (concrete.rhs.inputs()[i] &&
+                    *concrete.rhs.inputs()[i] ==
+                        PortRef{node.name, port})
+                    id = in_names.at(i);
+            }
+            base.inputs[port] = id;
+        }
+        for (const std::string& port : sig.value().outputs) {
+            LowPortId id = LowPortId::localPort(base.inst, port);
+            for (std::size_t i = 0; i < concrete.rhs.outputs().size();
+                 ++i) {
+                if (concrete.rhs.outputs()[i] &&
+                    *concrete.rhs.outputs()[i] ==
+                        PortRef{node.name, port})
+                    id = out_names.at(i);
+            }
+            base.outputs[port] = id;
+        }
+        bases.push_back(std::move(base));
+    }
+
+    ExprLow rhs_sub = ExprLow::base(bases[0]);
+    for (std::size_t i = 1; i < bases.size(); ++i)
+        rhs_sub = ExprLow::product(std::move(rhs_sub),
+                                   ExprLow::base(bases[i]));
+    std::vector<Edge> rhs_edges = concrete.rhs.edges();
+    std::sort(rhs_edges.begin(), rhs_edges.end());
+    for (const Edge& e : rhs_edges) {
+        rhs_sub = ExprLow::connect(
+            LowPortId::localPort(fresh[e.src.inst], e.src.port),
+            LowPortId::localPort(fresh[e.dst.inst], e.dst.port),
+            std::move(rhs_sub));
+    }
+
+    auto [rewritten, count] = full.substitute(lhs_sub, rhs_sub);
+    if (count != 1)
+        return err(def.name + ": substitution found " +
+                   std::to_string(count) + " occurrences (expected 1)");
+    return liftToExprHigh(rewritten);
+}
+
+Result<RefinementReport>
+verifyRewrite(const RewriteDef& def, const Environment& env,
+              const std::vector<Token>& tokens,
+              const ExplorationLimits& limits)
+{
+    if (def.rhs.numNodes() == 0)
+        return err(def.name +
+                   ": wire rewrites have no module denotation to check");
+    return checkGraphRefinement(def.rhs, def.lhs, env, tokens, limits);
+}
+
+}  // namespace graphiti

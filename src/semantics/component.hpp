@@ -1,0 +1,128 @@
+#ifndef GRAPHITI_SEMANTICS_COMPONENT_HPP
+#define GRAPHITI_SEMANTICS_COMPONENT_HPP
+
+/**
+ * @file
+ * Executable module semantics for the component catalog (section 4.3).
+ *
+ * A Component is the executable analogue of the paper's semantic
+ * object M: it exposes input transition relations (one per input
+ * port), output transition relations (one per output port), internal
+ * transitions and an initial state. Relations are rendered executable
+ * as successor enumerators: given a state (and a token for inputs),
+ * each method returns *all* successor states, so nondeterministic
+ * components (Merge) return several and disabled transitions return
+ * none.
+ *
+ * Queue capacity: the paper's queues are unbounded. For finite-state
+ * refinement checking the environment instantiates components with a
+ * finite capacity, making input transitions refuse when full; with
+ * capacity kUnbounded the paper's semantics is recovered.
+ */
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "semantics/functions.hpp"
+#include "semantics/state.hpp"
+#include "support/token.hpp"
+
+namespace graphiti {
+
+/** Queue capacity representing the paper's unbounded queues. */
+inline constexpr std::size_t kUnbounded =
+    std::numeric_limits<std::size_t>::max();
+
+/**
+ * Executable semantics of one component type instantiation.
+ *
+ * Instances are immutable and shared; all mutable data lives in
+ * CompState values.
+ */
+class Component
+{
+  public:
+    explicit Component(std::size_t capacity) : capacity_(capacity) {}
+    virtual ~Component() = default;
+
+    virtual std::string name() const = 0;
+    virtual int numInputs() const = 0;
+    virtual int numOutputs() const = 0;
+    virtual CompState initialState() const = 0;
+
+    /**
+     * The input transition relation at @p port: all successors of
+     * @p state after consuming @p token. Empty when the transition is
+     * disabled (queue full under a bounded instantiation).
+     */
+    virtual std::vector<CompState> acceptInput(const CompState& state,
+                                               int port,
+                                               const Token& token) const = 0;
+
+    /**
+     * The output transition relation at @p port: all (emitted token,
+     * successor) pairs. Empty when no output is ready.
+     */
+    virtual std::vector<std::pair<Token, CompState>>
+    emitOutput(const CompState& state, int port) const = 0;
+
+    /** Internal transition successors (default: none). */
+    virtual std::vector<CompState>
+    internalSteps(const CompState& state) const
+    {
+        (void)state;
+        return {};
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  protected:
+    bool
+    roomFor(const CompState& state, std::size_t queue) const
+    {
+        return state.queues[queue].size() < capacity_;
+    }
+
+  private:
+    std::size_t capacity_;
+};
+
+using ComponentPtr = std::shared_ptr<const Component>;
+
+/**
+ * Check that @p tokens carry compatible tags (untagged matches any)
+ * and return the common tag. Returns false when two differing tags
+ * are present.
+ */
+bool tagsCompatible(const std::vector<const Token*>& tokens,
+                    std::optional<Tag>& common);
+
+/** @name Component factories
+ * One per catalog entry; parameters mirror the node attributes.
+ * @{ */
+ComponentPtr makeFork(int num_outputs, std::size_t capacity);
+ComponentPtr makeJoin(int num_inputs, std::size_t capacity);
+ComponentPtr makeSplit(std::size_t capacity);
+ComponentPtr makeBranch(std::size_t capacity);
+ComponentPtr makeMux(std::size_t capacity);
+ComponentPtr makeMerge(std::size_t capacity);
+ComponentPtr makeInit(bool initial_value, std::size_t capacity);
+ComponentPtr makeBuffer(std::size_t capacity);
+ComponentPtr makeSink(std::size_t capacity);
+ComponentPtr makeSource();
+ComponentPtr makeConstant(Value value, std::size_t capacity);
+ComponentPtr makeOperator(std::string op, std::size_t capacity);
+ComponentPtr makePure(std::string fn_name, PureFn fn,
+                      std::size_t capacity);
+ComponentPtr makeTagger(int num_tags, std::size_t capacity);
+ComponentPtr makeLoad(std::string memory, std::size_t capacity);
+ComponentPtr makeStore(std::string memory, std::size_t capacity);
+/** @} */
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_SEMANTICS_COMPONENT_HPP

@@ -1,0 +1,132 @@
+#include "semantics/environment.hpp"
+
+#include <sstream>
+
+#include "graph/signatures.hpp"
+
+namespace graphiti {
+
+namespace {
+
+/** The standard pure functions every environment provides: the tuple
+ * plumbing the figure 3c/5d rewrites introduce. */
+void
+registerStandardFns(FnRegistry& fns)
+{
+    fns.add("id", [](const Value& v) { return v; });
+    fns.add("dup", [](const Value& v) { return Value::tuple(v, v); });
+    fns.add("fst", [](const Value& v) { return v.asTuple().at(0); });
+    fns.add("snd", [](const Value& v) { return v.asTuple().at(1); });
+    fns.add("swap", [](const Value& v) {
+        const ValueTuple& t = v.asTuple();
+        return Value::tuple(t.at(1), t.at(0));
+    });
+}
+
+}  // namespace
+
+Environment::Environment(std::size_t capacity)
+    : capacity_(capacity), functions_(std::make_shared<FnRegistry>())
+{
+    registerStandardFns(*functions_);
+}
+
+Environment::Environment(std::size_t capacity,
+                         std::shared_ptr<FnRegistry> functions)
+    : capacity_(capacity), functions_(std::move(functions))
+{
+    registerStandardFns(*functions_);
+}
+
+Result<Value>
+parseConstant(const std::string& text)
+{
+    if (text == "true")
+        return Value(true);
+    if (text == "false")
+        return Value(false);
+    if (text == "unit" || text.empty())
+        return Value();
+    if (text.find('.') != std::string::npos ||
+        text.find('e') != std::string::npos) {
+        try {
+            return Value(std::stod(text));
+        } catch (const std::exception&) {
+            return err("malformed constant: '" + text + "'");
+        }
+    }
+    try {
+        return Value(static_cast<std::int64_t>(std::stoll(text)));
+    } catch (const std::exception&) {
+        return err("malformed constant: '" + text + "'");
+    }
+}
+
+Result<ComponentPtr>
+Environment::lookup(const std::string& type, const AttrMap& attrs) const
+{
+    std::ostringstream key;
+    key << type;
+    for (const auto& [k, v] : attrs)
+        key << ";" << k << "=" << v;
+    auto it = cache_.find(key.str());
+    if (it != cache_.end())
+        return it->second;
+
+    ComponentPtr comp;
+    if (type == "fork") {
+        comp = makeFork(attrInt(attrs, "out", 2), capacity_);
+    } else if (type == "join") {
+        comp = makeJoin(attrInt(attrs, "in", 2), capacity_);
+    } else if (type == "split") {
+        comp = makeSplit(capacity_);
+    } else if (type == "branch") {
+        comp = makeBranch(capacity_);
+    } else if (type == "mux") {
+        comp = makeMux(capacity_);
+    } else if (type == "merge") {
+        comp = makeMerge(capacity_);
+    } else if (type == "init") {
+        comp = makeInit(attrStr(attrs, "value", "false") == "true",
+                        capacity_);
+    } else if (type == "buffer") {
+        comp = makeBuffer(capacity_);
+    } else if (type == "sink") {
+        comp = makeSink(capacity_);
+    } else if (type == "source") {
+        comp = makeSource();
+    } else if (type == "constant") {
+        Result<Value> value = parseConstant(attrStr(attrs, "value", "0"));
+        if (!value.ok())
+            return value.error().context("constant node");
+        comp = makeConstant(value.take(), capacity_);
+    } else if (type == "operator") {
+        std::string op = attrStr(attrs, "op", "");
+        if (operatorArity(op) < 0)
+            return err("operator node with unknown op '" + op + "'");
+        comp = makeOperator(op, capacity_);
+    } else if (type == "pure") {
+        std::string fn_name = attrStr(attrs, "fn", "");
+        const PureFn* fn = functions_->find(fn_name);
+        if (fn == nullptr)
+            return err("pure node references unregistered fn '" +
+                       fn_name + "'");
+        comp = makePure(fn_name, *fn, capacity_);
+    } else if (type == "tagger") {
+        int tags = attrInt(attrs, "tags", 4);
+        if (tags <= 0)
+            return err("tagger needs a positive tag count");
+        comp = makeTagger(tags, capacity_);
+    } else if (type == "load") {
+        comp = makeLoad(attrStr(attrs, "memory", "mem"), capacity_);
+    } else if (type == "store") {
+        comp = makeStore(attrStr(attrs, "memory", "mem"), capacity_);
+    } else {
+        return err("environment has no module for type '" + type + "'");
+    }
+
+    cache_[key.str()] = comp;
+    return comp;
+}
+
+}  // namespace graphiti

@@ -1,0 +1,66 @@
+#ifndef GRAPHITI_SEMANTICS_ENVIRONMENT_HPP
+#define GRAPHITI_SEMANTICS_ENVIRONMENT_HPP
+
+/**
+ * @file
+ * The component environment ε (figure 7): a mapping from component
+ * type (plus attributes) to its semantic module.
+ *
+ * The environment also owns the pure-function registry, since a
+ * "pure" node's semantics is determined by its `fn` attribute, and a
+ * global queue-capacity option used to obtain finite-state
+ * instantiations for the refinement checker.
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "graph/expr_high.hpp"
+#include "semantics/component.hpp"
+#include "semantics/functions.hpp"
+#include "support/result.hpp"
+
+namespace graphiti {
+
+/** The environment ε: component type + attrs -> semantic module. */
+class Environment
+{
+  public:
+    /** @param capacity queue bound for created components. */
+    explicit Environment(std::size_t capacity = kUnbounded);
+
+    /** An environment sharing @p functions (e.g. a bounded-queue copy
+     * of another environment for refinement checking). */
+    Environment(std::size_t capacity,
+                std::shared_ptr<FnRegistry> functions);
+
+    /** Registry of pure functions referenced by "pure" nodes. */
+    FnRegistry& functions() { return *functions_; }
+    const FnRegistry& functions() const { return *functions_; }
+
+    /** Share one registry between several environments. */
+    std::shared_ptr<FnRegistry> functionsPtr() const { return functions_; }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Look up (creating and caching) the semantic module for a node of
+     * @p type with @p attrs. Fails for unknown types, malformed
+     * attributes, or a "pure" node whose `fn` is not registered.
+     */
+    Result<ComponentPtr> lookup(const std::string& type,
+                                const AttrMap& attrs) const;
+
+  private:
+    std::size_t capacity_;
+    std::shared_ptr<FnRegistry> functions_;
+    mutable std::map<std::string, ComponentPtr> cache_;
+};
+
+/** Parse a constant node's `value` attribute into a Value. */
+Result<Value> parseConstant(const std::string& text);
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_SEMANTICS_ENVIRONMENT_HPP

@@ -1,0 +1,66 @@
+#include "semantics/executor.hpp"
+
+namespace graphiti {
+
+bool
+Executor::feed(const LowPortId& name, Token token)
+{
+    std::vector<GraphState> succs =
+        mod_->inputStep(state_, name, std::move(token));
+    if (succs.empty())
+        return false;
+    state_ = std::move(succs.front());
+    return true;
+}
+
+bool
+Executor::feedIo(std::uint32_t io, Value value)
+{
+    return feed(LowPortId::ioPort(io), Token(std::move(value)));
+}
+
+std::size_t
+Executor::runInternal(std::size_t max_steps)
+{
+    std::size_t applied = 0;
+    while (applied < max_steps) {
+        std::vector<GraphState> succs = mod_->internalSteps(state_);
+        if (succs.empty())
+            break;
+        state_ = std::move(succs.front());
+        ++applied;
+    }
+    return applied;
+}
+
+std::optional<Token>
+Executor::pull(const LowPortId& name)
+{
+    auto emissions = mod_->outputStep(state_, name);
+    if (emissions.empty())
+        return std::nullopt;
+    state_ = std::move(emissions.front().second);
+    return std::move(emissions.front().first);
+}
+
+std::optional<Token>
+Executor::pullBlocking(const LowPortId& name, std::size_t max_steps)
+{
+    for (std::size_t i = 0; i <= max_steps; ++i) {
+        if (std::optional<Token> t = pull(name))
+            return t;
+        std::vector<GraphState> succs = mod_->internalSteps(state_);
+        if (succs.empty())
+            return std::nullopt;
+        state_ = std::move(succs.front());
+    }
+    return std::nullopt;
+}
+
+std::optional<Token>
+Executor::pullIo(std::uint32_t io, std::size_t max_steps)
+{
+    return pullBlocking(LowPortId::ioPort(io), max_steps);
+}
+
+}  // namespace graphiti

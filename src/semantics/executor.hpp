@@ -1,0 +1,70 @@
+#ifndef GRAPHITI_SEMANTICS_EXECUTOR_HPP
+#define GRAPHITI_SEMANTICS_EXECUTOR_HPP
+
+/**
+ * @file
+ * A deterministic executor over denoted modules.
+ *
+ * The denotational semantics is a transition *relation*; the executor
+ * resolves nondeterminism with a fixed pick-first scheduling policy,
+ * yielding one legal behavior. This is how functional tests and the
+ * examples run circuits end-to-end: feed tokens at the module inputs,
+ * step the internal transitions, pull tokens at the outputs.
+ */
+
+#include <optional>
+#include <vector>
+
+#include "semantics/module.hpp"
+
+namespace graphiti {
+
+/** Executes one behavior of a denoted module. */
+class Executor
+{
+  public:
+    explicit Executor(const DenotedModule& mod)
+        : mod_(&mod), state_(mod.initialState())
+    {
+    }
+
+    /**
+     * Consume @p token at input @p name.
+     * @return false when the input transition is disabled.
+     */
+    bool feed(const LowPortId& name, Token token);
+
+    /** Convenience: feed a plain value at numbered I/O input @p io. */
+    bool feedIo(std::uint32_t io, Value value);
+
+    /**
+     * Apply internal transitions (pick-first) until quiescent or
+     * @p max_steps transitions have fired.
+     * @return the number of transitions applied.
+     */
+    std::size_t runInternal(std::size_t max_steps = 1 << 20);
+
+    /** Try to emit one token at output @p name without stepping. */
+    std::optional<Token> pull(const LowPortId& name);
+
+    /**
+     * Pull from @p name, interleaving internal steps until a token is
+     * available or @p max_steps internal transitions have fired.
+     */
+    std::optional<Token> pullBlocking(const LowPortId& name,
+                                      std::size_t max_steps = 1 << 20);
+
+    /** Pull from numbered I/O output @p io, blocking as above. */
+    std::optional<Token> pullIo(std::uint32_t io,
+                                std::size_t max_steps = 1 << 20);
+
+    const GraphState& state() const { return state_; }
+
+  private:
+    const DenotedModule* mod_;
+    GraphState state_;
+};
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_SEMANTICS_EXECUTOR_HPP

@@ -1,0 +1,92 @@
+#include "semantics/functions.hpp"
+
+#include <cmath>
+
+namespace graphiti {
+
+namespace {
+
+Result<Value>
+intBinop(const std::string& op, std::int64_t a, std::int64_t b)
+{
+    if (op == "add")
+        return Value(a + b);
+    if (op == "sub")
+        return Value(a - b);
+    if (op == "mul")
+        return Value(a * b);
+    if (op == "div") {
+        if (b == 0)
+            return err("division by zero");
+        return Value(a / b);
+    }
+    if (op == "mod") {
+        if (b == 0)
+            return err("modulo by zero");
+        return Value(a % b);
+    }
+    if (op == "shl")
+        return Value(a << (b & 63));
+    if (op == "shr")
+        return Value(a >> (b & 63));
+    if (op == "and")
+        return Value(a & b);
+    if (op == "or")
+        return Value(a | b);
+    if (op == "xor")
+        return Value(a ^ b);
+    if (op == "lt")
+        return Value(a < b);
+    if (op == "le")
+        return Value(a <= b);
+    if (op == "gt")
+        return Value(a > b);
+    if (op == "ge")
+        return Value(a >= b);
+    return err("unknown integer operator: " + op);
+}
+
+}  // namespace
+
+Result<Value>
+evalOperator(const std::string& op, const std::vector<Value>& args)
+{
+    // Equality works on any payload.
+    if (op == "eq")
+        return Value(args.at(0) == args.at(1));
+    if (op == "ne")
+        return Value(args.at(0) != args.at(1));
+    if (op == "id" || op == "trunc" || op == "zext" || op == "sext")
+        return args.at(0);
+    if (op == "not")
+        return Value(!args.at(0).asBool());
+    if (op == "neg")
+        return Value(-args.at(0).asInt());
+    if (op == "abs") {
+        std::int64_t v = args.at(0).asInt();
+        return Value(v < 0 ? -v : v);
+    }
+    if (op == "select")
+        return args.at(0).asBool() ? args.at(1) : args.at(2);
+
+    // Floating point catalog (double precision).
+    if (op == "fadd")
+        return Value(args.at(0).toDouble() + args.at(1).toDouble());
+    if (op == "fsub")
+        return Value(args.at(0).toDouble() - args.at(1).toDouble());
+    if (op == "fmul")
+        return Value(args.at(0).toDouble() * args.at(1).toDouble());
+    if (op == "fdiv")
+        return Value(args.at(0).toDouble() / args.at(1).toDouble());
+    if (op == "flt")
+        return Value(args.at(0).toDouble() < args.at(1).toDouble());
+    if (op == "fge")
+        return Value(args.at(0).toDouble() >= args.at(1).toDouble());
+    if (op == "fneg")
+        return Value(-args.at(0).toDouble());
+
+    return intBinop(op, args.at(0).asInt(),
+                    args.size() > 1 ? args.at(1).asInt() : 0);
+}
+
+}  // namespace graphiti

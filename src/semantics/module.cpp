@@ -1,0 +1,192 @@
+#include "semantics/module.hpp"
+
+#include <algorithm>
+
+#include "graph/signatures.hpp"
+
+namespace graphiti {
+
+Result<DenotedModule>
+DenotedModule::denote(const ExprLow& expr, const Environment& env)
+{
+    DenotedModule mod;
+
+    // Product of base components: one slot each, ports renamed per the
+    // base's port maps (the rename of section 4.5).
+    Result<DenotedModule> failure = err("");
+    bool failed = false;
+    expr.forEachBase([&](const LowBase& base) {
+        if (failed)
+            return;
+        Result<ComponentPtr> comp = env.lookup(base.type, base.attrs);
+        if (!comp.ok()) {
+            failure = comp.error().context("denote: instance " + base.inst);
+            failed = true;
+            return;
+        }
+        Result<Signature> sig = signatureOf(base.type, base.attrs);
+        if (!sig.ok()) {
+            failure = sig.error().context("denote: instance " + base.inst);
+            failed = true;
+            return;
+        }
+        int slot = static_cast<int>(mod.slots_.size());
+        mod.slots_.push_back(Slot{comp.take(), base.inst});
+        const Signature& s = sig.value();
+        for (std::size_t p = 0; p < s.inputs.size(); ++p) {
+            auto it = base.inputs.find(s.inputs[p]);
+            if (it == base.inputs.end()) {
+                failure = err("denote: instance " + base.inst +
+                              " missing input map for " + s.inputs[p]);
+                failed = true;
+                return;
+            }
+            if (!mod.inputs_
+                     .emplace(it->second,
+                              PortLoc{slot, static_cast<int>(p)})
+                     .second) {
+                failure = err("denote: duplicate input name " +
+                              it->second.toString());
+                failed = true;
+                return;
+            }
+        }
+        for (std::size_t p = 0; p < s.outputs.size(); ++p) {
+            auto it = base.outputs.find(s.outputs[p]);
+            if (it == base.outputs.end()) {
+                failure = err("denote: instance " + base.inst +
+                              " missing output map for " + s.outputs[p]);
+                failed = true;
+                return;
+            }
+            if (!mod.outputs_
+                     .emplace(it->second,
+                              PortLoc{slot, static_cast<int>(p)})
+                     .second) {
+                failure = err("denote: duplicate output name " +
+                              it->second.toString());
+                failed = true;
+                return;
+            }
+        }
+    });
+    if (failed)
+        return failure;
+
+    // Connections: remove the external transitions, fuse them into an
+    // internal transition (the [o ~> i] combinator).
+    expr.forEachConnection([&](const LowPortId& out, const LowPortId& in) {
+        if (failed)
+            return;
+        auto oit = mod.outputs_.find(out);
+        auto iit = mod.inputs_.find(in);
+        if (oit == mod.outputs_.end() || iit == mod.inputs_.end()) {
+            failure = err("denote: connect references missing port " +
+                          out.toString() + " -> " + in.toString());
+            failed = true;
+            return;
+        }
+        mod.conns_.push_back(Conn{oit->second, iit->second});
+        mod.outputs_.erase(oit);
+        mod.inputs_.erase(iit);
+    });
+    if (failed)
+        return failure;
+
+    for (const auto& [name, loc] : mod.inputs_)
+        mod.in_names_.push_back(name);
+    for (const auto& [name, loc] : mod.outputs_)
+        mod.out_names_.push_back(name);
+    return mod;
+}
+
+GraphState
+DenotedModule::initialState() const
+{
+    GraphState s;
+    s.comps.reserve(slots_.size());
+    for (const Slot& slot : slots_)
+        s.comps.push_back(slot.comp->initialState());
+    return s;
+}
+
+std::vector<GraphState>
+DenotedModule::inputStep(const GraphState& state, const LowPortId& name,
+                         const Token& token) const
+{
+    auto it = inputs_.find(name);
+    if (it == inputs_.end())
+        return {};
+    const PortLoc& loc = it->second;
+    std::vector<CompState> succs = slots_[loc.slot].comp->acceptInput(
+        state.comps[loc.slot], loc.port, token);
+    std::vector<GraphState> out;
+    out.reserve(succs.size());
+    for (CompState& s : succs) {
+        GraphState next = state;
+        next.comps[loc.slot] = std::move(s);
+        out.push_back(std::move(next));
+    }
+    return out;
+}
+
+std::vector<std::pair<Token, GraphState>>
+DenotedModule::outputStep(const GraphState& state,
+                          const LowPortId& name) const
+{
+    auto it = outputs_.find(name);
+    if (it == outputs_.end())
+        return {};
+    const PortLoc& loc = it->second;
+    auto succs = slots_[loc.slot].comp->emitOutput(state.comps[loc.slot],
+                                                   loc.port);
+    std::vector<std::pair<Token, GraphState>> out;
+    out.reserve(succs.size());
+    for (auto& [token, s] : succs) {
+        GraphState next = state;
+        next.comps[loc.slot] = std::move(s);
+        out.emplace_back(std::move(token), std::move(next));
+    }
+    return out;
+}
+
+std::vector<GraphState>
+DenotedModule::internalSteps(const GraphState& state) const
+{
+    std::vector<GraphState> out;
+
+    // Per-component internal transitions, lifted to the product state.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        for (CompState& s :
+             slots_[i].comp->internalSteps(state.comps[i])) {
+            GraphState next = state;
+            next.comps[i] = std::move(s);
+            out.push_back(std::move(next));
+        }
+    }
+
+    // Fused connection transitions: output then input, atomically,
+    // with no internal step in between (section 4.5).
+    for (const Conn& conn : conns_) {
+        auto emissions = slots_[conn.src.slot].comp->emitOutput(
+            state.comps[conn.src.slot], conn.src.port);
+        for (auto& [token, src_state] : emissions) {
+            const CompState& dst_before =
+                conn.src.slot == conn.dst.slot ? src_state
+                                               : state.comps[conn.dst.slot];
+            std::vector<CompState> accepted =
+                slots_[conn.dst.slot].comp->acceptInput(dst_before,
+                                                        conn.dst.port,
+                                                        token);
+            for (CompState& dst_state : accepted) {
+                GraphState next = state;
+                next.comps[conn.src.slot] = src_state;
+                next.comps[conn.dst.slot] = std::move(dst_state);
+                out.push_back(std::move(next));
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace graphiti

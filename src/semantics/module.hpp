@@ -1,0 +1,110 @@
+#ifndef GRAPHITI_SEMANTICS_MODULE_HPP
+#define GRAPHITI_SEMANTICS_MODULE_HPP
+
+/**
+ * @file
+ * Denotation of EXPRLOW expressions into modules (section 4.5).
+ *
+ * ⟦base⟧ looks the component up in the environment and renames its
+ * ports; ⟦e1 (x) e2⟧ is the product combinator ⊎ (state becomes the
+ * product of the sub-states, transitions are lifted); and
+ * ⟦connect(o, i, e)⟧ removes the o/i external transitions and adds the
+ * fused internal transition r(s, s') = ∃v s''. out[o](s, v, s'') ∧
+ * in[i](s'', v, s') — with *no* internal step allowed between the two,
+ * the asymmetry that shapes the refinement definitions (section 4.4).
+ *
+ * DenotedModule is that module, flattened: a vector of component
+ * slots (the product state), external port tables, and a connection
+ * list (the fused internal transitions).
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/expr_low.hpp"
+#include "semantics/environment.hpp"
+#include "semantics/state.hpp"
+#include "support/result.hpp"
+
+namespace graphiti {
+
+/** The module denoted by an ExprLow expression. */
+class DenotedModule
+{
+  public:
+    /** Denote @p expr in environment @p env. */
+    static Result<DenotedModule> denote(const ExprLow& expr,
+                                        const Environment& env);
+
+    /** External input/output port names, in deterministic order. */
+    const std::vector<LowPortId>& inputNames() const { return in_names_; }
+    const std::vector<LowPortId>& outputNames() const { return out_names_; }
+
+    bool hasInput(const LowPortId& name) const
+    {
+        return inputs_.count(name) > 0;
+    }
+    bool hasOutput(const LowPortId& name) const
+    {
+        return outputs_.count(name) > 0;
+    }
+
+    /** The initial state (every component in its initial state). */
+    GraphState initialState() const;
+
+    /** Input transition at external port @p name consuming @p token. */
+    std::vector<GraphState> inputStep(const GraphState& state,
+                                      const LowPortId& name,
+                                      const Token& token) const;
+
+    /** Output transition at external port @p name. */
+    std::vector<std::pair<Token, GraphState>>
+    outputStep(const GraphState& state, const LowPortId& name) const;
+
+    /**
+     * All internal successors: per-component internal transitions plus
+     * the fused output-then-input transition of every connection.
+     */
+    std::vector<GraphState> internalSteps(const GraphState& state) const;
+
+    /** Number of component slots in the product state. */
+    std::size_t numSlots() const { return slots_.size(); }
+
+    /** Instance name of slot @p i (for diagnostics). */
+    const std::string& slotName(std::size_t i) const
+    {
+        return slots_[i].inst;
+    }
+
+  private:
+    struct Slot
+    {
+        ComponentPtr comp;
+        std::string inst;
+    };
+
+    /** (slot index, local port index) of an external port. */
+    struct PortLoc
+    {
+        int slot;
+        int port;
+    };
+
+    struct Conn
+    {
+        PortLoc src;
+        PortLoc dst;
+    };
+
+    std::vector<Slot> slots_;
+    std::map<LowPortId, PortLoc> inputs_;
+    std::map<LowPortId, PortLoc> outputs_;
+    std::vector<LowPortId> in_names_;
+    std::vector<LowPortId> out_names_;
+    std::vector<Conn> conns_;
+};
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_SEMANTICS_MODULE_HPP

@@ -1,0 +1,89 @@
+#ifndef GRAPHITI_SEMANTICS_STATE_HPP
+#define GRAPHITI_SEMANTICS_STATE_HPP
+
+/**
+ * @file
+ * Component and graph states for the denotational semantics.
+ *
+ * Section 4.3 gives components semantics as transition relations over
+ * an internal state built from queues (e.g. the fork's pair of lists).
+ * CompState is that state, made concrete: a vector of token queues plus
+ * a vector of scalar registers (used by Init's "already produced the
+ * initial token" flag and the Tagger's allocation counters). A denoted
+ * graph's state (GraphState) is the product of its components' states,
+ * exactly as the product combinator of section 4.5 prescribes.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/token.hpp"
+
+namespace graphiti {
+
+/** The state of one component instance: queues plus scalar registers. */
+struct CompState
+{
+    /** FIFO queues; index 0 is the front (next to dequeue). */
+    std::vector<std::vector<Token>> queues;
+    /** Scalar registers (counters, flags). */
+    std::vector<std::int64_t> regs;
+
+    bool operator==(const CompState&) const = default;
+
+    /** Enqueue @p t on queue @p q. */
+    void
+    enq(std::size_t q, Token t)
+    {
+        queues[q].push_back(std::move(t));
+    }
+
+    /** The front of queue @p q (must be nonempty). */
+    const Token&
+    first(std::size_t q) const
+    {
+        return queues[q].front();
+    }
+
+    /** Remove the front of queue @p q (must be nonempty). */
+    void
+    deq(std::size_t q)
+    {
+        queues[q].erase(queues[q].begin());
+    }
+
+    bool
+    empty(std::size_t q) const
+    {
+        return queues[q].empty();
+    }
+
+    /** Total number of queued tokens across all queues. */
+    std::size_t totalTokens() const;
+
+    std::size_t hash() const;
+    std::string toString() const;
+};
+
+/** The state of a denoted graph: one CompState per base component. */
+struct GraphState
+{
+    std::vector<CompState> comps;
+
+    bool operator==(const GraphState&) const = default;
+
+    std::size_t totalTokens() const;
+    std::size_t hash() const;
+    std::string toString() const;
+};
+
+/** Hash functor so states can key unordered containers. */
+struct GraphStateHash
+{
+    std::size_t operator()(const GraphState& s) const { return s.hash(); }
+};
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_SEMANTICS_STATE_HPP

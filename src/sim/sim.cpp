@@ -1,0 +1,654 @@
+#include "sim/sim.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "arch/buffers.hpp"
+#include "graph/signatures.hpp"
+#include "semantics/environment.hpp"
+
+namespace graphiti::sim {
+
+namespace {
+
+/** Per-node mutable simulation state. */
+struct SimNode
+{
+    std::string name;
+    std::string type;
+    AttrMap attrs;
+    std::vector<int> in_channels;   // -1 when dangling
+    std::vector<int> out_channels;  // -1 when dangling
+
+    // Generic unit state.
+    bool init_done = false;
+
+    // Pipelined units: (cycles remaining, result).
+    std::deque<std::pair<int, Token>> pipeline;
+    std::deque<Token> completion;
+    int latency = 0;
+
+    // Tagger state.
+    int num_tags = 0;
+    std::int64_t next_alloc = 0;
+    std::int64_t next_commit = 0;
+    std::map<Tag, Token> returned;
+
+    // Resolved pure function.
+    const PureFn* fn = nullptr;
+};
+
+bool
+tagsAgree(const std::vector<const Token*>& tokens,
+          std::optional<Tag>& common)
+{
+    common.reset();
+    for (const Token* t : tokens) {
+        if (!t->tag)
+            continue;
+        if (common && *common != *t->tag)
+            return false;
+        common = t->tag;
+    }
+    return true;
+}
+
+}  // namespace
+
+/** The working core of the simulator (rebuilt for every run). */
+class Simulator::Impl
+{
+  public:
+    Impl(const Simulator& owner) : owner_(owner) {}
+
+    Result<SimResult>
+    run(const std::vector<std::vector<Token>>& inputs,
+        std::size_t expected_outputs, bool serial_io)
+    {
+        Result<bool> built = build();
+        if (!built.ok())
+            return built.error();
+        memories_ = owner_.memories_;
+
+        input_streams_ = inputs;
+        input_pos_.assign(inputs.size(), 0);
+
+        SimResult result;
+        result.outputs.resize(output_channels_.size());
+
+        std::size_t idle_cycles = 0;
+        for (std::size_t cycle = 0; cycle < owner_.config_.max_cycles;
+             ++cycle) {
+            activity_ = false;
+            cycle_ = cycle;
+            trace_ = &result.trace;
+
+            feedInputs(result, serial_io);
+            for (SimNode& node : nodes_) {
+                Result<bool> fired = step(node);
+                if (!fired.ok())
+                    return fired.error().context(
+                        "cycle " + std::to_string(cycle) + ", node " +
+                        node.name);
+            }
+            collectOutputs(result);
+            commitStaged();
+
+            if (done(result, expected_outputs)) {
+                result.cycles = cycle + 1;
+                result.memories = memories_;
+                return result;
+            }
+            idle_cycles = activity_ ? 0 : idle_cycles + 1;
+            if (idle_cycles > 4) {
+                return err("simulation deadlocked at cycle " +
+                           std::to_string(cycle) + ": " +
+                           diagnose(result, expected_outputs));
+            }
+        }
+        return err("simulation exceeded the cycle limit");
+    }
+
+  private:
+    Result<bool>
+    build()
+    {
+        const ExprHigh& g = owner_.graph_;
+        std::map<std::string, std::size_t> node_index;
+
+        for (const NodeDecl& decl : g.nodes()) {
+            Result<Signature> sig = signatureOf(decl.type, decl.attrs);
+            if (!sig.ok())
+                return sig.error().context("sim build: " + decl.name);
+            SimNode node;
+            node.name = decl.name;
+            node.type = decl.type;
+            node.attrs = decl.attrs;
+            node.in_channels.assign(sig.value().inputs.size(), -1);
+            node.out_channels.assign(sig.value().outputs.size(), -1);
+            if (decl.type == "operator") {
+                node.latency = attrInt(
+                    decl.attrs, "latency",
+                    operatorLatency(attrStr(decl.attrs, "op", "")));
+            } else if (decl.type == "load") {
+                node.latency = attrInt(decl.attrs, "latency",
+                                       owner_.config_.load_latency);
+            } else if (decl.type == "pure") {
+                node.latency = attrInt(decl.attrs, "latency", 0);
+                node.fn = owner_.functions_->find(
+                    attrStr(decl.attrs, "fn", ""));
+                if (node.fn == nullptr)
+                    return err("sim build: pure node " + decl.name +
+                               " references unregistered fn");
+            } else if (decl.type == "tagger") {
+                node.num_tags = attrInt(decl.attrs, "tags", 4);
+            }
+            node_index[decl.name] = nodes_.size();
+            nodes_.push_back(std::move(node));
+        }
+
+        auto port_number = [](const std::string& port) {
+            return std::stoi(port.substr(port.find_first_of("0123456789")));
+        };
+
+        // Buffer placement (Josipovic et al. [40], as adapted by
+        // Elakhras et al.): channels inside a Tagger/Untagger region
+        // get enough slots for the in-flight iterations, otherwise a
+        // short bypass path fills up and serializes the loop (or
+        // deadlocks it).
+        arch::BufferPlacement placement =
+            arch::placeBuffers(g, owner_.config_.channel_slots);
+        for (const Edge& e : g.edges()) {
+            int ch = static_cast<int>(channels_.size());
+            channels_.push_back(Channel{
+                {},
+                placement.slotsFor(e, owner_.config_.channel_slots)});
+            nodes_[node_index.at(e.src.inst)]
+                .out_channels[port_number(e.src.port)] = ch;
+            nodes_[node_index.at(e.dst.inst)]
+                .in_channels[port_number(e.dst.port)] = ch;
+        }
+        for (std::size_t i = 0; i < g.inputs().size(); ++i) {
+            if (!g.inputs()[i])
+                continue;
+            int ch = static_cast<int>(channels_.size());
+            channels_.push_back(
+                Channel{{}, owner_.config_.channel_slots});
+            nodes_[node_index.at(g.inputs()[i]->inst)]
+                .in_channels[port_number(g.inputs()[i]->port)] = ch;
+            input_channels_.push_back(ch);
+        }
+        for (std::size_t i = 0; i < g.outputs().size(); ++i) {
+            if (!g.outputs()[i])
+                continue;
+            int ch = static_cast<int>(channels_.size());
+            channels_.push_back(Channel{{}, 1u << 30});
+            nodes_[node_index.at(g.outputs()[i]->inst)]
+                .out_channels[port_number(g.outputs()[i]->port)] = ch;
+            output_channels_.push_back(ch);
+        }
+        staged_.assign(channels_.size(), {});
+        return true;
+    }
+
+    bool
+    hasToken(int ch) const
+    {
+        return ch >= 0 && !channels_[ch].empty();
+    }
+
+    const Token&
+    peek(int ch) const
+    {
+        return channels_[ch].slots.front();
+    }
+
+    Token
+    pop(int ch)
+    {
+        Token t = channels_[ch].slots.front();
+        channels_[ch].slots.pop_front();
+        activity_ = true;
+        return t;
+    }
+
+    bool
+    hasSpace(int ch) const
+    {
+        if (ch < 0)
+            return true;  // dangling outputs drop tokens
+        return channels_[ch].slots.size() + staged_[ch].size() <
+               channels_[ch].capacity;
+    }
+
+    void
+    push(int ch, Token t)
+    {
+        if (ch < 0)
+            return;
+        staged_[ch].push_back(std::move(t));
+        activity_ = true;
+    }
+
+    void
+    commitStaged()
+    {
+        for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+            for (Token& t : staged_[ch])
+                channels_[ch].slots.push_back(std::move(t));
+            staged_[ch].clear();
+        }
+    }
+
+    void
+    trace(const SimNode& node, const std::string& detail)
+    {
+        for (const std::string& wanted : owner_.config_.trace_nodes)
+            if (wanted == node.name)
+                trace_->push_back(TraceEvent{cycle_, node.name, detail});
+    }
+
+    void
+    feedInputs(const SimResult& result, bool serial_io)
+    {
+        std::size_t collected =
+            result.outputs.empty() ? 0 : result.outputs[0].size();
+        for (std::size_t i = 0; i < input_streams_.size() &&
+                                i < input_channels_.size();
+             ++i) {
+            std::size_t& pos = input_pos_[i];
+            if (pos >= input_streams_[i].size())
+                continue;
+            if (serial_io && pos > collected)
+                continue;
+            int ch = input_channels_[i];
+            if (hasSpace(ch)) {
+                push(ch, input_streams_[i][pos]);
+                ++pos;
+            }
+        }
+    }
+
+    void
+    collectOutputs(SimResult& result)
+    {
+        for (std::size_t i = 0; i < output_channels_.size(); ++i) {
+            Channel& ch = channels_[output_channels_[i]];
+            while (!ch.empty()) {
+                result.outputs[i].push_back(ch.slots.front());
+                ch.slots.pop_front();
+                activity_ = true;
+            }
+        }
+    }
+
+    bool
+    done(const SimResult& result, std::size_t expected) const
+    {
+        for (const auto& stream : result.outputs)
+            if (stream.size() < expected)
+                return false;
+        return true;
+    }
+
+    std::string
+    diagnose(const SimResult& result, std::size_t expected) const
+    {
+        std::ostringstream os;
+        os << "outputs collected:";
+        for (const auto& stream : result.outputs)
+            os << " " << stream.size() << "/" << expected;
+        os << "; tokens in flight:";
+        for (const SimNode& node : nodes_) {
+            std::size_t held = node.pipeline.size() +
+                               node.completion.size() +
+                               node.returned.size();
+            for (int ch : node.in_channels)
+                if (ch >= 0)
+                    held += channels_[ch].slots.size();
+            if (held > 0)
+                os << " " << node.name << "(" << held << ")";
+        }
+        return os.str();
+    }
+
+    /** Advance pipelined units and drain completions. */
+    void
+    advancePipeline(SimNode& node)
+    {
+        if (!node.pipeline.empty())
+            activity_ = true;  // in-flight computation is progress
+        for (auto& [remaining, token] : node.pipeline)
+            if (remaining > 0)
+                --remaining;
+        while (!node.pipeline.empty() &&
+               node.pipeline.front().first == 0) {
+            node.completion.push_back(
+                std::move(node.pipeline.front().second));
+            node.pipeline.pop_front();
+            activity_ = true;
+        }
+        while (!node.completion.empty() &&
+               hasSpace(node.out_channels[0])) {
+            push(node.out_channels[0],
+                 std::move(node.completion.front()));
+            node.completion.pop_front();
+            trace(node, "emit");
+        }
+    }
+
+    Result<bool>
+    step(SimNode& node)
+    {
+        if (node.type == "fork") {
+            if (!hasToken(node.in_channels[0]))
+                return true;
+            for (int ch : node.out_channels)
+                if (!hasSpace(ch))
+                    return true;
+            Token t = pop(node.in_channels[0]);
+            for (int ch : node.out_channels)
+                push(ch, t);
+            trace(node, "fire " + t.toString());
+            return true;
+        }
+        if (node.type == "join") {
+            if (!hasSpace(node.out_channels[0]))
+                return true;
+            std::vector<const Token*> heads;
+            for (int ch : node.in_channels) {
+                if (!hasToken(ch))
+                    return true;
+                heads.push_back(&peek(ch));
+            }
+            std::optional<Tag> tag;
+            if (!tagsAgree(heads, tag))
+                return err("tag mismatch at join (tokens from "
+                           "different iterations met)");
+            Value v = heads.back()->value;
+            for (std::size_t i = heads.size() - 1; i-- > 0;)
+                v = Value::tuple(heads[i]->value, std::move(v));
+            for (int ch : node.in_channels)
+                pop(ch);
+            Token out(std::move(v));
+            out.tag = tag;
+            push(node.out_channels[0], std::move(out));
+            trace(node, "fire");
+            return true;
+        }
+        if (node.type == "split") {
+            if (!hasToken(node.in_channels[0]) ||
+                !hasSpace(node.out_channels[0]) ||
+                !hasSpace(node.out_channels[1]))
+                return true;
+            Token t = pop(node.in_channels[0]);
+            if (!t.value.isTuple() || t.value.asTuple().size() != 2)
+                return err("split received a non-pair token " +
+                           t.toString());
+            Token left(t.value.asTuple()[0]);
+            Token right(t.value.asTuple()[1]);
+            left.tag = t.tag;
+            right.tag = t.tag;
+            push(node.out_channels[0], std::move(left));
+            push(node.out_channels[1], std::move(right));
+            trace(node, "fire");
+            return true;
+        }
+        if (node.type == "mux") {
+            if (!hasToken(node.in_channels[0]) ||
+                !hasSpace(node.out_channels[0]))
+                return true;
+            bool sel = peek(node.in_channels[0]).value.asBool();
+            int data_ch = node.in_channels[sel ? 1 : 2];
+            if (!hasToken(data_ch))
+                return true;
+            pop(node.in_channels[0]);
+            Token t = pop(data_ch);
+            trace(node, std::string("fire ") + (sel ? "loop" : "entry"));
+            push(node.out_channels[0], std::move(t));
+            return true;
+        }
+        if (node.type == "merge") {
+            if (!hasSpace(node.out_channels[0]))
+                return true;
+            // Loopback (in0) has priority so in-flight iterations keep
+            // draining; fresh tokens enter when the loop path is idle.
+            for (int port : {0, 1}) {
+                if (hasToken(node.in_channels[port])) {
+                    Token t = pop(node.in_channels[port]);
+                    trace(node, std::string("fire ") +
+                                    (port == 0 ? "loop" : "entry") +
+                                    " " + t.toString());
+                    push(node.out_channels[0], std::move(t));
+                    return true;
+                }
+            }
+            return true;
+        }
+        if (node.type == "branch") {
+            if (!hasToken(node.in_channels[0]) ||
+                !hasToken(node.in_channels[1]))
+                return true;
+            const Token& data = peek(node.in_channels[0]);
+            const Token& cond = peek(node.in_channels[1]);
+            std::optional<Tag> tag;
+            if (!tagsAgree({&data, &cond}, tag))
+                return err("tag mismatch at branch");
+            int out = cond.value.asBool() ? 0 : 1;
+            if (!hasSpace(node.out_channels[out]))
+                return true;
+            Token t = pop(node.in_channels[0]);
+            pop(node.in_channels[1]);
+            t.tag = tag;
+            trace(node, out == 0 ? "loop" : "exit");
+            push(node.out_channels[out], std::move(t));
+            return true;
+        }
+        if (node.type == "init") {
+            if (!hasSpace(node.out_channels[0]))
+                return true;
+            if (!node.init_done) {
+                node.init_done = true;
+                push(node.out_channels[0],
+                     Token(Value(attrStr(node.attrs, "value", "false") ==
+                                 "true")));
+                trace(node, "initial");
+                return true;
+            }
+            if (hasToken(node.in_channels[0]))
+                push(node.out_channels[0], pop(node.in_channels[0]));
+            return true;
+        }
+        if (node.type == "buffer") {
+            if (hasToken(node.in_channels[0]) &&
+                hasSpace(node.out_channels[0]))
+                push(node.out_channels[0], pop(node.in_channels[0]));
+            return true;
+        }
+        if (node.type == "sink") {
+            if (hasToken(node.in_channels[0]))
+                pop(node.in_channels[0]);
+            return true;
+        }
+        if (node.type == "source") {
+            if (hasSpace(node.out_channels[0]))
+                push(node.out_channels[0], Token(Value()));
+            return true;
+        }
+        if (node.type == "constant") {
+            if (!hasToken(node.in_channels[0]) ||
+                !hasSpace(node.out_channels[0]))
+                return true;
+            Token trigger = pop(node.in_channels[0]);
+            Result<Value> v =
+                parseConstantValue(attrStr(node.attrs, "value", "0"));
+            if (!v.ok())
+                return v.error();
+            Token out(v.take());
+            out.tag = trigger.tag;
+            push(node.out_channels[0], std::move(out));
+            return true;
+        }
+        if (node.type == "operator" || node.type == "pure" ||
+            node.type == "load") {
+            advancePipeline(node);
+            // Accept at most one new token set per cycle (II = 1).
+            std::vector<const Token*> heads;
+            for (int ch : node.in_channels) {
+                if (!hasToken(ch))
+                    return true;
+                heads.push_back(&peek(ch));
+            }
+            std::optional<Tag> tag;
+            if (!tagsAgree(heads, tag))
+                return err("tag mismatch at " + node.type);
+            Token result;
+            if (node.type == "operator") {
+                std::vector<Value> args;
+                for (const Token* t : heads)
+                    args.push_back(t->value);
+                Result<Value> v = evalOperator(
+                    attrStr(node.attrs, "op", ""), args);
+                if (!v.ok())
+                    return v.error();
+                result.value = v.take();
+            } else if (node.type == "pure") {
+                result.value = (*node.fn)(heads[0]->value);
+            } else {  // load
+                std::string mem = attrStr(node.attrs, "memory", "mem");
+                auto it = memories_.find(mem);
+                if (it == memories_.end())
+                    return err("load from unknown memory " + mem);
+                std::int64_t addr = heads[0]->value.asInt();
+                if (addr < 0 ||
+                    addr >= static_cast<std::int64_t>(it->second.size()))
+                    return err("load out of bounds: " + mem + "[" +
+                               std::to_string(addr) + "]");
+                result.value = Value(it->second[addr]);
+            }
+            result.tag = tag;
+            for (int ch : node.in_channels)
+                pop(ch);
+            node.pipeline.emplace_back(std::max(1, node.latency),
+                                       std::move(result));
+            trace(node, "accept");
+            return true;
+        }
+        if (node.type == "store") {
+            if (!hasToken(node.in_channels[0]) ||
+                !hasToken(node.in_channels[1]) ||
+                !hasSpace(node.out_channels[0]))
+                return true;
+            const Token& addr_tok = peek(node.in_channels[0]);
+            const Token& data_tok = peek(node.in_channels[1]);
+            std::optional<Tag> tag;
+            if (!tagsAgree({&addr_tok, &data_tok}, tag))
+                return err("tag mismatch at store");
+            std::string mem = attrStr(node.attrs, "memory", "mem");
+            auto it = memories_.find(mem);
+            if (it == memories_.end())
+                return err("store to unknown memory " + mem);
+            std::int64_t addr = addr_tok.value.asInt();
+            if (addr < 0 ||
+                addr >= static_cast<std::int64_t>(it->second.size()))
+                return err("store out of bounds: " + mem + "[" +
+                           std::to_string(addr) + "]");
+            it->second[addr] = data_tok.value.toDouble();
+            pop(node.in_channels[0]);
+            pop(node.in_channels[1]);
+            Token done{Value(addr)};
+            done.tag = tag;
+            push(node.out_channels[0], std::move(done));
+            trace(node, "store");
+            return true;
+        }
+        if (node.type == "tagger") {
+            // Allocate a tag for the oldest fresh token.
+            if (hasToken(node.in_channels[0]) &&
+                hasSpace(node.out_channels[0]) &&
+                node.next_alloc - node.next_commit < node.num_tags) {
+                Token t = pop(node.in_channels[0]);
+                t.tag = static_cast<Tag>(node.next_alloc %
+                                         node.num_tags);
+                node.next_alloc += 1;
+                trace(node, "tag " + t.toString());
+                push(node.out_channels[0], std::move(t));
+            }
+            // Accept a returning token.
+            if (hasToken(node.in_channels[1])) {
+                Token t = pop(node.in_channels[1]);
+                if (!t.tag)
+                    return err("untagged token returned to tagger");
+                node.returned.emplace(*t.tag, std::move(t));
+            }
+            // Commit the oldest outstanding tag in program order.
+            if (node.next_commit < node.next_alloc &&
+                hasSpace(node.out_channels[1])) {
+                Tag wanted = static_cast<Tag>(node.next_commit %
+                                              node.num_tags);
+                auto it = node.returned.find(wanted);
+                if (it != node.returned.end()) {
+                    Token out = std::move(it->second);
+                    out.tag.reset();
+                    node.returned.erase(it);
+                    node.next_commit += 1;
+                    trace(node, "untag " + out.toString());
+                    push(node.out_channels[1], std::move(out));
+                }
+            }
+            return true;
+        }
+        return err("simulator has no model for component type '" +
+                   node.type + "'");
+    }
+
+    static Result<Value>
+    parseConstantValue(const std::string& text)
+    {
+        return parseConstant(text);
+    }
+
+    const Simulator& owner_;
+    std::vector<SimNode> nodes_;
+    std::vector<Channel> channels_;
+    std::vector<std::deque<Token>> staged_;
+    std::vector<int> input_channels_;
+    std::vector<int> output_channels_;
+    std::vector<std::vector<Token>> input_streams_;
+    std::vector<std::size_t> input_pos_;
+    std::map<std::string, std::vector<double>> memories_;
+    bool activity_ = false;
+    std::size_t cycle_ = 0;
+    std::vector<TraceEvent>* trace_ = nullptr;
+};
+
+Result<Simulator>
+Simulator::build(const ExprHigh& graph,
+                 std::shared_ptr<FnRegistry> functions,
+                 const SimConfig& config)
+{
+    Result<bool> valid = graph.validate();
+    if (!valid.ok())
+        return valid.error().context("Simulator::build");
+    Simulator s;
+    s.graph_ = graph;
+    s.functions_ = std::move(functions);
+    s.config_ = config;
+    return s;
+}
+
+void
+Simulator::setMemory(const std::string& name, std::vector<double> data)
+{
+    memories_[name] = std::move(data);
+}
+
+Result<SimResult>
+Simulator::run(const std::vector<std::vector<Token>>& inputs,
+               std::size_t expected_outputs, bool serial_io)
+{
+    Impl impl(*this);
+    return impl.run(inputs, expected_outputs, serial_io);
+}
+
+}  // namespace graphiti::sim

@@ -1,0 +1,129 @@
+#ifndef GRAPHITI_SIM_SIM_HPP
+#define GRAPHITI_SIM_SIM_HPP
+
+/**
+ * @file
+ * Cycle-accurate simulator for latency-insensitive dataflow circuits.
+ *
+ * This is the ModelSim substitute of the evaluation flow: it executes
+ * an ExprHigh circuit at the handshake level and reports the cycle
+ * count that determines the execution-time columns of table 2.
+ *
+ * Timing model:
+ *  - every edge is an elastic channel with a fixed number of buffer
+ *    slots; a producer stalls when the channel is full;
+ *  - handshake components (fork, join, mux, merge, branch, split,
+ *    init, constant, sink, tagger) fire at most once per cycle and
+ *    their token traversal costs one cycle;
+ *  - operators, loads and pure bodies are fully pipelined units with
+ *    initiation interval 1 and a per-op latency (operatorLatency or
+ *    the node's `latency` attribute);
+ *  - stores commit to memory when both operands are available.
+ *
+ * Tagged execution: tokens carry the Tagger's reorder tags; since all
+ * body paths originate at the single loop Merge and channels are
+ * FIFO, matching input tokens always carry equal tags — the simulator
+ * checks this invariant and reports a hard error on violation.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/expr_high.hpp"
+#include "semantics/functions.hpp"
+#include "support/result.hpp"
+#include "support/token.hpp"
+
+namespace graphiti::sim {
+
+/** Simulator configuration. */
+struct SimConfig
+{
+    /** Buffer slots per channel (Dynamatic places at least one
+     * transparent + one opaque slot on most edges). */
+    std::size_t channel_slots = 2;
+    /** Cycle limit before the run is declared hung. */
+    std::size_t max_cycles = 10'000'000;
+    /** Load unit latency in cycles. */
+    int load_latency = 2;
+    /** Record per-cycle firing events of these nodes (figure 2d/2e
+     * traces). */
+    std::vector<std::string> trace_nodes;
+};
+
+/** One recorded firing, for execution traces. */
+struct TraceEvent
+{
+    std::size_t cycle;
+    std::string node;
+    std::string detail;
+};
+
+/** Result of a simulation run. */
+struct SimResult
+{
+    std::size_t cycles = 0;
+    /** Tokens collected at each graph output, in arrival order. */
+    std::vector<std::vector<Token>> outputs;
+    std::vector<TraceEvent> trace;
+    /** Final memory contents (after stores). */
+    std::map<std::string, std::vector<double>> memories;
+};
+
+/** The simulator. */
+class Simulator
+{
+  public:
+    /**
+     * Build a simulator for @p graph. Pure nodes resolve their `fn`
+     * attribute in @p functions; memory nodes resolve their `memory`
+     * attribute in the memories installed via setMemory.
+     */
+    static Result<Simulator> build(const ExprHigh& graph,
+                                   std::shared_ptr<FnRegistry> functions,
+                                   const SimConfig& config = {});
+
+    /** Install (or replace) the contents of memory @p name. */
+    void setMemory(const std::string& name, std::vector<double> data);
+
+    /**
+     * Run until @p expected_outputs tokens arrived at every bound
+     * graph output (and all inputs were consumed), or the cycle limit
+     * is hit (an error).
+     *
+     * @param inputs one token stream per graph input index.
+     * @param serial_io when true, input k+1 (across all streams) is
+     *        offered only after output k has been collected —
+     *        modelling a dependent outer loop (gsum-single).
+     */
+    Result<SimResult> run(const std::vector<std::vector<Token>>& inputs,
+                          std::size_t expected_outputs,
+                          bool serial_io = false);
+
+  private:
+    Simulator() = default;
+
+    struct Channel
+    {
+        std::deque<Token> slots;
+        std::size_t capacity = 2;
+
+        bool full() const { return slots.size() >= capacity; }
+        bool empty() const { return slots.empty(); }
+    };
+
+    class Impl;
+
+    ExprHigh graph_;
+    std::shared_ptr<FnRegistry> functions_;
+    SimConfig config_;
+    std::map<std::string, std::vector<double>> memories_;
+};
+
+}  // namespace graphiti::sim
+
+#endif  // GRAPHITI_SIM_SIM_HPP

@@ -1,0 +1,139 @@
+#include "static_hls/static_hls.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "graph/signatures.hpp"
+
+namespace graphiti::static_hls {
+
+namespace {
+
+/** Functional-unit class an operation is scheduled on. */
+std::string
+fuClass(const std::string& op)
+{
+    if (op == "fadd" || op == "fsub")
+        return "fadd";
+    if (op == "fmul")
+        return "fmul";
+    if (op == "fdiv")
+        return "fdiv";
+    if (op == "mul")
+        return "mul";
+    if (op == "div" || op == "mod")
+        return "div";
+    if (op == "load")
+        return "mem_read";
+    if (op == "store")
+        return "mem_write";
+    return "alu";  // adds, compares, logic: cheap, effectively shared
+}
+
+int
+opLatency(const std::string& op)
+{
+    if (op == "load")
+        return 2;
+    if (op == "store")
+        return 1;
+    int latency = operatorLatency(op);
+    return std::max(1, latency);
+}
+
+/**
+ * Resource-constrained list scheduling of one iteration: one FU per
+ * class, ops start when dependencies completed and the FU is free
+ * (Vericert shares units and serializes on them).
+ * @return the schedule length in states.
+ */
+std::size_t
+scheduleIteration(const std::vector<StaticOp>& body,
+                  std::set<std::string>& fu_classes)
+{
+    std::map<std::string, std::size_t> finish;  // op -> finish state
+    std::map<std::string, std::size_t> fu_free;  // class -> next free
+    std::size_t makespan = 0;
+
+    // Ops are listed in topological order by construction; validate
+    // while scheduling.
+    for (const StaticOp& op : body) {
+        std::size_t ready = 0;
+        for (const std::string& dep : op.deps) {
+            auto it = finish.find(dep);
+            if (it == finish.end())
+                throw std::runtime_error(
+                    "static schedule: op '" + op.name +
+                    "' depends on unknown/later op '" + dep + "'");
+            ready = std::max(ready, it->second);
+        }
+        std::string fu = fuClass(op.op);
+        fu_classes.insert(fu);
+        std::size_t start = std::max(ready, fu_free[fu]);
+        std::size_t end = start + static_cast<std::size_t>(
+                                      opLatency(op.op));
+        fu_free[fu] = end;
+        finish[op.name] = end;
+        makespan = std::max(makespan, end);
+    }
+    return makespan;
+}
+
+/** Area of one shared functional unit. */
+arch::AreaReport
+fuArea(const std::string& fu)
+{
+    if (fu == "fadd")
+        return {320, 480, 2};
+    if (fu == "fmul")
+        return {95, 170, 3};
+    if (fu == "fdiv")
+        return {800, 1400, 0};
+    if (fu == "mul")
+        return {250, 120, 0};  // LUT-based integer multiply
+    if (fu == "div")
+        return {1150, 900, 0};
+    if (fu == "mem_read" || fu == "mem_write")
+        return {40, 30, 0};
+    return {60, 40, 0};  // ALU
+}
+
+}  // namespace
+
+StaticReport
+scheduleAndEvaluate(const StaticKernel& kernel)
+{
+    StaticReport report;
+    std::set<std::string> fu_classes;
+
+    std::size_t cycles_per_outer = kernel.outer_overhead_states;
+    std::size_t total_ops = 0;
+    for (const StaticLoop& loop : kernel.loops) {
+        std::size_t states = scheduleIteration(loop.body, fu_classes);
+        // FSM control: one state to evaluate the loop condition and
+        // branch back.
+        states += 1;
+        report.iteration_states.push_back(states);
+        cycles_per_outer += states * loop.trips;
+        total_ops += loop.body.size();
+    }
+    report.cycles = kernel.outer_trips * cycles_per_outer + 2;
+
+    // Area: shared FUs + pipeline registers for live values + FSM.
+    for (const std::string& fu : fu_classes)
+        report.area += fuArea(fu);
+    int live_values = static_cast<int>(total_ops) + 4;
+    report.area.lut += 14 * live_values;  // operand muxing into FUs
+    report.area.ff += 33 * live_values;   // 32-bit value + valid bit
+    report.area.lut += 80;                // FSM
+    report.area.ff += 16;
+
+    // No elastic handshake: short control paths; congestion only.
+    double max_delay = 3.4;  // the slow units are registered inside
+    report.clock_period_ns = 1.0 + max_delay +
+                             0.0006 * report.area.lut * 0.5;
+    return report;
+}
+
+}  // namespace graphiti::static_hls

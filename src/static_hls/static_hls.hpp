@@ -1,0 +1,73 @@
+#ifndef GRAPHITI_STATIC_HLS_STATIC_HLS_HPP
+#define GRAPHITI_STATIC_HLS_STATIC_HLS_HPP
+
+/**
+ * @file
+ * A Vericert-style statically scheduled HLS baseline.
+ *
+ * Vericert (the only other verified HLS flow, compared in section 6)
+ * compiles loops to a sequential finite state machine: one shared
+ * functional unit per operation class, operations scheduled into
+ * states by a resource-constrained list scheduler, and *no* loop
+ * pipelining — the next iteration starts only when the previous one
+ * finished. That yields far higher cycle counts on irregular loops,
+ * but a shorter clock period (no elastic handshake logic) and much
+ * smaller area (FU sharing, registers instead of queues) — the shape
+ * of the Vericert columns in tables 2 and 3.
+ */
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/area_timing.hpp"
+#include "support/result.hpp"
+
+namespace graphiti::static_hls {
+
+/** One operation of a loop iteration's dependence DAG. */
+struct StaticOp
+{
+    std::string name;               ///< unique within the iteration
+    std::string op;                 ///< operator class (add, fmul, load...)
+    std::vector<std::string> deps;  ///< names this op waits for
+};
+
+/** One loop of the kernel, innermost iteration described by ops. */
+struct StaticLoop
+{
+    std::vector<StaticOp> body;
+    std::size_t trips = 1;  ///< iterations per entry
+};
+
+/** A kernel: nested loops flattened into (outer trips x inner loops). */
+struct StaticKernel
+{
+    std::string name;
+    std::size_t outer_trips = 1;
+    std::vector<StaticLoop> loops;  ///< executed in sequence per trip
+    /** States spent per outer iteration outside the inner loops
+     * (address setup, result store, FSM glue). */
+    std::size_t outer_overhead_states = 3;
+};
+
+/** Evaluation of a statically scheduled kernel. */
+struct StaticReport
+{
+    std::size_t cycles = 0;
+    double clock_period_ns = 0.0;
+    arch::AreaReport area;
+    /** Schedule length of each loop body, for inspection. */
+    std::vector<std::size_t> iteration_states;
+};
+
+/**
+ * Schedule @p kernel with one functional unit per op class and no
+ * loop pipelining; report cycles, clock period and shared-FU area.
+ */
+StaticReport scheduleAndEvaluate(const StaticKernel& kernel);
+
+}  // namespace graphiti::static_hls
+
+#endif  // GRAPHITI_STATIC_HLS_STATIC_HLS_HPP

@@ -1,0 +1,108 @@
+#ifndef GRAPHITI_SUPPORT_RESULT_HPP
+#define GRAPHITI_SUPPORT_RESULT_HPP
+
+/**
+ * @file
+ * A small expected-style result type used across the library.
+ *
+ * Parsing, matching and rewriting are all operations that can fail for
+ * user-visible reasons (malformed dot input, a pattern that does not
+ * match, a rewrite whose side conditions are violated). Those failures
+ * are values, not exceptions; exceptions are reserved for internal
+ * invariant violations.
+ */
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace graphiti {
+
+/** Error payload: a human-readable message with optional context. */
+struct Error
+{
+    std::string message;
+
+    explicit Error(std::string msg) : message(std::move(msg)) {}
+
+    /** Prefix the message with additional context. */
+    Error context(const std::string& what) const
+    {
+        return Error(what + ": " + message);
+    }
+};
+
+/**
+ * Result of a fallible operation: either a value of type T or an Error.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Error error) : error_(std::move(error)) {}
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** Access the value; throws if this holds an error. */
+    const T&
+    value() const
+    {
+        if (!value_)
+            throw std::runtime_error("Result::value on error: " +
+                                     error_->message);
+        return *value_;
+    }
+
+    T&
+    value()
+    {
+        if (!value_)
+            throw std::runtime_error("Result::value on error: " +
+                                     error_->message);
+        return *value_;
+    }
+
+    T
+    take()
+    {
+        if (!value_)
+            throw std::runtime_error("Result::take on error: " +
+                                     error_->message);
+        return std::move(*value_);
+    }
+
+    const Error&
+    error() const
+    {
+        if (!error_)
+            throw std::runtime_error("Result::error on success");
+        return *error_;
+    }
+
+    /** Map the error, keeping the value untouched. */
+    Result<T>
+    withContext(const std::string& what) &&
+    {
+        if (error_)
+            return Result<T>(error_->context(what));
+        return std::move(*this);
+    }
+
+  private:
+    std::optional<T> value_;
+    std::optional<Error> error_;
+};
+
+/** Convenience constructor for error results. */
+inline Error
+err(std::string message)
+{
+    return Error(std::move(message));
+}
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_SUPPORT_RESULT_HPP

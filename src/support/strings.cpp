@@ -1,0 +1,54 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+
+namespace graphiti {
+
+std::vector<std::string>
+split(std::string_view input, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= input.size(); ++i) {
+        if (i == input.size() || input[i] == sep) {
+            out.emplace_back(input.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+trim(std::string_view input)
+{
+    std::size_t begin = 0;
+    std::size_t end = input.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(input[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(input[end - 1])))
+        --end;
+    return std::string(input.substr(begin, end - begin));
+}
+
+bool
+startsWith(std::string_view input, std::string_view prefix)
+{
+    return input.size() >= prefix.size() &&
+           input.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+join(const std::vector<std::string>& parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+}  // namespace graphiti

@@ -1,0 +1,30 @@
+#ifndef GRAPHITI_SUPPORT_STRINGS_HPP
+#define GRAPHITI_SUPPORT_STRINGS_HPP
+
+/**
+ * @file
+ * Small string utilities shared by the dot parser and pretty printers.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphiti {
+
+/** Split @p input on @p sep, keeping empty fields. */
+std::vector<std::string> split(std::string_view input, char sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(std::string_view input);
+
+/** True when @p input starts with @p prefix. */
+bool startsWith(std::string_view input, std::string_view prefix);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_SUPPORT_STRINGS_HPP

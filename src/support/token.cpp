@@ -1,0 +1,136 @@
+#include "support/token.hpp"
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace graphiti {
+
+bool
+Value::asBool() const
+{
+    if (const bool* b = std::get_if<bool>(&repr_))
+        return *b;
+    if (const std::int64_t* i = std::get_if<std::int64_t>(&repr_))
+        return *i != 0;
+    throw std::runtime_error("Value::asBool on non-boolean: " + toString());
+}
+
+std::int64_t
+Value::asInt() const
+{
+    if (const std::int64_t* i = std::get_if<std::int64_t>(&repr_))
+        return *i;
+    if (const bool* b = std::get_if<bool>(&repr_))
+        return *b ? 1 : 0;
+    throw std::runtime_error("Value::asInt on non-integer: " + toString());
+}
+
+double
+Value::asDouble() const
+{
+    if (const double* d = std::get_if<double>(&repr_))
+        return *d;
+    throw std::runtime_error("Value::asDouble on non-double: " + toString());
+}
+
+const ValueTuple&
+Value::asTuple() const
+{
+    if (const auto* t = std::get_if<std::shared_ptr<ValueTuple>>(&repr_))
+        return **t;
+    throw std::runtime_error("Value::asTuple on non-tuple: " + toString());
+}
+
+double
+Value::toDouble() const
+{
+    if (const double* d = std::get_if<double>(&repr_))
+        return *d;
+    if (const std::int64_t* i = std::get_if<std::int64_t>(&repr_))
+        return static_cast<double>(*i);
+    if (const bool* b = std::get_if<bool>(&repr_))
+        return *b ? 1.0 : 0.0;
+    throw std::runtime_error("Value::toDouble on non-numeric: " + toString());
+}
+
+bool
+Value::operator==(const Value& other) const
+{
+    if (repr_.index() != other.repr_.index())
+        return false;
+    if (isTuple())
+        return asTuple() == other.asTuple();
+    return repr_ == other.repr_;
+}
+
+std::string
+Value::toString() const
+{
+    std::ostringstream os;
+    if (isUnit()) {
+        os << "()";
+    } else if (isBool()) {
+        os << (asBool() ? "true" : "false");
+    } else if (isInt()) {
+        os << asInt();
+    } else if (isDouble()) {
+        os << asDouble();
+    } else {
+        os << "(";
+        const ValueTuple& t = asTuple();
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << t[i].toString();
+        }
+        os << ")";
+    }
+    return os.str();
+}
+
+namespace {
+
+std::size_t
+combineHash(std::size_t seed, std::size_t h)
+{
+    return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+std::size_t
+Value::hash() const
+{
+    std::size_t seed = repr_.index();
+    if (isUnit())
+        return combineHash(seed, 0);
+    if (isBool())
+        return combineHash(seed, std::hash<bool>{}(asBool()));
+    if (isInt())
+        return combineHash(seed, std::hash<std::int64_t>{}(asInt()));
+    if (isDouble())
+        return combineHash(seed, std::hash<double>{}(asDouble()));
+    for (const Value& v : asTuple())
+        seed = combineHash(seed, v.hash());
+    return seed;
+}
+
+std::string
+Token::toString() const
+{
+    if (tag)
+        return value.toString() + "#" + std::to_string(*tag);
+    return value.toString();
+}
+
+std::size_t
+Token::hash() const
+{
+    std::size_t seed = value.hash();
+    if (tag)
+        seed = seed * 31 + (*tag + 1);
+    return seed;
+}
+
+}  // namespace graphiti

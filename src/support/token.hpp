@@ -1,0 +1,125 @@
+#ifndef GRAPHITI_SUPPORT_TOKEN_HPP
+#define GRAPHITI_SUPPORT_TOKEN_HPP
+
+/**
+ * @file
+ * Token values flowing through dataflow circuits.
+ *
+ * Dataflow circuits exchange *tokens*: a data payload plus, inside a
+ * Tagger/Untagger region, a small reorder tag. The payload is one of a
+ * small set of scalar types (the types Dynamatic circuits use), or a
+ * tuple of payloads (produced by Join, consumed by Split).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace graphiti {
+
+/** Reorder tag used inside Tagger/Untagger regions. */
+using Tag = std::uint32_t;
+
+class Value;
+
+/** Heap-allocated tuple payload (Join output / Split input). */
+using ValueTuple = std::vector<Value>;
+
+/**
+ * A single data payload: unit (control-only token), boolean, 64-bit
+ * integer, double, or a tuple of payloads.
+ *
+ * Tuples appear when Join nodes synchronize several wires into one and
+ * when Pure components carry the whole loop state on a single wire.
+ */
+class Value
+{
+  public:
+    /** Control-only token carrying no data. */
+    struct Unit
+    {
+        bool operator==(const Unit&) const = default;
+    };
+
+    Value() : repr_(Unit{}) {}
+    explicit Value(bool b) : repr_(b) {}
+    explicit Value(std::int64_t i) : repr_(i) {}
+    explicit Value(int i) : repr_(static_cast<std::int64_t>(i)) {}
+    explicit Value(double d) : repr_(d) {}
+    explicit Value(ValueTuple t)
+        : repr_(std::make_shared<ValueTuple>(std::move(t)))
+    {
+    }
+
+    /** Build a two-element tuple (the common Join case). */
+    static Value tuple(Value a, Value b)
+    {
+        ValueTuple t;
+        t.push_back(std::move(a));
+        t.push_back(std::move(b));
+        return Value(std::move(t));
+    }
+
+    bool isUnit() const { return std::holds_alternative<Unit>(repr_); }
+    bool isBool() const { return std::holds_alternative<bool>(repr_); }
+    bool isInt() const { return std::holds_alternative<std::int64_t>(repr_); }
+    bool isDouble() const { return std::holds_alternative<double>(repr_); }
+    bool isTuple() const
+    {
+        return std::holds_alternative<std::shared_ptr<ValueTuple>>(repr_);
+    }
+
+    bool asBool() const;
+    std::int64_t asInt() const;
+    double asDouble() const;
+    const ValueTuple& asTuple() const;
+
+    /** Numeric coercion used by arithmetic operators. */
+    double toDouble() const;
+
+    bool operator==(const Value& other) const;
+    bool operator!=(const Value& other) const { return !(*this == other); }
+
+    /** Human-readable rendering, used in traces and counterexamples. */
+    std::string toString() const;
+
+    /** Stable hash compatible with operator==. */
+    std::size_t hash() const;
+
+  private:
+    std::variant<Unit, bool, std::int64_t, double,
+                 std::shared_ptr<ValueTuple>>
+        repr_;
+};
+
+/**
+ * A token: a payload plus an optional reorder tag.
+ *
+ * Outside Tagger/Untagger regions tokens are untagged; inside, every
+ * token carries the tag assigned at region entry so the Untagger can
+ * restore program order.
+ */
+struct Token
+{
+    Value value;
+    std::optional<Tag> tag;
+
+    Token() = default;
+    explicit Token(Value v) : value(std::move(v)) {}
+    Token(Value v, Tag t) : value(std::move(v)), tag(t) {}
+
+    bool operator==(const Token& other) const
+    {
+        return value == other.value && tag == other.tag;
+    }
+
+    std::string toString() const;
+    std::size_t hash() const;
+};
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_SUPPORT_TOKEN_HPP

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the FPGA area/timing model: per-component costs, tagged
+ * region detection and widening, pure-node absorbed inventories, and
+ * the clock-period model's qualitative ordering (tagged circuits are
+ * slower and bigger; Vericert-style circuits smaller — checked in
+ * test_static_hls).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/area_timing.hpp"
+#include "bench_circuits/benchmarks.hpp"
+#include "bench_circuits/gcd.hpp"
+#include "rewrite/ooo_pipeline.hpp"
+
+namespace graphiti::arch {
+namespace {
+
+TEST(Area, OperatorCostsOrdered)
+{
+    NodeDecl add{"a", "operator", {{"op", "add"}}};
+    NodeDecl fadd{"f", "operator", {{"op", "fadd"}}};
+    NodeDecl div{"d", "operator", {{"op", "div"}}};
+    EXPECT_LT(costOf(add, false).area.lut, costOf(fadd, false).area.lut);
+    EXPECT_LT(costOf(fadd, false).area.lut, costOf(div, false).area.lut);
+    EXPECT_GT(costOf(fadd, false).area.dsp, 0);
+    EXPECT_EQ(costOf(add, false).area.dsp, 0);
+}
+
+TEST(Area, TaggingWidensComponents)
+{
+    NodeDecl mux{"m", "mux", {}};
+    ComponentCost plain = costOf(mux, false);
+    ComponentCost tagged = costOf(mux, true);
+    EXPECT_GT(tagged.area.lut, plain.area.lut);
+    EXPECT_GT(tagged.area.ff, plain.area.ff);
+    EXPECT_GT(tagged.delay_ns, plain.delay_ns);
+}
+
+TEST(Area, TaggerScalesWithTagCount)
+{
+    NodeDecl small{"t", "tagger", {{"tags", "4"}}};
+    NodeDecl large{"t", "tagger", {{"tags", "50"}}};
+    EXPECT_GT(costOf(large, false).area.ff,
+              costOf(small, false).area.ff * 5);
+}
+
+TEST(Area, PureCostsItsAbsorbedInventory)
+{
+    NodeDecl pure{"p",
+                  "pure",
+                  {{"fn", "f"},
+                   {"absorbed", "operator:fadd,operator:fmul,fork"}}};
+    ComponentCost cost = costOf(pure, false);
+    NodeDecl fadd{"f", "operator", {{"op", "fadd"}}};
+    NodeDecl fmul{"m", "operator", {{"op", "fmul"}}};
+    EXPECT_GE(cost.area.lut, costOf(fadd, false).area.lut +
+                                 costOf(fmul, false).area.lut);
+    EXPECT_EQ(cost.area.dsp, 5);
+}
+
+TEST(Area, ForkScalesWithArity)
+{
+    NodeDecl f2{"f", "fork", {{"out", "2"}}};
+    NodeDecl f8{"f", "fork", {{"out", "8"}}};
+    EXPECT_GT(costOf(f8, false).area.lut, costOf(f2, false).area.lut);
+}
+
+TEST(TaggedRegion, CoversLoopBody)
+{
+    Environment env;
+    ExprHigh g = circuits::buildGcdOutOfOrder(env.functions(), 4);
+    std::set<std::string> region = taggedRegionOf(g);
+    EXPECT_TRUE(region.count("merge") > 0);
+    EXPECT_TRUE(region.count("body") > 0);
+    EXPECT_TRUE(region.count("split") > 0);
+    EXPECT_TRUE(region.count("branch") > 0);
+    EXPECT_EQ(region.count("tagger"), 0u);
+}
+
+TEST(TaggedRegion, EmptyWithoutTagger)
+{
+    EXPECT_TRUE(taggedRegionOf(circuits::buildGcdInOrder()).empty());
+}
+
+TEST(ClockPeriod, TaggedCircuitSlower)
+{
+    Environment env;
+    ExprHigh in_order = circuits::buildGcdInOrder();
+    Result<PipelineResult> transformed = runOooPipeline(
+        in_order, env, {.num_tags = 8, .reexpand = true});
+    ASSERT_TRUE(transformed.ok());
+    EXPECT_GT(clockPeriodOf(transformed.value().graph),
+              clockPeriodOf(in_order));
+}
+
+TEST(ClockPeriod, InPlausibleRange)
+{
+    // Sanity: single-digit nanoseconds, like the paper's table 2.
+    for (const std::string& name : circuits::benchmarkNames()) {
+        circuits::BenchmarkSpec spec =
+            circuits::buildBenchmark(name).take();
+        double cp = clockPeriodOf(spec.df_io);
+        EXPECT_GT(cp, 3.0) << name;
+        EXPECT_LT(cp, 10.0) << name;
+    }
+}
+
+TEST(Area, TransformedCircuitsCostMore)
+{
+    // Table 3's headline: tagged circuits use more LUTs and FFs.
+    Environment env;
+    circuits::BenchmarkSpec spec =
+        circuits::buildBenchmark("matvec").take();
+    Result<PipelineResult> transformed = runOooPipeline(
+        spec.df_io, env, {.num_tags = spec.num_tags, .reexpand = true});
+    ASSERT_TRUE(transformed.ok());
+    AreaReport before = areaOf(spec.df_io);
+    AreaReport after = areaOf(transformed.value().graph);
+    EXPECT_GT(after.lut, before.lut);
+    // matvec's 50 tags blow up the FF count (the paper reports ~6x).
+    EXPECT_GT(after.ff, before.ff * 3);
+    EXPECT_EQ(after.dsp, before.dsp);
+}
+
+}  // namespace
+}  // namespace graphiti::arch

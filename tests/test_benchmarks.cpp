@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Integration tests over the evaluation benchmarks (section 6): every
+ * DF-IO circuit computes its golden results in the cycle simulator;
+ * the pipeline transforms every loop except bicg's (refused for its
+ * in-body store); transformed circuits compute identical results in
+ * fewer cycles (except gsum-single, whose serial outer loop cannot
+ * benefit).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/benchmarks.hpp"
+#include "rewrite/ooo_pipeline.hpp"
+#include "sim/sim.hpp"
+
+namespace graphiti::circuits {
+namespace {
+
+struct RunOutcome
+{
+    std::size_t cycles = 0;
+    std::vector<double> results;
+    std::map<std::string, std::vector<double>> memories;
+};
+
+RunOutcome
+simulate(const ExprHigh& g, const BenchmarkSpec& spec,
+         std::shared_ptr<FnRegistry> registry)
+{
+    sim::Simulator simulator = sim::Simulator::build(g, registry).take();
+    for (const auto& [name, data] : spec.memories)
+        simulator.setMemory(name, data);
+    Result<sim::SimResult> r = simulator.run(
+        spec.inputs, spec.expected_outputs, spec.serial_io);
+    EXPECT_TRUE(r.ok()) << spec.name << ": " << r.error().message;
+    RunOutcome out;
+    if (!r.ok())
+        return out;
+    out.cycles = r.value().cycles;
+    for (const Token& t : r.value().outputs[0])
+        out.results.push_back(t.value.toDouble());
+    out.memories = r.value().memories;
+    return out;
+}
+
+void
+expectGolden(const BenchmarkSpec& spec, const RunOutcome& run)
+{
+    ASSERT_EQ(run.results.size(), spec.golden.size()) << spec.name;
+    for (std::size_t i = 0; i < spec.golden.size(); ++i)
+        EXPECT_NEAR(run.results[i], spec.golden[i], 1e-9)
+            << spec.name << " result " << i;
+    if (!spec.golden_memory.empty()) {
+        const auto& mem = run.memories.at(spec.golden_memory);
+        ASSERT_EQ(mem.size(), spec.golden_memory_values.size());
+        for (std::size_t i = 0; i < mem.size(); ++i)
+            EXPECT_NEAR(mem[i], spec.golden_memory_values[i], 1e-9)
+                << spec.name << " memory " << i;
+    }
+}
+
+class BenchmarkTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BenchmarkTest, DfIoComputesGolden)
+{
+    BenchmarkSpec spec = buildBenchmark(GetParam()).take();
+    auto registry = std::make_shared<FnRegistry>();
+    RunOutcome run = simulate(spec.df_io, spec, registry);
+    expectGolden(spec, run);
+}
+
+TEST_P(BenchmarkTest, PipelineBehavesPerSpec)
+{
+    BenchmarkSpec spec = buildBenchmark(GetParam()).take();
+    Environment env;
+    Result<PipelineResult> transformed = runOooPipeline(
+        spec.df_io, env, {.num_tags = spec.num_tags, .reexpand = true});
+    ASSERT_TRUE(transformed.ok()) << transformed.error().message;
+    ASSERT_EQ(transformed.value().loops.size(), 1u);
+
+    if (spec.name == "bicg") {
+        // The store in the loop body makes the transform unsound; the
+        // pipeline must refuse (section 6.2) and leave DF-IO intact.
+        EXPECT_FALSE(transformed.value().loops[0].transformed);
+        EXPECT_NE(transformed.value().loops[0].refusal.find("store"),
+                  std::string::npos)
+            << transformed.value().loops[0].refusal;
+        EXPECT_TRUE(transformed.value().graph.sameAs(spec.df_io));
+        return;
+    }
+
+    EXPECT_TRUE(transformed.value().loops[0].transformed)
+        << transformed.value().loops[0].refusal;
+
+    // Functional equivalence on the real workload, plus the speedup
+    // (except gsum-single, where serial I/O blocks overlap).
+    auto registry = env.functionsPtr();
+    RunOutcome io = simulate(spec.df_io, spec, registry);
+    RunOutcome ooo = simulate(transformed.value().graph, spec, registry);
+    expectGolden(spec, ooo);
+    if (spec.serial_io) {
+        EXPECT_GE(ooo.cycles, io.cycles) << spec.name;
+    } else {
+        // Substantial overlap: more than 1.5x fewer cycles (the exact
+        // factor depends on the benchmark's tag count, as in table 2).
+        EXPECT_LT(ooo.cycles * 3, io.cycles * 2)
+            << spec.name << ": ooo " << ooo.cycles << " vs io "
+            << io.cycles;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkTest,
+                         ::testing::ValuesIn(benchmarkNames()),
+                         [](const auto& info) {
+                             std::string name = info.param;
+                             for (char& c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+TEST(Benchmarks, BicgForcedVariantTransforms)
+{
+    // The store-suppressed variant (what the unverified DF-OoO flow
+    // effectively transformed) goes through and speeds up.
+    BenchmarkSpec spec = buildBenchmark("bicg").take();
+    ASSERT_TRUE(spec.df_ooo_input.has_value());
+    Environment env;
+    Result<PipelineResult> forced = runOooPipeline(
+        *spec.df_ooo_input, env,
+        {.num_tags = spec.num_tags, .reexpand = true});
+    ASSERT_TRUE(forced.ok()) << forced.error().message;
+    EXPECT_TRUE(forced.value().loops[0].transformed)
+        << forced.value().loops[0].refusal;
+}
+
+TEST(Benchmarks, StaticKernelsSchedule)
+{
+    for (const std::string& name : benchmarkNames()) {
+        BenchmarkSpec spec = buildBenchmark(name).take();
+        static_hls::StaticReport report =
+            static_hls::scheduleAndEvaluate(spec.static_kernel);
+        EXPECT_GT(report.cycles, 0u) << name;
+        EXPECT_GT(report.area.lut, 0) << name;
+        EXPECT_GT(report.clock_period_ns, 3.0) << name;
+        // Static schedules serialize the long-latency chain: far more
+        // cycles per iteration than the dataflow circuit's II.
+        EXPECT_GT(report.iteration_states.at(0), 15u) << name;
+    }
+}
+
+TEST(Benchmarks, UnknownNameFails)
+{
+    EXPECT_FALSE(buildBenchmark("nope").ok());
+}
+
+TEST(Benchmarks, AllValidate)
+{
+    for (const std::string& name : benchmarkNames()) {
+        BenchmarkSpec spec = buildBenchmark(name).take();
+        EXPECT_TRUE(spec.df_io.validate().ok()) << name;
+        if (spec.df_ooo_input) {
+            EXPECT_TRUE(spec.df_ooo_input->validate().ok()) << name;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace graphiti::circuits

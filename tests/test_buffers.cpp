@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the buffer-placement pass: default slack everywhere,
+ * tag-scaled slack inside Tagger/Untagger regions, and its effect on
+ * simulated throughput (the serialization the pass exists to fix).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/buffers.hpp"
+#include "bench_circuits/gcd.hpp"
+#include "rewrite/ooo_pipeline.hpp"
+#include "sim/sim.hpp"
+
+namespace graphiti::arch {
+namespace {
+
+TEST(Buffers, DefaultSlotsOutsideTaggedRegions)
+{
+    ExprHigh g = circuits::buildGcdInOrder();
+    BufferPlacement placement = placeBuffers(g, 2);
+    EXPECT_EQ(placement.slots.size(), g.edges().size());
+    for (const auto& [edge, slots] : placement.slots)
+        EXPECT_EQ(slots, 2u) << edge.src.toString();
+    EXPECT_EQ(placement.buffer_ff, 0);
+}
+
+TEST(Buffers, TaggedRegionChannelsScaleWithTags)
+{
+    Environment env;
+    ExprHigh g = circuits::buildGcdOutOfOrder(env.functions(), 16);
+    BufferPlacement placement = placeBuffers(g, 2);
+    // The loopback channel (branch -> merge) lies inside the region.
+    Edge loopback{PortRef{"branch", "out0"}, PortRef{"merge", "in0"}};
+    EXPECT_EQ(placement.slotsFor(loopback, 2), 16u);
+    // The tagger's external output does not.
+    bool found_external = false;
+    for (const auto& [edge, slots] : placement.slots) {
+        if (edge.src.inst == "tagger" && edge.src.port == "out1") {
+            EXPECT_EQ(slots, 2u);
+            found_external = true;
+        }
+    }
+    // tagger.out1 is bound to io, not an edge, in this circuit; the
+    // entry channel tagger.out0 -> merge is in-region instead.
+    Edge entry{PortRef{"tagger", "out0"}, PortRef{"merge", "in1"}};
+    EXPECT_EQ(placement.slotsFor(entry, 2), 16u);
+    EXPECT_GT(placement.buffer_ff, 0);
+    (void)found_external;
+}
+
+TEST(Buffers, SlotsForFallsBack)
+{
+    BufferPlacement placement;
+    Edge ghost{PortRef{"a", "out0"}, PortRef{"b", "in0"}};
+    EXPECT_EQ(placement.slotsFor(ghost, 7), 7u);
+}
+
+TEST(Buffers, UndersizedChannelsSerializeTheLoop)
+{
+    // Simulate the transformed GCD with the automatic placement
+    // versus a simulator forced to tiny channels: the placement must
+    // win (the serialization of section 6.1's buffer-sizing concern).
+    Environment env;
+    Result<PipelineResult> transformed =
+        runOooPipeline(circuits::buildGcdInOrder(), env,
+                       {.num_tags = 8, .reexpand = true});
+    ASSERT_TRUE(transformed.ok());
+
+    std::vector<Token> as, bs;
+    for (int i = 0; i < 16; ++i) {
+        as.emplace_back(Value(1071 + 13 * i));
+        bs.emplace_back(Value(462 + 7 * i));
+    }
+    auto run = [&](std::size_t slots) {
+        sim::SimConfig config;
+        config.channel_slots = slots;
+        sim::Simulator simulator =
+            sim::Simulator::build(transformed.value().graph,
+                                  env.functionsPtr(), config)
+                .take();
+        auto r = simulator.run({as, bs}, as.size());
+        EXPECT_TRUE(r.ok()) << r.error().message;
+        return r.ok() ? r.value().cycles : std::size_t{0};
+    };
+    // channel_slots is the *default*; the placement raises tagged
+    // channels to the tag count either way, so compare via tag budget
+    // instead: a 1-tag pipeline serializes.
+    Environment env1;
+    Result<PipelineResult> one_tag =
+        runOooPipeline(circuits::buildGcdInOrder(), env1,
+                       {.num_tags = 1, .reexpand = true});
+    ASSERT_TRUE(one_tag.ok());
+    sim::Simulator serial =
+        sim::Simulator::build(one_tag.value().graph,
+                              env1.functionsPtr())
+            .take();
+    auto serial_run = serial.run({as, bs}, as.size());
+    ASSERT_TRUE(serial_run.ok());
+    EXPECT_LT(run(2), serial_run.value().cycles);
+}
+
+}  // namespace
+}  // namespace graphiti::arch

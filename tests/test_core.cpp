@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the public Compiler API: dot-to-dot compilation, report
+ * contents, bounded verification of a compilation, and error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/gcd.hpp"
+#include "core/compiler.hpp"
+#include "dot/dot.hpp"
+
+namespace graphiti {
+namespace {
+
+TEST(Compiler, CompilesGcdDotToTaggedDot)
+{
+    std::string dot = printDot(circuits::buildGcdInOrder());
+    Compiler compiler;
+    Result<CompileReport> report =
+        compiler.compileDot(dot, {.num_tags = 4, .reexpand = true});
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_NE(report.value().output_dot.find("tagger"),
+              std::string::npos);
+    EXPECT_EQ(report.value().output_dot.find("\"mux\""),
+              std::string::npos);
+    ASSERT_EQ(report.value().loops.size(), 1u);
+    EXPECT_TRUE(report.value().loops[0].transformed);
+    EXPECT_GT(report.value().rewrites.rewrites_applied, 5u);
+    EXPECT_GT(report.value().seconds, 0.0);
+}
+
+TEST(Compiler, OutputDotReparses)
+{
+    Compiler compiler;
+    Result<CompileReport> report = compiler.compileGraph(
+        circuits::buildGcdInOrder(), {.num_tags = 2});
+    ASSERT_TRUE(report.ok());
+    Result<ExprHigh> reparsed = parseDot(report.value().output_dot);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+    EXPECT_TRUE(reparsed.value().sameAs(report.value().graph));
+}
+
+TEST(Compiler, MalformedDotFails)
+{
+    Compiler compiler;
+    EXPECT_FALSE(compiler.compileDot("digraph { broken").ok());
+}
+
+TEST(Compiler, GraphWithoutLoopsPassesThrough)
+{
+    ExprHigh g;
+    g.addNode("b", "buffer");
+    g.bindInput(0, PortRef{"b", "in0"});
+    g.bindOutput(0, PortRef{"b", "out0"});
+    Compiler compiler;
+    Result<CompileReport> report = compiler.compileGraph(g);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().loops.empty());
+    EXPECT_TRUE(report.value().graph.sameAs(g));
+}
+
+TEST(Compiler, VerifyCompilationOnGcd)
+{
+    // Compile the normalized loop (small state space) and discharge
+    // the refinement obligation on a bounded instantiation.
+    Compiler compiler;
+    ExprHigh original = circuits::buildGcdNormalizedLoop(
+        compiler.environment().functions());
+    Result<CompileReport> compiled = compiler.compileGraph(
+        original, {.num_tags = 2, .reexpand = false});
+    ASSERT_TRUE(compiled.ok()) << compiled.error().message;
+    ASSERT_TRUE(compiled.value().loops.at(0).transformed)
+        << compiled.value().loops.at(0).refusal;
+
+    auto verdict = compiler.verifyCompilation(
+        original, compiled.value().graph,
+        {Token(Value::tuple(Value(3), Value(2))),
+         Token(Value::tuple(Value(4), Value(2)))},
+        {.max_states = 400000, .input_budget = 2});
+    ASSERT_TRUE(verdict.ok()) << verdict.error().message;
+    EXPECT_TRUE(verdict.value().refines)
+        << verdict.value().counterexample;
+}
+
+TEST(Compiler, ReportsRefusalsInDot)
+{
+    // A loop with a store compiles to itself plus a refusal record.
+    Compiler compiler;
+    ExprHigh g;
+    // Minimal store-in-body loop (same shape as the pipeline test).
+    g.addNode("mux", "mux");
+    g.addNode("init", "init", {{"value", "false"}});
+    g.addNode("forkS", "fork", {{"out", "3"}});
+    g.addNode("store", "store", {{"memory", "m"}});
+    g.addNode("sinkS", "sink");
+    g.addNode("dec", "operator", {{"op", "sub"}});
+    g.addNode("one", "constant", {{"value", "1"}});
+    g.addNode("forkD", "fork", {{"out", "2"}});
+    g.addNode("zero", "constant", {{"value", "0"}});
+    g.addNode("srcZ", "source");
+    g.addNode("gt", "operator", {{"op", "gt"}});
+    g.addNode("forkC", "fork", {{"out", "2"}});
+    g.addNode("branch", "branch");
+    g.addNode("forkAddr", "fork", {{"out", "2"}});
+    g.bindInput(0, PortRef{"mux", "in2"});
+    g.bindOutput(0, PortRef{"branch", "out1"});
+    g.connect("init", "out0", "mux", "in0");
+    g.connect("branch", "out0", "mux", "in1");
+    g.connect("mux", "out0", "forkS", "in0");
+    g.connect("forkS", "out0", "forkAddr", "in0");
+    g.connect("forkAddr", "out0", "store", "in0");
+    g.connect("forkAddr", "out1", "store", "in1");
+    g.connect("store", "out0", "sinkS", "in0");
+    g.connect("forkS", "out1", "dec", "in0");
+    g.connect("forkS", "out2", "one", "in0");
+    g.connect("one", "out0", "dec", "in1");
+    g.connect("dec", "out0", "forkD", "in0");
+    g.connect("forkD", "out0", "branch", "in0");
+    g.connect("forkD", "out1", "gt", "in0");
+    g.connect("srcZ", "out0", "zero", "in0");
+    g.connect("zero", "out0", "gt", "in1");
+    g.connect("gt", "out0", "forkC", "in0");
+    g.connect("forkC", "out0", "branch", "in1");
+    g.connect("forkC", "out1", "init", "in0");
+    ASSERT_TRUE(g.validate().ok()) << g.validate().error().message;
+
+    Result<CompileReport> report = compiler.compileGraph(g);
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    ASSERT_EQ(report.value().loops.size(), 1u);
+    EXPECT_FALSE(report.value().loops[0].transformed);
+    EXPECT_NE(report.value().loops[0].refusal.find("store"),
+              std::string::npos);
+    EXPECT_TRUE(report.value().graph.sameAs(g));
+}
+
+}  // namespace
+}  // namespace graphiti

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the dot parser and printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dot/dot.hpp"
+
+namespace graphiti {
+namespace {
+
+const char* kSample = R"(
+digraph circuit {
+  // a mux feeding a modulo operator
+  mux1 [type = "mux"];
+  mod1 [type = "operator", op = "mod", latency = "4"];
+  in_a [type = "input", index = "0"];
+  out_r [type = "output", index = "0"];
+  in_a -> mux1 [to = "in2"];
+  mux1 -> mod1 [from = "out0", to = "in0"];
+  /* second operand hard-wired for the test */
+  c5 [type = "constant", value = "5"];
+  src [type = "source"];
+  src -> c5 [from = "out0", to = "in0"];
+  c5 -> mod1 [to = "in1"];
+  k [type = "init"];
+  k -> mux1 [to = "in0"];
+  mod1 -> out_r [from = "out0"];
+  b [type = "buffer"];
+  b2 [type = "buffer"];
+  b -> b2;
+}
+)";
+
+TEST(Dot, ParsesSample)
+{
+    Result<ExprHigh> g = parseDot(kSample);
+    ASSERT_TRUE(g.ok()) << g.error().message;
+    EXPECT_TRUE(g.value().hasNode("mux1"));
+    EXPECT_TRUE(g.value().hasNode("mod1"));
+    EXPECT_EQ(g.value().findNode("mod1")->attrs.at("op"), "mod");
+    // io bindings
+    ASSERT_TRUE(g.value().inputs().at(0).has_value());
+    EXPECT_EQ(g.value().inputs()[0]->inst, "mux1");
+    EXPECT_EQ(g.value().inputs()[0]->port, "in2");
+    ASSERT_TRUE(g.value().outputs().at(0).has_value());
+    EXPECT_EQ(g.value().outputs()[0]->inst, "mod1");
+}
+
+TEST(Dot, DefaultPortsAreOut0In0)
+{
+    Result<ExprHigh> g = parseDot(kSample);
+    ASSERT_TRUE(g.ok());
+    auto driver = g.value().driverOf(PortRef{"b2", "in0"});
+    ASSERT_TRUE(driver.has_value());
+    EXPECT_EQ(driver->port, "out0");
+}
+
+TEST(Dot, RoundTrip)
+{
+    Result<ExprHigh> g = parseDot(kSample);
+    ASSERT_TRUE(g.ok());
+    std::string printed = printDot(g.value());
+    Result<ExprHigh> reparsed = parseDot(printed);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+    EXPECT_TRUE(g.value().sameAs(reparsed.value()));
+}
+
+TEST(Dot, CommentsAreSkipped)
+{
+    Result<ExprHigh> g = parseDot(
+        "digraph g { // line\n# hash\n/* block\nblock */ "
+        "n [type = \"buffer\"]; }");
+    ASSERT_TRUE(g.ok()) << g.error().message;
+    EXPECT_TRUE(g.value().hasNode("n"));
+}
+
+TEST(Dot, MissingTypeFails)
+{
+    EXPECT_FALSE(parseDot("digraph g { n [op = \"mod\"]; }").ok());
+}
+
+TEST(Dot, MissingBraceFails)
+{
+    EXPECT_FALSE(parseDot("digraph g  n [type = \"buffer\"]; }").ok());
+}
+
+TEST(Dot, UnterminatedStringFails)
+{
+    EXPECT_FALSE(parseDot("digraph g { n [type = \"buf ] }").ok());
+}
+
+TEST(Dot, IoNodeNeedsIndex)
+{
+    EXPECT_FALSE(parseDot("digraph g { i [type = \"input\"]; }").ok());
+}
+
+TEST(Dot, EdgeBetweenIoNodesFails)
+{
+    EXPECT_FALSE(parseDot("digraph g { "
+                          "i [type = \"input\", index = \"0\"]; "
+                          "o [type = \"output\", index = \"0\"]; "
+                          "i -> o; }")
+                     .ok());
+}
+
+TEST(Dot, DoubleDrivenPortFailsValidation)
+{
+    EXPECT_FALSE(parseDot("digraph g { "
+                          "a [type = \"buffer\"]; b [type = \"buffer\"]; "
+                          "c [type = \"buffer\"]; "
+                          "a -> c; b -> c; }")
+                     .ok());
+}
+
+TEST(Dot, QuotedEscapes)
+{
+    Result<ExprHigh> g = parseDot(
+        "digraph g { n [type = \"buffer\", note = \"say \\\"hi\\\"\"]; }");
+    ASSERT_TRUE(g.ok()) << g.error().message;
+    EXPECT_EQ(g.value().findNode("n")->attrs.at("note"), "say \"hi\"");
+}
+
+TEST(Dot, PrintedOutputIsStable)
+{
+    Result<ExprHigh> g = parseDot(kSample);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(printDot(g.value()), printDot(g.value()));
+}
+
+}  // namespace
+}  // namespace graphiti

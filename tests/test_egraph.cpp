@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the e-graph oracle: hashconsing, congruence closure,
+ * equality saturation over the pair algebra, and smallest-term
+ * extraction (the Split/Join reduction of section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "egraph/egraph.hpp"
+
+namespace graphiti::eg {
+namespace {
+
+TermExpr
+v(const char* name)
+{
+    return TermExpr::leaf(name);
+}
+
+TermExpr
+pair(TermExpr a, TermExpr b)
+{
+    return TermExpr::node("pair", {std::move(a), std::move(b)});
+}
+
+TermExpr
+fst(TermExpr a)
+{
+    return TermExpr::node("fst", {std::move(a)});
+}
+
+TermExpr
+snd(TermExpr a)
+{
+    return TermExpr::node("snd", {std::move(a)});
+}
+
+TEST(TermExpr, SizeAndToString)
+{
+    TermExpr t = pair(v("x"), fst(v("y")));
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.toString(), "(pair x (fst y))");
+    EXPECT_TRUE(v("?a").isVar());
+    EXPECT_FALSE(v("a").isVar());
+}
+
+TEST(EGraph, HashconsingDeduplicates)
+{
+    EGraph g;
+    ClassId a = g.addTerm(pair(v("x"), v("y")));
+    ClassId b = g.addTerm(pair(v("x"), v("y")));
+    EXPECT_EQ(g.find(a), g.find(b));
+}
+
+TEST(EGraph, MergePropagatesCongruence)
+{
+    // x == y must make f(x) == f(y) after rebuild.
+    EGraph g;
+    ClassId x = g.addTerm(v("x"));
+    ClassId y = g.addTerm(v("y"));
+    ClassId fx = g.addTerm(fst(v("x")));
+    ClassId fy = g.addTerm(fst(v("y")));
+    EXPECT_FALSE(g.equivalent(fx, fy));
+    g.merge(x, y);
+    g.rebuild();
+    EXPECT_TRUE(g.equivalent(fx, fy));
+}
+
+TEST(EGraph, SaturationProvesProjection)
+{
+    EGraph g;
+    ClassId lhs = g.addTerm(fst(pair(v("a"), v("b"))));
+    ClassId rhs = g.addTerm(v("a"));
+    SaturationStats stats = g.saturate(pairAlgebraRules());
+    EXPECT_TRUE(stats.saturated);
+    EXPECT_TRUE(g.equivalent(lhs, rhs));
+}
+
+TEST(EGraph, SaturationProvesEta)
+{
+    EGraph g;
+    ClassId lhs = g.addTerm(pair(fst(v("x")), snd(v("x"))));
+    ClassId rhs = g.addTerm(v("x"));
+    g.saturate(pairAlgebraRules());
+    EXPECT_TRUE(g.equivalent(lhs, rhs));
+}
+
+TEST(EGraph, StructuralRulesProveReassociation)
+{
+    // ((a b) c) ~ (a (b c)) under the *structural* rules (graph-shape
+    // interconvertibility, not value equality).
+    EGraph g;
+    ClassId lhs = g.addTerm(pair(pair(v("a"), v("b")), v("c")));
+    ClassId rhs = g.addTerm(pair(v("a"), pair(v("b"), v("c"))));
+    g.saturate(pairStructuralRules());
+    EXPECT_TRUE(g.equivalent(lhs, rhs));
+}
+
+TEST(EGraph, SemanticRulesDoNotReassociate)
+{
+    // The semantic rule set must NOT identify differently-nested
+    // tuples: they are different values.
+    EGraph g;
+    ClassId lhs = g.addTerm(pair(pair(v("a"), v("b")), v("c")));
+    ClassId rhs = g.addTerm(pair(v("a"), pair(v("b"), v("c"))));
+    g.saturate(pairAlgebraRules());
+    EXPECT_FALSE(g.equivalent(lhs, rhs));
+}
+
+TEST(EGraph, SplitJoinRoundTripCollapses)
+{
+    // The canonical residue of Pure generation: re-joining the two
+    // splits of a join of two splits... reduces to the input variable.
+    EGraph g;
+    TermExpr round =
+        pair(fst(pair(fst(v("in")), snd(v("in")))),
+             snd(pair(fst(v("in")), snd(v("in")))));
+    ClassId lhs = g.addTerm(round);
+    ClassId rhs = g.addTerm(v("in"));
+    SaturationStats stats = g.saturate(pairAlgebraRules());
+    EXPECT_TRUE(g.equivalent(lhs, rhs));
+    EXPECT_GT(stats.applications, 0u);
+}
+
+TEST(EGraph, ExtractFindsMinimalTerm)
+{
+    EGraph g;
+    ClassId cls = g.addTerm(fst(pair(v("a"), v("b"))));
+    g.saturate(pairAlgebraRules());
+    Result<TermExpr> best = g.extract(cls);
+    ASSERT_TRUE(best.ok());
+    EXPECT_EQ(best.value(), v("a"));
+}
+
+TEST(EGraph, ExtractMinimizesDeepTerm)
+{
+    EGraph g;
+    TermExpr deep = pair(fst(pair(v("a"), fst(pair(v("b"), v("c"))))),
+                         snd(pair(v("a"), v("b"))));
+    ClassId cls = g.addTerm(deep);
+    g.saturate(pairAlgebraRules());
+    Result<TermExpr> best = g.extract(cls);
+    ASSERT_TRUE(best.ok());
+    EXPECT_EQ(best.value(), pair(v("a"), v("b")));
+    EXPECT_LT(best.value().size(), deep.size());
+}
+
+TEST(EGraph, DistinctVariablesStayDistinct)
+{
+    EGraph g;
+    ClassId a = g.addTerm(v("a"));
+    ClassId b = g.addTerm(v("b"));
+    g.saturate(pairAlgebraRules());
+    EXPECT_FALSE(g.equivalent(a, b));
+}
+
+TEST(EGraph, SaturationRespectsNodeLimit)
+{
+    // The structural (associativity) rules keep generating new
+    // nestings; a tiny node budget must stop the run unsaturated.
+    EGraph g;
+    g.addTerm(pair(pair(v("a"), v("b")), pair(v("c"), v("d"))));
+    SaturationStats stats = g.saturate(pairStructuralRules(), 50, 5);
+    EXPECT_FALSE(stats.saturated);
+}
+
+TEST(EGraph, NumClassesShrinksOnMerge)
+{
+    EGraph g;
+    ClassId a = g.addTerm(v("a"));
+    ClassId b = g.addTerm(v("b"));
+    std::size_t before = g.numClasses();
+    g.merge(a, b);
+    g.rebuild();
+    EXPECT_EQ(g.numClasses(), before - 1);
+}
+
+}  // namespace
+}  // namespace graphiti::eg

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the Verilog back-end: netlist structure, bus sizing from
+ * the type checker, per-arity primitive selection, determinism, and
+ * the pure-node guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/benchmarks.hpp"
+#include "bench_circuits/gcd.hpp"
+#include "emit/verilog.hpp"
+#include "rewrite/ooo_pipeline.hpp"
+
+namespace graphiti::emit {
+namespace {
+
+int
+countOccurrences(const std::string& haystack, const std::string& needle)
+{
+    int count = 0;
+    for (std::size_t at = haystack.find(needle);
+         at != std::string::npos;
+         at = haystack.find(needle, at + needle.size()))
+        ++count;
+    return count;
+}
+
+TEST(Verilog, EmitsGcdNetlist)
+{
+    Result<std::string> v = emitVerilog(circuits::buildGcdInOrder(),
+                                        {.module_name = "gcd"});
+    ASSERT_TRUE(v.ok()) << v.error().message;
+    const std::string& text = v.value();
+    EXPECT_NE(text.find("module gcd ("), std::string::npos);
+    EXPECT_NE(text.find("endmodule"), std::string::npos);
+    // One instance per node.
+    EXPECT_EQ(countOccurrences(text, "graphiti_mux "), 2);
+    EXPECT_EQ(countOccurrences(text, "graphiti_init"), 2);
+    EXPECT_EQ(countOccurrences(text, "graphiti_branch "), 2);
+    EXPECT_EQ(countOccurrences(text, "graphiti_op_mod "), 1);
+    // Per-arity forks.
+    EXPECT_NE(text.find("graphiti_fork2"), std::string::npos);
+    EXPECT_NE(text.find("graphiti_fork3"), std::string::npos);
+    EXPECT_NE(text.find("graphiti_fork4"), std::string::npos);
+    // Operator latency parameter threaded through.
+    EXPECT_NE(text.find(".LATENCY(4)"), std::string::npos);
+}
+
+TEST(Verilog, BusWidthsFollowTypes)
+{
+    // bool wires are 1 bit wide; int wires full width.
+    ExprHigh g;
+    g.addNode("cB", "constant", {{"value", "true"}});
+    g.addNode("cI", "constant", {{"value", "7"}});
+    g.addNode("mux", "mux");
+    g.bindInput(0, PortRef{"cB", "in0"});
+    g.bindInput(1, PortRef{"cI", "in0"});
+    g.bindInput(2, PortRef{"mux", "in2"});
+    g.connect("cB", "out0", "mux", "in0");
+    g.connect("cI", "out0", "mux", "in1");
+    g.bindOutput(0, PortRef{"mux", "out0"});
+    Result<std::string> v = emitVerilog(g, {.int_width = 32});
+    ASSERT_TRUE(v.ok()) << v.error().message;
+    EXPECT_NE(v.value().find("wire [0:0] cB_out0_data"),
+              std::string::npos);
+    EXPECT_NE(v.value().find("wire [31:0] cI_out0_data"),
+              std::string::npos);
+}
+
+TEST(Verilog, PairWiresAreWidened)
+{
+    ExprHigh g;
+    g.addNode("cI", "constant", {{"value", "1"}});
+    g.addNode("cJ", "constant", {{"value", "2"}});
+    g.addNode("join", "join", {{"in", "2"}});
+    g.addNode("sink", "sink");
+    g.bindInput(0, PortRef{"cI", "in0"});
+    g.bindInput(1, PortRef{"cJ", "in0"});
+    g.connect("cI", "out0", "join", "in0");
+    g.connect("cJ", "out0", "join", "in1");
+    g.connect("join", "out0", "sink", "in0");
+    Result<std::string> v = emitVerilog(g);
+    ASSERT_TRUE(v.ok()) << v.error().message;
+    EXPECT_NE(v.value().find("wire [63:0] join_out0_data"),
+              std::string::npos);
+}
+
+TEST(Verilog, TransformedBenchmarkEmits)
+{
+    circuits::BenchmarkSpec spec =
+        circuits::buildBenchmark("matvec").take();
+    Environment env;
+    Result<PipelineResult> transformed = runOooPipeline(
+        spec.df_io, env, {.num_tags = 8, .reexpand = true});
+    ASSERT_TRUE(transformed.ok());
+    Result<std::string> v = emitVerilog(transformed.value().graph,
+                                        {.module_name = "matvec_ooo"});
+    ASSERT_TRUE(v.ok()) << v.error().message;
+    EXPECT_NE(v.value().find("graphiti_tagger #(.TAGS(8))"),
+              std::string::npos);
+    EXPECT_NE(v.value().find("graphiti_merge"), std::string::npos);
+    EXPECT_NE(v.value().find("graphiti_load"), std::string::npos);
+}
+
+TEST(Verilog, PureNodesMustBeReexpanded)
+{
+    Environment env;
+    ExprHigh g = circuits::buildGcdNormalizedLoop(env.functions());
+    Result<std::string> v = emitVerilog(g);
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.error().message.find("re-expand"), std::string::npos);
+}
+
+TEST(Verilog, IllTypedGraphRejected)
+{
+    ExprHigh g;
+    g.addNode("cF", "constant", {{"value", "1.5"}});
+    g.addNode("br", "branch");
+    g.bindInput(0, PortRef{"cF", "in0"});
+    g.bindInput(1, PortRef{"br", "in0"});
+    g.connect("cF", "out0", "br", "in1");
+    g.bindOutput(0, PortRef{"br", "out0"});
+    g.bindOutput(1, PortRef{"br", "out1"});
+    EXPECT_FALSE(emitVerilog(g).ok());
+}
+
+TEST(Verilog, OutputIsDeterministic)
+{
+    ExprHigh g = circuits::buildGcdInOrder();
+    EXPECT_EQ(emitVerilog(g).value(), emitVerilog(g).value());
+}
+
+TEST(Verilog, PrimitivesLibraryIsNonEmpty)
+{
+    std::string lib = emitPrimitives();
+    EXPECT_NE(lib.find("module graphiti_buffer"), std::string::npos);
+    EXPECT_NE(lib.find("module graphiti_fork2"), std::string::npos);
+    EXPECT_NE(lib.find("module graphiti_join2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphiti::emit

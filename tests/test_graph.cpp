@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the graph IR: ExprHigh editing and validation,
+ * signatures, ExprLow construction, lowering/lifting round trips, and
+ * the structural rewriting function of section 4.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/expr_high.hpp"
+#include "graph/expr_low.hpp"
+#include "graph/signatures.hpp"
+
+namespace graphiti {
+namespace {
+
+ExprHigh
+forkModGraph()
+{
+    // The fork/mod example of figure 6: io0 forks into both inputs of
+    // a modulo operator whose result is io0 out.
+    ExprHigh g;
+    g.addNode("f", "fork", {{"out", "2"}});
+    g.addNode("m", "operator", {{"op", "mod"}});
+    g.bindInput(0, PortRef{"f", "in0"});
+    g.bindOutput(0, PortRef{"m", "out0"});
+    g.connect("f", "out0", "m", "in0");
+    g.connect("f", "out1", "m", "in1");
+    return g;
+}
+
+TEST(ExprHigh, ValidGraphValidates)
+{
+    EXPECT_TRUE(forkModGraph().validate().ok());
+}
+
+TEST(ExprHigh, DuplicateNodeNameThrows)
+{
+    ExprHigh g;
+    g.addNode("a", "buffer");
+    EXPECT_THROW(g.addNode("a", "buffer"), std::runtime_error);
+}
+
+TEST(ExprHigh, DoubleDrivenInputRejected)
+{
+    ExprHigh g;
+    g.addNode("b1", "buffer");
+    g.addNode("b2", "buffer");
+    g.addNode("b3", "buffer");
+    g.connect("b1", "out0", "b3", "in0");
+    g.connect("b2", "out0", "b3", "in0");
+    EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(ExprHigh, FanoutWithoutForkRejected)
+{
+    ExprHigh g;
+    g.addNode("b1", "buffer");
+    g.addNode("b2", "buffer");
+    g.addNode("b3", "buffer");
+    g.connect("b1", "out0", "b2", "in0");
+    g.connect("b1", "out0", "b3", "in0");
+    EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(ExprHigh, EdgeToMissingInstanceRejected)
+{
+    ExprHigh g;
+    g.addNode("b1", "buffer");
+    g.connect("b1", "out0", "ghost", "in0");
+    EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(ExprHigh, RemoveNodeDropsEdges)
+{
+    ExprHigh g = forkModGraph();
+    g.removeNode("m");
+    EXPECT_FALSE(g.hasNode("m"));
+    EXPECT_TRUE(g.edges().empty());
+    EXPECT_FALSE(g.outputs()[0].has_value());
+}
+
+TEST(ExprHigh, RenameNodeUpdatesReferences)
+{
+    ExprHigh g = forkModGraph();
+    g.renameNode("m", "modulo");
+    EXPECT_TRUE(g.hasNode("modulo"));
+    EXPECT_EQ(g.outputs()[0]->inst, "modulo");
+    EXPECT_EQ(g.driverOf(PortRef{"modulo", "in0"})->inst, "f");
+}
+
+TEST(ExprHigh, DriverAndConsumers)
+{
+    ExprHigh g = forkModGraph();
+    auto driver = g.driverOf(PortRef{"m", "in1"});
+    ASSERT_TRUE(driver.has_value());
+    EXPECT_EQ(driver->port, "out1");
+    auto consumers = g.consumersOf(PortRef{"f", "out0"});
+    ASSERT_EQ(consumers.size(), 1u);
+    EXPECT_EQ(consumers[0], (PortRef{"m", "in0"}));
+}
+
+TEST(ExprHigh, FreshNameAvoidsCollisions)
+{
+    ExprHigh g;
+    g.addNode("n0", "buffer");
+    g.addNode("n1", "buffer");
+    EXPECT_EQ(g.freshName("n"), "n2");
+}
+
+TEST(ExprHigh, SameAsIgnoresNodeOrder)
+{
+    ExprHigh a, b;
+    a.addNode("x", "buffer");
+    a.addNode("y", "sink");
+    b.addNode("y", "sink");
+    b.addNode("x", "buffer");
+    a.connect("x", "out0", "y", "in0");
+    b.connect("x", "out0", "y", "in0");
+    EXPECT_TRUE(a.sameAs(b));
+}
+
+TEST(Signatures, CatalogArities)
+{
+    EXPECT_EQ(signatureOf("mux", {}).value().inputs.size(), 3u);
+    EXPECT_EQ(signatureOf("branch", {}).value().outputs.size(), 2u);
+    EXPECT_EQ(signatureOf("fork", {{"out", "5"}}).value().outputs.size(),
+              5u);
+    EXPECT_EQ(signatureOf("join", {{"in", "3"}}).value().inputs.size(),
+              3u);
+    EXPECT_EQ(signatureOf("sink", {}).value().outputs.size(), 0u);
+    EXPECT_EQ(signatureOf("source", {}).value().inputs.size(), 0u);
+    EXPECT_EQ(
+        signatureOf("operator", {{"op", "select"}}).value().inputs.size(),
+        3u);
+}
+
+TEST(Signatures, UnknownTypeFails)
+{
+    EXPECT_FALSE(signatureOf("frobnicator", {}).ok());
+    EXPECT_FALSE(signatureOf("operator", {{"op", "nope"}}).ok());
+}
+
+TEST(Signatures, SideEffects)
+{
+    EXPECT_TRUE(typeHasSideEffects("store"));
+    EXPECT_FALSE(typeHasSideEffects("load"));
+    EXPECT_FALSE(typeHasSideEffects("mux"));
+}
+
+TEST(ExprLow, LoweringCountsBasesAndConnections)
+{
+    Result<ExprLow> low = lowerToExprLow(forkModGraph());
+    ASSERT_TRUE(low.ok());
+    EXPECT_EQ(low.value().numBases(), 2u);
+    int conns = 0;
+    low.value().forEachConnection(
+        [&](const LowPortId&, const LowPortId&) { ++conns; });
+    EXPECT_EQ(conns, 2);
+}
+
+TEST(ExprLow, RoundTripPreservesGraph)
+{
+    ExprHigh g = forkModGraph();
+    Result<ExprLow> low = lowerToExprLow(g);
+    ASSERT_TRUE(low.ok());
+    Result<ExprHigh> lifted = liftToExprHigh(low.value());
+    ASSERT_TRUE(lifted.ok());
+    EXPECT_TRUE(g.sameAs(lifted.value()));
+}
+
+TEST(ExprLow, RoundTripRespectsOrder)
+{
+    ExprHigh g = forkModGraph();
+    Result<ExprLow> low = lowerToExprLow(g, {"m", "f"});
+    ASSERT_TRUE(low.ok());
+    Result<ExprHigh> lifted = liftToExprHigh(low.value());
+    ASSERT_TRUE(lifted.ok());
+    EXPECT_TRUE(g.sameAs(lifted.value()));
+}
+
+TEST(ExprLow, OrderMustCoverAllNodes)
+{
+    EXPECT_FALSE(lowerToExprLow(forkModGraph(), {"f"}).ok());
+    EXPECT_FALSE(lowerToExprLow(forkModGraph(), {"f", "f"}).ok());
+    EXPECT_FALSE(lowerToExprLow(forkModGraph(), {"f", "ghost"}).ok());
+}
+
+TEST(ExprLow, PrefixSubgraphIsContiguous)
+{
+    // Lower a three-node chain with b1, b2 first: the (b1 x b2)
+    // subgraph with its internal connection must appear literally as a
+    // sub-expression, so substitution can replace it.
+    ExprHigh g;
+    g.addNode("b1", "buffer");
+    g.addNode("b2", "buffer");
+    g.addNode("b3", "buffer");
+    g.bindInput(0, PortRef{"b1", "in0"});
+    g.connect("b1", "out0", "b2", "in0");
+    g.connect("b2", "out0", "b3", "in0");
+    g.bindOutput(0, PortRef{"b3", "out0"});
+
+    Result<ExprLow> low = lowerToExprLow(g, {"b1", "b2", "b3"});
+    ASSERT_TRUE(low.ok());
+
+    // Hand-build the expected inner subtree.
+    ExprHigh sub;
+    sub.addNode("b1", "buffer");
+    sub.addNode("b2", "buffer");
+    sub.bindInput(0, PortRef{"b1", "in0"});
+    sub.connect("b1", "out0", "b2", "in0");
+    Result<ExprLow> sub_low = lowerToExprLow(sub, {"b1", "b2"});
+    ASSERT_TRUE(sub_low.ok());
+
+    // Substituting the subtree by itself must find exactly one match.
+    auto [unchanged, count] =
+        low.value().substitute(sub_low.value(), sub_low.value());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(unchanged == low.value());
+}
+
+TEST(ExprLow, SubstituteReplacesSubtree)
+{
+    ExprHigh g;
+    g.addNode("b1", "buffer");
+    g.bindInput(0, PortRef{"b1", "in0"});
+    g.bindOutput(0, PortRef{"b1", "out0"});
+    Result<ExprLow> low = lowerToExprLow(g);
+    ASSERT_TRUE(low.ok());
+
+    LowBase replacement;
+    replacement.inst = "b2";
+    replacement.type = "buffer";
+    replacement.inputs["in0"] = LowPortId::ioPort(0);
+    replacement.outputs["out0"] = LowPortId::ioPort(0);
+
+    auto [rewritten, count] =
+        low.value().substitute(low.value(), ExprLow::base(replacement));
+    EXPECT_EQ(count, 1);
+    Result<ExprHigh> lifted = liftToExprHigh(rewritten);
+    ASSERT_TRUE(lifted.ok());
+    EXPECT_TRUE(lifted.value().hasNode("b2"));
+    EXPECT_FALSE(lifted.value().hasNode("b1"));
+}
+
+TEST(ExprLow, SubstituteMissesWhenAbsent)
+{
+    ExprHigh g = forkModGraph();
+    Result<ExprLow> low = lowerToExprLow(g);
+    ASSERT_TRUE(low.ok());
+
+    LowBase other;
+    other.inst = "zzz";
+    other.type = "buffer";
+    other.inputs["in0"] = LowPortId::ioPort(9);
+    other.outputs["out0"] = LowPortId::ioPort(9);
+    auto [result, count] = low.value().substitute(
+        ExprLow::base(other), ExprLow::base(other));
+    EXPECT_EQ(count, 0);
+    EXPECT_TRUE(result == low.value());
+}
+
+TEST(ExprLow, ToStringMentionsStructure)
+{
+    Result<ExprLow> low = lowerToExprLow(forkModGraph());
+    ASSERT_TRUE(low.ok());
+    std::string s = low.value().toString();
+    EXPECT_NE(s.find("connect"), std::string::npos);
+    EXPECT_NE(s.find("(x)"), std::string::npos);
+}
+
+TEST(ExprLow, LiftRejectsDuplicateInstances)
+{
+    LowBase b;
+    b.inst = "dup";
+    b.type = "buffer";
+    b.inputs["in0"] = LowPortId::ioPort(0);
+    b.outputs["out0"] = LowPortId::ioPort(1);
+    LowBase b2 = b;
+    b2.inputs["in0"] = LowPortId::ioPort(2);
+    b2.outputs["out0"] = LowPortId::ioPort(3);
+    ExprLow e = ExprLow::product(ExprLow::base(b), ExprLow::base(b2));
+    EXPECT_FALSE(liftToExprHigh(e).ok());
+}
+
+}  // namespace
+}  // namespace graphiti

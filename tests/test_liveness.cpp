@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the bounded deadlock-freedom checker: live circuits pass,
+ * stuck rendezvous are found, and the input-could-unblock distinction
+ * is reported.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/gcd.hpp"
+#include "refine/liveness.hpp"
+
+namespace graphiti {
+namespace {
+
+DenotedModule
+denote(const ExprHigh& g, Environment& env)
+{
+    return DenotedModule::denote(lowerToExprLow(g).value(), env).take();
+}
+
+TEST(Liveness, BufferChainIsDeadlockFree)
+{
+    Environment env(4);
+    ExprHigh g;
+    g.addNode("b1", "buffer");
+    g.addNode("b2", "buffer");
+    g.bindInput(0, PortRef{"b1", "in0"});
+    g.bindOutput(0, PortRef{"b2", "out0"});
+    g.connect("b1", "out0", "b2", "in0");
+    DenotedModule mod = denote(g, env);
+    auto report = checkDeadlockFree(
+        mod, InputDomain::uniform(mod, {Token(Value(1))}),
+        {.max_states = 10000, .input_budget = 2});
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_TRUE(report.value().deadlock_free);
+    EXPECT_GT(report.value().states_explored, 1u);
+}
+
+TEST(Liveness, HalfFedJoinIsStuckOnInput)
+{
+    // A join whose second operand is never wired: after one token on
+    // in0, the circuit holds a token but cannot progress — unless the
+    // environment feeds in1 (input_could_unblock).
+    Environment env(4);
+    ExprHigh g;
+    g.addNode("j", "join", {{"in", "2"}});
+    g.bindInput(0, PortRef{"j", "in0"});
+    g.bindInput(1, PortRef{"j", "in1"});
+    g.bindOutput(0, PortRef{"j", "out0"});
+    DenotedModule mod = denote(g, env);
+    // Only offer tokens at in0.
+    InputDomain domain;
+    domain.tokens[LowPortId::ioPort(0)] = {Token(Value(1))};
+    auto report = checkDeadlockFree(mod, domain,
+                                    {.max_states = 10000,
+                                     .input_budget = 2});
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report.value().deadlock_free);
+    EXPECT_FALSE(report.value().stuck_state.empty());
+}
+
+TEST(Liveness, MismatchedTagsDeadlock)
+{
+    // Two differently-tagged tokens meeting at a join can never fire:
+    // a genuine deadlock no input can fix.
+    Environment env(4);
+    ExprHigh g;
+    g.addNode("j", "join", {{"in", "2"}});
+    g.bindInput(0, PortRef{"j", "in0"});
+    g.bindInput(1, PortRef{"j", "in1"});
+    g.bindOutput(0, PortRef{"j", "out0"});
+    DenotedModule mod = denote(g, env);
+    InputDomain domain;
+    domain.tokens[LowPortId::ioPort(0)] = {Token(Value(1), 0)};
+    domain.tokens[LowPortId::ioPort(1)] = {Token(Value(2), 1)};
+    auto report = checkDeadlockFree(mod, domain,
+                                    {.max_states = 10000,
+                                     .input_budget = 2});
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report.value().deadlock_free);
+}
+
+TEST(Liveness, GcdLoopsAreDeadlockFree)
+{
+    Environment env(3);
+    ExprHigh seq = circuits::buildGcdNormalizedLoop(env.functions());
+    DenotedModule mod = denote(seq, env);
+    auto report = checkDeadlockFree(
+        mod,
+        InputDomain::uniform(
+            mod, {Token(Value::tuple(Value(4), Value(2)))}),
+        {.max_states = 100000, .input_budget = 2});
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_TRUE(report.value().deadlock_free)
+        << report.value().stuck_state;
+}
+
+TEST(Liveness, TaggedGcdLoopIsDeadlockFree)
+{
+    Environment env(3);
+    ExprHigh ooo = circuits::buildGcdOutOfOrder(env.functions(), 2);
+    DenotedModule mod = denote(ooo, env);
+    auto report = checkDeadlockFree(
+        mod,
+        InputDomain::uniform(
+            mod, {Token(Value::tuple(Value(4), Value(2)))}),
+        {.max_states = 200000, .input_budget = 2});
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_TRUE(report.value().deadlock_free)
+        << report.value().stuck_state;
+}
+
+TEST(Liveness, DivergentModuloIsFlagged)
+{
+    // mod by zero: the operator is permanently stuck holding tokens.
+    Environment env(3);
+    ExprHigh g;
+    g.addNode("mod", "operator", {{"op", "mod"}});
+    g.bindInput(0, PortRef{"mod", "in0"});
+    g.bindInput(1, PortRef{"mod", "in1"});
+    g.bindOutput(0, PortRef{"mod", "out0"});
+    DenotedModule mod = denote(g, env);
+    InputDomain domain;
+    domain.tokens[LowPortId::ioPort(0)] = {Token(Value(5))};
+    domain.tokens[LowPortId::ioPort(1)] = {Token(Value(0))};
+    auto report = checkDeadlockFree(mod, domain,
+                                    {.max_states = 10000,
+                                     .input_budget = 2});
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report.value().deadlock_free);
+}
+
+}  // namespace
+}  // namespace graphiti

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The refinement metatheory of section 4.6, checked on concrete
+ * instances: ⊑ is a preorder (reflexive, transitive), it is preserved
+ * by graph contexts (product and connection — the congruence that
+ * makes theorem 4.6 go through), and counterexamples come back as
+ * playable attack strategies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rewrite/catalog.hpp"
+#include "refine/refinement.hpp"
+
+namespace graphiti {
+namespace {
+
+ExprHigh
+bufferChain(int length)
+{
+    ExprHigh g;
+    std::string prev;
+    for (int i = 0; i < length; ++i) {
+        std::string name = "b" + std::to_string(i);
+        g.addNode(name, "buffer");
+        if (i == 0)
+            g.bindInput(0, PortRef{name, "in0"});
+        else
+            g.connect(prev, "out0", name, "in0");
+        prev = name;
+    }
+    g.bindOutput(0, PortRef{prev, "out0"});
+    return g;
+}
+
+bool
+refines(const ExprHigh& impl, const ExprHigh& spec)
+{
+    Environment env(4);
+    auto report = checkGraphRefinement(
+        impl, spec, env, {Token(Value(1)), Token(Value(2))},
+        {.max_states = 100000, .input_budget = 2});
+    EXPECT_TRUE(report.ok()) << report.error().message;
+    return report.ok() && report.value().refines;
+}
+
+TEST(Metatheory, PreorderOnBufferChains)
+{
+    ExprHigh b1 = bufferChain(1);
+    ExprHigh b2 = bufferChain(2);
+    ExprHigh b3 = bufferChain(3);
+    // Reflexivity.
+    EXPECT_TRUE(refines(b2, b2));
+    // The chain pairs refine in both directions (same unbounded-FIFO
+    // behavior), giving transitivity chains to check.
+    EXPECT_TRUE(refines(b3, b2));
+    EXPECT_TRUE(refines(b2, b1));
+    EXPECT_TRUE(refines(b3, b1));  // transitivity instance
+}
+
+/**
+ * Congruence: embed both sides of a verified rewrite in the *same*
+ * context (extra components and connections around the boundary) and
+ * check the refinement still holds — the content of theorem 4.6.
+ */
+TEST(Metatheory, RefinementIsPreservedByContext)
+{
+    RewriteDef def = catalog::forkToPureDup();  // rhs ⊑ lhs, verified
+
+    auto embed = [](const ExprHigh& fragment) {
+        // Context: a buffer feeds the fragment's io0; the fragment's
+        // two outputs are joined back together.
+        PortRef frag_in = *fragment.inputs().at(0);
+        PortRef frag_out0 = *fragment.outputs().at(0);
+        PortRef frag_out1 = *fragment.outputs().at(1);
+        ExprHigh g;
+        for (const NodeDecl& n : fragment.nodes())
+            g.addNode(n.name, n.type, n.attrs);
+        for (const Edge& e : fragment.edges())
+            g.connect(e.src, e.dst);
+        g.addNode("ctx_in", "buffer");
+        g.addNode("ctx_join", "join", {{"in", "2"}});
+        g.bindInput(0, PortRef{"ctx_in", "in0"});
+        g.connect(PortRef{"ctx_in", "out0"}, frag_in);
+        g.connect(frag_out0, PortRef{"ctx_join", "in0"});
+        g.connect(frag_out1, PortRef{"ctx_join", "in1"});
+        g.bindOutput(0, PortRef{"ctx_join", "out0"});
+        return g;
+    };
+
+    ExprHigh ctx_lhs = embed(def.lhs);
+    ExprHigh ctx_rhs = embed(def.rhs);
+    ASSERT_TRUE(ctx_lhs.validate().ok())
+        << ctx_lhs.validate().error().message;
+    ASSERT_TRUE(ctx_rhs.validate().ok())
+        << ctx_rhs.validate().error().message;
+    EXPECT_TRUE(refines(ctx_rhs, ctx_lhs));
+}
+
+TEST(Metatheory, NonRefinementYieldsAttackStrategy)
+{
+    // A constant-5 circuit does not refine a constant-6 circuit; the
+    // counterexample must be a playable step sequence ending in the
+    // mismatched output.
+    ExprHigh five;
+    five.addNode("c", "constant", {{"value", "5"}});
+    five.bindInput(0, PortRef{"c", "in0"});
+    five.bindOutput(0, PortRef{"c", "out0"});
+    ExprHigh six;
+    six.addNode("c", "constant", {{"value", "6"}});
+    six.bindInput(0, PortRef{"c", "in0"});
+    six.bindOutput(0, PortRef{"c", "out0"});
+
+    Environment env(4);
+    auto report = checkGraphRefinement(five, six, env,
+                                       {Token(Value())},
+                                       {.max_states = 1000,
+                                        .input_budget = 1});
+    ASSERT_TRUE(report.ok());
+    ASSERT_FALSE(report.value().refines);
+    const std::string& cex = report.value().counterexample;
+    EXPECT_NE(cex.find("step 0"), std::string::npos) << cex;
+    EXPECT_NE(cex.find("output of 5"), std::string::npos) << cex;
+}
+
+}  // namespace
+}  // namespace graphiti

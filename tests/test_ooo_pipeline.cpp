@@ -1,0 +1,229 @@
+/**
+ * @file
+ * End-to-end tests of the five-phase out-of-order pipeline
+ * (section 3.1) on the GCD circuit of section 2: figure 2b in,
+ * figure 2c out — functionally equivalent, in program order, with the
+ * transformed results verified against the original by trace
+ * inclusion. Also checks the bicg-style refusal: loops with stores in
+ * the body are left untouched (section 6.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bench_circuits/gcd.hpp"
+#include "graph/signatures.hpp"
+#include "refine/trace.hpp"
+#include "rewrite/ooo_pipeline.hpp"
+#include "semantics/executor.hpp"
+
+namespace graphiti {
+namespace {
+
+int
+countType(const ExprHigh& g, const std::string& type)
+{
+    int n = 0;
+    for (const NodeDecl& node : g.nodes())
+        n += node.type == type;
+    return n;
+}
+
+TEST(OooPipeline, TransformsGcdStructure)
+{
+    Environment env;
+    Result<PipelineResult> result =
+        runOooPipeline(circuits::buildGcdInOrder(), env,
+                       {.num_tags = 2, .reexpand = false});
+    ASSERT_TRUE(result.ok()) << result.error().message;
+    const PipelineResult& pr = result.value();
+
+    ASSERT_EQ(pr.loops.size(), 1u);
+    EXPECT_TRUE(pr.loops[0].transformed) << pr.loops[0].refusal;
+    EXPECT_FALSE(pr.loops[0].body_fn.empty());
+    EXPECT_GT(pr.stats.rewrites_applied, 5u);
+
+    const ExprHigh& g = pr.graph;
+    EXPECT_TRUE(g.validate().ok());
+    EXPECT_EQ(countType(g, "tagger"), 1);
+    EXPECT_EQ(countType(g, "merge"), 1);
+    EXPECT_EQ(countType(g, "mux"), 0);
+    EXPECT_EQ(countType(g, "init"), 0);
+    EXPECT_EQ(countType(g, "pure"), 1);
+    // Loop body ops were absorbed into the pure.
+    EXPECT_EQ(countType(g, "operator"), 0);
+}
+
+TEST(OooPipeline, ReexpansionRestoresOperators)
+{
+    Environment env;
+    Result<PipelineResult> result =
+        runOooPipeline(circuits::buildGcdInOrder(), env,
+                       {.num_tags = 2, .reexpand = true});
+    ASSERT_TRUE(result.ok()) << result.error().message;
+    const ExprHigh& g = result.value().graph;
+    EXPECT_TRUE(g.validate().ok());
+    EXPECT_EQ(countType(g, "tagger"), 1);
+    EXPECT_EQ(countType(g, "pure"), 0);
+    // mod and ne come back inside the tagged region.
+    EXPECT_EQ(countType(g, "operator"), 2);
+    EXPECT_EQ(countType(g, "constant"), 1);
+}
+
+void
+expectGcdFunctional(const ExprHigh& g, Environment& env)
+{
+    DenotedModule mod =
+        DenotedModule::denote(lowerToExprLow(g).value(), env).take();
+    Executor exec(mod);
+    const std::vector<std::pair<int, int>> pairs = {
+        {1071, 462}, {4, 2}, {13, 8}, {100, 100}, {17, 5}};
+    for (auto [a, b] : pairs) {
+        ASSERT_TRUE(exec.feedIo(0, Value(a)));
+        ASSERT_TRUE(exec.feedIo(1, Value(b)));
+    }
+    for (auto [a, b] : pairs) {
+        auto out = exec.pullIo(0);
+        ASSERT_TRUE(out.has_value()) << a << "," << b;
+        EXPECT_EQ(out->value.asInt(), std::gcd(a, b)) << a << "," << b;
+        EXPECT_FALSE(out->tag.has_value());
+    }
+}
+
+TEST(OooPipeline, TransformedGcdComputesGcdInOrder)
+{
+    Environment env;
+    Result<PipelineResult> result =
+        runOooPipeline(circuits::buildGcdInOrder(), env,
+                       {.num_tags = 3, .reexpand = false});
+    ASSERT_TRUE(result.ok()) << result.error().message;
+    expectGcdFunctional(result.value().graph, env);
+}
+
+TEST(OooPipeline, ReexpandedGcdComputesGcdInOrder)
+{
+    Environment env;
+    Result<PipelineResult> result =
+        runOooPipeline(circuits::buildGcdInOrder(), env,
+                       {.num_tags = 3, .reexpand = true});
+    ASSERT_TRUE(result.ok()) << result.error().message;
+    expectGcdFunctional(result.value().graph, env);
+}
+
+TEST(OooPipeline, TransformedTracesAdmittedByOriginal)
+{
+    // Theorem 4.6 end-to-end: behaviors of the rewritten circuit are
+    // behaviors of the original.
+    Environment env(6);
+    ExprHigh original = circuits::buildGcdInOrder();
+    Result<PipelineResult> result = runOooPipeline(
+        original, env, {.num_tags = 2, .reexpand = false});
+    ASSERT_TRUE(result.ok()) << result.error().message;
+
+    DenotedModule impl =
+        DenotedModule::denote(lowerToExprLow(result.value().graph).value(),
+                              env)
+            .take();
+    DenotedModule spec =
+        DenotedModule::denote(lowerToExprLow(original).value(), env)
+            .take();
+
+    std::vector<Token> pool = {Token(Value(6)), Token(Value(4)),
+                               Token(Value(9))};
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng(seed);
+        IoTrace trace = randomTrace(impl, pool, rng,
+                                    {.max_steps = 300,
+                                     .input_bias = 0.4,
+                                     .max_inputs = 4});
+        Result<bool> admitted = admitsTrace(spec, trace, 200000);
+        ASSERT_TRUE(admitted.ok()) << admitted.error().message;
+        EXPECT_TRUE(admitted.value()) << "seed " << seed;
+    }
+}
+
+TEST(OooPipeline, RefusesLoopWithStore)
+{
+    // A bicg-shaped loop: the body stores to memory each iteration.
+    // The pipeline must refuse the transformation (section 6.2) and
+    // leave the circuit structurally untouched.
+    //
+    // State is a (counter, value) pair; each iteration stores value at
+    // address counter, decrements the counter, and continues while it
+    // stays positive.
+    ExprHigh g;
+    g.addNode("mux", "mux");
+    g.addNode("init", "init", {{"value", "false"}});
+    g.addNode("split", "split");
+    g.addNode("forkA", "fork", {{"out", "2"}});  // counter uses
+    g.addNode("forkV", "fork", {{"out", "2"}});  // value uses
+    g.addNode("store", "store", {{"memory", "m"}});
+    g.addNode("sinkS", "sink");
+    g.addNode("one", "constant", {{"value", "1"}});
+    g.addNode("srcOne", "source");
+    g.addNode("dec", "operator", {{"op", "sub"}});
+    g.addNode("forkD", "fork", {{"out", "2"}});  // new counter uses
+    g.addNode("zero", "constant", {{"value", "0"}});
+    g.addNode("srcZero", "source");
+    g.addNode("gt", "operator", {{"op", "gt"}});
+    g.addNode("joinB", "join", {{"in", "2"}});
+    g.addNode("forkC", "fork", {{"out", "2"}});
+    g.addNode("branch", "branch");
+
+    g.bindInput(0, PortRef{"mux", "in2"});
+    g.bindOutput(0, PortRef{"branch", "out1"});
+
+    g.connect("init", "out0", "mux", "in0");
+    g.connect("branch", "out0", "mux", "in1");
+    g.connect("mux", "out0", "split", "in0");
+    g.connect("split", "out0", "forkA", "in0");
+    g.connect("split", "out1", "forkV", "in0");
+    g.connect("forkA", "out0", "store", "in0");   // address
+    g.connect("forkV", "out0", "store", "in1");   // data
+    g.connect("store", "out0", "sinkS", "in0");
+    g.connect("srcOne", "out0", "one", "in0");
+    g.connect("forkA", "out1", "dec", "in0");
+    g.connect("one", "out0", "dec", "in1");
+    g.connect("dec", "out0", "forkD", "in0");
+    g.connect("forkD", "out0", "joinB", "in0");   // next counter
+    g.connect("forkV", "out1", "joinB", "in1");   // value carried
+    g.connect("forkD", "out1", "gt", "in0");
+    g.connect("srcZero", "out0", "zero", "in0");
+    g.connect("zero", "out0", "gt", "in1");
+    g.connect("gt", "out0", "forkC", "in0");
+    g.connect("forkC", "out0", "branch", "in1");
+    g.connect("forkC", "out1", "init", "in0");
+    g.connect("joinB", "out0", "branch", "in0");
+
+    ASSERT_TRUE(g.validate().ok()) << g.validate().error().message;
+
+    Environment env;
+    std::size_t nodes_before = g.numNodes();
+    Result<PipelineResult> result = runOooPipeline(g, env, {});
+    ASSERT_TRUE(result.ok()) << result.error().message;
+    ASSERT_EQ(result.value().loops.size(), 1u);
+    EXPECT_FALSE(result.value().loops[0].transformed);
+    EXPECT_NE(result.value().loops[0].refusal.find("store"),
+              std::string::npos)
+        << result.value().loops[0].refusal;
+    EXPECT_EQ(result.value().graph.numNodes(), nodes_before);
+    EXPECT_EQ(countType(result.value().graph, "tagger"), 0);
+}
+
+TEST(OooPipeline, ReportsRewriteCounts)
+{
+    Environment env;
+    Result<PipelineResult> result =
+        runOooPipeline(circuits::buildGcdInOrder(), env, {});
+    ASSERT_TRUE(result.ok());
+    const EngineStats& stats = result.value().stats;
+    EXPECT_GT(stats.per_rule.count("combine-mux"), 0u);
+    EXPECT_GT(stats.per_rule.count("combine-branch"), 0u);
+    EXPECT_GT(stats.per_rule.count("combine-init"), 0u);
+    EXPECT_GT(stats.per_rule.count("pure-gen"), 0u);
+    EXPECT_GT(stats.per_rule.count("ooo-loop"), 0u);
+}
+
+}  // namespace
+}  // namespace graphiti

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the refinement checker (definitions 4.1-4.5) and the
+ * trace-inclusion tester, culminating in the executable analogue of
+ * Theorem 5.3: the out-of-order GCD loop refines the sequential one,
+ * and stops refining it once the Tagger/Untagger is removed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/gcd.hpp"
+#include "graph/signatures.hpp"
+#include "refine/refinement.hpp"
+#include "refine/trace.hpp"
+
+namespace graphiti {
+namespace {
+
+ExprHigh
+singleNodeGraph(const std::string& type, const AttrMap& attrs = {})
+{
+    ExprHigh g;
+    g.addNode("n", type, attrs);
+    Result<Signature> sig = signatureOf(type, attrs);
+    for (std::size_t i = 0; i < sig.value().inputs.size(); ++i)
+        g.bindInput(i, PortRef{"n", sig.value().inputs[i]});
+    for (std::size_t i = 0; i < sig.value().outputs.size(); ++i)
+        g.bindOutput(i, PortRef{"n", sig.value().outputs[i]});
+    return g;
+}
+
+std::vector<Token>
+intTokens(std::initializer_list<std::int64_t> values)
+{
+    std::vector<Token> out;
+    for (std::int64_t v : values)
+        out.emplace_back(Value(v));
+    return out;
+}
+
+TEST(Refinement, BufferRefinesItself)
+{
+    Environment env(4);
+    ExprHigh buf = singleNodeGraph("buffer");
+    auto report = checkGraphRefinement(buf, buf, env, intTokens({1, 2}),
+                                       {.max_states = 10000,
+                                        .input_budget = 3});
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_TRUE(report.value().refines) << report.value().counterexample;
+    EXPECT_GT(report.value().reachable_pairs, 0u);
+}
+
+TEST(Refinement, BufferChainAndSingleBufferMutuallyRefine)
+{
+    Environment env(4);
+    ExprHigh chain;
+    chain.addNode("b1", "buffer");
+    chain.addNode("b2", "buffer");
+    chain.bindInput(0, PortRef{"b1", "in0"});
+    chain.bindOutput(0, PortRef{"b2", "out0"});
+    chain.connect("b1", "out0", "b2", "in0");
+
+    ExprHigh single = singleNodeGraph("buffer");
+
+    auto forward = checkGraphRefinement(chain, single, env,
+                                        intTokens({1, 2}),
+                                        {.max_states = 10000,
+                                         .input_budget = 3});
+    ASSERT_TRUE(forward.ok()) << forward.error().message;
+    EXPECT_TRUE(forward.value().refines)
+        << forward.value().counterexample;
+
+    auto backward = checkGraphRefinement(single, chain, env,
+                                         intTokens({1, 2}),
+                                         {.max_states = 10000,
+                                          .input_budget = 3});
+    ASSERT_TRUE(backward.ok()) << backward.error().message;
+    EXPECT_TRUE(backward.value().refines)
+        << backward.value().counterexample;
+}
+
+TEST(Refinement, AddDoesNotRefineMul)
+{
+    Environment env(4);
+    ExprHigh add = singleNodeGraph("operator", {{"op", "add"}});
+    ExprHigh mul = singleNodeGraph("operator", {{"op", "mul"}});
+    auto report = checkGraphRefinement(add, mul, env, intTokens({2, 3}),
+                                       {.max_states = 10000,
+                                        .input_budget = 2});
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_FALSE(report.value().refines);
+    EXPECT_FALSE(report.value().counterexample.empty());
+}
+
+TEST(Refinement, AddRefinesAddEvenWhenIdentityDiffers)
+{
+    // x + y where both inputs come from the same domain: 2 + 3 and
+    // 3 + 2 both occur; refinement holds because the spec explores the
+    // same choices.
+    Environment env(4);
+    ExprHigh add = singleNodeGraph("operator", {{"op", "add"}});
+    auto report = checkGraphRefinement(add, add, env, intTokens({2, 3}),
+                                       {.max_states = 10000,
+                                        .input_budget = 3});
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().refines) << report.value().counterexample;
+}
+
+TEST(Refinement, BufferRefinesMergeOnSharedInput)
+{
+    // A buffer forwarding io0 refines a merge whose second input is
+    // never fed: the merge has *more* behaviors.
+    Environment env(4);
+    ExprHigh buf;
+    buf.addNode("b", "buffer");
+    buf.addNode("m", "merge");
+    buf.bindInput(0, PortRef{"b", "in0"});
+    buf.bindInput(1, PortRef{"m", "in1"});
+    buf.bindOutput(0, PortRef{"m", "out0"});
+    buf.connect("b", "out0", "m", "in0");
+
+    ExprHigh merge;
+    merge.addNode("b", "buffer");
+    merge.addNode("m", "merge");
+    merge.bindInput(0, PortRef{"b", "in0"});
+    merge.bindInput(1, PortRef{"m", "in1"});
+    merge.bindOutput(0, PortRef{"m", "out0"});
+    merge.connect("b", "out0", "m", "in0");
+
+    auto report = checkGraphRefinement(buf, merge, env, intTokens({1}),
+                                       {.max_states = 20000,
+                                        .input_budget = 2});
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_TRUE(report.value().refines) << report.value().counterexample;
+}
+
+TEST(Refinement, PortMismatchIsAnError)
+{
+    Environment env(4);
+    ExprHigh buf = singleNodeGraph("buffer");
+    ExprHigh fork = singleNodeGraph("fork", {{"out", "2"}});
+    auto report = checkGraphRefinement(buf, fork, env, intTokens({1}),
+                                       {.max_states = 1000,
+                                        .input_budget = 1});
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(Refinement, StateCapIsAnError)
+{
+    Environment env(4);
+    ExprHigh buf = singleNodeGraph("buffer");
+    auto report = checkGraphRefinement(buf, buf, env,
+                                       intTokens({1, 2, 3}),
+                                       {.max_states = 2,
+                                        .input_budget = 3});
+    EXPECT_FALSE(report.ok());
+}
+
+// ---------------------------------------------------------------------
+// Theorem 5.3, executable: the out-of-order loop refines the
+// sequential loop on a finite instantiation.
+// ---------------------------------------------------------------------
+
+std::vector<Token>
+gcdPairs()
+{
+    // (3,2) needs two loop iterations and exits with (1,0);
+    // (4,2) needs one and exits with (2,0). Distinct latencies and
+    // distinct results make any reordering externally observable.
+    return {Token(Value::tuple(Value(3), Value(2))),
+            Token(Value::tuple(Value(4), Value(2)))};
+}
+
+TEST(LoopRewrite, OutOfOrderRefinesSequential)
+{
+    Environment env(4);
+    ExprHigh seq = circuits::buildGcdNormalizedLoop(env.functions());
+    ExprHigh ooo = circuits::buildGcdOutOfOrder(env.functions(), 2);
+
+    auto report = checkGraphRefinement(ooo, seq, env, gcdPairs(),
+                                       {.max_states = 400000,
+                                        .input_budget = 2});
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_TRUE(report.value().refines) << report.value().counterexample;
+    EXPECT_GT(report.value().impl_states, 10u);
+    EXPECT_GT(report.value().spec_states, 10u);
+}
+
+TEST(LoopRewrite, UntaggedOutOfOrderDoesNotRefineSequential)
+{
+    // Strip the Tagger/Untagger: results exit in completion order, and
+    // the sequential loop cannot match the reordered trace.
+    Environment env(4);
+    ExprHigh seq = circuits::buildGcdNormalizedLoop(env.functions());
+
+    ExprHigh ooo;
+    circuits::registerGcdBody(env.functions());
+    ooo.addNode("merge", "merge");
+    ooo.addNode("body", "pure", {{"fn", "gcd_body"}});
+    ooo.addNode("split", "split");
+    ooo.addNode("branch", "branch");
+    ooo.bindInput(0, PortRef{"merge", "in1"});
+    ooo.bindOutput(0, PortRef{"branch", "out1"});
+    ooo.connect("branch", "out0", "merge", "in0");
+    ooo.connect("merge", "out0", "body", "in0");
+    ooo.connect("body", "out0", "split", "in0");
+    ooo.connect("split", "out0", "branch", "in0");
+    ooo.connect("split", "out1", "branch", "in1");
+
+    auto report = checkGraphRefinement(ooo, seq, env, gcdPairs(),
+                                       {.max_states = 400000,
+                                        .input_budget = 2});
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_FALSE(report.value().refines);
+}
+
+// ---------------------------------------------------------------------
+// Trace-inclusion testing.
+// ---------------------------------------------------------------------
+
+TEST(Trace, RandomImplTracesAdmittedBySpec)
+{
+    Environment env(6);
+    ExprHigh seq = circuits::buildGcdNormalizedLoop(env.functions());
+    ExprHigh ooo = circuits::buildGcdOutOfOrder(env.functions(), 3);
+
+    DenotedModule impl =
+        DenotedModule::denote(lowerToExprLow(ooo).value(), env).take();
+    DenotedModule spec =
+        DenotedModule::denote(lowerToExprLow(seq).value(), env).take();
+
+    std::vector<Token> pool = {
+        Token(Value::tuple(Value(6), Value(4))),
+        Token(Value::tuple(Value(5), Value(5))),
+        Token(Value::tuple(Value(9), Value(6))),
+    };
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng(seed);
+        IoTrace trace = randomTrace(impl, pool, rng,
+                                    {.max_steps = 400,
+                                     .input_bias = 0.4,
+                                     .max_inputs = 4});
+        Result<bool> admitted = admitsTrace(spec, trace);
+        ASSERT_TRUE(admitted.ok()) << admitted.error().message;
+        EXPECT_TRUE(admitted.value()) << "seed " << seed;
+    }
+}
+
+TEST(Trace, CorruptedTraceRejected)
+{
+    Environment env(6);
+    ExprHigh seq = circuits::buildGcdNormalizedLoop(env.functions());
+    DenotedModule spec =
+        DenotedModule::denote(lowerToExprLow(seq).value(), env).take();
+
+    // gcd(6, 4) = 2; claim the circuit output 3 instead.
+    IoTrace bogus = {
+        IoEvent{true, LowPortId::ioPort(0),
+                Token(Value::tuple(Value(6), Value(4)))},
+        IoEvent{false, LowPortId::ioPort(0),
+                Token(Value::tuple(Value(3), Value(0)))},
+    };
+    Result<bool> admitted = admitsTrace(spec, bogus);
+    ASSERT_TRUE(admitted.ok()) << admitted.error().message;
+    EXPECT_FALSE(admitted.value());
+}
+
+TEST(Trace, EmptyTraceAlwaysAdmitted)
+{
+    Environment env(4);
+    ExprHigh seq = circuits::buildGcdNormalizedLoop(env.functions());
+    DenotedModule spec =
+        DenotedModule::denote(lowerToExprLow(seq).value(), env).take();
+    EXPECT_TRUE(admitsTrace(spec, {}).value());
+}
+
+TEST(Trace, EventToStringMentionsDirection)
+{
+    IoEvent ev{true, LowPortId::ioPort(0), Token(Value(1))};
+    EXPECT_NE(ev.toString().find("in"), std::string::npos);
+    ev.is_input = false;
+    EXPECT_NE(ev.toString().find("out"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphiti

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for the rewriting machinery: matching, application through
+ * ExprLow substitution, wire rewrites, the engine, and the refinement
+ * obligations of the catalog (theorem 4.6 in executable form: every
+ * verifiable catalog rewrite satisfies rhs ⊑ lhs on a finite
+ * instantiation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/signatures.hpp"
+#include "rewrite/catalog.hpp"
+#include "rewrite/catalog_verify.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/loop_rewrite.hpp"
+#include "bench_circuits/gcd.hpp"
+
+namespace graphiti {
+namespace {
+
+/** A graph with two muxes sharing a forked condition, as in fig 4a. */
+ExprHigh
+twoMuxGraph()
+{
+    ExprHigh g;
+    g.addNode("cfork", "fork", {{"out", "2"}});
+    g.addNode("m1", "mux");
+    g.addNode("m2", "mux");
+    g.connect("cfork", "out0", "m1", "in0");
+    g.connect("cfork", "out1", "m2", "in0");
+    g.bindInput(0, PortRef{"cfork", "in0"});
+    g.bindInput(1, PortRef{"m1", "in1"});
+    g.bindInput(2, PortRef{"m1", "in2"});
+    g.bindInput(3, PortRef{"m2", "in1"});
+    g.bindInput(4, PortRef{"m2", "in2"});
+    g.bindOutput(0, PortRef{"m1", "out0"});
+    g.bindOutput(1, PortRef{"m2", "out0"});
+    return g;
+}
+
+TEST(RewriteDef, CatalogValidates)
+{
+    for (const RewriteDef& def : catalog::allRewrites()) {
+        Result<bool> valid = def.validate();
+        EXPECT_TRUE(valid.ok())
+            << def.name << ": "
+            << (valid.ok() ? "" : valid.error().message);
+    }
+    EXPECT_TRUE(oooLoopRewrite().validate().ok());
+}
+
+TEST(RewriteDef, MalformedDefsRejected)
+{
+    RewriteDef def;
+    def.name = "empty";
+    EXPECT_FALSE(def.validate().ok());
+
+    // Uncovered lhs port.
+    RewriteDef uncovered;
+    uncovered.name = "uncovered";
+    uncovered.lhs.addNode("b", "buffer");
+    uncovered.lhs.bindInput(0, PortRef{"b", "in0"});
+    uncovered.rhs.addNode("c", "buffer");
+    uncovered.rhs.bindInput(0, PortRef{"c", "in0"});
+    uncovered.rhs.bindOutput(0, PortRef{"c", "out0"});
+    EXPECT_FALSE(uncovered.validate().ok());
+
+    // Boundary parity violation.
+    RewriteDef parity;
+    parity.name = "parity";
+    parity.lhs.addNode("b", "buffer");
+    parity.lhs.bindInput(0, PortRef{"b", "in0"});
+    parity.lhs.bindOutput(0, PortRef{"b", "out0"});
+    parity.rhs.addNode("c", "buffer");
+    parity.rhs.bindInput(1, PortRef{"c", "in0"});
+    parity.rhs.bindOutput(0, PortRef{"c", "out0"});
+    EXPECT_FALSE(parity.validate().ok());
+}
+
+TEST(Matcher, FindsCombineMux)
+{
+    ExprHigh g = twoMuxGraph();
+    std::vector<RewriteMatch> matches =
+        matchRewrite(g, catalog::combineMux());
+    // Fork output orientation pins the embedding uniquely.
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].binding.at("forkC"), "cfork");
+    EXPECT_EQ(matches[0].binding.at("muxA"), "m1");
+    EXPECT_EQ(matches[0].binding.at("muxB"), "m2");
+}
+
+TEST(Matcher, RejectsWhenInternalEdgeUnaccounted)
+{
+    // Add an extra edge between the two muxes: no longer a clean match.
+    ExprHigh g = twoMuxGraph();
+    ExprHigh g2 = g;
+    // m1.out0 -> m2.in1 (replace the io binding).
+    g2.bindInput(3, PortRef{"m2", "in2"});  // clobber below instead
+    ExprHigh g3;
+    g3.addNode("cfork", "fork", {{"out", "2"}});
+    g3.addNode("m1", "mux");
+    g3.addNode("m2", "mux");
+    g3.connect("cfork", "out0", "m1", "in0");
+    g3.connect("cfork", "out1", "m2", "in0");
+    g3.connect("m1", "out0", "m2", "in1");
+    g3.bindInput(0, PortRef{"cfork", "in0"});
+    g3.bindInput(1, PortRef{"m1", "in1"});
+    g3.bindInput(2, PortRef{"m1", "in2"});
+    g3.bindInput(4, PortRef{"m2", "in2"});
+    g3.bindOutput(1, PortRef{"m2", "out0"});
+    EXPECT_TRUE(matchRewrite(g3, catalog::combineMux()).empty());
+}
+
+TEST(Matcher, CapturesAttributes)
+{
+    ExprHigh g;
+    g.addNode("f", "fork", {{"out", "2"}});
+    g.addNode("i1", "init", {{"value", "true"}});
+    g.addNode("i2", "init", {{"value", "true"}});
+    g.connect("f", "out0", "i1", "in0");
+    g.connect("f", "out1", "i2", "in0");
+    g.bindInput(0, PortRef{"f", "in0"});
+    g.bindOutput(0, PortRef{"i1", "out0"});
+    g.bindOutput(1, PortRef{"i2", "out0"});
+    auto matches = matchRewrite(g, catalog::combineInit());
+    ASSERT_FALSE(matches.empty());
+    EXPECT_EQ(matches[0].captures.at("$v"), "true");
+}
+
+TEST(Matcher, CaptureMismatchRejects)
+{
+    ExprHigh g;
+    g.addNode("f", "fork", {{"out", "2"}});
+    g.addNode("i1", "init", {{"value", "true"}});
+    g.addNode("i2", "init", {{"value", "false"}});
+    g.connect("f", "out0", "i1", "in0");
+    g.connect("f", "out1", "i2", "in0");
+    g.bindInput(0, PortRef{"f", "in0"});
+    g.bindOutput(0, PortRef{"i1", "out0"});
+    g.bindOutput(1, PortRef{"i2", "out0"});
+    EXPECT_TRUE(matchRewrite(g, catalog::combineInit()).empty());
+}
+
+TEST(Apply, CombineMuxProducesJoinMuxSplit)
+{
+    ExprHigh g = twoMuxGraph();
+    RewriteDef def = catalog::combineMux();
+    auto match = matchRewriteOnce(g, def);
+    ASSERT_TRUE(match.has_value());
+    Result<ExprHigh> out = applyRewrite(g, def, *match);
+    ASSERT_TRUE(out.ok()) << out.error().message;
+
+    int muxes = 0, joins = 0, splits = 0;
+    for (const NodeDecl& n : out.value().nodes()) {
+        muxes += n.type == "mux";
+        joins += n.type == "join";
+        splits += n.type == "split";
+    }
+    EXPECT_EQ(muxes, 1);
+    EXPECT_EQ(joins, 2);
+    EXPECT_EQ(splits, 1);
+    EXPECT_TRUE(out.value().validate().ok());
+}
+
+TEST(Apply, InvalidOracleMatchRejected)
+{
+    ExprHigh g = twoMuxGraph();
+    RewriteDef def = catalog::combineMux();
+    RewriteMatch bogus;
+    bogus.binding = {{"forkC", "m1"}, {"muxA", "m2"}, {"muxB", "cfork"}};
+    EXPECT_FALSE(applyRewrite(g, def, bogus).ok());
+}
+
+TEST(Apply, WireRewriteSplitJoin)
+{
+    // buffer -> split -> join -> buffer collapses to buffer -> buffer.
+    ExprHigh g;
+    g.addNode("b1", "buffer");
+    g.addNode("s", "split");
+    g.addNode("j", "join", {{"in", "2"}});
+    g.addNode("b2", "buffer");
+    g.bindInput(0, PortRef{"b1", "in0"});
+    g.bindOutput(0, PortRef{"b2", "out0"});
+    g.connect("b1", "out0", "s", "in0");
+    g.connect("s", "out0", "j", "in0");
+    g.connect("s", "out1", "j", "in1");
+    g.connect("j", "out0", "b2", "in0");
+
+    RewriteEngine engine;
+    ASSERT_TRUE(engine.addRule(catalog::splitJoinElim()).ok());
+    Result<ExprHigh> out = engine.applyOnce(g, "split-join-elim");
+    ASSERT_TRUE(out.ok()) << out.error().message;
+    EXPECT_EQ(out.value().numNodes(), 2u);
+    auto driver = out.value().driverOf(PortRef{"b2", "in0"});
+    ASSERT_TRUE(driver.has_value());
+    EXPECT_EQ(driver->inst, "b1");
+}
+
+TEST(Apply, WireRewriteAcrossIo)
+{
+    // The split/join pair sits directly between graph io ports.
+    ExprHigh g;
+    g.addNode("s", "split");
+    g.addNode("j", "join", {{"in", "2"}});
+    g.bindInput(0, PortRef{"s", "in0"});
+    g.bindOutput(0, PortRef{"j", "out0"});
+    g.connect("s", "out0", "j", "in0");
+    g.connect("s", "out1", "j", "in1");
+    RewriteEngine engine;
+    ASSERT_TRUE(engine.addRule(catalog::splitJoinElim()).ok());
+    // Input wired straight to output is not expressible: must error,
+    // not corrupt the graph.
+    EXPECT_FALSE(engine.applyOnce(g, "split-join-elim").ok());
+}
+
+TEST(Apply, ForkSplitNormalizesArity)
+{
+    ExprHigh g;
+    g.addNode("f", "fork", {{"out", "4"}});
+    g.addNode("s0", "sink");
+    g.addNode("s1", "sink");
+    g.addNode("s2", "sink");
+    g.addNode("s3", "sink");
+    g.bindInput(0, PortRef{"f", "in0"});
+    for (int i = 0; i < 4; ++i)
+        g.connect("f", "out" + std::to_string(i),
+                  "s" + std::to_string(i), "in0");
+
+    RewriteEngine engine;
+    for (RewriteDef& def : catalog::allRewrites())
+        ASSERT_TRUE(engine.addRule(std::move(def)).ok());
+    Result<ExprHigh> out = engine.applyExhaustively(
+        g, {"fork-split-4", "fork-split-3"});
+    ASSERT_TRUE(out.ok()) << out.error().message;
+    int fork2 = 0, fork_other = 0;
+    for (const NodeDecl& n : out.value().nodes()) {
+        if (n.type != "fork")
+            continue;
+        if (attrStr(n.attrs, "out", "2") == "2")
+            ++fork2;
+        else
+            ++fork_other;
+    }
+    EXPECT_EQ(fork2, 3);
+    EXPECT_EQ(fork_other, 0);
+}
+
+TEST(Engine, ExhaustiveStopsAndCounts)
+{
+    ExprHigh g;
+    g.addNode("b1", "buffer");
+    g.addNode("b2", "buffer");
+    g.addNode("b3", "buffer");
+    g.bindInput(0, PortRef{"b1", "in0"});
+    g.bindOutput(0, PortRef{"b3", "out0"});
+    g.connect("b1", "out0", "b2", "in0");
+    g.connect("b2", "out0", "b3", "in0");
+
+    RewriteEngine engine;
+    ASSERT_TRUE(engine.addRule(catalog::bufferElim()).ok());
+    Result<ExprHigh> out = engine.applyExhaustively(g, {"buffer-elim"});
+    ASSERT_TRUE(out.ok());
+    // Two of the three buffers dissolve; the last one would wire io
+    // to io, which the wire rewrite refuses, so it remains.
+    EXPECT_EQ(out.value().numNodes(), 1u);
+    EXPECT_EQ(engine.stats().rewrites_applied, 2u);
+    EXPECT_EQ(engine.stats().per_rule.at("buffer-elim"), 2u);
+}
+
+TEST(Engine, UnknownRuleErrors)
+{
+    RewriteEngine engine;
+    EXPECT_FALSE(engine.applyOnce(twoMuxGraph(), "nope").ok());
+}
+
+// ---------------------------------------------------------------------
+// Refinement obligations (theorem 4.6 hypothesis) for the catalog.
+// ---------------------------------------------------------------------
+
+void
+expectRefines(const RewriteDef& def, const std::vector<Token>& tokens,
+              std::size_t budget = 2)
+{
+    Environment env(3);
+    auto report = verifyRewrite(def, env, tokens,
+                                {.max_states = 300000,
+                                 .input_budget = budget});
+    ASSERT_TRUE(report.ok()) << def.name << ": "
+                             << report.error().message;
+    EXPECT_TRUE(report.value().refines)
+        << def.name << ": " << report.value().counterexample;
+}
+
+TEST(CatalogRefinement, CombineMux)
+{
+    expectRefines(catalog::combineMux(),
+                  {Token(Value(true)), Token(Value(1))});
+}
+
+TEST(CatalogRefinement, CombineBranch)
+{
+    expectRefines(catalog::combineBranch(),
+                  {Token(Value(true)), Token(Value(2))});
+}
+
+TEST(CatalogRefinement, CombineInit)
+{
+    RewriteDef def = instantiateCaptures(catalog::combineInit(),
+                                         {{"$v", "false"}});
+    expectRefines(def, {Token(Value(true)), Token(Value(false))});
+}
+
+TEST(CatalogRefinement, ForkAssocBothWays)
+{
+    expectRefines(catalog::forkAssocLeft(), {Token(Value(1))});
+    expectRefines(catalog::forkAssocRight(), {Token(Value(1))});
+}
+
+TEST(CatalogRefinement, ForkSwap)
+{
+    expectRefines(catalog::forkSwap(), {Token(Value(1))});
+}
+
+TEST(CatalogRefinement, ForkSplit3)
+{
+    expectRefines(catalog::forkSplit(3), {Token(Value(1))});
+}
+
+TEST(CatalogRefinement, ForkToPureDup)
+{
+    expectRefines(catalog::forkToPureDup(), {Token(Value(7))});
+}
+
+TEST(CatalogRefinement, SplitSinkBothSides)
+{
+    std::vector<Token> pairs = {
+        Token(Value::tuple(Value(1), Value(2))),
+        Token(Value::tuple(Value(3), Value(4)))};
+    expectRefines(catalog::splitSink0(), pairs);
+    expectRefines(catalog::splitSink1(), pairs);
+}
+
+TEST(CatalogRefinement, MergeComm)
+{
+    expectRefines(catalog::mergeComm(), {Token(Value(1)),
+                                         Token(Value(2))});
+}
+
+TEST(CatalogRefinement, JoinFuseBothWays)
+{
+    expectRefines(catalog::joinFuse(), {Token(Value(1)),
+                                        Token(Value(2))});
+    expectRefines(catalog::joinUnfuse(), {Token(Value(1)),
+                                          Token(Value(2))});
+}
+
+TEST(CatalogRefinement, BufferDeepen)
+{
+    expectRefines(catalog::bufferDeepen(), {Token(Value(1)),
+                                            Token(Value(2))});
+}
+
+
+TEST(CatalogRefinement, WholeCatalogSelfVerifies)
+{
+    Result<CatalogVerification> verification = verifyCatalog();
+    ASSERT_TRUE(verification.ok()) << verification.error().message;
+    EXPECT_TRUE(verification.value().all_ok)
+        << verification.value().first_failure;
+    // Every verified, denotable rule shows up in the report.
+    EXPECT_GT(verification.value().results.size(), 10u);
+    for (const auto& [rule, refines] : verification.value().results)
+        EXPECT_TRUE(refines) << rule;
+}
+
+TEST(CatalogRefinement, OooLoopTemplate)
+{
+    // The parametric loop rewrite (section 5), instantiated with the
+    // GCD body. rhs (tagged out-of-order loop) ⊑ lhs (sequential).
+    Environment env(4);
+    circuits::registerGcdBody(env.functions());
+    RewriteDef def = instantiateCaptures(
+        oooLoopRewrite(), {{"$f", "gcd_body"}, {"$tags", "2"}});
+    auto report = verifyRewrite(
+        def, env,
+        {Token(Value::tuple(Value(3), Value(2))),
+         Token(Value::tuple(Value(4), Value(2)))},
+        {.max_states = 400000, .input_budget = 2});
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_TRUE(report.value().refines) << report.value().counterexample;
+}
+
+}  // namespace
+}  // namespace graphiti

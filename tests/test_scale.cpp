@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Scalability of the rewriting pipeline (section 6.3): graphs with
+ * many independent loops and a couple of hundred nodes are all
+ * transformed, every loop independently, and the result still
+ * simulates correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bench_circuits/gcd.hpp"
+#include "rewrite/ooo_pipeline.hpp"
+#include "sim/sim.hpp"
+
+namespace graphiti {
+namespace {
+
+TEST(Scale, FarmOfTenLoopsFullyTransforms)
+{
+    ExprHigh farm = circuits::buildGcdFarm(10);
+    EXPECT_GE(farm.numNodes(), 130u);
+    ASSERT_TRUE(farm.validate().ok());
+
+    Environment env;
+    Result<PipelineResult> result =
+        runOooPipeline(farm, env, {.num_tags = 4, .reexpand = true});
+    ASSERT_TRUE(result.ok()) << result.error().message;
+    ASSERT_EQ(result.value().loops.size(), 10u);
+    for (const LoopTransformReport& loop : result.value().loops)
+        EXPECT_TRUE(loop.transformed) << loop.refusal;
+
+    int taggers = 0;
+    for (const NodeDecl& node : result.value().graph.nodes())
+        taggers += node.type == "tagger";
+    EXPECT_EQ(taggers, 10);
+    EXPECT_GT(result.value().stats.rewrites_applied, 80u);
+}
+
+TEST(Scale, TransformedFarmComputesEveryStream)
+{
+    constexpr int kCopies = 4;
+    ExprHigh farm = circuits::buildGcdFarm(kCopies);
+    Environment env;
+    Result<PipelineResult> result =
+        runOooPipeline(farm, env, {.num_tags = 4, .reexpand = true});
+    ASSERT_TRUE(result.ok()) << result.error().message;
+
+    sim::Simulator simulator =
+        sim::Simulator::build(result.value().graph, env.functionsPtr())
+            .take();
+    std::vector<std::vector<Token>> inputs(2 * kCopies);
+    const std::vector<std::pair<int, int>> pairs = {
+        {48, 18}, {1071, 462}, {7, 13}};
+    for (int k = 0; k < kCopies; ++k) {
+        for (auto [a, b] : pairs) {
+            inputs[2 * k].emplace_back(Value(a + k));
+            inputs[2 * k + 1].emplace_back(Value(b));
+        }
+    }
+    Result<sim::SimResult> run =
+        simulator.run(inputs, pairs.size());
+    ASSERT_TRUE(run.ok()) << run.error().message;
+    for (int k = 0; k < kCopies; ++k) {
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            EXPECT_EQ(run.value().outputs[k][i].value.asInt(),
+                      std::gcd(pairs[i].first + k, pairs[i].second))
+                << "farm unit " << k << " stream " << i;
+        }
+    }
+}
+
+TEST(Scale, PipelineTimeGrowsModestly)
+{
+    // Not a benchmark, just a guardrail: 10 loops must finish fast
+    // enough to live in the test suite.
+    ExprHigh farm = circuits::buildGcdFarm(10);
+    Environment env;
+    auto start = std::chrono::steady_clock::now();
+    Result<PipelineResult> result = runOooPipeline(farm, env, {});
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(elapsed, 30.0);
+}
+
+}  // namespace
+}  // namespace graphiti

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Unit tests for the executable module semantics: each component of
+ * the catalog, the environment, and the denotation combinators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "semantics/component.hpp"
+#include "semantics/environment.hpp"
+#include "semantics/executor.hpp"
+#include "semantics/module.hpp"
+
+namespace graphiti {
+namespace {
+
+Token
+tok(std::int64_t v)
+{
+    return Token(Value(v));
+}
+
+Token
+tokTagged(std::int64_t v, Tag t)
+{
+    return Token(Value(v), t);
+}
+
+CompState
+feed(const Component& c, const CompState& s, int port, Token t)
+{
+    auto succ = c.acceptInput(s, port, std::move(t));
+    EXPECT_EQ(succ.size(), 1u);
+    return succ.at(0);
+}
+
+TEST(Fork, DuplicatesTokenToAllOutputs)
+{
+    ComponentPtr fork = makeFork(3, kUnbounded);
+    CompState s = feed(*fork, fork->initialState(), 0, tok(7));
+    for (int port = 0; port < 3; ++port) {
+        auto out = fork->emitOutput(s, port);
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_EQ(out[0].first.value.asInt(), 7);
+    }
+}
+
+TEST(Fork, OutputsDrainIndependently)
+{
+    ComponentPtr fork = makeFork(2, kUnbounded);
+    CompState s = feed(*fork, fork->initialState(), 0, tok(1));
+    s = feed(*fork, s, 0, tok(2));
+    auto out = fork->emitOutput(s, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first.value.asInt(), 1);
+    s = out[0].second;
+    // Output 1 still sees both tokens in order.
+    auto out1 = fork->emitOutput(s, 1);
+    ASSERT_EQ(out1.size(), 1u);
+    EXPECT_EQ(out1[0].first.value.asInt(), 1);
+}
+
+TEST(Fork, RefusesWhenBounded)
+{
+    ComponentPtr fork = makeFork(2, 1);
+    CompState s = feed(*fork, fork->initialState(), 0, tok(1));
+    EXPECT_TRUE(fork->acceptInput(s, 0, tok(2)).empty());
+}
+
+TEST(Join, SynchronizesIntoTuple)
+{
+    ComponentPtr join = makeJoin(2, kUnbounded);
+    CompState s = join->initialState();
+    EXPECT_TRUE(join->emitOutput(s, 0).empty());
+    s = feed(*join, s, 0, tok(1));
+    EXPECT_TRUE(join->emitOutput(s, 0).empty());
+    s = feed(*join, s, 1, tok(2));
+    auto out = join->emitOutput(s, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first.value, Value::tuple(Value(1), Value(2)));
+}
+
+TEST(Join, ThreeWayIsRightNested)
+{
+    ComponentPtr join = makeJoin(3, kUnbounded);
+    CompState s = join->initialState();
+    s = feed(*join, s, 0, tok(1));
+    s = feed(*join, s, 1, tok(2));
+    s = feed(*join, s, 2, tok(3));
+    auto out = join->emitOutput(s, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first.value,
+              Value::tuple(Value(1), Value::tuple(Value(2), Value(3))));
+}
+
+TEST(Join, MismatchedTagsBlock)
+{
+    ComponentPtr join = makeJoin(2, kUnbounded);
+    CompState s = join->initialState();
+    s = feed(*join, s, 0, tokTagged(1, 0));
+    s = feed(*join, s, 1, tokTagged(2, 1));
+    EXPECT_TRUE(join->emitOutput(s, 0).empty());
+}
+
+TEST(Join, UntaggedMatchesTagged)
+{
+    ComponentPtr join = makeJoin(2, kUnbounded);
+    CompState s = join->initialState();
+    s = feed(*join, s, 0, tokTagged(1, 3));
+    s = feed(*join, s, 1, tok(2));
+    auto out = join->emitOutput(s, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first.tag, Tag{3});
+}
+
+TEST(Split, SplitsPairAfterInternalStep)
+{
+    ComponentPtr split = makeSplit(kUnbounded);
+    CompState s = split->initialState();
+    Token pair(Value::tuple(Value(1), Value(2)));
+    pair.tag = 5;
+    s = feed(*split, s, 0, pair);
+    auto steps = split->internalSteps(s);
+    ASSERT_EQ(steps.size(), 1u);
+    s = steps[0];
+    auto left = split->emitOutput(s, 0);
+    auto right = split->emitOutput(s, 1);
+    ASSERT_EQ(left.size(), 1u);
+    ASSERT_EQ(right.size(), 1u);
+    EXPECT_EQ(left[0].first.value.asInt(), 1);
+    EXPECT_EQ(right[0].first.value.asInt(), 2);
+    EXPECT_EQ(left[0].first.tag, Tag{5});
+    EXPECT_EQ(right[0].first.tag, Tag{5});
+}
+
+TEST(Split, RefusesNonPair)
+{
+    ComponentPtr split = makeSplit(kUnbounded);
+    EXPECT_TRUE(split->acceptInput(split->initialState(), 0, tok(3))
+                    .empty());
+}
+
+TEST(Branch, RoutesByCondition)
+{
+    ComponentPtr branch = makeBranch(kUnbounded);
+    CompState s = branch->initialState();
+    s = feed(*branch, s, 0, tok(9));
+    s = feed(*branch, s, 1, Token(Value(true)));
+    EXPECT_TRUE(branch->emitOutput(s, 1).empty());
+    auto out = branch->emitOutput(s, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first.value.asInt(), 9);
+
+    CompState s2 = branch->initialState();
+    s2 = feed(*branch, s2, 0, tok(9));
+    s2 = feed(*branch, s2, 1, Token(Value(false)));
+    EXPECT_TRUE(branch->emitOutput(s2, 0).empty());
+    EXPECT_EQ(branch->emitOutput(s2, 1).size(), 1u);
+}
+
+TEST(Mux, SelectsByCondition)
+{
+    ComponentPtr mux = makeMux(kUnbounded);
+    CompState s = mux->initialState();
+    s = feed(*mux, s, 1, tok(10));  // true data
+    s = feed(*mux, s, 2, tok(20));  // false data
+    s = feed(*mux, s, 0, Token(Value(false)));
+    auto out = mux->emitOutput(s, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first.value.asInt(), 20);
+    s = out[0].second;
+    // true data still queued, no condition left
+    EXPECT_TRUE(mux->emitOutput(s, 0).empty());
+}
+
+TEST(Mux, BlocksUntilSelectedInputArrives)
+{
+    ComponentPtr mux = makeMux(kUnbounded);
+    CompState s = mux->initialState();
+    s = feed(*mux, s, 0, Token(Value(true)));
+    s = feed(*mux, s, 2, tok(20));  // only the false input present
+    EXPECT_TRUE(mux->emitOutput(s, 0).empty());
+}
+
+TEST(Merge, IsNondeterministicWhenBothPresent)
+{
+    ComponentPtr merge = makeMerge(kUnbounded);
+    CompState s = merge->initialState();
+    s = feed(*merge, s, 0, tok(1));
+    s = feed(*merge, s, 1, tok(2));
+    auto out = merge->emitOutput(s, 0);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_NE(out[0].first.value.asInt(), out[1].first.value.asInt());
+}
+
+TEST(Init, ProducesInitialTokenThenQueues)
+{
+    ComponentPtr init = makeInit(false, kUnbounded);
+    CompState s = init->initialState();
+    auto first = init->emitOutput(s, 0);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_FALSE(first[0].first.value.asBool());
+    s = first[0].second;
+    EXPECT_TRUE(init->emitOutput(s, 0).empty());
+    s = feed(*init, s, 0, Token(Value(true)));
+    auto second = init->emitOutput(s, 0);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_TRUE(second[0].first.value.asBool());
+}
+
+TEST(Operator, ComputesAtOutput)
+{
+    ComponentPtr mod = makeOperator("mod", kUnbounded);
+    CompState s = mod->initialState();
+    s = feed(*mod, s, 0, tok(17));
+    s = feed(*mod, s, 1, tok(5));
+    auto out = mod->emitOutput(s, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first.value.asInt(), 2);
+}
+
+TEST(Operator, DivisionByZeroIsStuck)
+{
+    ComponentPtr mod = makeOperator("mod", kUnbounded);
+    CompState s = mod->initialState();
+    s = feed(*mod, s, 0, tok(17));
+    s = feed(*mod, s, 1, tok(0));
+    EXPECT_TRUE(mod->emitOutput(s, 0).empty());
+}
+
+TEST(Operator, TagMismatchBlocks)
+{
+    ComponentPtr add = makeOperator("add", kUnbounded);
+    CompState s = add->initialState();
+    s = feed(*add, s, 0, tokTagged(1, 0));
+    s = feed(*add, s, 1, tokTagged(2, 1));
+    EXPECT_TRUE(add->emitOutput(s, 0).empty());
+}
+
+TEST(Pure, AppliesFunctionPreservingTag)
+{
+    ComponentPtr pure = makePure(
+        "inc", [](const Value& v) { return Value(v.asInt() + 1); },
+        kUnbounded);
+    CompState s = pure->initialState();
+    s = feed(*pure, s, 0, tokTagged(41, 2));
+    auto out = pure->emitOutput(s, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first.value.asInt(), 42);
+    EXPECT_EQ(out[0].first.tag, Tag{2});
+}
+
+TEST(Constant, ReleasedByControlToken)
+{
+    ComponentPtr c = makeConstant(Value(std::int64_t{5}), kUnbounded);
+    CompState s = c->initialState();
+    EXPECT_TRUE(c->emitOutput(s, 0).empty());
+    s = feed(*c, s, 0, Token(Value()));
+    auto out = c->emitOutput(s, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first.value.asInt(), 5);
+}
+
+TEST(SinkAndSource, Behave)
+{
+    ComponentPtr sink = makeSink(kUnbounded);
+    EXPECT_EQ(sink->acceptInput(sink->initialState(), 0, tok(1)).size(),
+              1u);
+    ComponentPtr source = makeSource();
+    EXPECT_EQ(source->emitOutput(source->initialState(), 0).size(), 1u);
+}
+
+TEST(Tagger, TagsInAllocationOrderAndReorders)
+{
+    ComponentPtr tagger = makeTagger(4, kUnbounded);
+    CompState s = tagger->initialState();
+    s = feed(*tagger, s, 0, tok(100));
+    s = feed(*tagger, s, 0, tok(200));
+
+    // Two internal allocations hand out tags 0 and 1.
+    s = tagger->internalSteps(s).at(0);
+    s = tagger->internalSteps(s).at(0);
+    auto t0 = tagger->emitOutput(s, 0);
+    ASSERT_EQ(t0.size(), 1u);
+    EXPECT_EQ(t0[0].first.tag, Tag{0});
+    s = t0[0].second;
+    auto t1 = tagger->emitOutput(s, 0);
+    ASSERT_EQ(t1.size(), 1u);
+    EXPECT_EQ(t1[0].first.tag, Tag{1});
+    s = t1[0].second;
+
+    // Results come back out of order; out1 restores program order.
+    s = feed(*tagger, s, 1, tokTagged(222, 1));
+    EXPECT_TRUE(tagger->emitOutput(s, 1).empty());
+    s = feed(*tagger, s, 1, tokTagged(111, 0));
+    auto o0 = tagger->emitOutput(s, 1);
+    ASSERT_EQ(o0.size(), 1u);
+    EXPECT_EQ(o0[0].first.value.asInt(), 111);
+    EXPECT_FALSE(o0[0].first.tag.has_value());
+    s = o0[0].second;
+    auto o1 = tagger->emitOutput(s, 1);
+    ASSERT_EQ(o1.size(), 1u);
+    EXPECT_EQ(o1[0].first.value.asInt(), 222);
+}
+
+TEST(Tagger, BoundsInFlightTags)
+{
+    ComponentPtr tagger = makeTagger(1, kUnbounded);
+    CompState s = tagger->initialState();
+    s = feed(*tagger, s, 0, tok(1));
+    s = feed(*tagger, s, 0, tok(2));
+    s = tagger->internalSteps(s).at(0);
+    // Only one tag exists; the second allocation must wait.
+    EXPECT_TRUE(tagger->internalSteps(s).empty());
+}
+
+TEST(Tagger, RefusesUntaggedReturn)
+{
+    ComponentPtr tagger = makeTagger(2, kUnbounded);
+    EXPECT_TRUE(
+        tagger->acceptInput(tagger->initialState(), 1, tok(1)).empty());
+}
+
+TEST(Store, EmitsObservableEffect)
+{
+    ComponentPtr store = makeStore("mem", kUnbounded);
+    CompState s = store->initialState();
+    s = feed(*store, s, 0, tok(3));   // address
+    s = feed(*store, s, 1, tok(42));  // data
+    auto out = store->emitOutput(s, 0);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first.value, Value::tuple(Value(3), Value(42)));
+}
+
+TEST(Environment, LookupCachesAndFails)
+{
+    Environment env;
+    Result<ComponentPtr> a = env.lookup("mux", {});
+    Result<ComponentPtr> b = env.lookup("mux", {});
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.value().get(), b.value().get());
+    EXPECT_FALSE(env.lookup("nope", {}).ok());
+    EXPECT_FALSE(env.lookup("pure", {{"fn", "missing"}}).ok());
+    EXPECT_FALSE(env.lookup("tagger", {{"tags", "0"}}).ok());
+}
+
+TEST(Environment, ParseConstantForms)
+{
+    EXPECT_EQ(parseConstant("42").value().asInt(), 42);
+    EXPECT_TRUE(parseConstant("true").value().asBool());
+    EXPECT_DOUBLE_EQ(parseConstant("2.5").value().asDouble(), 2.5);
+    EXPECT_TRUE(parseConstant("unit").value().isUnit());
+    EXPECT_FALSE(parseConstant("zebra").ok());
+}
+
+TEST(Denote, ForkModuloPipeline)
+{
+    // fork duplicates io0 into both operands of a modulo: x % x == 0.
+    ExprHigh g;
+    g.addNode("f", "fork", {{"out", "2"}});
+    g.addNode("m", "operator", {{"op", "mod"}});
+    g.bindInput(0, PortRef{"f", "in0"});
+    g.bindOutput(0, PortRef{"m", "out0"});
+    g.connect("f", "out0", "m", "in0");
+    g.connect("f", "out1", "m", "in1");
+
+    Environment env;
+    Result<ExprLow> low = lowerToExprLow(g);
+    ASSERT_TRUE(low.ok());
+    Result<DenotedModule> mod = DenotedModule::denote(low.value(), env);
+    ASSERT_TRUE(mod.ok()) << mod.error().message;
+    EXPECT_EQ(mod.value().inputNames().size(), 1u);
+    EXPECT_EQ(mod.value().outputNames().size(), 1u);
+
+    Executor exec(mod.value());
+    EXPECT_TRUE(exec.feedIo(0, Value(7)));
+    auto out = exec.pullIo(0);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->value.asInt(), 0);
+}
+
+TEST(Denote, ConnectionsBecomeInternal)
+{
+    ExprHigh g;
+    g.addNode("b1", "buffer");
+    g.addNode("b2", "buffer");
+    g.bindInput(0, PortRef{"b1", "in0"});
+    g.bindOutput(0, PortRef{"b2", "out0"});
+    g.connect("b1", "out0", "b2", "in0");
+    Environment env;
+    Result<DenotedModule> mod =
+        DenotedModule::denote(lowerToExprLow(g).value(), env);
+    ASSERT_TRUE(mod.ok());
+    // Internal ports no longer appear externally.
+    EXPECT_FALSE(mod.value().hasOutput(
+        LowPortId::localPort("b1", "out0")));
+    EXPECT_FALSE(mod.value().hasInput(LowPortId::localPort("b2", "in0")));
+
+    GraphState s = mod.value().initialState();
+    auto fed = mod.value().inputStep(s, LowPortId::ioPort(0),
+                                     Token(Value(1)));
+    ASSERT_EQ(fed.size(), 1u);
+    // One fused internal transition moves the token between buffers.
+    auto internal = mod.value().internalSteps(fed[0]);
+    ASSERT_EQ(internal.size(), 1u);
+    auto out = mod.value().outputStep(internal[0], LowPortId::ioPort(0));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first.value.asInt(), 1);
+}
+
+TEST(Denote, MissingEnvironmentEntryFails)
+{
+    ExprHigh g;
+    g.addNode("p", "pure", {{"fn", "nothere"}});
+    g.bindInput(0, PortRef{"p", "in0"});
+    g.bindOutput(0, PortRef{"p", "out0"});
+    Environment env;
+    EXPECT_FALSE(
+        DenotedModule::denote(lowerToExprLow(g).value(), env).ok());
+}
+
+}  // namespace
+}  // namespace graphiti

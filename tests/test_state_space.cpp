@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the state-space explorer underneath the refinement
+ * checker: budget handling, edge classification, internal closures,
+ * and the executor's scheduling behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "refine/state_space.hpp"
+#include "semantics/executor.hpp"
+
+namespace graphiti {
+namespace {
+
+DenotedModule
+bufferModule(Environment& env)
+{
+    ExprHigh g;
+    g.addNode("b", "buffer");
+    g.bindInput(0, PortRef{"b", "in0"});
+    g.bindOutput(0, PortRef{"b", "out0"});
+    return DenotedModule::denote(lowerToExprLow(g).value(), env).take();
+}
+
+TEST(StateSpace, BufferSpaceIsTokenSequences)
+{
+    Environment env(4);
+    DenotedModule mod = bufferModule(env);
+    InputDomain domain = InputDomain::uniform(mod, {Token(Value(1))});
+    Result<StateSpace> space =
+        StateSpace::explore(mod, domain, {.max_states = 1000,
+                                          .input_budget = 2});
+    ASSERT_TRUE(space.ok()) << space.error().message;
+    // Budget 2, one token value: states are (queue contents, budget):
+    // ([],2) ([1],1) ([],1) ([1,1],0) ([1],0) ([],0) -> 6 states.
+    EXPECT_EQ(space.value().numStates(), 6u);
+    EXPECT_EQ(space.value().budget(space.value().initialState()), 2u);
+}
+
+TEST(StateSpace, BudgetZeroDisablesInputs)
+{
+    Environment env(4);
+    DenotedModule mod = bufferModule(env);
+    InputDomain domain = InputDomain::uniform(mod, {Token(Value(1))});
+    Result<StateSpace> space =
+        StateSpace::explore(mod, domain, {.max_states = 1000,
+                                          .input_budget = 0});
+    ASSERT_TRUE(space.ok());
+    EXPECT_EQ(space.value().numStates(), 1u);
+    EXPECT_TRUE(space.value()
+                    .inputEdges(space.value().initialState())
+                    .empty());
+}
+
+TEST(StateSpace, TwoTokensDoubleTheAlphabet)
+{
+    Environment env(4);
+    DenotedModule mod = bufferModule(env);
+    InputDomain domain = InputDomain::uniform(
+        mod, {Token(Value(1)), Token(Value(2))});
+    Result<StateSpace> space =
+        StateSpace::explore(mod, domain, {.max_states = 1000,
+                                          .input_budget = 1});
+    ASSERT_TRUE(space.ok());
+    EXPECT_EQ(space.value()
+                  .inputEdges(space.value().initialState())
+                  .size(),
+              2u);
+}
+
+TEST(StateSpace, MaxStatesEnforced)
+{
+    Environment env(8);
+    DenotedModule mod = bufferModule(env);
+    InputDomain domain = InputDomain::uniform(
+        mod, {Token(Value(1)), Token(Value(2)), Token(Value(3))});
+    EXPECT_FALSE(StateSpace::explore(mod, domain,
+                                     {.max_states = 3,
+                                      .input_budget = 3})
+                     .ok());
+}
+
+TEST(StateSpace, InternalClosureCoversChains)
+{
+    // Two buffers in sequence: feeding one token gives an internal
+    // transition whose closure includes the moved-token state.
+    Environment env(4);
+    ExprHigh g;
+    g.addNode("b1", "buffer");
+    g.addNode("b2", "buffer");
+    g.bindInput(0, PortRef{"b1", "in0"});
+    g.bindOutput(0, PortRef{"b2", "out0"});
+    g.connect("b1", "out0", "b2", "in0");
+    DenotedModule mod =
+        DenotedModule::denote(lowerToExprLow(g).value(), env).take();
+    InputDomain domain = InputDomain::uniform(mod, {Token(Value(1))});
+    Result<StateSpace> space =
+        StateSpace::explore(mod, domain, {.max_states = 1000,
+                                          .input_budget = 1});
+    ASSERT_TRUE(space.ok());
+    const StateSpace& s = space.value();
+    // From the post-input state, the closure has >= 2 states (token in
+    // b1, token in b2).
+    ASSERT_FALSE(s.inputEdges(s.initialState()).empty());
+    std::uint32_t fed = s.inputEdges(s.initialState())[0].dst;
+    EXPECT_GE(s.internalClosure(fed).size(), 2u);
+    // Closure of the initial state is itself only.
+    EXPECT_EQ(s.internalClosure(s.initialState()).size(), 1u);
+}
+
+TEST(StateSpace, DescribeStateMentionsBudget)
+{
+    Environment env(4);
+    DenotedModule mod = bufferModule(env);
+    InputDomain domain = InputDomain::uniform(mod, {Token(Value(1))});
+    StateSpace space = StateSpace::explore(mod, domain,
+                                           {.max_states = 100,
+                                            .input_budget = 1})
+                           .take();
+    EXPECT_NE(space.describeState(0).find("budget"), std::string::npos);
+}
+
+TEST(Executor, FeedRefusedWhenQueueFull)
+{
+    Environment env(1);  // capacity one
+    DenotedModule mod = bufferModule(env);
+    Executor exec(mod);
+    EXPECT_TRUE(exec.feedIo(0, Value(1)));
+    EXPECT_FALSE(exec.feedIo(0, Value(2)));
+}
+
+TEST(Executor, PullWithoutTokenReturnsNothing)
+{
+    Environment env(4);
+    DenotedModule mod = bufferModule(env);
+    Executor exec(mod);
+    EXPECT_FALSE(exec.pull(LowPortId::ioPort(0)).has_value());
+    EXPECT_FALSE(exec.pullIo(0, 10).has_value());
+}
+
+TEST(Executor, RunInternalCountsSteps)
+{
+    Environment env(4);
+    ExprHigh g;
+    g.addNode("b1", "buffer");
+    g.addNode("b2", "buffer");
+    g.addNode("b3", "buffer");
+    g.bindInput(0, PortRef{"b1", "in0"});
+    g.bindOutput(0, PortRef{"b3", "out0"});
+    g.connect("b1", "out0", "b2", "in0");
+    g.connect("b2", "out0", "b3", "in0");
+    DenotedModule mod =
+        DenotedModule::denote(lowerToExprLow(g).value(), env).take();
+    Executor exec(mod);
+    ASSERT_TRUE(exec.feedIo(0, Value(7)));
+    EXPECT_EQ(exec.runInternal(), 2u);  // two connection hops
+    EXPECT_EQ(exec.pull(LowPortId::ioPort(0))->value.asInt(), 7);
+}
+
+TEST(Executor, UnknownPortIsRefused)
+{
+    Environment env(4);
+    DenotedModule mod = bufferModule(env);
+    Executor exec(mod);
+    EXPECT_FALSE(exec.feed(LowPortId::ioPort(9), Token(Value(1))));
+}
+
+}  // namespace
+}  // namespace graphiti

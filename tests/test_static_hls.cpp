@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the Vericert-style static HLS baseline: list scheduling
+ * with shared functional units, no loop pipelining, and the
+ * cycle/clock-period/area characteristics of table 2/3's Vericert
+ * columns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "static_hls/static_hls.hpp"
+
+namespace graphiti::static_hls {
+namespace {
+
+StaticKernel
+chainKernel(std::size_t outer, std::size_t trips)
+{
+    StaticLoop loop;
+    loop.body = {
+        {"load", "load", {}},
+        {"fmul", "fmul", {"load"}},
+        {"fadd", "fadd", {"fmul"}},
+    };
+    loop.trips = trips;
+    return StaticKernel{"chain", outer, {loop}, 2};
+}
+
+TEST(StaticHls, ChainScheduleLengthIsLatencySum)
+{
+    StaticReport report = scheduleAndEvaluate(chainKernel(1, 1));
+    // load 2 + fmul 6 + fadd 10 = 18, plus one FSM control state.
+    EXPECT_EQ(report.iteration_states.at(0), 19u);
+    EXPECT_EQ(report.cycles, 1 * (2 + 19) + 2);
+}
+
+TEST(StaticHls, NoLoopPipelining)
+{
+    StaticReport one = scheduleAndEvaluate(chainKernel(1, 1));
+    StaticReport many = scheduleAndEvaluate(chainKernel(1, 10));
+    // Ten iterations cost ten times the iteration states: the static
+    // schedule cannot overlap them.
+    std::size_t iter = one.iteration_states.at(0);
+    EXPECT_EQ(many.cycles - 2 - 2, 10 * iter);
+}
+
+TEST(StaticHls, SharedFuSerializesSameClassOps)
+{
+    StaticLoop loop;
+    loop.body = {
+        {"a", "fadd", {}},
+        {"b", "fadd", {}},  // independent, but only one fadd unit
+    };
+    loop.trips = 1;
+    StaticKernel kernel{"two_fadds", 1, {loop}, 0};
+    StaticReport report = scheduleAndEvaluate(kernel);
+    // Serialized on the shared unit: 10 + 10 (+1 control).
+    EXPECT_EQ(report.iteration_states.at(0), 21u);
+}
+
+TEST(StaticHls, IndependentClassesOverlap)
+{
+    StaticLoop loop;
+    loop.body = {
+        {"a", "fadd", {}},
+        {"b", "fmul", {}},  // different unit: parallel
+    };
+    loop.trips = 1;
+    StaticKernel kernel{"mix", 1, {loop}, 0};
+    StaticReport report = scheduleAndEvaluate(kernel);
+    EXPECT_EQ(report.iteration_states.at(0), 11u);
+}
+
+TEST(StaticHls, AreaCountsEachFuOnce)
+{
+    StaticLoop loop;
+    loop.body = {
+        {"a", "fadd", {}},
+        {"b", "fadd", {"a"}},
+        {"c", "fadd", {"b"}},
+    };
+    loop.trips = 100;
+    StaticKernel kernel{"fadds", 10, {loop}, 0};
+    StaticReport report = scheduleAndEvaluate(kernel);
+    // One shared fadd: 2 DSPs total regardless of op or trip count.
+    EXPECT_EQ(report.area.dsp, 2);
+}
+
+TEST(StaticHls, ClockPeriodBeatsElasticCircuits)
+{
+    StaticReport report = scheduleAndEvaluate(chainKernel(10, 10));
+    EXPECT_LT(report.clock_period_ns, 5.2);
+    EXPECT_GT(report.clock_period_ns, 4.0);
+}
+
+TEST(StaticHls, UnknownDependencyThrows)
+{
+    StaticLoop loop;
+    loop.body = {{"a", "fadd", {"ghost"}}};
+    loop.trips = 1;
+    StaticKernel kernel{"bad", 1, {loop}, 0};
+    EXPECT_THROW(scheduleAndEvaluate(kernel), std::runtime_error);
+}
+
+TEST(StaticHls, OuterTripsMultiply)
+{
+    StaticReport once = scheduleAndEvaluate(chainKernel(1, 4));
+    StaticReport ten = scheduleAndEvaluate(chainKernel(10, 4));
+    EXPECT_EQ((ten.cycles - 2), 10 * (once.cycles - 2));
+}
+
+}  // namespace
+}  // namespace graphiti::static_hls
