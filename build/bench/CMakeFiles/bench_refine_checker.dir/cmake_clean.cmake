@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refine_checker.dir/bench_refine_checker.cpp.o"
+  "CMakeFiles/bench_refine_checker.dir/bench_refine_checker.cpp.o.d"
+  "bench_refine_checker"
+  "bench_refine_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refine_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

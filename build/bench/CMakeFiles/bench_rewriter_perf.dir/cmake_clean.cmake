@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewriter_perf.dir/bench_rewriter_perf.cpp.o"
+  "CMakeFiles/bench_rewriter_perf.dir/bench_rewriter_perf.cpp.o.d"
+  "bench_rewriter_perf"
+  "bench_rewriter_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewriter_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

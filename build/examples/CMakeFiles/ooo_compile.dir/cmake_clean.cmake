@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooo_compile.dir/ooo_compile.cpp.o"
+  "CMakeFiles/ooo_compile.dir/ooo_compile.cpp.o.d"
+  "ooo_compile"
+  "ooo_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooo_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phases.dir/phases.cpp.o"
+  "CMakeFiles/phases.dir/phases.cpp.o.d"
+  "phases"
+  "phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_rewrite.dir/verify_rewrite.cpp.o"
+  "CMakeFiles/verify_rewrite.dir/verify_rewrite.cpp.o.d"
+  "verify_rewrite"
+  "verify_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

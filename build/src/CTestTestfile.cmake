@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("dot")
+subdirs("graph")
+subdirs("semantics")
+subdirs("refine")
+subdirs("egraph")
+subdirs("rewrite")
+subdirs("sim")
+subdirs("arch")
+subdirs("static_hls")
+subdirs("bench_circuits")
+subdirs("emit")
+subdirs("core")

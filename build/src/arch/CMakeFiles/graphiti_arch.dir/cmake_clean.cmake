@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_arch.dir/area_timing.cpp.o"
+  "CMakeFiles/graphiti_arch.dir/area_timing.cpp.o.d"
+  "CMakeFiles/graphiti_arch.dir/buffers.cpp.o"
+  "CMakeFiles/graphiti_arch.dir/buffers.cpp.o.d"
+  "libgraphiti_arch.a"
+  "libgraphiti_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_bench_circuits.dir/benchmarks.cpp.o"
+  "CMakeFiles/graphiti_bench_circuits.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/graphiti_bench_circuits.dir/gcd.cpp.o"
+  "CMakeFiles/graphiti_bench_circuits.dir/gcd.cpp.o.d"
+  "libgraphiti_bench_circuits.a"
+  "libgraphiti_bench_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_bench_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

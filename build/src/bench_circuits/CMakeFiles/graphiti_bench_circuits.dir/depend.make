@@ -1,0 +1,2 @@
+# Empty dependencies file for graphiti_bench_circuits.
+# This may be replaced when dependencies are built.

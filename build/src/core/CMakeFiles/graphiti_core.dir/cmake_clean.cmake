@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_core.dir/compiler.cpp.o"
+  "CMakeFiles/graphiti_core.dir/compiler.cpp.o.d"
+  "libgraphiti_core.a"
+  "libgraphiti_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

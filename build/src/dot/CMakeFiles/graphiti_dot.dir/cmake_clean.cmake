@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_dot.dir/dot.cpp.o"
+  "CMakeFiles/graphiti_dot.dir/dot.cpp.o.d"
+  "libgraphiti_dot.a"
+  "libgraphiti_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_egraph.dir/egraph.cpp.o"
+  "CMakeFiles/graphiti_egraph.dir/egraph.cpp.o.d"
+  "libgraphiti_egraph.a"
+  "libgraphiti_egraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

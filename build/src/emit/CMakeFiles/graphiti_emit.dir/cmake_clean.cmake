@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_emit.dir/verilog.cpp.o"
+  "CMakeFiles/graphiti_emit.dir/verilog.cpp.o.d"
+  "libgraphiti_emit.a"
+  "libgraphiti_emit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_emit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/expr_high.cpp" "src/graph/CMakeFiles/graphiti_graph.dir/expr_high.cpp.o" "gcc" "src/graph/CMakeFiles/graphiti_graph.dir/expr_high.cpp.o.d"
+  "/root/repo/src/graph/expr_low.cpp" "src/graph/CMakeFiles/graphiti_graph.dir/expr_low.cpp.o" "gcc" "src/graph/CMakeFiles/graphiti_graph.dir/expr_low.cpp.o.d"
+  "/root/repo/src/graph/signatures.cpp" "src/graph/CMakeFiles/graphiti_graph.dir/signatures.cpp.o" "gcc" "src/graph/CMakeFiles/graphiti_graph.dir/signatures.cpp.o.d"
+  "/root/repo/src/graph/typecheck.cpp" "src/graph/CMakeFiles/graphiti_graph.dir/typecheck.cpp.o" "gcc" "src/graph/CMakeFiles/graphiti_graph.dir/typecheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/graphiti_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

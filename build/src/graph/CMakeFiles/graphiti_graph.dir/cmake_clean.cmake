@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_graph.dir/expr_high.cpp.o"
+  "CMakeFiles/graphiti_graph.dir/expr_high.cpp.o.d"
+  "CMakeFiles/graphiti_graph.dir/expr_low.cpp.o"
+  "CMakeFiles/graphiti_graph.dir/expr_low.cpp.o.d"
+  "CMakeFiles/graphiti_graph.dir/signatures.cpp.o"
+  "CMakeFiles/graphiti_graph.dir/signatures.cpp.o.d"
+  "CMakeFiles/graphiti_graph.dir/typecheck.cpp.o"
+  "CMakeFiles/graphiti_graph.dir/typecheck.cpp.o.d"
+  "libgraphiti_graph.a"
+  "libgraphiti_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refine/liveness.cpp" "src/refine/CMakeFiles/graphiti_refine.dir/liveness.cpp.o" "gcc" "src/refine/CMakeFiles/graphiti_refine.dir/liveness.cpp.o.d"
+  "/root/repo/src/refine/refinement.cpp" "src/refine/CMakeFiles/graphiti_refine.dir/refinement.cpp.o" "gcc" "src/refine/CMakeFiles/graphiti_refine.dir/refinement.cpp.o.d"
+  "/root/repo/src/refine/state_space.cpp" "src/refine/CMakeFiles/graphiti_refine.dir/state_space.cpp.o" "gcc" "src/refine/CMakeFiles/graphiti_refine.dir/state_space.cpp.o.d"
+  "/root/repo/src/refine/trace.cpp" "src/refine/CMakeFiles/graphiti_refine.dir/trace.cpp.o" "gcc" "src/refine/CMakeFiles/graphiti_refine.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semantics/CMakeFiles/graphiti_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graphiti_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/graphiti_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

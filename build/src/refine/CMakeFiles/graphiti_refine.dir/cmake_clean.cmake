@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_refine.dir/liveness.cpp.o"
+  "CMakeFiles/graphiti_refine.dir/liveness.cpp.o.d"
+  "CMakeFiles/graphiti_refine.dir/refinement.cpp.o"
+  "CMakeFiles/graphiti_refine.dir/refinement.cpp.o.d"
+  "CMakeFiles/graphiti_refine.dir/state_space.cpp.o"
+  "CMakeFiles/graphiti_refine.dir/state_space.cpp.o.d"
+  "CMakeFiles/graphiti_refine.dir/trace.cpp.o"
+  "CMakeFiles/graphiti_refine.dir/trace.cpp.o.d"
+  "libgraphiti_refine.a"
+  "libgraphiti_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/catalog.cpp" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/catalog.cpp.o" "gcc" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/catalog.cpp.o.d"
+  "/root/repo/src/rewrite/catalog_verify.cpp" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/catalog_verify.cpp.o" "gcc" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/catalog_verify.cpp.o.d"
+  "/root/repo/src/rewrite/engine.cpp" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/engine.cpp.o" "gcc" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/engine.cpp.o.d"
+  "/root/repo/src/rewrite/loop_rewrite.cpp" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/loop_rewrite.cpp.o" "gcc" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/loop_rewrite.cpp.o.d"
+  "/root/repo/src/rewrite/ooo_pipeline.cpp" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/ooo_pipeline.cpp.o" "gcc" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/ooo_pipeline.cpp.o.d"
+  "/root/repo/src/rewrite/pure_gen.cpp" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/pure_gen.cpp.o" "gcc" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/pure_gen.cpp.o.d"
+  "/root/repo/src/rewrite/rewrite.cpp" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/rewrite.cpp.o" "gcc" "src/rewrite/CMakeFiles/graphiti_rewrite.dir/rewrite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/refine/CMakeFiles/graphiti_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/egraph/CMakeFiles/graphiti_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/graphiti_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graphiti_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/graphiti_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_rewrite.dir/catalog.cpp.o"
+  "CMakeFiles/graphiti_rewrite.dir/catalog.cpp.o.d"
+  "CMakeFiles/graphiti_rewrite.dir/catalog_verify.cpp.o"
+  "CMakeFiles/graphiti_rewrite.dir/catalog_verify.cpp.o.d"
+  "CMakeFiles/graphiti_rewrite.dir/engine.cpp.o"
+  "CMakeFiles/graphiti_rewrite.dir/engine.cpp.o.d"
+  "CMakeFiles/graphiti_rewrite.dir/loop_rewrite.cpp.o"
+  "CMakeFiles/graphiti_rewrite.dir/loop_rewrite.cpp.o.d"
+  "CMakeFiles/graphiti_rewrite.dir/ooo_pipeline.cpp.o"
+  "CMakeFiles/graphiti_rewrite.dir/ooo_pipeline.cpp.o.d"
+  "CMakeFiles/graphiti_rewrite.dir/pure_gen.cpp.o"
+  "CMakeFiles/graphiti_rewrite.dir/pure_gen.cpp.o.d"
+  "CMakeFiles/graphiti_rewrite.dir/rewrite.cpp.o"
+  "CMakeFiles/graphiti_rewrite.dir/rewrite.cpp.o.d"
+  "libgraphiti_rewrite.a"
+  "libgraphiti_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

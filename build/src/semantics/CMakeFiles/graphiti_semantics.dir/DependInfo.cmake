@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/component.cpp" "src/semantics/CMakeFiles/graphiti_semantics.dir/component.cpp.o" "gcc" "src/semantics/CMakeFiles/graphiti_semantics.dir/component.cpp.o.d"
+  "/root/repo/src/semantics/environment.cpp" "src/semantics/CMakeFiles/graphiti_semantics.dir/environment.cpp.o" "gcc" "src/semantics/CMakeFiles/graphiti_semantics.dir/environment.cpp.o.d"
+  "/root/repo/src/semantics/executor.cpp" "src/semantics/CMakeFiles/graphiti_semantics.dir/executor.cpp.o" "gcc" "src/semantics/CMakeFiles/graphiti_semantics.dir/executor.cpp.o.d"
+  "/root/repo/src/semantics/functions.cpp" "src/semantics/CMakeFiles/graphiti_semantics.dir/functions.cpp.o" "gcc" "src/semantics/CMakeFiles/graphiti_semantics.dir/functions.cpp.o.d"
+  "/root/repo/src/semantics/module.cpp" "src/semantics/CMakeFiles/graphiti_semantics.dir/module.cpp.o" "gcc" "src/semantics/CMakeFiles/graphiti_semantics.dir/module.cpp.o.d"
+  "/root/repo/src/semantics/state.cpp" "src/semantics/CMakeFiles/graphiti_semantics.dir/state.cpp.o" "gcc" "src/semantics/CMakeFiles/graphiti_semantics.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/graphiti_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/graphiti_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_semantics.dir/component.cpp.o"
+  "CMakeFiles/graphiti_semantics.dir/component.cpp.o.d"
+  "CMakeFiles/graphiti_semantics.dir/environment.cpp.o"
+  "CMakeFiles/graphiti_semantics.dir/environment.cpp.o.d"
+  "CMakeFiles/graphiti_semantics.dir/executor.cpp.o"
+  "CMakeFiles/graphiti_semantics.dir/executor.cpp.o.d"
+  "CMakeFiles/graphiti_semantics.dir/functions.cpp.o"
+  "CMakeFiles/graphiti_semantics.dir/functions.cpp.o.d"
+  "CMakeFiles/graphiti_semantics.dir/module.cpp.o"
+  "CMakeFiles/graphiti_semantics.dir/module.cpp.o.d"
+  "CMakeFiles/graphiti_semantics.dir/state.cpp.o"
+  "CMakeFiles/graphiti_semantics.dir/state.cpp.o.d"
+  "libgraphiti_semantics.a"
+  "libgraphiti_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_sim.dir/sim.cpp.o"
+  "CMakeFiles/graphiti_sim.dir/sim.cpp.o.d"
+  "libgraphiti_sim.a"
+  "libgraphiti_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

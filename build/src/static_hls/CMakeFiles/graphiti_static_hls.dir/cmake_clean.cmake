@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_static_hls.dir/static_hls.cpp.o"
+  "CMakeFiles/graphiti_static_hls.dir/static_hls.cpp.o.d"
+  "libgraphiti_static_hls.a"
+  "libgraphiti_static_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_static_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

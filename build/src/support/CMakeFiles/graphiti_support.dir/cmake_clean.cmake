@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphiti_support.dir/strings.cpp.o"
+  "CMakeFiles/graphiti_support.dir/strings.cpp.o.d"
+  "CMakeFiles/graphiti_support.dir/token.cpp.o"
+  "CMakeFiles/graphiti_support.dir/token.cpp.o.d"
+  "libgraphiti_support.a"
+  "libgraphiti_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphiti_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

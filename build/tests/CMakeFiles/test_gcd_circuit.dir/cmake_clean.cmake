@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcd_circuit.dir/test_gcd_circuit.cpp.o"
+  "CMakeFiles/test_gcd_circuit.dir/test_gcd_circuit.cpp.o.d"
+  "test_gcd_circuit"
+  "test_gcd_circuit.pdb"
+  "test_gcd_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcd_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_liveness.cpp" "tests/CMakeFiles/test_liveness.dir/test_liveness.cpp.o" "gcc" "tests/CMakeFiles/test_liveness.dir/test_liveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/refine/CMakeFiles/graphiti_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_circuits/CMakeFiles/graphiti_bench_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/graphiti_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/static_hls/CMakeFiles/graphiti_static_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/graphiti_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graphiti_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/graphiti_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

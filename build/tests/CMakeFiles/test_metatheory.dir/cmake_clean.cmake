@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metatheory.dir/test_metatheory.cpp.o"
+  "CMakeFiles/test_metatheory.dir/test_metatheory.cpp.o.d"
+  "test_metatheory"
+  "test_metatheory.pdb"
+  "test_metatheory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metatheory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

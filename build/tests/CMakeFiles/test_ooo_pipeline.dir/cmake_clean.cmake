@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ooo_pipeline.dir/test_ooo_pipeline.cpp.o"
+  "CMakeFiles/test_ooo_pipeline.dir/test_ooo_pipeline.cpp.o.d"
+  "test_ooo_pipeline"
+  "test_ooo_pipeline.pdb"
+  "test_ooo_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ooo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

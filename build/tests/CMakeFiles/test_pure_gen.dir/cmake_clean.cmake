@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pure_gen.dir/test_pure_gen.cpp.o"
+  "CMakeFiles/test_pure_gen.dir/test_pure_gen.cpp.o.d"
+  "test_pure_gen"
+  "test_pure_gen.pdb"
+  "test_pure_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pure_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

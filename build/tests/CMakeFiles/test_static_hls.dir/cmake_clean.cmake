@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_hls.dir/test_static_hls.cpp.o"
+  "CMakeFiles/test_static_hls.dir/test_static_hls.cpp.o.d"
+  "test_static_hls"
+  "test_static_hls.pdb"
+  "test_static_hls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

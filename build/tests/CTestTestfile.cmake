@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_dot[1]_include.cmake")
+include("/root/repo/build/tests/test_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_gcd_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_refine[1]_include.cmake")
+include("/root/repo/build/tests/test_egraph[1]_include.cmake")
+include("/root/repo/build/tests/test_rewrite[1]_include.cmake")
+include("/root/repo/build/tests/test_ooo_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_benchmarks[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_static_hls[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_typecheck[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_functions[1]_include.cmake")
+include("/root/repo/build/tests/test_state_space[1]_include.cmake")
+include("/root/repo/build/tests/test_pure_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_emit[1]_include.cmake")
+include("/root/repo/build/tests/test_liveness[1]_include.cmake")
+include("/root/repo/build/tests/test_metatheory[1]_include.cmake")
+include("/root/repo/build/tests/test_buffers[1]_include.cmake")
+include("/root/repo/build/tests/test_scale[1]_include.cmake")
+include("/root/repo/build/tests/test_module[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
