@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Throughput of the hazard-stress harness: fault plans validated per
+ * second on the GCD circuits, for the baseline battery and for a
+ * random-plan-only sweep. This bounds how much adversarial-timing
+ * coverage a CI budget buys.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_circuits/gcd.hpp"
+#include "faults/stress.hpp"
+#include "rewrite/ooo_pipeline.hpp"
+
+namespace {
+
+using namespace graphiti;
+
+faults::Workload
+gcdWorkload()
+{
+    faults::Workload w;
+    std::vector<Token> as, bs;
+    for (int i = 0; i < 8; ++i) {
+        as.emplace_back(Value(1071 + 17 * i));
+        bs.emplace_back(Value(462 + 3 * i));
+    }
+    w.inputs = {std::move(as), std::move(bs)};
+    w.expected_outputs = 8;
+    return w;
+}
+
+void
+BM_StressGcdInOrder(benchmark::State& state)
+{
+    Environment env;
+    ExprHigh gcd = circuits::buildGcdInOrder();
+    faults::Workload w = gcdWorkload();
+    faults::StressOptions options;
+    options.random_plans = static_cast<std::size_t>(state.range(0));
+    options.plan_config.horizon = 1024;
+
+    std::size_t plans = 0;
+    for (auto _ : state) {
+        faults::StressHarness harness(options);
+        auto report = harness.run(gcd, env.functionsPtr(), w);
+        if (!report.ok() || !report.value().invariant_holds) {
+            state.SkipWithError("stress run failed");
+            break;
+        }
+        plans = report.value().plansRun();
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(plans));
+    }
+    state.counters["plans"] = static_cast<double>(plans);
+}
+BENCHMARK(BM_StressGcdInOrder)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_StressGcdPair(benchmark::State& state)
+{
+    // Original + tagged out-of-order circuit under the same battery:
+    // the shape Compiler::stressCompilation runs.
+    Environment env;
+    ExprHigh gcd = circuits::buildGcdInOrder();
+    auto ooo =
+        runOooPipeline(gcd, env, {.num_tags = 8, .reexpand = true});
+    if (!ooo.ok()) {
+        state.SkipWithError("pipeline failed");
+        return;
+    }
+    faults::Workload w = gcdWorkload();
+    faults::StressOptions options;
+    options.random_plans = 4;
+    options.plan_config.horizon = 1024;
+
+    for (auto _ : state) {
+        faults::StressHarness harness(options);
+        auto report =
+            harness.runPair(gcd, ooo.value().graph, env.functionsPtr(), w);
+        if (!report.ok() || !report.value().invariant_holds) {
+            state.SkipWithError("stress run failed");
+            break;
+        }
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<std::int64_t>(report.value().plansRun()));
+    }
+}
+BENCHMARK(BM_StressGcdPair)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -69,4 +69,15 @@ Compiler::verifyCompilation(const ExprHigh& original,
                                 limits);
 }
 
+Result<faults::StressReport>
+Compiler::stressCompilation(const ExprHigh& original,
+                            const ExprHigh& transformed,
+                            const faults::Workload& workload,
+                            const faults::StressOptions& options)
+{
+    faults::StressHarness harness(options);
+    return harness.runPair(original, transformed, env_.functionsPtr(),
+                           workload);
+}
+
 }  // namespace graphiti

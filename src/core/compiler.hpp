@@ -20,11 +20,14 @@
  *
  * For bounded formal validation of a specific compilation,
  * verifyCompilation checks transformed ⊑ original with the refinement
- * checker on a caller-provided token domain.
+ * checker on a caller-provided token domain; stressCompilation
+ * complements it dynamically, replaying a concrete workload under
+ * adversarial fault plans and checking latency-insensitivity.
  */
 
 #include <string>
 
+#include "faults/stress.hpp"
 #include "refine/refinement.hpp"
 #include "rewrite/ooo_pipeline.hpp"
 #include "semantics/environment.hpp"
@@ -83,6 +86,20 @@ class Compiler
     Result<RefinementReport> verifyCompilation(
         const ExprHigh& original, const ExprHigh& transformed,
         const std::vector<Token>& tokens, const ExplorationLimits& limits);
+
+    /**
+     * Dynamic validation of a specific compilation: stress both
+     * circuits on @p workload under adversarial timing (seeded
+     * random and structured fault plans) and check the
+     * latency-insensitivity invariant plus original/transformed
+     * agreement. Uses this compiler's pure-fn registry, so call it
+     * after compileGraph registered the transformed circuit's
+     * functions.
+     */
+    Result<faults::StressReport> stressCompilation(
+        const ExprHigh& original, const ExprHigh& transformed,
+        const faults::Workload& workload,
+        const faults::StressOptions& options = {});
 
   private:
     Environment env_;

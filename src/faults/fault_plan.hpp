@@ -1,0 +1,123 @@
+#ifndef GRAPHITI_FAULTS_FAULT_PLAN_HPP
+#define GRAPHITI_FAULTS_FAULT_PLAN_HPP
+
+/**
+ * @file
+ * Deterministic fault plans for the elastic-circuit simulator.
+ *
+ * A FaultPlan is a sim::FaultInjector whose whole schedule is a pure
+ * function of one uint64_t seed: every draw is a fresh splitmix64 hash
+ * of (seed, salt, channel/node, cycle), so a plan never carries
+ * mutable RNG state and the same seed reproduces the same adversarial
+ * timing regardless of query order. That makes a failing stress run
+ * reproducible from the single seed printed in its report.
+ *
+ * Fault taxonomy (all are *timing* faults — the latency-insensitivity
+ * theorems promise output sequences do not change):
+ *  - stall bursts:    a channel's valid signal drops for a run of
+ *                     consecutive cycles (late producer);
+ *  - ready drops:     a channel's ready signal drops for single cycles
+ *                     (backpressure from a slow consumer);
+ *  - latency jitter:  an operator's pipeline latency stretches by a
+ *                     few cycles for individual tokens;
+ *  - slot squeezes:   an unpinned channel's buffer shrinks (down to
+ *                     one slot). Channels sized by buffer placement
+ *                     are pinned and never squeezed — shrinking them
+ *                     changes the circuit, not its timing.
+ *
+ * Every plan is quiescent from horizon() on, so the simulator's
+ * watchdog can still distinguish injected stalls from real deadlock.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "sim/sim.hpp"
+
+namespace graphiti::faults {
+
+/** Tunables of randomized fault plans. */
+struct FaultPlanConfig
+{
+    /** No fault fires at or after this cycle. */
+    std::size_t horizon = 4096;
+    /** Stall bursts are scheduled per (channel, window). */
+    std::size_t burst_window = 32;
+    /** Probability that a (channel, window) contains a stall burst. */
+    double stall_burst_rate = 0.10;
+    /** Maximum stall-burst length, in cycles. */
+    std::size_t max_burst = 12;
+    /** Per-(channel, cycle) probability of a ready drop. */
+    double ready_drop_rate = 0.03;
+    /** Per-accepted-token probability of latency jitter. */
+    double jitter_rate = 0.15;
+    /** Maximum extra latency cycles per jittered token. */
+    int max_jitter = 6;
+    /** Randomly shrink unpinned channels (1..base slots). */
+    bool squeeze = true;
+};
+
+/**
+ * One reproducible fault schedule. Use the named constructors; the
+ * structured plans (starve / backpressure / single-slot) are the
+ * hand-written adversaries of the hazard class named in
+ * arch/buffers.hpp, the random ones sample everything at once.
+ */
+class FaultPlan final : public sim::FaultInjector
+{
+  public:
+    /** The empty plan (baseline behavior). */
+    static FaultPlan none();
+
+    /** Everything-at-once randomized plan derived from @p seed. */
+    static FaultPlan random(std::uint64_t seed,
+                            const FaultPlanConfig& config = {});
+
+    /** Starve one channel: its valid drops until @p until_cycle. */
+    static FaultPlan starveChannel(std::size_t channel,
+                                   std::size_t until_cycle);
+
+    /** Drop ready on every channel every other cycle until
+     * @p until_cycle. */
+    static FaultPlan maxBackpressure(std::size_t until_cycle);
+
+    /** Squeeze every unpinned channel to a single slot. */
+    static FaultPlan singleSlot();
+
+    /** Human-readable plan name for reports. */
+    std::string describe() const;
+
+    /** Seed of a random plan (0 for structured plans). */
+    std::uint64_t seed() const { return seed_; }
+
+    // sim::FaultInjector
+    int latencyJitter(const std::string& node,
+                      std::size_t cycle) override;
+    bool dropValid(std::size_t channel, std::size_t cycle) override;
+    bool dropReady(std::size_t channel, std::size_t cycle) override;
+    std::size_t adjustCapacity(std::size_t channel, std::size_t base,
+                               bool pinned) override;
+    std::size_t horizon() const override;
+
+  private:
+    enum class Kind
+    {
+        None,
+        Random,
+        Starve,
+        Backpressure,
+        SingleSlot,
+    };
+
+    explicit FaultPlan(Kind kind) : kind_(kind) {}
+
+    Kind kind_;
+    std::uint64_t seed_ = 0;
+    FaultPlanConfig config_;
+    std::size_t target_channel_ = 0;
+    std::size_t until_ = 0;
+};
+
+}  // namespace graphiti::faults
+
+#endif  // GRAPHITI_FAULTS_FAULT_PLAN_HPP

@@ -1,0 +1,185 @@
+#include "faults/stress.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace graphiti::faults {
+
+namespace {
+
+/** Run one simulation of @p graph under @p injector. */
+Result<sim::SimResult>
+simulate(const ExprHigh& graph, std::shared_ptr<FnRegistry> functions,
+         const Workload& workload, const sim::SimConfig& base_config,
+         std::shared_ptr<sim::FaultInjector> injector)
+{
+    sim::SimConfig config = base_config;
+    config.faults = std::move(injector);
+    Result<sim::Simulator> built =
+        sim::Simulator::build(graph, std::move(functions), config);
+    if (!built.ok())
+        return built.error();
+    sim::Simulator simulator = built.take();
+    for (const auto& [name, data] : workload.memories)
+        simulator.setMemory(name, data);
+    return simulator.run(workload.inputs, workload.expected_outputs,
+                         workload.serial_io);
+}
+
+/**
+ * First difference between two runs' observable behavior (output
+ * token sequences per port, then final memories); empty when equal.
+ */
+std::string
+firstDifference(const sim::SimResult& got, const sim::SimResult& want)
+{
+    if (got.outputs.size() != want.outputs.size())
+        return "output port count differs";
+    for (std::size_t p = 0; p < got.outputs.size(); ++p) {
+        const auto& a = got.outputs[p];
+        const auto& b = want.outputs[p];
+        std::size_t n = std::min(a.size(), b.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!(a[i] == b[i]))
+                return "output#" + std::to_string(p) + "[" +
+                       std::to_string(i) + "]: got " + a[i].toString() +
+                       ", baseline " + b[i].toString();
+        }
+        if (a.size() != b.size())
+            return "output#" + std::to_string(p) + " length: got " +
+                   std::to_string(a.size()) + ", baseline " +
+                   std::to_string(b.size());
+    }
+    for (const auto& [name, data] : want.memories) {
+        auto it = got.memories.find(name);
+        if (it == got.memories.end())
+            return "memory " + name + " missing";
+        for (std::size_t i = 0; i < data.size(); ++i)
+            if (i >= it->second.size() || it->second[i] != data[i])
+                return "memory " + name + "[" + std::to_string(i) +
+                       "] differs";
+    }
+    return {};
+}
+
+}  // namespace
+
+std::vector<std::shared_ptr<FaultPlan>>
+StressHarness::buildPlans(const ExprHigh& graph) const
+{
+    std::vector<std::shared_ptr<FaultPlan>> plans;
+    for (std::size_t i = 0; i < options_.random_plans; ++i) {
+        std::uint64_t seed = Rng(options_.base_seed + i).next();
+        plans.push_back(std::make_shared<FaultPlan>(
+            FaultPlan::random(seed, options_.plan_config)));
+    }
+    if (options_.structured) {
+        plans.push_back(
+            std::make_shared<FaultPlan>(FaultPlan::singleSlot()));
+        plans.push_back(std::make_shared<FaultPlan>(
+            FaultPlan::maxBackpressure(options_.plan_config.horizon)));
+        std::size_t channels = sim::Simulator::channelCount(graph);
+        std::size_t starves =
+            std::min(channels, options_.max_starve_plans);
+        for (std::size_t k = 0; k < starves; ++k) {
+            // Sample channel indices evenly across the circuit.
+            std::size_t ch = starves == 0 ? 0 : k * channels / starves;
+            plans.push_back(std::make_shared<FaultPlan>(
+                FaultPlan::starveChannel(
+                    ch, options_.plan_config.horizon / 4)));
+        }
+    }
+    return plans;
+}
+
+Result<StressReport>
+StressHarness::run(const ExprHigh& graph,
+                   std::shared_ptr<FnRegistry> functions,
+                   const Workload& workload) const
+{
+    Result<sim::SimResult> baseline =
+        simulate(graph, functions, workload, options_.sim, nullptr);
+    if (!baseline.ok())
+        return baseline.error().context("stress baseline run");
+
+    StressReport report;
+    report.baseline_cycles = baseline.value().cycles;
+
+    for (const std::shared_ptr<FaultPlan>& plan : buildPlans(graph)) {
+        PlanOutcome outcome;
+        outcome.plan = plan->describe();
+        outcome.seed = plan->seed();
+        Result<sim::SimResult> run =
+            simulate(graph, functions, workload, options_.sim, plan);
+        if (run.ok()) {
+            outcome.completed = true;
+            outcome.cycles = run.value().cycles;
+            outcome.detail =
+                firstDifference(run.value(), baseline.value());
+            outcome.matched = outcome.detail.empty();
+        } else {
+            outcome.detail = run.error().message;
+        }
+        if (!outcome.matched && report.first_violation.empty()) {
+            report.invariant_holds = false;
+            report.first_violation =
+                outcome.plan + ": " + outcome.detail;
+        }
+        report.outcomes.push_back(std::move(outcome));
+    }
+    return report;
+}
+
+Result<StressReport>
+StressHarness::runPair(const ExprHigh& original,
+                       const ExprHigh& transformed,
+                       std::shared_ptr<FnRegistry> functions,
+                       const Workload& workload) const
+{
+    Result<StressReport> orig = run(original, functions, workload);
+    if (!orig.ok())
+        return orig.error().context("stress original");
+    Result<StressReport> ooo = run(transformed, functions, workload);
+    if (!ooo.ok())
+        return ooo.error().context("stress transformed");
+
+    StressReport merged;
+    merged.invariant_holds = orig.value().invariant_holds &&
+                             ooo.value().invariant_holds;
+    merged.baseline_cycles = orig.value().baseline_cycles;
+    merged.first_violation = !orig.value().first_violation.empty()
+                                 ? "orig: " + orig.value().first_violation
+                                 : ooo.value().first_violation.empty()
+                                       ? std::string()
+                                       : "ooo: " +
+                                             ooo.value().first_violation;
+    for (PlanOutcome& o : orig.value().outcomes) {
+        o.plan = "orig: " + o.plan;
+        merged.outcomes.push_back(std::move(o));
+    }
+    for (PlanOutcome& o : ooo.value().outcomes) {
+        o.plan = "ooo: " + o.plan;
+        merged.outcomes.push_back(std::move(o));
+    }
+
+    // Cross-check: the rewritten circuit's fault-free behavior must
+    // match the original's in program order.
+    Result<sim::SimResult> base_orig =
+        simulate(original, functions, workload, options_.sim, nullptr);
+    Result<sim::SimResult> base_ooo = simulate(
+        transformed, functions, workload, options_.sim, nullptr);
+    if (base_orig.ok() && base_ooo.ok()) {
+        std::string diff =
+            firstDifference(base_ooo.value(), base_orig.value());
+        if (!diff.empty()) {
+            merged.invariant_holds = false;
+            if (merged.first_violation.empty())
+                merged.first_violation =
+                    "transformed baseline diverges: " + diff;
+        }
+    }
+    return merged;
+}
+
+}  // namespace graphiti::faults

@@ -40,6 +40,19 @@ Result<StateSpace>
 StateSpace::explore(const DenotedModule& mod, const InputDomain& domain,
                     const ExplorationLimits& limits)
 {
+    Result<StateSpace> space = explorePartial(mod, domain, limits);
+    if (!space.ok())
+        return space.error();
+    if (!space.value().complete())
+        return err("state space exploration exceeded max_states");
+    return space;
+}
+
+Result<StateSpace>
+StateSpace::explorePartial(const DenotedModule& mod,
+                           const InputDomain& domain,
+                           const ExplorationLimits& limits)
+{
     StateSpace space;
     space.in_ports_ = mod.inputNames();
     space.out_ports_ = mod.outputNames();
@@ -48,78 +61,124 @@ StateSpace::explore(const DenotedModule& mod, const InputDomain& domain,
         space.domain_tokens_.push_back(
             it == domain.tokens.end() ? std::vector<Token>{} : it->second);
     }
+    space.concrete_.push_back(mod.initialState());
+    space.budget_.push_back(
+        static_cast<std::uint32_t>(limits.input_budget));
+    space.internal_.emplace_back();
+    space.inputs_.emplace_back();
+    space.outputs_.emplace_back();
+    space.frontier_.push_back(0);
 
+    Result<bool> expanded = space.expand(
+        mod, std::max<std::size_t>(1, limits.max_states));
+    if (!expanded.ok())
+        return expanded.error();
+    return space;
+}
+
+Result<bool>
+StateSpace::resume(const DenotedModule& mod,
+                   std::size_t additional_states)
+{
+    if (complete())
+        return true;
+    return expand(mod, concrete_.size() + additional_states);
+}
+
+Result<bool>
+StateSpace::expand(const DenotedModule& mod, std::size_t max_states)
+{
+    // Rebuild the dedup index from the interned states; a parked
+    // partial space carries no index, only its frontier.
     std::unordered_map<Key, std::uint32_t, KeyHash> index;
-    std::deque<std::uint32_t> frontier;
+    index.reserve(concrete_.size());
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(concrete_.size()); ++i)
+        index.emplace(Key{concrete_[i], budget_[i]}, i);
 
+    std::deque<std::uint32_t> frontier(frontier_.begin(),
+                                       frontier_.end());
+    frontier_.clear();
+
+    bool capped = false;
     auto intern = [&](GraphState state,
                       std::uint32_t budget) -> std::optional<std::uint32_t> {
         Key key{std::move(state), budget};
         auto it = index.find(key);
         if (it != index.end())
             return it->second;
-        if (space.concrete_.size() >= limits.max_states)
+        if (concrete_.size() >= max_states) {
+            capped = true;
             return std::nullopt;
-        std::uint32_t id = static_cast<std::uint32_t>(
-            space.concrete_.size());
-        space.concrete_.push_back(key.state);
-        space.budget_.push_back(budget);
-        space.internal_.emplace_back();
-        space.inputs_.emplace_back();
-        space.outputs_.emplace_back();
+        }
+        std::uint32_t id = static_cast<std::uint32_t>(concrete_.size());
+        concrete_.push_back(key.state);
+        budget_.push_back(budget);
+        internal_.emplace_back();
+        inputs_.emplace_back();
+        outputs_.emplace_back();
         index.emplace(std::move(key), id);
         frontier.push_back(id);
         return id;
     };
 
-    std::optional<std::uint32_t> init = intern(
-        mod.initialState(), static_cast<std::uint32_t>(limits.input_budget));
-    if (!init)
-        return err("state space exploration exceeded max_states");
-
-    while (!frontier.empty()) {
+    while (!frontier.empty() && !capped) {
         std::uint32_t id = frontier.front();
         frontier.pop_front();
         // Copy, since intern() may reallocate concrete_.
-        GraphState state = space.concrete_[id];
-        std::uint32_t budget = space.budget_[id];
+        GraphState state = concrete_[id];
+        std::uint32_t budget = budget_[id];
 
         for (GraphState& succ : mod.internalSteps(state)) {
             auto dst = intern(std::move(succ), budget);
             if (!dst)
-                return err("state space exploration exceeded max_states");
-            space.internal_[id].push_back(*dst);
+                break;
+            internal_[id].push_back(*dst);
         }
-        if (budget > 0) {
-            for (std::uint32_t p = 0; p < space.in_ports_.size(); ++p) {
-                const auto& toks = space.domain_tokens_[p];
-                for (std::uint32_t t = 0; t < toks.size(); ++t) {
+        if (budget > 0 && !capped) {
+            for (std::uint32_t p = 0;
+                 p < in_ports_.size() && !capped; ++p) {
+                const auto& toks = domain_tokens_[p];
+                for (std::uint32_t t = 0;
+                     t < toks.size() && !capped; ++t) {
                     for (GraphState& succ : mod.inputStep(
-                             state, space.in_ports_[p], toks[t])) {
+                             state, in_ports_[p], toks[t])) {
                         auto dst = intern(std::move(succ), budget - 1);
                         if (!dst)
-                            return err("state space exploration exceeded "
-                                       "max_states");
-                        space.inputs_[id].push_back(InputEdge{p, t, *dst});
+                            break;
+                        inputs_[id].push_back(InputEdge{p, t, *dst});
                     }
                 }
             }
         }
-        for (std::uint32_t p = 0; p < space.out_ports_.size(); ++p) {
-            for (auto& [token, succ] :
-                 mod.outputStep(state, space.out_ports_[p])) {
-                auto dst = intern(std::move(succ), budget);
-                if (!dst)
-                    return err("state space exploration exceeded "
-                               "max_states");
-                space.outputs_[id].push_back(
-                    OutputEdge{p, std::move(token), *dst});
+        if (!capped) {
+            for (std::uint32_t p = 0;
+                 p < out_ports_.size() && !capped; ++p) {
+                for (auto& [token, succ] :
+                     mod.outputStep(state, out_ports_[p])) {
+                    auto dst = intern(std::move(succ), budget);
+                    if (!dst)
+                        break;
+                    outputs_[id].push_back(
+                        OutputEdge{p, std::move(token), *dst});
+                }
             }
         }
+        if (capped) {
+            // The state was only partially expanded: drop its edges
+            // and park it (front of the frontier) for resume().
+            internal_[id].clear();
+            inputs_[id].clear();
+            outputs_[id].clear();
+            frontier_.push_back(id);
+        }
     }
+    for (std::uint32_t id : frontier)
+        frontier_.push_back(id);
 
-    space.closure_.resize(space.concrete_.size());
-    return space;
+    // Memoized closures may predate the new edges; recompute lazily.
+    closure_.assign(concrete_.size(), std::nullopt);
+    return true;
 }
 
 const std::vector<std::uint32_t>&

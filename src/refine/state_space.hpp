@@ -76,6 +76,36 @@ class StateSpace
                                       const InputDomain& domain,
                                       const ExplorationLimits& limits);
 
+    /**
+     * Memory-bounded exploration: like explore, but when max_states
+     * is reached the partial space is returned (complete() == false)
+     * with the unexpanded states saved as a resumable frontier
+     * instead of aborting. Edges recorded so far are exact; states on
+     * the frontier simply have none yet.
+     */
+    static Result<StateSpace> explorePartial(
+        const DenotedModule& mod, const InputDomain& domain,
+        const ExplorationLimits& limits);
+
+    /** True when every reachable state has been expanded. */
+    bool complete() const { return frontier_.empty(); }
+
+    /** State ids still awaiting expansion (empty when complete). */
+    const std::vector<std::uint32_t>& pendingFrontier() const
+    {
+        return frontier_;
+    }
+
+    /**
+     * Continue a partial exploration of @p mod with room for
+     * @p additional_states more states. Rebuilds the dedup index from
+     * the states already interned, so resuming a space costs no extra
+     * memory while it is parked. Resuming to completion yields
+     * exactly the state space a one-shot explore would have built.
+     */
+    Result<bool> resume(const DenotedModule& mod,
+                        std::size_t additional_states);
+
     std::size_t numStates() const { return internal_.size(); }
     std::uint32_t initialState() const { return 0; }
 
@@ -124,10 +154,16 @@ class StateSpace
     }
 
   private:
+    /** The shared worklist loop behind explore/explorePartial/resume:
+     * expand frontier states until done or @p max_states interned. */
+    Result<bool> expand(const DenotedModule& mod,
+                        std::size_t max_states);
+
     std::vector<std::vector<std::uint32_t>> internal_;
     std::vector<std::vector<InputEdge>> inputs_;
     std::vector<std::vector<OutputEdge>> outputs_;
     std::vector<std::uint32_t> budget_;
+    std::vector<std::uint32_t> frontier_;
     std::vector<GraphState> concrete_;
     std::vector<LowPortId> in_ports_;
     std::vector<LowPortId> out_ports_;

@@ -9,6 +9,50 @@
 
 namespace graphiti::sim {
 
+const char*
+toString(StuckKind kind)
+{
+    switch (kind) {
+        case StuckKind::Deadlock: return "deadlock";
+        case StuckKind::Livelock: return "livelock";
+        case StuckKind::SlowProgress: return "slow progress";
+    }
+    return "unknown";
+}
+
+std::string
+StuckDiagnosis::toString() const
+{
+    std::ostringstream os;
+    os << sim::toString(kind) << " at cycle " << cycle
+       << " (last token movement cycle " << last_progress_cycle
+       << ", last output cycle " << last_output_cycle << ")";
+    os << "; outputs collected:";
+    for (std::size_t n : outputs_collected)
+        os << " " << n << "/" << expected_outputs;
+    os << "; stuck channels:";
+    if (occupied_channels.empty())
+        os << " none";
+    for (const ChannelStatus& ch : occupied_channels)
+        os << " [" << ch.description << " " << ch.occupancy << "/"
+           << ch.capacity << "]";
+    os << "; blocked wavefront:";
+    if (blocked.empty())
+        os << " none";
+    for (const BlockedNode& node : blocked) {
+        os << " " << node.name << "(" << node.type << ", holds "
+           << node.held_tokens << ", last fire ";
+        if (node.last_fire)
+            os << *node.last_fire;
+        else
+            os << "never";
+        for (const std::string& reason : node.waiting_on)
+            os << ", " << reason;
+        os << ")";
+    }
+    return os.str();
+}
+
 namespace {
 
 /** Per-node mutable simulation state. */
@@ -19,6 +63,9 @@ struct SimNode
     AttrMap attrs;
     std::vector<int> in_channels;   // -1 when dangling
     std::vector<int> out_channels;  // -1 when dangling
+
+    /** Cycle of the node's last token movement. */
+    std::optional<std::size_t> last_fire;
 
     // Generic unit state.
     bool init_done = false;
@@ -59,7 +106,7 @@ tagsAgree(const std::vector<const Token*>& tokens,
 class Simulator::Impl
 {
   public:
-    Impl(const Simulator& owner) : owner_(owner) {}
+    Impl(Simulator& owner) : owner_(owner) {}
 
     Result<SimResult>
     run(const std::vector<std::vector<Token>>& inputs,
@@ -69,6 +116,7 @@ class Simulator::Impl
         if (!built.ok())
             return built.error();
         memories_ = owner_.memories_;
+        faults_ = owner_.config_.faults.get();
 
         input_streams_ = inputs;
         input_pos_.assign(inputs.size(), 0);
@@ -76,40 +124,108 @@ class Simulator::Impl
         SimResult result;
         result.outputs.resize(output_channels_.size());
 
-        std::size_t idle_cycles = 0;
+        std::size_t last_progress = 0;
+        std::size_t last_output = 0;
         for (std::size_t cycle = 0; cycle < owner_.config_.max_cycles;
              ++cycle) {
-            activity_ = false;
+            moves_ = 0;
+            pipeline_busy_ = false;
+            fault_hold_ = false;
+            output_moved_ = false;
             cycle_ = cycle;
             trace_ = &result.trace;
 
             feedInputs(result, serial_io);
             for (SimNode& node : nodes_) {
+                std::size_t before = moves_;
                 Result<bool> fired = step(node);
                 if (!fired.ok())
                     return fired.error().context(
                         "cycle " + std::to_string(cycle) + ", node " +
                         node.name);
+                if (moves_ > before)
+                    node.last_fire = cycle;
             }
             collectOutputs(result);
             commitStaged();
 
             if (done(result, expected_outputs)) {
                 result.cycles = cycle + 1;
+                Result<bool> drained = drain(cycle + 1);
+                if (!drained.ok())
+                    return drained.error();
                 result.memories = memories_;
                 return result;
             }
-            idle_cycles = activity_ ? 0 : idle_cycles + 1;
-            if (idle_cycles > 4) {
-                return err("simulation deadlocked at cycle " +
-                           std::to_string(cycle) + ": " +
-                           diagnose(result, expected_outputs));
+            // Watchdog. A fault that held back an otherwise-possible
+            // move counts as progress: the injector's bounded horizon
+            // guarantees the hold ends.
+            if (moves_ > 0 || pipeline_busy_ || fault_hold_)
+                last_progress = cycle;
+            if (output_moved_)
+                last_output = cycle;
+            if (cycle - last_progress > owner_.config_.stall_window) {
+                return stuck(StuckKind::Deadlock, result,
+                             expected_outputs, last_progress,
+                             last_output,
+                             "simulation deadlocked at cycle " +
+                                 std::to_string(cycle));
+            }
+            if (cycle - last_output > owner_.config_.livelock_window) {
+                return stuck(StuckKind::Livelock, result,
+                             expected_outputs, last_progress,
+                             last_output,
+                             "simulation livelocked at cycle " +
+                                 std::to_string(cycle));
             }
         }
-        return err("simulation exceeded the cycle limit");
+        std::size_t end = owner_.config_.max_cycles;
+        StuckKind kind =
+            end - last_output > owner_.config_.livelock_window
+                ? StuckKind::Livelock
+                : StuckKind::SlowProgress;
+        return stuck(kind, result, expected_outputs, last_progress,
+                     last_output, "simulation exceeded the cycle limit");
     }
 
   private:
+    /**
+     * Post-output settling phase. The final output token can race
+     * side effects on parallel fork branches (matvec's store of
+     * result[i] vs. the result token), so final memory read at the
+     * instant of the last output is not a timing-invariant
+     * observable. Keep stepping — without collecting outputs, so
+     * perpetual producers backpressure themselves quiet — until the
+     * circuit quiesces or a bound past any fault horizon expires.
+     */
+    Result<bool>
+    drain(std::size_t start_cycle)
+    {
+        std::size_t horizon = faults_ ? faults_->horizon() : 0;
+        std::size_t limit = std::max(start_cycle, horizon) +
+                            owner_.config_.drain_limit;
+        for (std::size_t cycle = start_cycle; cycle < limit; ++cycle) {
+            moves_ = 0;
+            pipeline_busy_ = false;
+            fault_hold_ = false;
+            cycle_ = cycle;
+            for (SimNode& node : nodes_) {
+                std::size_t before = moves_;
+                Result<bool> fired = step(node);
+                if (!fired.ok())
+                    return fired.error().context(
+                        "drain cycle " + std::to_string(cycle) +
+                        ", node " + node.name);
+                if (moves_ > before)
+                    node.last_fire = cycle;
+            }
+            commitStaged();
+            if (moves_ == 0 && !pipeline_busy_ && !fault_hold_)
+                break;
+        }
+        return true;
+    }
+
     Result<bool>
     build()
     {
@@ -158,11 +274,29 @@ class Simulator::Impl
         // deadlocks it).
         arch::BufferPlacement placement =
             arch::placeBuffers(g, owner_.config_.channel_slots);
-        for (const Edge& e : g.edges()) {
+        FaultInjector* faults = owner_.config_.faults.get();
+        auto add_channel = [&](std::size_t base, bool pinned,
+                               std::string description) {
             int ch = static_cast<int>(channels_.size());
-            channels_.push_back(Channel{
-                {},
-                placement.slotsFor(e, owner_.config_.channel_slots)});
+            std::size_t capacity = base;
+            if (faults != nullptr)
+                capacity = std::max<std::size_t>(
+                    1, faults->adjustCapacity(ch, base, pinned));
+            channels_.push_back(Channel{{}, capacity});
+            channel_desc_.push_back(std::move(description));
+            return ch;
+        };
+        for (const Edge& e : g.edges()) {
+            // Channels the placement widened beyond the default pair
+            // are pinned: they hold the in-flight iterations of a
+            // tagged region, and squeezing them alters the circuit
+            // rather than its timing.
+            std::size_t base =
+                placement.slotsFor(e, owner_.config_.channel_slots);
+            int ch = add_channel(
+                base, base > owner_.config_.channel_slots,
+                e.src.inst + "." + e.src.port + " -> " + e.dst.inst +
+                    "." + e.dst.port);
             nodes_[node_index.at(e.src.inst)]
                 .out_channels[port_number(e.src.port)] = ch;
             nodes_[node_index.at(e.dst.inst)]
@@ -171,9 +305,10 @@ class Simulator::Impl
         for (std::size_t i = 0; i < g.inputs().size(); ++i) {
             if (!g.inputs()[i])
                 continue;
-            int ch = static_cast<int>(channels_.size());
-            channels_.push_back(
-                Channel{{}, owner_.config_.channel_slots});
+            int ch = add_channel(owner_.config_.channel_slots, true,
+                                 "input#" + std::to_string(i) + " -> " +
+                                     g.inputs()[i]->inst + "." +
+                                     g.inputs()[i]->port);
             nodes_[node_index.at(g.inputs()[i]->inst)]
                 .in_channels[port_number(g.inputs()[i]->port)] = ch;
             input_channels_.push_back(ch);
@@ -181,8 +316,10 @@ class Simulator::Impl
         for (std::size_t i = 0; i < g.outputs().size(); ++i) {
             if (!g.outputs()[i])
                 continue;
-            int ch = static_cast<int>(channels_.size());
-            channels_.push_back(Channel{{}, 1u << 30});
+            int ch = add_channel(1u << 30, true,
+                                 g.outputs()[i]->inst + "." +
+                                     g.outputs()[i]->port + " -> output#" +
+                                     std::to_string(i));
             nodes_[node_index.at(g.outputs()[i]->inst)]
                 .out_channels[port_number(g.outputs()[i]->port)] = ch;
             output_channels_.push_back(ch);
@@ -192,9 +329,16 @@ class Simulator::Impl
     }
 
     bool
-    hasToken(int ch) const
+    hasToken(int ch)
     {
-        return ch >= 0 && !channels_[ch].empty();
+        if (ch < 0 || channels_[ch].empty())
+            return false;
+        if (faults_ != nullptr &&
+            faults_->dropValid(static_cast<std::size_t>(ch), cycle_)) {
+            fault_hold_ = true;  // a consumable token was hidden
+            return false;
+        }
+        return true;
     }
 
     const Token&
@@ -208,17 +352,24 @@ class Simulator::Impl
     {
         Token t = channels_[ch].slots.front();
         channels_[ch].slots.pop_front();
-        activity_ = true;
+        ++moves_;
         return t;
     }
 
     bool
-    hasSpace(int ch) const
+    hasSpace(int ch)
     {
         if (ch < 0)
             return true;  // dangling outputs drop tokens
-        return channels_[ch].slots.size() + staged_[ch].size() <
-               channels_[ch].capacity;
+        if (channels_[ch].slots.size() + staged_[ch].size() >=
+            channels_[ch].capacity)
+            return false;
+        if (faults_ != nullptr &&
+            faults_->dropReady(static_cast<std::size_t>(ch), cycle_)) {
+            fault_hold_ = true;  // available space was refused
+            return false;
+        }
+        return true;
     }
 
     void
@@ -227,7 +378,7 @@ class Simulator::Impl
         if (ch < 0)
             return;
         staged_[ch].push_back(std::move(t));
-        activity_ = true;
+        ++moves_;
     }
 
     void
@@ -277,7 +428,8 @@ class Simulator::Impl
             while (!ch.empty()) {
                 result.outputs[i].push_back(ch.slots.front());
                 ch.slots.pop_front();
-                activity_ = true;
+                ++moves_;
+                output_moved_ = true;
             }
         }
     }
@@ -291,25 +443,71 @@ class Simulator::Impl
         return true;
     }
 
-    std::string
-    diagnose(const SimResult& result, std::size_t expected) const
+    /** Build the watchdog's stuck-state diagnosis from the current
+     * concrete state. */
+    StuckDiagnosis
+    buildDiagnosis(StuckKind kind, const SimResult& result,
+                   std::size_t expected, std::size_t last_progress,
+                   std::size_t last_output) const
     {
-        std::ostringstream os;
-        os << "outputs collected:";
+        StuckDiagnosis d;
+        d.kind = kind;
+        d.cycle = cycle_;
+        d.last_progress_cycle = last_progress;
+        d.last_output_cycle = last_output;
+        d.expected_outputs = expected;
         for (const auto& stream : result.outputs)
-            os << " " << stream.size() << "/" << expected;
-        os << "; tokens in flight:";
+            d.outputs_collected.push_back(stream.size());
+        for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+            if (channels_[ch].empty())
+                continue;
+            d.occupied_channels.push_back(
+                ChannelStatus{channel_desc_[ch],
+                              channels_[ch].slots.size(),
+                              channels_[ch].capacity});
+        }
         for (const SimNode& node : nodes_) {
-            std::size_t held = node.pipeline.size() +
-                               node.completion.size() +
-                               node.returned.size();
+            BlockedNode b;
+            b.name = node.name;
+            b.type = node.type;
+            b.last_fire = node.last_fire;
+            b.held_tokens = node.pipeline.size() +
+                            node.completion.size() +
+                            node.returned.size();
             for (int ch : node.in_channels)
                 if (ch >= 0)
-                    held += channels_[ch].slots.size();
-            if (held > 0)
-                os << " " << node.name << "(" << held << ")";
+                    b.held_tokens += channels_[ch].slots.size();
+            if (b.held_tokens == 0)
+                continue;  // only the wavefront holding tokens
+            for (std::size_t i = 0; i < node.in_channels.size(); ++i) {
+                int ch = node.in_channels[i];
+                if (ch < 0 || channels_[ch].empty())
+                    b.waiting_on.push_back(
+                        "in" + std::to_string(i) + " empty");
+            }
+            for (std::size_t i = 0; i < node.out_channels.size(); ++i) {
+                int ch = node.out_channels[i];
+                if (ch >= 0 && channels_[ch].slots.size() >=
+                                   channels_[ch].capacity)
+                    b.waiting_on.push_back(
+                        "out" + std::to_string(i) + " full");
+            }
+            d.blocked.push_back(std::move(b));
         }
-        return os.str();
+        return d;
+    }
+
+    /** Record the diagnosis on the owner and render the error. */
+    Error
+    stuck(StuckKind kind, const SimResult& result, std::size_t expected,
+          std::size_t last_progress, std::size_t last_output,
+          const std::string& headline)
+    {
+        StuckDiagnosis d = buildDiagnosis(kind, result, expected,
+                                          last_progress, last_output);
+        std::string rendered = d.toString();
+        owner_.diagnosis_ = std::move(d);
+        return err(headline + ": " + rendered);
     }
 
     /** Advance pipelined units and drain completions. */
@@ -317,7 +515,7 @@ class Simulator::Impl
     advancePipeline(SimNode& node)
     {
         if (!node.pipeline.empty())
-            activity_ = true;  // in-flight computation is progress
+            pipeline_busy_ = true;  // in-flight computation is progress
         for (auto& [remaining, token] : node.pipeline)
             if (remaining > 0)
                 --remaining;
@@ -326,7 +524,7 @@ class Simulator::Impl
             node.completion.push_back(
                 std::move(node.pipeline.front().second));
             node.pipeline.pop_front();
-            activity_ = true;
+            ++moves_;
         }
         while (!node.completion.empty() &&
                hasSpace(node.out_channels[0])) {
@@ -529,8 +727,11 @@ class Simulator::Impl
             result.tag = tag;
             for (int ch : node.in_channels)
                 pop(ch);
-            node.pipeline.emplace_back(std::max(1, node.latency),
-                                       std::move(result));
+            int latency = std::max(1, node.latency);
+            if (faults_ != nullptr)
+                latency += std::max(
+                    0, faults_->latencyJitter(node.name, cycle_));
+            node.pipeline.emplace_back(latency, std::move(result));
             trace(node, "accept");
             return true;
         }
@@ -608,16 +809,21 @@ class Simulator::Impl
         return parseConstant(text);
     }
 
-    const Simulator& owner_;
+    Simulator& owner_;
     std::vector<SimNode> nodes_;
     std::vector<Channel> channels_;
+    std::vector<std::string> channel_desc_;
     std::vector<std::deque<Token>> staged_;
     std::vector<int> input_channels_;
     std::vector<int> output_channels_;
     std::vector<std::vector<Token>> input_streams_;
     std::vector<std::size_t> input_pos_;
     std::map<std::string, std::vector<double>> memories_;
-    bool activity_ = false;
+    FaultInjector* faults_ = nullptr;
+    std::size_t moves_ = 0;
+    bool pipeline_busy_ = false;
+    bool fault_hold_ = false;
+    bool output_moved_ = false;
     std::size_t cycle_ = 0;
     std::vector<TraceEvent>* trace_ = nullptr;
 };
@@ -647,8 +853,20 @@ Result<SimResult>
 Simulator::run(const std::vector<std::vector<Token>>& inputs,
                std::size_t expected_outputs, bool serial_io)
 {
+    diagnosis_.reset();
     Impl impl(*this);
     return impl.run(inputs, expected_outputs, serial_io);
+}
+
+std::size_t
+Simulator::channelCount(const ExprHigh& graph)
+{
+    std::size_t count = graph.edges().size();
+    for (const auto& input : graph.inputs())
+        count += input.has_value();
+    for (const auto& output : graph.outputs())
+        count += output.has_value();
+    return count;
 }
 
 }  // namespace graphiti::sim

@@ -24,11 +24,20 @@
  * body paths originate at the single loop Merge and channels are
  * FIFO, matching input tokens always carry equal tags — the simulator
  * checks this invariant and reports a hard error on violation.
+ *
+ * Fault injection: a FaultInjector installed in SimConfig is consulted
+ * every cycle and may suppress a channel's valid signal (stall burst),
+ * suppress its ready signal (backpressure), stretch an operator's
+ * latency (jitter) or shrink a channel's slot count (squeeze). The
+ * latency-insensitivity theorems of the paper promise that none of
+ * these change the output token sequences; src/faults builds seeded
+ * plans on top of these hooks to test exactly that.
  */
 
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +48,70 @@
 #include "support/token.hpp"
 
 namespace graphiti::sim {
+
+/**
+ * Injection hooks consulted by the simulator.
+ *
+ * Channels are numbered in construction order: one per graph edge (in
+ * edge order), then one per bound graph input, then one per bound
+ * graph output — so a plan keyed by channel index is reproducible for
+ * a fixed graph.
+ *
+ * All faults must be silent at and after horizon(): the watchdog
+ * treats a fault that blocks an otherwise-possible move as progress,
+ * so an unbounded fault schedule could mask a real deadlock.
+ */
+class FaultInjector
+{
+  public:
+    virtual ~FaultInjector() = default;
+
+    /** Extra latency cycles for a token accepted by @p node now. */
+    virtual int
+    latencyJitter(const std::string& node, std::size_t cycle)
+    {
+        (void)node;
+        (void)cycle;
+        return 0;
+    }
+
+    /** Suppress the valid signal of @p channel this cycle (the head
+     * token, if any, is invisible to its consumer). */
+    virtual bool
+    dropValid(std::size_t channel, std::size_t cycle)
+    {
+        (void)channel;
+        (void)cycle;
+        return false;
+    }
+
+    /** Suppress the ready signal of @p channel this cycle (producers
+     * see it as full). */
+    virtual bool
+    dropReady(std::size_t channel, std::size_t cycle)
+    {
+        (void)channel;
+        (void)cycle;
+        return false;
+    }
+
+    /**
+     * Adjust the slot count of @p channel once, at build time.
+     * @p pinned channels were sized by buffer placement for
+     * deadlock-freedom (tagged regions) or are graph I/O; squeezing
+     * them below @p base changes the circuit, not just its timing.
+     */
+    virtual std::size_t
+    adjustCapacity(std::size_t channel, std::size_t base, bool pinned)
+    {
+        (void)channel;
+        (void)pinned;
+        return base;
+    }
+
+    /** First cycle from which every hook is guaranteed quiescent. */
+    virtual std::size_t horizon() const { return 0; }
+};
 
 /** Simulator configuration. */
 struct SimConfig
@@ -53,6 +126,71 @@ struct SimConfig
     /** Record per-cycle firing events of these nodes (figure 2d/2e
      * traces). */
     std::vector<std::string> trace_nodes;
+    /** Optional fault-injection hooks (see FaultInjector). */
+    std::shared_ptr<FaultInjector> faults;
+    /** Watchdog: cycles without any token movement or in-flight
+     * computation before the run is declared deadlocked. */
+    std::size_t stall_window = 4;
+    /** Watchdog: cycles without output progress (while internal
+     * activity continues) before the run is declared livelocked. */
+    std::size_t livelock_window = 200'000;
+    /** Post-output drain: extra cycles allowed (past the last output
+     * and past any fault horizon) for in-flight side effects — e.g. a
+     * store racing the final output token — to land before final
+     * memories are read. Drain stops early once the circuit
+     * quiesces; it is not counted in SimResult::cycles. */
+    std::size_t drain_limit = 4096;
+};
+
+/** Watchdog verdict for a run that stopped making progress. */
+enum class StuckKind
+{
+    Deadlock,      ///< no token can move, ever
+    Livelock,      ///< tokens keep moving but outputs never advance
+    SlowProgress,  ///< outputs advance, but the cycle limit was hit
+};
+
+const char* toString(StuckKind kind);
+
+/** Snapshot of one stuck (or suspect) channel. */
+struct ChannelStatus
+{
+    std::string description;  ///< "a.out0 -> b.in1", "input#0", ...
+    std::size_t occupancy = 0;
+    std::size_t capacity = 0;
+};
+
+/** One node of the blocked wavefront: holds or awaits tokens but
+ * could not fire. */
+struct BlockedNode
+{
+    std::string name;
+    std::string type;
+    /** Why it could not fire: "in1 empty", "out0 full", ... */
+    std::vector<std::string> waiting_on;
+    /** Tokens held in input channels, pipeline and completion. */
+    std::size_t held_tokens = 0;
+    /** Cycle of the node's last token movement, if it ever fired. */
+    std::optional<std::size_t> last_fire;
+};
+
+/**
+ * Stuck-state diagnosis produced by the watchdog: what kind of
+ * no-progress situation was detected and where the tokens are.
+ */
+struct StuckDiagnosis
+{
+    StuckKind kind = StuckKind::Deadlock;
+    std::size_t cycle = 0;
+    std::size_t last_progress_cycle = 0;
+    std::size_t last_output_cycle = 0;
+    std::vector<std::size_t> outputs_collected;
+    std::size_t expected_outputs = 0;
+    std::vector<ChannelStatus> occupied_channels;
+    std::vector<BlockedNode> blocked;
+
+    /** The shared rendering used by simulator errors and reports. */
+    std::string toString() const;
 };
 
 /** One recorded firing, for execution traces. */
@@ -104,6 +242,19 @@ class Simulator
                           std::size_t expected_outputs,
                           bool serial_io = false);
 
+    /** Watchdog diagnosis of the most recent failed run (empty when
+     * the run succeeded or failed for a non-progress reason). */
+    const std::optional<StuckDiagnosis>& lastDiagnosis() const
+    {
+        return diagnosis_;
+    }
+
+    /**
+     * Number of channels the simulator builds for @p graph — the
+     * index space FaultInjector hooks are keyed by.
+     */
+    static std::size_t channelCount(const ExprHigh& graph);
+
   private:
     Simulator() = default;
 
@@ -122,6 +273,7 @@ class Simulator
     std::shared_ptr<FnRegistry> functions_;
     SimConfig config_;
     std::map<std::string, std::vector<double>> memories_;
+    std::optional<StuckDiagnosis> diagnosis_;
 };
 
 }  // namespace graphiti::sim

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <numeric>
 
 #include "bench_circuits/gcd.hpp"
