@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "flows.hpp"
+
 #include "egraph/egraph.hpp"
 
 namespace {
@@ -68,4 +70,4 @@ BENCHMARK(BM_ExtractMinimal)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GRAPHITI_BENCHMARK_MAIN();

@@ -15,17 +15,23 @@
 #include "flows.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using graphiti::bench::BenchmarkMetrics;
+
+    std::string json_path = graphiti::bench::jsonPathFromArgs(argc, argv);
+    graphiti::bench::JsonReport report("bench_fig8");
+    auto wall_start = std::chrono::steady_clock::now();
 
     std::printf("Figure 8 (left/middle): relative cycle count and "
                 "execution time, normalized to DF-OoO\n\n");
     std::printf("%-12s | %10s %10s | %10s %10s\n", "benchmark",
                 "IO cyc", "GRA cyc", "IO time", "GRA time");
     std::vector<BenchmarkMetrics> all;
-    for (const std::string& name : graphiti::circuits::benchmarkNames())
+    for (const std::string& name : graphiti::circuits::benchmarkNames()) {
         all.push_back(graphiti::bench::evaluateBenchmark(name));
+        report.benchmark(all.back());
+    }
     for (const BenchmarkMetrics& m : all) {
         std::printf("%-12s | %10.2f %10.2f | %10.2f %10.2f%s\n",
                     m.name.c_str(),
@@ -59,6 +65,7 @@ main()
                 "(throughput/area knob)\n\n");
     std::printf("%5s | %8s | %10s | %8s\n", "tags", "cycles",
                 "speedup/IO", "FF");
+    graphiti::obs::json::Value ablation{graphiti::obs::json::Array{}};
     for (int tags : {2, 4, 8, 16, 32, 50}) {
         BenchmarkMetrics m =
             graphiti::bench::evaluateBenchmark("matvec", tags);
@@ -67,6 +74,16 @@ main()
                     static_cast<double>(m.df_io.cycles) /
                         static_cast<double>(m.graphiti.cycles),
                     m.graphiti.area.ff);
+        graphiti::obs::json::Value entry{graphiti::obs::json::Object{}};
+        entry.set("tags", tags);
+        entry.set("cycles", m.graphiti.cycles);
+        entry.set("ff", m.graphiti.area.ff);
+        ablation.push(std::move(entry));
     }
-    return 0;
+    report.set("matvec_tag_ablation", std::move(ablation));
+    report.phase("total", std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              wall_start)
+                              .count());
+    return report.writeIfRequested(json_path) ? 0 : 1;
 }

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "flows.hpp"
+
 #include "bench_circuits/gcd.hpp"
 #include "refine/refinement.hpp"
 #include "refine/trace.hpp"
@@ -97,4 +99,4 @@ BENCHMARK(BM_TraceInclusion)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GRAPHITI_BENCHMARK_MAIN();

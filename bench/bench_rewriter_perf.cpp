@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "flows.hpp"
+
 #include "bench_circuits/benchmarks.hpp"
 #include "bench_circuits/gcd.hpp"
 #include "rewrite/ooo_pipeline.hpp"
@@ -111,4 +113,4 @@ BENCHMARK(BM_PipelineFarm)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GRAPHITI_BENCHMARK_MAIN();

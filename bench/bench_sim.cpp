@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "flows.hpp"
+
 #include "bench_circuits/benchmarks.hpp"
 #include "rewrite/ooo_pipeline.hpp"
 #include "sim/sim.hpp"
@@ -66,4 +68,4 @@ BENCHMARK(BM_SimMatvecTagged)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GRAPHITI_BENCHMARK_MAIN();

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "flows.hpp"
+
 #include "bench_circuits/gcd.hpp"
 #include "faults/stress.hpp"
 #include "rewrite/ooo_pipeline.hpp"
@@ -94,4 +96,4 @@ BENCHMARK(BM_StressGcdPair)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+GRAPHITI_BENCHMARK_MAIN();

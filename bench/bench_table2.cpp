@@ -33,8 +33,12 @@ geomean(const std::vector<double>& xs)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string json_path = graphiti::bench::jsonPathFromArgs(argc, argv);
+    graphiti::bench::JsonReport report("bench_table2");
+    auto wall_start = std::chrono::steady_clock::now();
+
     std::printf("Table 2: cycle count, clock period (ns) and execution "
                 "time (ns)\n");
     std::printf("flows: DF-IO | DF-OoO | GRAPHITI | Vericert\n\n");
@@ -50,6 +54,7 @@ main()
         exec_cols(4);
     for (const std::string& name : graphiti::circuits::benchmarkNames()) {
         BenchmarkMetrics m = graphiti::bench::evaluateBenchmark(name);
+        report.benchmark(m);
         const FlowMetrics* flows[4] = {&m.df_io, &m.df_ooo, &m.graphiti,
                                        &m.vericert};
         std::printf("%-12s | %6zu %6zu %6zu %6zu | %6.2f %6.2f %6.2f "
@@ -87,5 +92,14 @@ main()
     std::printf("GRAPHITI speedup vs Vericert (geomean): %.1fx "
                 "(paper: 5.8x)\n",
                 speedup_ver);
-    return 0;
+
+    graphiti::obs::json::Value speedups{graphiti::obs::json::Object{}};
+    speedups.set("vs_df_io", speedup_io);
+    speedups.set("vs_vericert", speedup_ver);
+    report.set("speedups", std::move(speedups));
+    report.phase("total", std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              wall_start)
+                              .count());
+    return report.writeIfRequested(json_path) ? 0 : 1;
 }

@@ -26,8 +26,12 @@ geomean(const std::vector<double>& xs)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string json_path = graphiti::bench::jsonPathFromArgs(argc, argv);
+    graphiti::bench::JsonReport report("bench_table3");
+    auto wall_start = std::chrono::steady_clock::now();
+
     std::printf("Table 3: area (LUT / FF / DSP)\n");
     std::printf("flows: DF-IO | DF-OoO | GRAPHITI | Vericert\n\n");
     std::printf("%-12s | %27s | %27s | %23s\n", "benchmark", "LUT count",
@@ -41,6 +45,7 @@ main()
     for (const std::string& name : graphiti::circuits::benchmarkNames()) {
         graphiti::bench::BenchmarkMetrics m =
             graphiti::bench::evaluateBenchmark(name);
+        report.benchmark(m);
         const graphiti::bench::FlowMetrics* flows[4] = {
             &m.df_io, &m.df_ooo, &m.graphiti, &m.vericert};
         std::printf("%-12s | %6d %6d %6d %6d | %6d %6d %6d %6d | %5d "
@@ -64,5 +69,9 @@ main()
                 geomean(ff[1]), geomean(ff[2]), geomean(ff[3]),
                 geomean(dsp[0]), geomean(dsp[1]), geomean(dsp[2]),
                 geomean(dsp[3]));
-    return 0;
+    report.phase("total", std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              wall_start)
+                              .count());
+    return report.writeIfRequested(json_path) ? 0 : 1;
 }

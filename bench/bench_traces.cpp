@@ -10,6 +10,7 @@
 #include <map>
 
 #include "bench_circuits/gcd.hpp"
+#include "flows.hpp"
 #include "rewrite/ooo_pipeline.hpp"
 #include "sim/sim.hpp"
 
@@ -85,8 +86,12 @@ printTimeline(const char* label, const TraceResult& trace)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string json_path = bench::jsonPathFromArgs(argc, argv);
+    bench::JsonReport report("bench_traces");
+    auto wall_start = std::chrono::steady_clock::now();
+
     std::printf("Figure 2d/2e: modulo-unit activity for three GCD "
                 "streams ('#' = modulo accepts operands)\n\n");
 
@@ -111,5 +116,18 @@ main()
     std::printf("speedup: %.2fx\n",
                 static_cast<double>(io.cycles) /
                     static_cast<double>(ooo.cycles));
-    return 0;
+
+    auto variant = [](const TraceResult& t) {
+        obs::json::Value v{obs::json::Object{}};
+        v.set("cycles", t.cycles);
+        v.set("modulo_accepts", t.accepts.size());
+        return v;
+    };
+    report.set("in_order", variant(io));
+    report.set("out_of_order", variant(ooo));
+    report.phase("total", std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              wall_start)
+                              .count());
+    return report.writeIfRequested(json_path) ? 0 : 1;
 }

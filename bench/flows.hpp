@@ -16,10 +16,13 @@
  *  - Vericert: the statically scheduled baseline.
  */
 
+#include <chrono>
+#include <cstring>
 #include <iostream>
 
 #include "arch/area_timing.hpp"
 #include "bench_circuits/benchmarks.hpp"
+#include "obs/json.hpp"
 #include "rewrite/ooo_pipeline.hpp"
 #include "sim/sim.hpp"
 #include "static_hls/static_hls.hpp"
@@ -33,6 +36,23 @@ struct FlowMetrics
     double clock_period_ns = 0.0;
     double exec_time_ns = 0.0;
     arch::AreaReport area;
+    /** Wall time spent building+simulating this flow (per-phase
+     * timing of the machine-readable bench output). */
+    double measure_seconds = 0.0;
+
+    obs::json::Value
+    toJson() const
+    {
+        obs::json::Value out{obs::json::Object{}};
+        out.set("cycles", cycles);
+        out.set("clock_period_ns", clock_period_ns);
+        out.set("exec_time_ns", exec_time_ns);
+        out.set("lut", area.lut);
+        out.set("ff", area.ff);
+        out.set("dsp", area.dsp);
+        out.set("measure_seconds", measure_seconds);
+        return out;
+    }
 };
 
 /** All four flows on one benchmark. */
@@ -44,6 +64,140 @@ struct BenchmarkMetrics
     FlowMetrics graphiti;
     FlowMetrics vericert;
     bool graphiti_refused = false;  ///< the bicg case
+
+    obs::json::Value
+    toJson() const
+    {
+        obs::json::Value out{obs::json::Object{}};
+        out.set("name", name);
+        out.set("df_io", df_io.toJson());
+        out.set("df_ooo", df_ooo.toJson());
+        out.set("graphiti", graphiti.toJson());
+        out.set("vericert", vericert.toJson());
+        out.set("graphiti_refused", graphiti_refused);
+        return out;
+    }
+};
+
+/**
+ * The standard `--json <path>` flag every bench binary understands.
+ * Returns the path, or "" when the flag is absent.
+ */
+inline std::string
+jsonPathFromArgs(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0)
+            return argv[i + 1];
+    return "";
+}
+
+/**
+ * Rewrite `--json <path>` into google-benchmark's native
+ * `--benchmark_out=<path> --benchmark_out_format=json` pair, so the
+ * micro-benches share the same flag as the table regenerators.
+ * @p storage owns the rewritten strings and must outlive the result.
+ */
+inline std::vector<char*>
+translateJsonFlag(int argc, char** argv,
+                  std::vector<std::string>& storage)
+{
+    storage.clear();
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            storage.push_back(std::string("--benchmark_out=") +
+                              argv[i + 1]);
+            storage.emplace_back("--benchmark_out_format=json");
+            ++i;
+        } else {
+            storage.emplace_back(argv[i]);
+        }
+    }
+    std::vector<char*> out;
+    out.reserve(storage.size());
+    for (std::string& s : storage)
+        out.push_back(s.data());
+    return out;
+}
+
+/** Custom gbench main body honoring the shared --json flag. */
+#define GRAPHITI_BENCHMARK_MAIN()                                       \
+    int main(int argc, char** argv)                                     \
+    {                                                                   \
+        std::vector<std::string> storage;                               \
+        std::vector<char*> args =                                       \
+            ::graphiti::bench::translateJsonFlag(argc, argv, storage);  \
+        int n = static_cast<int>(args.size());                          \
+        ::benchmark::Initialize(&n, args.data());                       \
+        if (::benchmark::ReportUnrecognizedArguments(n, args.data()))   \
+            return 1;                                                   \
+        ::benchmark::RunSpecifiedBenchmarks();                          \
+        ::benchmark::Shutdown();                                        \
+        return 0;                                                       \
+    }                                                                   \
+    int main(int, char**)
+
+/**
+ * Accumulator for the table regenerators' machine-readable output:
+ * one JSON document per run with per-benchmark flow metrics (each
+ * carrying its measure_seconds phase timing) plus named top-level
+ * phases, written when --json was requested.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string tool)
+    {
+        root_.set("tool", std::move(tool));
+        benchmarks_ = obs::json::Array{};
+        phases_ = obs::json::Array{};
+    }
+
+    /** Record one benchmark's flow metrics. */
+    void
+    benchmark(const BenchmarkMetrics& m)
+    {
+        benchmarks_.push(m.toJson());
+    }
+
+    /** Record one named wall-clock phase. */
+    void
+    phase(const std::string& name, double seconds)
+    {
+        obs::json::Value entry{obs::json::Object{}};
+        entry.set("name", name);
+        entry.set("seconds", seconds);
+        phases_.push(std::move(entry));
+    }
+
+    /** Attach an extra top-level field (speedups, verdicts, ...). */
+    void
+    set(const std::string& key, obs::json::Value value)
+    {
+        root_.set(key, std::move(value));
+    }
+
+    /** Write the document when @p path is nonempty; true on success
+     * (or no-op). */
+    bool
+    writeIfRequested(const std::string& path)
+    {
+        if (path.empty())
+            return true;
+        root_.set("benchmarks", benchmarks_);
+        root_.set("phases", phases_);
+        Result<bool> wrote = obs::json::writeFile(path, root_);
+        if (!wrote.ok()) {
+            std::cerr << "--json: " << wrote.error().message << "\n";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    obs::json::Value root_{obs::json::Object{}};
+    obs::json::Value benchmarks_;
+    obs::json::Value phases_;
 };
 
 inline std::size_t
@@ -68,11 +222,15 @@ inline FlowMetrics
 measureCircuit(const ExprHigh& g, const circuits::BenchmarkSpec& spec,
                std::shared_ptr<FnRegistry> registry)
 {
+    auto start = std::chrono::steady_clock::now();
     FlowMetrics m;
     m.cycles = simulateFlow(g, spec, registry);
     m.clock_period_ns = arch::clockPeriodOf(g);
     m.exec_time_ns = arch::executionTimeNs(m.cycles, m.clock_period_ns);
     m.area = arch::areaOf(g);
+    m.measure_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
     return m;
 }
 

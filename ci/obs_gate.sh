@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Observability CI gate: both GRAPHITI_OBS configurations must hold
+# their side of the zero-cost contract.
+#
+#  1. OFF build: tier-1 passes, and the hot-layer objects contain no
+#     instrumentation call sites (checked by metric-name strings).
+#  2. ON build: tier-1 passes, including the obs-labeled suite with
+#     the <2x instrumented-gcd overhead assertion, and
+#     graphiti-report produces a valid gcd bundle.
+#
+# Usage: ci/obs_gate.sh [build-dir-prefix]   (default: build-ci)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== OFF configuration =="
+cmake -B "${PREFIX}-off" -S . -DGRAPHITI_OBS=OFF
+cmake --build "${PREFIX}-off" -j "${JOBS}"
+
+# Zero-cost check: with instrumentation compiled out, the metric-name
+# literals must not survive in the hot-layer objects.
+for probe in "rewrite.match_attempts:libgraphiti_rewrite.a" \
+             "egraph.saturations:libgraphiti_egraph.a" \
+             "refine.states_per_second:libgraphiti_refine.a"; do
+    name="${probe%%:*}"
+    lib="${probe##*:}"
+    path="$(find "${PREFIX}-off" -name "${lib}" | head -1)"
+    if [ -z "${path}" ]; then
+        echo "FAIL: ${lib} not built"
+        exit 1
+    fi
+    if strings "${path}" | grep -q "${name}"; then
+        echo "FAIL: OFF build still contains '${name}' in ${lib}"
+        exit 1
+    fi
+done
+echo "OK: no instrumentation strings in OFF hot-layer objects"
+
+(cd "${PREFIX}-off" && ctest --output-on-failure -j "${JOBS}")
+
+echo "== ON configuration =="
+cmake -B "${PREFIX}-on" -S . -DGRAPHITI_OBS=ON
+cmake --build "${PREFIX}-on" -j "${JOBS}"
+# Full tier-1; the obs label carries ObsGcd.OverheadUnderTwoTimes.
+(cd "${PREFIX}-on" && ctest --output-on-failure -j "${JOBS}")
+(cd "${PREFIX}-on" && ctest -L obs --output-on-failure)
+
+echo "== gcd bundle smoke =="
+OUT="$(mktemp -d)"
+"${PREFIX}-on/tools/graphiti-report" gcd --out-dir "${OUT}"
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+m = json.load(open(out + "/metrics.json"))
+counters = m["metrics"]["counters"]
+for layer in ("sim.", "rewrite.", "egraph.", "refine."):
+    assert any(k.startswith(layer) and v > 0
+               for k, v in counters.items()), layer + "* all zero"
+trace = json.load(open(out + "/trace.json"))
+assert len(trace["traceEvents"]) > 0
+vcd = open(out + "/gcd.vcd").read()
+assert "$enddefinitions $end" in vcd and "$timescale" in vcd
+print("OK: bundle valid (all three layers nonzero)")
+EOF
+
+echo "obs gate: all checks passed"

@@ -8,6 +8,33 @@
 
 namespace graphiti {
 
+obs::json::Value
+CompileReport::toJson() const
+{
+    namespace json = obs::json;
+    json::Value out{json::Object{}};
+    out.set("nodes", graph.numNodes());
+    out.set("seconds", seconds);
+    out.set("rewrites", rewrites.toJson());
+    json::Value loop_arr{json::Array{}};
+    for (const LoopTransformReport& loop : loops) {
+        json::Value entry{json::Object{}};
+        entry.set("header_mux", loop.header_mux);
+        entry.set("transformed", loop.transformed);
+        if (!loop.refusal.empty())
+            entry.set("refusal", loop.refusal);
+        if (loop.transformed) {
+            entry.set("body_fn", loop.body_fn);
+            entry.set("body_latency", loop.body_latency);
+            entry.set("term_size_before", loop.term_size_before);
+            entry.set("term_size_after", loop.term_size_after);
+        }
+        loop_arr.push(std::move(entry));
+    }
+    out.set("loops", std::move(loop_arr));
+    return out;
+}
+
 Result<CompileReport>
 Compiler::compileDot(const std::string& dot_text,
                      const CompileOptions& options)
@@ -22,6 +49,12 @@ Result<CompileReport>
 Compiler::compileGraph(const ExprHigh& graph,
                        const CompileOptions& options)
 {
+    // Route the whole compilation (typecheck, catalog verification,
+    // pipeline) through the caller's scope when one is given.
+    obs::ScopedInstall obs_install(options.obs.get());
+    GRAPHITI_OBS_TIMER(obs_timer, "compile.seconds");
+    GRAPHITI_OBS_COUNT("compile.runs", 1);
+
     // Well-typedness (section 6.3): every wire must carry one
     // consistent type before we reason about rewrites.
     Result<TypeReport> typed = checkWellTyped(graph);

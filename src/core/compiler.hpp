@@ -25,9 +25,11 @@
  * adversarial fault plans and checking latency-insensitivity.
  */
 
+#include <memory>
 #include <string>
 
 #include "faults/stress.hpp"
+#include "obs/scope.hpp"
 #include "refine/refinement.hpp"
 #include "rewrite/ooo_pipeline.hpp"
 #include "semantics/environment.hpp"
@@ -48,6 +50,13 @@ struct CompileOptions
      * are also run by the test suite).
      */
     bool verify_rewrites = false;
+    /**
+     * Observability scope installed (thread-locally) for the duration
+     * of the compilation, so the rewrite engine, e-graph and
+     * refinement checker record into its registry. Null = keep
+     * whatever scope is already current.
+     */
+    std::shared_ptr<obs::Scope> obs;
 };
 
 /** Outcome of one compilation. */
@@ -58,6 +67,12 @@ struct CompileReport
     std::vector<LoopTransformReport> loops;
     EngineStats rewrites;
     double seconds = 0.0;    ///< rewriting wall time
+
+    /**
+     * Machine-readable summary (loops, rewrite counts, timing); the
+     * circuit itself is reported only by node count, not re-printed.
+     */
+    obs::json::Value toJson() const;
 };
 
 /** The GRAPHITI compiler. */

@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/scope.hpp"
+
 namespace graphiti::eg {
 
 std::size_t
@@ -213,9 +215,16 @@ SaturationStats
 EGraph::saturate(const std::vector<RewriteRule>& rules,
                  std::size_t max_iterations, std::size_t max_nodes)
 {
+    GRAPHITI_OBS_TIMER(obs_timer, "egraph.saturate_seconds");
+    GRAPHITI_OBS_COUNT("egraph.saturations", 1);
     SaturationStats stats;
     for (std::size_t iter = 0; iter < max_iterations; ++iter) {
         ++stats.iterations;
+        GRAPHITI_OBS_COUNT("egraph.iterations", 1);
+        // Growth per saturation round, as counter tracks a trace
+        // viewer plots over the iteration axis.
+        GRAPHITI_OBS_TRACK("egraph.nodes", iter, nodes_.size());
+        GRAPHITI_OBS_TRACK("egraph.classes", iter, numClasses());
         // Collect matches against a frozen snapshot of classes.
         struct PendingMerge
         {
@@ -238,8 +247,10 @@ EGraph::saturate(const std::vector<RewriteRule>& rules,
         }
         bool changed = false;
         for (PendingMerge& p : pending) {
-            if (nodes_.size() > max_nodes)
+            if (nodes_.size() > max_nodes) {
+                finishSaturation(stats);
                 return stats;
+            }
             ClassId rhs_cls = instantiate(p.rule->rhs, p.subst);
             if (merge(p.cls, rhs_cls)) {
                 changed = true;
@@ -249,10 +260,25 @@ EGraph::saturate(const std::vector<RewriteRule>& rules,
         rebuild();
         if (!changed) {
             stats.saturated = true;
+            finishSaturation(stats);
             return stats;
         }
     }
+    finishSaturation(stats);
     return stats;
+}
+
+/** Final growth/application metrics of one saturation run. */
+void
+EGraph::finishSaturation(const SaturationStats& stats) const
+{
+    GRAPHITI_OBS_COUNT("egraph.applications",
+                       static_cast<std::int64_t>(stats.applications));
+    GRAPHITI_OBS_GAUGE_MAX("egraph.nodes_max", nodes_.size());
+    GRAPHITI_OBS_GAUGE_MAX("egraph.classes_max", numClasses());
+    if (stats.saturated)
+        GRAPHITI_OBS_COUNT("egraph.saturated", 1);
+    (void)stats;
 }
 
 Result<TermExpr>

@@ -151,6 +151,7 @@ class EGraph
                       std::vector<Subst>& out) const;
     ClassId instantiate(const TermExpr& pattern, const Subst& subst);
     ENode canonicalize(ENode node) const;
+    void finishSaturation(const SaturationStats& stats) const;
 
     std::vector<ClassId> parent_;  ///< union-find
     std::vector<ENode> nodes_;     ///< all distinct e-nodes

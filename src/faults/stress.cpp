@@ -1,7 +1,9 @@
 #include "faults/stress.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/scope.hpp"
 #include "support/rng.hpp"
 
 namespace graphiti::faults {
@@ -63,6 +65,43 @@ firstDifference(const sim::SimResult& got, const sim::SimResult& want)
     return {};
 }
 
+/** Flush one report's aggregate metrics into the ambient registry. */
+void
+recordStressMetrics(const StressReport& report)
+{
+#if GRAPHITI_OBS_ENABLED
+    obs::Scope* scope = obs::current();
+    if (scope == nullptr)
+        return;
+    obs::MetricsRegistry& m = scope->metrics();
+    m.add("stress.runs");
+    m.add("stress.plans",
+          static_cast<std::int64_t>(report.plansRun()));
+    for (const PlanOutcome& o : report.outcomes) {
+        if (!o.completed)
+            m.add("stress.plan_errors");
+        else if (!o.matched)
+            m.add("stress.violations");
+    }
+    m.setMax("stress.worst_inflation", report.worst_inflation);
+    m.setMax("stress.plans_per_second", report.plansPerSecond());
+    if (obs::TraceSink* sink = scope->trace()) {
+        for (const PlanOutcome& o : report.outcomes) {
+            if (o.matched)
+                continue;
+            obs::TraceRecord rec;
+            rec.cycle = o.cycles;
+            rec.node = o.plan;
+            rec.kind = obs::EventKind::Fault;
+            rec.detail = o.detail;
+            sink->event(rec);
+        }
+    }
+#else
+    (void)report;
+#endif
+}
+
 }  // namespace
 
 std::vector<std::shared_ptr<FaultPlan>>
@@ -98,6 +137,8 @@ StressHarness::run(const ExprHigh& graph,
                    std::shared_ptr<FnRegistry> functions,
                    const Workload& workload) const
 {
+    GRAPHITI_OBS_TIMER(obs_timer, "stress.run_seconds");
+    auto start = std::chrono::steady_clock::now();
     Result<sim::SimResult> baseline =
         simulate(graph, functions, workload, options_.sim, nullptr);
     if (!baseline.ok())
@@ -118,6 +159,11 @@ StressHarness::run(const ExprHigh& graph,
             outcome.detail =
                 firstDifference(run.value(), baseline.value());
             outcome.matched = outcome.detail.empty();
+            if (report.baseline_cycles > 0)
+                report.worst_inflation = std::max(
+                    report.worst_inflation,
+                    static_cast<double>(outcome.cycles) /
+                        static_cast<double>(report.baseline_cycles));
         } else {
             outcome.detail = run.error().message;
         }
@@ -128,6 +174,10 @@ StressHarness::run(const ExprHigh& graph,
         }
         report.outcomes.push_back(std::move(outcome));
     }
+    report.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    recordStressMetrics(report);
     return report;
 }
 
@@ -148,6 +198,9 @@ StressHarness::runPair(const ExprHigh& original,
     merged.invariant_holds = orig.value().invariant_holds &&
                              ooo.value().invariant_holds;
     merged.baseline_cycles = orig.value().baseline_cycles;
+    merged.seconds = orig.value().seconds + ooo.value().seconds;
+    merged.worst_inflation = std::max(orig.value().worst_inflation,
+                                      ooo.value().worst_inflation);
     merged.first_violation = !orig.value().first_violation.empty()
                                  ? "orig: " + orig.value().first_violation
                                  : ooo.value().first_violation.empty()

@@ -83,8 +83,21 @@ struct StressReport
     /** First violating plan, rendered; empty when the invariant
      * holds. */
     std::string first_violation;
+    /** Wall-clock time of the whole stress run (baseline + plans). */
+    double seconds = 0.0;
+    /** Worst-case cycle inflation of any completed plan relative to
+     * the fault-free baseline (1.0 = no slowdown). */
+    double worst_inflation = 1.0;
 
     std::size_t plansRun() const { return outcomes.size(); }
+
+    double
+    plansPerSecond() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(outcomes.size()) / seconds
+                   : 0.0;
+    }
 };
 
 /** The hazard-stress harness. */

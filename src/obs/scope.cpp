@@ -1,0 +1,25 @@
+#include "obs/scope.hpp"
+
+namespace graphiti::obs {
+
+namespace {
+
+thread_local Scope* g_current = nullptr;
+
+}  // namespace
+
+Scope*
+current()
+{
+    return g_current;
+}
+
+Scope*
+install(Scope* scope)
+{
+    Scope* previous = g_current;
+    g_current = scope;
+    return previous;
+}
+
+}  // namespace graphiti::obs

@@ -1,0 +1,161 @@
+#ifndef GRAPHITI_OBS_SCOPE_HPP
+#define GRAPHITI_OBS_SCOPE_HPP
+
+/**
+ * @file
+ * The instrumentation entry point: an obs::Scope bundles the metrics
+ * registry with optional trace/waveform sinks, and a thread-local
+ * "current scope" lets deeply nested layers (the e-graph oracle, the
+ * state-space explorer) record without threading a pointer through
+ * every signature.
+ *
+ * Zero cost when disabled: every call site in sim/rewrite/refine goes
+ * through the GRAPHITI_OBS_* macros below, which expand to nothing
+ * when the build sets GRAPHITI_OBS_ENABLED=0 (CMake option
+ * GRAPHITI_OBS=OFF). The obs library itself (registry, sinks, JSON)
+ * always builds — only the hot-path hooks compile out.
+ *
+ * Usage:
+ *
+ *     obs::Scope scope;
+ *     scope.attachTrace(std::make_shared<obs::PerfettoTraceSink>());
+ *     obs::ScopedInstall install(&scope);
+ *     ... run compiler / simulator / checker ...
+ *     scope.metrics().toJson();
+ */
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// Default to enabled when built outside CMake (the option defines it).
+#ifndef GRAPHITI_OBS_ENABLED
+#define GRAPHITI_OBS_ENABLED 1
+#endif
+
+namespace graphiti::obs {
+
+/** One observation context: a registry plus optional sinks. */
+class Scope
+{
+  public:
+    MetricsRegistry& metrics() { return metrics_; }
+    const MetricsRegistry& metrics() const { return metrics_; }
+
+    /** The trace sink; nullptr when event tracing is off. */
+    TraceSink* trace() const { return trace_.get(); }
+    void attachTrace(std::shared_ptr<TraceSink> sink)
+    {
+        trace_ = std::move(sink);
+    }
+
+    /** The waveform writer; nullptr when VCD capture is off. */
+    VcdWriter* vcd() const { return vcd_.get(); }
+    void attachVcd(std::shared_ptr<VcdWriter> vcd)
+    {
+        vcd_ = std::move(vcd);
+    }
+
+  private:
+    MetricsRegistry metrics_;
+    std::shared_ptr<TraceSink> trace_;
+    std::shared_ptr<VcdWriter> vcd_;
+};
+
+/** The thread's current scope; nullptr when nothing observes. */
+Scope* current();
+
+/** Install @p scope as current (nullptr allowed); returns previous. */
+Scope* install(Scope* scope);
+
+/** RAII install/restore of the thread-local current scope. */
+class ScopedInstall
+{
+  public:
+    explicit ScopedInstall(Scope* scope) : previous_(install(scope)) {}
+    ~ScopedInstall() { install(previous_); }
+
+    ScopedInstall(const ScopedInstall&) = delete;
+    ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+  private:
+    Scope* previous_;
+};
+
+/** Timer helper the macro expands to: inert when nothing observes. */
+inline ScopedTimer
+timerFor(Scope* scope, const char* name)
+{
+    if (scope == nullptr)
+        return {};
+    return scope->metrics().timer(name);
+}
+
+}  // namespace graphiti::obs
+
+#if GRAPHITI_OBS_ENABLED
+
+/** Increment a counter on the current scope. */
+#define GRAPHITI_OBS_COUNT(name, delta)                                  \
+    do {                                                                 \
+        if (::graphiti::obs::Scope* obs_scope_ =                         \
+                ::graphiti::obs::current())                              \
+            obs_scope_->metrics().add((name), (delta));                  \
+    } while (0)
+
+/** Set a gauge on the current scope. */
+#define GRAPHITI_OBS_GAUGE(name, value)                                  \
+    do {                                                                 \
+        if (::graphiti::obs::Scope* obs_scope_ =                         \
+                ::graphiti::obs::current())                              \
+            obs_scope_->metrics().set((name),                            \
+                                      static_cast<double>(value));       \
+    } while (0)
+
+/** Raise a high-water-mark gauge on the current scope. */
+#define GRAPHITI_OBS_GAUGE_MAX(name, value)                              \
+    do {                                                                 \
+        if (::graphiti::obs::Scope* obs_scope_ =                         \
+                ::graphiti::obs::current())                              \
+            obs_scope_->metrics().setMax((name),                         \
+                                         static_cast<double>(value));    \
+    } while (0)
+
+/** Record one duration observation on the current scope. */
+#define GRAPHITI_OBS_OBSERVE(name, seconds)                              \
+    do {                                                                 \
+        if (::graphiti::obs::Scope* obs_scope_ =                         \
+                ::graphiti::obs::current())                              \
+            obs_scope_->metrics().observe((name), (seconds));            \
+    } while (0)
+
+/** Declare a scoped timer variable feeding the current scope. */
+#define GRAPHITI_OBS_TIMER(var, name)                                    \
+    ::graphiti::obs::ScopedTimer var =                                   \
+        ::graphiti::obs::timerFor(::graphiti::obs::current(), (name))
+
+/** Emit a counter-track sample to the current scope's trace sink. */
+#define GRAPHITI_OBS_TRACK(track, cycle, value)                          \
+    do {                                                                 \
+        ::graphiti::obs::Scope* obs_scope_ =                             \
+            ::graphiti::obs::current();                                  \
+        if (obs_scope_ != nullptr && obs_scope_->trace() != nullptr)     \
+            obs_scope_->trace()->counter(                                \
+                (track), static_cast<double>(cycle),                     \
+                static_cast<double>(value));                             \
+    } while (0)
+
+#else  // !GRAPHITI_OBS_ENABLED
+
+#define GRAPHITI_OBS_COUNT(name, delta) do { } while (0)
+#define GRAPHITI_OBS_GAUGE(name, value) do { } while (0)
+#define GRAPHITI_OBS_GAUGE_MAX(name, value) do { } while (0)
+#define GRAPHITI_OBS_OBSERVE(name, seconds) do { } while (0)
+#define GRAPHITI_OBS_TIMER(var, name) ::graphiti::obs::ScopedTimer var{}
+#define GRAPHITI_OBS_TRACK(track, cycle, value) do { } while (0)
+
+#endif  // GRAPHITI_OBS_ENABLED
+
+#endif  // GRAPHITI_OBS_SCOPE_HPP

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/scope.hpp"
+
 namespace graphiti {
 
 namespace {
@@ -225,6 +227,7 @@ checkRefinement(const DenotedModule& impl, const DenotedModule& spec,
                 const InputDomain& domain,
                 const ExplorationLimits& limits)
 {
+    GRAPHITI_OBS_TIMER(obs_timer, "refine.check_seconds");
     if (impl.inputNames() != spec.inputNames() ||
         impl.outputNames() != spec.outputNames()) {
         std::ostringstream os;
@@ -253,7 +256,16 @@ checkRefinement(const DenotedModule& impl, const DenotedModule& spec,
         return spec_space.error().context("spec");
 
     SimulationGame game(impl_space.value(), spec_space.value());
-    return game.run();
+    RefinementReport report = game.run();
+    GRAPHITI_OBS_COUNT("refine.checks", 1);
+    GRAPHITI_OBS_COUNT("refine.pairs",
+                       static_cast<std::int64_t>(report.reachable_pairs));
+    GRAPHITI_OBS_COUNT(
+        "refine.fixpoint_iterations",
+        static_cast<std::int64_t>(report.fixpoint_iterations));
+    if (!report.refines)
+        GRAPHITI_OBS_COUNT("refine.failures", 1);
+    return report;
 }
 
 Result<RefinementReport>

@@ -3,6 +3,8 @@
 #include <deque>
 #include <sstream>
 
+#include "obs/scope.hpp"
+
 namespace graphiti {
 
 InputDomain
@@ -88,6 +90,11 @@ StateSpace::resume(const DenotedModule& mod,
 Result<bool>
 StateSpace::expand(const DenotedModule& mod, std::size_t max_states)
 {
+    GRAPHITI_OBS_TIMER(obs_timer, "refine.explore_seconds");
+#if GRAPHITI_OBS_ENABLED
+    std::size_t states_before = concrete_.size();
+    auto obs_start = std::chrono::steady_clock::now();
+#endif
     // Rebuild the dedup index from the interned states; a parked
     // partial space carries no index, only its frontier.
     std::unordered_map<Key, std::uint32_t, KeyHash> index;
@@ -175,6 +182,25 @@ StateSpace::expand(const DenotedModule& mod, std::size_t max_states)
     }
     for (std::uint32_t id : frontier)
         frontier_.push_back(id);
+
+#if GRAPHITI_OBS_ENABLED
+    if (obs::Scope* scope = obs::current()) {
+        std::size_t grown = concrete_.size() - states_before;
+        scope->metrics().add("refine.states",
+                             static_cast<std::int64_t>(grown));
+        scope->metrics().add("refine.explorations");
+        scope->metrics().set("refine.frontier",
+                             static_cast<double>(frontier_.size()));
+        double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             obs_start)
+                             .count();
+        if (seconds > 0.0)
+            scope->metrics().setMax(
+                "refine.states_per_second",
+                static_cast<double>(grown) / seconds);
+    }
+#endif
 
     // Memoized closures may predate the new edges; recompute lazily.
     closure_.assign(concrete_.size(), std::nullopt);

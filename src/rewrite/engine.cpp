@@ -27,6 +27,7 @@ RewriteEngine::applyOnce(const ExprHigh& graph, const std::string& rule)
     const RewriteDef* def = findRule(rule);
     if (def == nullptr)
         return err("unknown rule: " + rule);
+    GRAPHITI_OBS_COUNT("rewrite.match_attempts", 1);
     std::optional<RewriteMatch> match = matchRewriteOnce(graph, *def);
     if (!match)
         return err(rule + ": no match");
@@ -51,6 +52,7 @@ RewriteEngine::applyExhaustively(const ExprHigh& graph,
                                  const std::vector<std::string>& rules,
                                  std::size_t max_applications)
 {
+    GRAPHITI_OBS_TIMER(obs_timer, "rewrite.exhaustive_seconds");
     ExprHigh current = graph;
     for (std::size_t applied = 0; applied < max_applications;) {
         bool progressed = false;
@@ -58,6 +60,7 @@ RewriteEngine::applyExhaustively(const ExprHigh& graph,
             const RewriteDef* def = findRule(rule);
             if (def == nullptr)
                 return err("unknown rule: " + rule);
+            GRAPHITI_OBS_COUNT("rewrite.match_attempts", 1);
             // A match can be inapplicable (e.g. a wire rewrite whose
             // fused wire would connect io to io); try the next one.
             for (const RewriteMatch& match : matchRewrite(current, *def)) {

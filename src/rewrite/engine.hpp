@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/scope.hpp"
 #include "rewrite/rewrite.hpp"
 
 namespace graphiti {
@@ -34,6 +35,21 @@ struct EngineStats
     {
         ++rewrites_applied;
         ++per_rule[rule];
+        GRAPHITI_OBS_COUNT("rewrite.applied", 1);
+        GRAPHITI_OBS_COUNT("rewrite.rule." + rule, 1);
+    }
+
+    /** Per-rule application counts as a JSON object. */
+    obs::json::Value
+    toJson() const
+    {
+        obs::json::Value out{obs::json::Object{}};
+        out.set("rewrites_applied", rewrites_applied);
+        obs::json::Value rules{obs::json::Object{}};
+        for (const auto& [rule, count] : per_rule)
+            rules.set(rule, count);
+        out.set("per_rule", std::move(rules));
+        return out;
     }
 
     void

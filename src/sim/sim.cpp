@@ -5,6 +5,7 @@
 
 #include "arch/buffers.hpp"
 #include "graph/signatures.hpp"
+#include "obs/scope.hpp"
 #include "semantics/environment.hpp"
 
 namespace graphiti::sim {
@@ -118,6 +119,18 @@ class Simulator::Impl
         memories_ = owner_.memories_;
         faults_ = owner_.config_.faults.get();
 
+#if GRAPHITI_OBS_ENABLED
+        obs_ = owner_.config_.obs ? owner_.config_.obs.get()
+                                  : obs::current();
+        if (obs_ != nullptr) {
+            sink_ = obs_->trace();
+            setupVcd();
+        }
+        obs::ScopedTimer run_timer =
+            obs_ == nullptr ? obs::ScopedTimer{}
+                            : obs_->metrics().timer("sim.run_seconds");
+#endif
+
         input_streams_ = inputs;
         input_pos_.assign(inputs.size(), 0);
 
@@ -143,11 +156,20 @@ class Simulator::Impl
                     return fired.error().context(
                         "cycle " + std::to_string(cycle) + ", node " +
                         node.name);
-                if (moves_ > before)
+                if (moves_ > before) {
+#if GRAPHITI_OBS_ENABLED
+                    if (sink_ != nullptr)
+                        observeFire(node, cycle);
+#endif
                     node.last_fire = cycle;
+                }
             }
             collectOutputs(result);
             commitStaged();
+#if GRAPHITI_OBS_ENABLED
+            if (obs_ != nullptr)
+                observeCycle();
+#endif
 
             if (done(result, expected_outputs)) {
                 result.cycles = cycle + 1;
@@ -155,6 +177,10 @@ class Simulator::Impl
                 if (!drained.ok())
                     return drained.error();
                 result.memories = memories_;
+#if GRAPHITI_OBS_ENABLED
+                if (obs_ != nullptr)
+                    finishObservation(result.cycles);
+#endif
                 return result;
             }
             // Watchdog. A fault that held back an otherwise-possible
@@ -336,6 +362,10 @@ class Simulator::Impl
         if (faults_ != nullptr &&
             faults_->dropValid(static_cast<std::size_t>(ch), cycle_)) {
             fault_hold_ = true;  // a consumable token was hidden
+#if GRAPHITI_OBS_ENABLED
+            if (obs_ != nullptr)
+                observeFault(ch, "drop-valid");
+#endif
             return false;
         }
         return true;
@@ -367,6 +397,10 @@ class Simulator::Impl
         if (faults_ != nullptr &&
             faults_->dropReady(static_cast<std::size_t>(ch), cycle_)) {
             fault_hold_ = true;  // available space was refused
+#if GRAPHITI_OBS_ENABLED
+            if (obs_ != nullptr)
+                observeFault(ch, "drop-ready");
+#endif
             return false;
         }
         return true;
@@ -392,11 +426,13 @@ class Simulator::Impl
     }
 
     void
-    trace(const SimNode& node, const std::string& detail)
+    trace(const SimNode& node, const std::string& detail,
+          obs::EventKind kind = obs::EventKind::Fire)
     {
         for (const std::string& wanted : owner_.config_.trace_nodes)
             if (wanted == node.name)
-                trace_->push_back(TraceEvent{cycle_, node.name, detail});
+                trace_->push_back(
+                    TraceEvent{cycle_, node.name, -1, kind, detail});
     }
 
     void
@@ -426,6 +462,17 @@ class Simulator::Impl
         for (std::size_t i = 0; i < output_channels_.size(); ++i) {
             Channel& ch = channels_[output_channels_[i]];
             while (!ch.empty()) {
+#if GRAPHITI_OBS_ENABLED
+                if (obs_ != nullptr) {
+                    ++stat_outputs_;
+                    if (sink_ != nullptr)
+                        sink_->event(TraceEvent{
+                            cycle_, "output#" + std::to_string(i),
+                            output_channels_[i],
+                            obs::EventKind::Output,
+                            ch.slots.front().toString()});
+                }
+#endif
                 result.outputs[i].push_back(ch.slots.front());
                 ch.slots.pop_front();
                 ++moves_;
@@ -506,6 +553,18 @@ class Simulator::Impl
         StuckDiagnosis d = buildDiagnosis(kind, result, expected,
                                           last_progress, last_output);
         std::string rendered = d.toString();
+#if GRAPHITI_OBS_ENABLED
+        if (obs_ != nullptr) {
+            obs_->metrics().add("sim.stuck");
+            obs_->metrics().add(std::string("sim.stuck.") +
+                                sim::toString(kind));
+            if (sink_ != nullptr)
+                sink_->event(TraceEvent{cycle_, "watchdog", -1,
+                                        obs::EventKind::Verdict,
+                                        sim::toString(kind)});
+            finishObservation(cycle_);
+        }
+#endif
         owner_.diagnosis_ = std::move(d);
         return err(headline + ": " + rendered);
     }
@@ -531,7 +590,7 @@ class Simulator::Impl
             push(node.out_channels[0],
                  std::move(node.completion.front()));
             node.completion.pop_front();
-            trace(node, "emit");
+            trace(node, "emit", obs::EventKind::Emit);
         }
     }
 
@@ -809,6 +868,129 @@ class Simulator::Impl
         return parseConstant(text);
     }
 
+#if GRAPHITI_OBS_ENABLED
+    /** Declare one valid/ready/data signal triple per channel. */
+    void
+    setupVcd()
+    {
+        vcd_ = obs_->vcd();
+        // A writer whose header is already frozen (a previous run on
+        // the same scope) cannot take new signals.
+        if (vcd_ == nullptr || vcd_->started()) {
+            vcd_valid_.clear();
+            if (vcd_ != nullptr && vcd_->numSignals() ==
+                                       channels_.size() * 3) {
+                // Same circuit, subsequent run: reuse the handles.
+                for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+                    vcd_valid_.push_back(static_cast<int>(ch * 3));
+                    vcd_ready_.push_back(static_cast<int>(ch * 3 + 1));
+                    vcd_data_.push_back(static_cast<int>(ch * 3 + 2));
+                }
+            } else {
+                vcd_ = nullptr;
+            }
+            return;
+        }
+        vcd_valid_.clear();
+        vcd_ready_.clear();
+        vcd_data_.clear();
+        for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+            std::string base =
+                "ch" + std::to_string(ch) + "_" + channel_desc_[ch];
+            vcd_valid_.push_back(vcd_->wire(base + "_valid", 1));
+            vcd_ready_.push_back(vcd_->wire(base + "_ready", 1));
+            vcd_data_.push_back(vcd_->wire(base + "_data", 64));
+        }
+        vcd_->begin();
+    }
+
+    /** Fire event + the preceding idle gap as a stall span. */
+    void
+    observeFire(const SimNode& node, std::size_t cycle)
+    {
+        if (node.last_fire && cycle > *node.last_fire + 1)
+            sink_->span(node.name, "stall",
+                        static_cast<double>(*node.last_fire + 1),
+                        static_cast<double>(cycle - *node.last_fire - 1));
+        sink_->event(
+            TraceEvent{cycle, node.name, -1, obs::EventKind::Fire, {}});
+    }
+
+    void
+    observeFault(int channel, const char* what)
+    {
+        ++stat_fault_holds_;
+        if (sink_ != nullptr)
+            sink_->event(TraceEvent{cycle_, channel_desc_[channel],
+                                    channel, obs::EventKind::Fault,
+                                    what});
+    }
+
+    /** Per-cycle bookkeeping: local stats, occupancy tracks, VCD. */
+    void
+    observeCycle()
+    {
+        stat_fires_ += moves_;
+        if (moves_ == 0)
+            ++stat_stall_cycles_;
+        std::size_t in_flight = 0;
+        if (last_occupancy_.size() != channels_.size())
+            last_occupancy_.assign(channels_.size(),
+                                   static_cast<std::size_t>(-1));
+        for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+            std::size_t occupancy = channels_[ch].slots.size();
+            in_flight += occupancy;
+            if (sink_ != nullptr && occupancy != last_occupancy_[ch]) {
+                sink_->counter("occupancy " + channel_desc_[ch],
+                               static_cast<double>(cycle_),
+                               static_cast<double>(occupancy));
+                last_occupancy_[ch] = occupancy;
+            }
+            if (vcd_ != nullptr) {
+                vcd_->sample(cycle_, vcd_valid_[ch], occupancy > 0);
+                vcd_->sample(cycle_, vcd_ready_[ch],
+                             occupancy < channels_[ch].capacity);
+                if (occupancy > 0)
+                    vcd_->sample(cycle_, vcd_data_[ch],
+                                 vcdValueOf(channels_[ch].slots.front()));
+            }
+        }
+        max_in_flight_ = std::max(max_in_flight_, in_flight);
+    }
+
+    static std::uint64_t
+    vcdValueOf(const Token& token)
+    {
+        const Value& v = token.value;
+        if (v.isBool())
+            return v.asBool() ? 1 : 0;
+        if (v.isInt())
+            return static_cast<std::uint64_t>(v.asInt());
+        if (v.isDouble())
+            return static_cast<std::uint64_t>(v.asDouble());
+        return 0;  // unit / tuple payloads carry no scalar
+    }
+
+    /** Flush the batched per-run stats into the registry. */
+    void
+    finishObservation(std::size_t cycles)
+    {
+        obs::MetricsRegistry& m = obs_->metrics();
+        m.add("sim.runs");
+        m.add("sim.cycles", static_cast<std::int64_t>(cycles));
+        m.add("sim.fires", static_cast<std::int64_t>(stat_fires_));
+        m.add("sim.stall_cycles",
+              static_cast<std::int64_t>(stat_stall_cycles_));
+        m.add("sim.fault_holds",
+              static_cast<std::int64_t>(stat_fault_holds_));
+        m.add("sim.outputs", static_cast<std::int64_t>(stat_outputs_));
+        m.setMax("sim.tokens_in_flight_max",
+                 static_cast<double>(max_in_flight_));
+        m.set("sim.channels", static_cast<double>(channels_.size()));
+        m.set("sim.nodes", static_cast<double>(nodes_.size()));
+    }
+#endif  // GRAPHITI_OBS_ENABLED
+
     Simulator& owner_;
     std::vector<SimNode> nodes_;
     std::vector<Channel> channels_;
@@ -820,6 +1002,18 @@ class Simulator::Impl
     std::vector<std::size_t> input_pos_;
     std::map<std::string, std::vector<double>> memories_;
     FaultInjector* faults_ = nullptr;
+    obs::Scope* obs_ = nullptr;
+    obs::TraceSink* sink_ = nullptr;
+    obs::VcdWriter* vcd_ = nullptr;
+    std::vector<int> vcd_valid_;
+    std::vector<int> vcd_ready_;
+    std::vector<int> vcd_data_;
+    std::vector<std::size_t> last_occupancy_;
+    std::size_t stat_fires_ = 0;
+    std::size_t stat_stall_cycles_ = 0;
+    std::size_t stat_fault_holds_ = 0;
+    std::size_t stat_outputs_ = 0;
+    std::size_t max_in_flight_ = 0;
     std::size_t moves_ = 0;
     bool pipeline_busy_ = false;
     bool fault_hold_ = false;

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "graph/expr_high.hpp"
+#include "obs/scope.hpp"
 #include "semantics/functions.hpp"
 #include "support/result.hpp"
 #include "support/token.hpp"
@@ -128,6 +129,13 @@ struct SimConfig
     std::vector<std::string> trace_nodes;
     /** Optional fault-injection hooks (see FaultInjector). */
     std::shared_ptr<FaultInjector> faults;
+    /**
+     * Observability scope: run metrics, per-node fire/stall events on
+     * the scope's trace sink, channel valid/ready/data waveforms on
+     * its VCD writer. Falls back to obs::current() when unset; all
+     * hooks compile to no-ops under GRAPHITI_OBS=OFF.
+     */
+    std::shared_ptr<obs::Scope> obs;
     /** Watchdog: cycles without any token movement or in-flight
      * computation before the run is declared deadlocked. */
     std::size_t stall_window = 4;
@@ -193,13 +201,13 @@ struct StuckDiagnosis
     std::string toString() const;
 };
 
-/** One recorded firing, for execution traces. */
-struct TraceEvent
-{
-    std::size_t cycle;
-    std::string node;
-    std::string detail;
-};
+/**
+ * One recorded event, for execution traces. The schema (cycle, node,
+ * channel, kind, detail) is obs::TraceRecord — the same struct every
+ * obs::TraceSink backend consumes, so SimResult::trace and exported
+ * trace files can never drift apart.
+ */
+using TraceEvent = obs::TraceRecord;
 
 /** Result of a simulation run. */
 struct SimResult
