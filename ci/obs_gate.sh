@@ -24,7 +24,8 @@ cmake --build "${PREFIX}-off" -j "${JOBS}"
 # literals must not survive in the hot-layer objects.
 for probe in "rewrite.match_attempts:libgraphiti_rewrite.a" \
              "egraph.saturations:libgraphiti_egraph.a" \
-             "refine.states_per_second:libgraphiti_refine.a"; do
+             "refine.states_per_second:libgraphiti_refine.a" \
+             "sim.tokens_in_flight_max:libgraphiti_sim.a"; do
     name="${probe%%:*}"
     lib="${probe##*:}"
     path="$(find "${PREFIX}-off" -name "${lib}" | head -1)"
@@ -65,5 +66,33 @@ vcd = open(out + "/gcd.vcd").read()
 assert "$enddefinitions $end" in vcd and "$timescale" in vcd
 print("OK: bundle valid (all three layers nonzero)")
 EOF
+
+echo "== gcd profile smoke =="
+"${PREFIX}-on/tools/graphiti-report" gcd --no-verify \
+    --out-dir "${OUT}" --provenance --critpath
+python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+p = json.load(open(out + "/profile.json"))
+for key in ("sequential", "transformed"):
+    rep = p[key]
+    tokens = [t for t in rep["tokens"] if not t.get("truncated")]
+    assert tokens, key + ": no complete tokens profiled"
+    for t in tokens:
+        a = t["attribution"]
+        s = a["compute"] + a["queue_wait"] + a["backpressure"]
+        assert s == t["latency"], \
+            f"{key}: attribution {s} != latency {t['latency']}"
+    degenerate = all(int(k) == 0 for k in rep["reorder"]["buckets"])
+    assert degenerate == (key == "sequential"), \
+        key + ": unexpected reorder histogram shape"
+prov = json.load(open(out + "/provenance.json"))
+assert prov["transformed"]["firings"], "empty transformed hop log"
+print("OK: profile valid (attribution exact; reorder degenerate only "
+      "on the sequential circuit)")
+EOF
+
+echo "== perf gate (warn-only) =="
+ci/perf_gate.sh "${PREFIX}-on"
 
 echo "obs gate: all checks passed"

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare a bench_table2 --json report against BENCH_baseline.json.
+
+Only deterministic model outputs are compared — cycle counts, the
+derived exec_time_ns (cycles x modeled clock period) and the area
+columns (lut/ff/dsp). Wall-clock fields (measure_seconds, phases) are
+ignored: they vary run to run and machine to machine.
+
+A metric regresses when it grows more than --threshold percent over
+the baseline (all compared metrics are smaller-is-better). Baseline
+values <= 0 are skipped (nothing meaningful to compare against), as
+are benchmarks or flows absent from either side — but each skip is
+reported so a silently shrinking benchmark set cannot pass the gate.
+
+Exit status: 0 when clean, or when regressions were found but the gate
+is warn-only (the default); 1 when regressions were found and
+enforcement is on (--enforce or PERF_GATE_ENFORCE=1); 2 on bad input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+FLOWS = ("df_io", "df_ooo", "graphiti", "vericert")
+METRICS = ("cycles", "exec_time_ns", "lut", "ff", "dsp")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def index_benchmarks(doc):
+    return {b.get("name", f"#{i}"): b
+            for i, b in enumerate(doc.get("benchmarks", []))}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in BENCH_baseline.json")
+    parser.add_argument("current", help="fresh bench_table2 --json output")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent "
+                             "(default: 10)")
+    parser.add_argument("--enforce", action="store_true",
+                        help="fail (exit 1) on regressions instead of "
+                             "warning; PERF_GATE_ENFORCE=1 also works")
+    args = parser.parse_args()
+
+    enforce = args.enforce or \
+        os.environ.get("PERF_GATE_ENFORCE", "0") == "1"
+    base = index_benchmarks(load(args.baseline))
+    cur = index_benchmarks(load(args.current))
+
+    regressions = []
+    improvements = 0
+    compared = 0
+    skipped = []
+
+    for name in sorted(base):
+        if name not in cur:
+            skipped.append(f"benchmark {name}: missing from current run")
+            continue
+        for flow in FLOWS:
+            b_flow = base[name].get(flow)
+            c_flow = cur[name].get(flow)
+            if not isinstance(b_flow, dict):
+                continue
+            if not isinstance(c_flow, dict):
+                skipped.append(f"{name}.{flow}: missing from current run")
+                continue
+            for metric in METRICS:
+                b = b_flow.get(metric)
+                c = c_flow.get(metric)
+                if not isinstance(b, (int, float)) or b <= 0:
+                    continue
+                if not isinstance(c, (int, float)):
+                    skipped.append(f"{name}.{flow}.{metric}: "
+                                   "missing from current run")
+                    continue
+                compared += 1
+                delta = (c - b) / b * 100.0
+                if delta > args.threshold:
+                    regressions.append(
+                        f"{name}.{flow}.{metric}: {b:g} -> {c:g} "
+                        f"(+{delta:.1f}% > {args.threshold:g}%)")
+                elif delta < -args.threshold:
+                    improvements += 1
+    for name in sorted(set(cur) - set(base)):
+        skipped.append(f"benchmark {name}: new (no baseline); "
+                       "regenerate BENCH_baseline.json to cover it")
+
+    for line in skipped:
+        print(f"perf gate: skip: {line}")
+    print(f"perf gate: {compared} metrics compared, "
+          f"{len(regressions)} regressions, "
+          f"{improvements} improvements beyond threshold")
+    if regressions:
+        for line in regressions:
+            print(f"perf gate: REGRESSION: {line}")
+        if enforce:
+            print("perf gate: FAIL (enforcement on)")
+            return 1
+        print("perf gate: WARN only (set PERF_GATE_ENFORCE=1 or pass "
+              "--enforce to make this blocking)")
+        return 0
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Performance-regression gate: run bench_table2 --json from an existing
+# build and compare its deterministic outputs (cycles, exec_time_ns,
+# lut/ff/dsp) against the checked-in BENCH_baseline.json.
+#
+# Warn-only by default; set PERF_GATE_ENFORCE=1 (or pass --enforce as
+# the second argument) to make regressions fail the gate. Regenerate
+# the baseline after an intentional perf change with:
+#
+#     build/bench/bench_table2 --json BENCH_baseline.json
+#
+# Usage: ci/perf_gate.sh [build-dir] [--enforce]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+BASELINE="BENCH_baseline.json"
+BENCH="${BUILD}/bench/bench_table2"
+
+if [ ! -f "${BASELINE}" ]; then
+    echo "perf gate: ${BASELINE} missing; generate it with" \
+         "'${BENCH} --json ${BASELINE}'"
+    exit 2
+fi
+if [ ! -x "${BENCH}" ]; then
+    echo "perf gate: ${BENCH} not built (configure+build ${BUILD} first)"
+    exit 2
+fi
+
+CURRENT="$(mktemp)"
+trap 'rm -f "${CURRENT}"' EXIT
+"${BENCH}" --json "${CURRENT}" > /dev/null
+
+python3 ci/perf_compare.py "${BASELINE}" "${CURRENT}" "${@:2}"

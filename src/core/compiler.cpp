@@ -113,4 +113,44 @@ Compiler::stressCompilation(const ExprHigh& original,
                            workload);
 }
 
+Result<ProfileBundle>
+Compiler::profileRun(const ExprHigh& graph,
+                     const faults::Workload& workload,
+                     const ProfileOptions& options)
+{
+#if GRAPHITI_OBS_ENABLED
+    auto scope = std::make_shared<obs::Scope>();
+    auto tracker =
+        std::make_shared<obs::ProvenanceTracker>(options.provenance);
+    scope->attachProvenance(tracker);
+
+    sim::SimConfig config = options.sim;
+    config.obs = scope;
+    Result<sim::Simulator> built =
+        sim::Simulator::build(graph, env_.functionsPtr(), config);
+    if (!built.ok())
+        return built.error().context("profileRun");
+    sim::Simulator simulator = built.take();
+    for (const auto& [name, data] : workload.memories)
+        simulator.setMemory(name, data);
+    Result<sim::SimResult> run = simulator.run(
+        workload.inputs, workload.expected_outputs, workload.serial_io);
+    if (!run.ok())
+        return run.error().context("profileRun");
+
+    ProfileBundle bundle;
+    bundle.log = tracker->log();
+    bundle.report = obs::analyzeCriticalPaths(bundle.log,
+                                              options.critpath);
+    bundle.sim = run.take();
+    return bundle;
+#else
+    (void)graph;
+    (void)workload;
+    (void)options;
+    return err("profileRun requires a GRAPHITI_OBS=ON build "
+               "(provenance hooks compile to no-ops when disabled)");
+#endif
+}
+
 }  // namespace graphiti

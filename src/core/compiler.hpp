@@ -29,6 +29,7 @@
 #include <string>
 
 #include "faults/stress.hpp"
+#include "obs/critpath.hpp"
 #include "obs/scope.hpp"
 #include "refine/refinement.hpp"
 #include "rewrite/ooo_pipeline.hpp"
@@ -75,6 +76,27 @@ struct CompileReport
     obs::json::Value toJson() const;
 };
 
+/** Options of one profiled run (see Compiler::profileRun). */
+struct ProfileOptions
+{
+    /** Base simulator configuration (the obs slot is overwritten with
+     * the profiling scope). */
+    sim::SimConfig sim;
+    /** Provenance capacity limits. */
+    obs::ProvenanceConfig provenance;
+    /** Critical-path analysis limits. */
+    obs::CritPathOptions critpath;
+};
+
+/** Outcome of one profiled run: the raw hop log, its critical-path
+ * analysis, and the simulation result itself. */
+struct ProfileBundle
+{
+    obs::ProvenanceLog log;
+    obs::CritPathReport report;
+    sim::SimResult sim;
+};
+
 /** The GRAPHITI compiler. */
 class Compiler
 {
@@ -115,6 +137,20 @@ class Compiler
         const ExprHigh& original, const ExprHigh& transformed,
         const faults::Workload& workload,
         const faults::StressOptions& options = {});
+
+    /**
+     * Profile one run of @p graph on @p workload with full token
+     * provenance: attach a fresh obs scope + ProvenanceTracker,
+     * simulate, and replay the hop log into per-token critical paths
+     * and cycle attributions (compute / queue wait / backpressure).
+     * Uses this compiler's pure-fn registry, so call it after
+     * compileGraph when profiling a transformed circuit. Errors under
+     * GRAPHITI_OBS=OFF builds — provenance hooks compile to no-ops
+     * there, so a profile would be silently empty.
+     */
+    Result<ProfileBundle> profileRun(const ExprHigh& graph,
+                                     const faults::Workload& workload,
+                                     const ProfileOptions& options = {});
 
   private:
     Environment env_;

@@ -102,7 +102,74 @@ recordStressMetrics(const StressReport& report)
 #endif
 }
 
+/**
+ * Reproduce a failing plan with observation attached so the artifact
+ * can include metrics and the provenance tail. Plans are pure
+ * functions of (seed, cycle, channel), so the re-run hits the same
+ * stuck state the first run did.
+ */
+std::string
+captureFailureArtifact(const ExprHigh& graph,
+                       std::shared_ptr<FnRegistry> functions,
+                       const Workload& workload,
+                       const StressOptions& options,
+                       std::shared_ptr<FaultPlan> plan)
+{
+    auto scope = std::make_shared<obs::Scope>();
+    obs::ProvenanceConfig prov_config;
+    prov_config.max_firings =
+        std::max<std::size_t>(256, options.artifact_tail_firings * 4);
+    prov_config.max_births = 4096;
+    prov_config.max_tag_events = 4096;
+    prov_config.max_series_points = 256;
+    scope->attachProvenance(
+        std::make_shared<obs::ProvenanceTracker>(prov_config));
+
+    sim::SimConfig config = options.sim;
+    config.faults = plan;
+    config.obs = scope;
+    Result<sim::Simulator> built =
+        sim::Simulator::build(graph, std::move(functions), config);
+    if (!built.ok())
+        return {};
+    sim::Simulator simulator = built.take();
+    for (const auto& [name, data] : workload.memories)
+        simulator.setMemory(name, data);
+    Result<sim::SimResult> rerun = simulator.run(
+        workload.inputs, workload.expected_outputs, workload.serial_io);
+    if (rerun.ok())
+        return {};  // did not reproduce; nothing trustworthy to dump
+
+    const sim::StuckDiagnosis* diagnosis =
+        simulator.lastDiagnosis() ? &*simulator.lastDiagnosis()
+                                  : nullptr;
+    return failureArtifact(diagnosis, rerun.error().message, *scope,
+                           options.artifact_tail_firings);
+}
+
 }  // namespace
+
+std::string
+failureArtifact(const sim::StuckDiagnosis* diagnosis,
+                const std::string& error, const obs::Scope& scope,
+                std::size_t tail_firings)
+{
+    obs::json::Value doc;
+    doc.set("error", error);
+    if (diagnosis != nullptr) {
+        obs::json::Value d;
+        d.set("kind", sim::toString(diagnosis->kind));
+        d.set("cycle", diagnosis->cycle);
+        d.set("last_progress_cycle", diagnosis->last_progress_cycle);
+        d.set("last_output_cycle", diagnosis->last_output_cycle);
+        d.set("rendered", diagnosis->toString());
+        doc.set("diagnosis", std::move(d));
+    }
+    doc.set("metrics", scope.metrics().toJson());
+    if (const obs::ProvenanceTracker* tracker = scope.provenance())
+        doc.set("provenance", tracker->log().tailJson(tail_firings));
+    return doc.dump(2);
+}
 
 std::vector<std::shared_ptr<FaultPlan>>
 StressHarness::buildPlans(const ExprHigh& graph) const
@@ -166,6 +233,9 @@ StressHarness::run(const ExprHigh& graph,
                         static_cast<double>(report.baseline_cycles));
         } else {
             outcome.detail = run.error().message;
+            if (options_.capture_failure_artifacts)
+                outcome.failure_artifact = captureFailureArtifact(
+                    graph, functions, workload, options_, plan);
         }
         if (!outcome.matched && report.first_violation.empty()) {
             report.invariant_holds = false;

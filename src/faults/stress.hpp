@@ -29,6 +29,7 @@
 
 #include "faults/fault_plan.hpp"
 #include "graph/expr_high.hpp"
+#include "obs/scope.hpp"
 #include "semantics/functions.hpp"
 #include "sim/sim.hpp"
 #include "support/result.hpp"
@@ -61,6 +62,15 @@ struct StressOptions
     /** Cap on starve-one-channel plans (sampled evenly when the
      * circuit has more channels). */
     std::size_t max_starve_plans = 12;
+    /**
+     * Re-run failing plans with an obs scope attached and store a
+     * post-mortem JSON artifact (watchdog diagnosis + metrics
+     * snapshot + provenance hop-log tail) on the outcome. Plans are
+     * deterministic, so the re-run reproduces the failure exactly.
+     */
+    bool capture_failure_artifacts = true;
+    /** Provenance firings kept in each failure artifact. */
+    std::size_t artifact_tail_firings = 64;
 };
 
 /** Outcome of one plan. */
@@ -72,6 +82,9 @@ struct PlanOutcome
     bool matched = false;       ///< outputs+memories equal baseline
     std::size_t cycles = 0;
     std::string detail;         ///< error or first mismatch
+    /** Post-mortem JSON for plans that failed to complete (see
+     * failureArtifact); empty otherwise. */
+    std::string failure_artifact;
 };
 
 /** Aggregate result of a stress run. */
@@ -99,6 +112,18 @@ struct StressReport
                    : 0.0;
     }
 };
+
+/**
+ * Render a stuck-run post-mortem as a JSON document: the watchdog
+ * diagnosis (when the run produced one), the scope's metrics snapshot
+ * and the tail of the provenance hop log — everything needed to debug
+ * a deadlocked/livelocked state after the fact. @p diagnosis may be
+ * nullptr for failures that never reached the watchdog.
+ */
+std::string failureArtifact(const sim::StuckDiagnosis* diagnosis,
+                            const std::string& error,
+                            const obs::Scope& scope,
+                            std::size_t tail_firings = 64);
 
 /** The hazard-stress harness. */
 class StressHarness

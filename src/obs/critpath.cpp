@@ -1,0 +1,356 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace graphiti::obs {
+
+json::Value
+CycleAttribution::toJson() const
+{
+    json::Value v;
+    v.set("compute", static_cast<std::int64_t>(compute));
+    v.set("queue_wait", static_cast<std::int64_t>(queue_wait));
+    v.set("backpressure", static_cast<std::int64_t>(backpressure));
+    v.set("total", static_cast<std::int64_t>(total()));
+    return v;
+}
+
+void
+Histogram::add(std::uint64_t value)
+{
+    ++buckets[value];
+    if (count == 0) {
+        min = value;
+        max = value;
+    } else {
+        min = std::min(min, value);
+        max = std::max(max, value);
+    }
+    ++count;
+    sum += value;
+}
+
+bool
+Histogram::degenerate() const
+{
+    return count == 0 || (buckets.size() == 1 &&
+                          buckets.begin()->first == 0);
+}
+
+json::Value
+Histogram::toJson() const
+{
+    json::Value v;
+    v.set("count", static_cast<std::int64_t>(count));
+    v.set("sum", static_cast<std::int64_t>(sum));
+    v.set("min", static_cast<std::int64_t>(min));
+    v.set("max", static_cast<std::int64_t>(max));
+    v.set("mean", count > 0 ? static_cast<double>(sum) /
+                                  static_cast<double>(count)
+                            : 0.0);
+    v.set("degenerate", degenerate());
+    json::Value b;
+    for (const auto& [value, n] : buckets)
+        b.set(std::to_string(value), static_cast<std::int64_t>(n));
+    if (buckets.empty())
+        b = json::Value(json::Object{});
+    v.set("buckets", std::move(b));
+    return v;
+}
+
+namespace {
+
+/**
+ * Split one channel hop into the three buckets so the parts sum to
+ * exactly hop.wait, clamping defensively if counters ever drifted.
+ */
+void
+attributeHop(const ProvHop& hop, CycleAttribution& out)
+{
+    const std::uint64_t w = hop.wait;
+    const std::uint64_t transfer = std::min<std::uint64_t>(w, 1);
+    const std::uint64_t bp =
+        std::min<std::uint64_t>(hop.bp_cycles, w - transfer);
+    out.compute += transfer;
+    out.backpressure += bp;
+    out.queue_wait += w - transfer - bp;
+}
+
+/** Split a firing's emit gap; the parts sum to exactly the gap. */
+void
+attributeGap(const ProvFiring& firing, CycleAttribution& out)
+{
+    const std::uint64_t gap = firing.emit_cycle - firing.cycle;
+    if (firing.tag_hold) {
+        out.queue_wait += gap;  // program-order (reorder) hold
+        return;
+    }
+    const std::uint64_t svc =
+        std::min<std::uint64_t>(gap, firing.svc_latency);
+    out.compute += svc;
+    out.backpressure += gap - svc;  // completion-buffer stall
+}
+
+const ProvHop*
+lastArrivalHop(const ProvFiring& firing)
+{
+    const ProvHop* best = nullptr;
+    for (const ProvHop& hop : firing.consumed)
+        if (best == nullptr || hop.enq_cycle > best->enq_cycle)
+            best = &hop;
+    return best;
+}
+
+}  // namespace
+
+CritPathReport
+analyzeCriticalPaths(const ProvenanceLog& log,
+                     const CritPathOptions& options)
+{
+    CritPathReport report;
+    report.cycles = log.cycles;
+    report.max_tokens_json = options.max_tokens;
+
+    // Channel aggregates over every hop in the (windowed) log.
+    report.channels.resize(log.channels.size());
+    for (std::size_t i = 0; i < log.channels.size(); ++i) {
+        ChannelProfile& profile = report.channels[i];
+        profile.channel = static_cast<int>(i);
+        profile.desc = log.channels[i].desc;
+        if (i < log.stats.size()) {
+            profile.max_occupancy = log.stats[i].max_occupancy;
+            if (log.cycles > 0)
+                profile.avg_occupancy =
+                    static_cast<double>(log.stats[i].occupancy_integral) /
+                    static_cast<double>(log.cycles);
+        }
+    }
+    auto aggregate = [&](const ProvHop& hop) {
+        if (hop.channel < 0 ||
+            static_cast<std::size_t>(hop.channel) >=
+                report.channels.size())
+            return;
+        ChannelProfile& profile =
+            report.channels[static_cast<std::size_t>(hop.channel)];
+        ++profile.hops;
+        profile.wait_cycles += hop.wait;
+        profile.bp_cycles += hop.bp_cycles;
+        profile.starve_cycles += hop.starve_cycles;
+    };
+    for (const ProvFiring& firing : log.firings)
+        for (const ProvHop& hop : firing.consumed)
+            aggregate(hop);
+    for (const ProvCompletion& completion : log.completions)
+        aggregate(completion.hop);
+
+    auto creditCritical = [&](const ProvHop& hop) {
+        if (hop.channel < 0 ||
+            static_cast<std::size_t>(hop.channel) >=
+                report.channels.size())
+            return;
+        ChannelProfile& profile =
+            report.channels[static_cast<std::size_t>(hop.channel)];
+        ++profile.critical_hops;
+        profile.critical_wait_cycles += hop.wait;
+    };
+
+    // Per-token walks.
+    const std::uint64_t step_limit = log.totalFirings() + 1;
+    for (const ProvCompletion& completion : log.completions) {
+        TokenProfile token;
+        token.port = completion.port;
+        token.ordinal = completion.ordinal;
+        token.completion_cycle = completion.cycle;
+
+        attributeHop(completion.hop, token.attribution);
+        creditCritical(completion.hop);
+        token.path_length = 1;
+        if (options.max_path_steps > 0)
+            token.path.push_back({"<output>", completion.hop.channel,
+                                  completion.cycle, completion.hop.wait,
+                                  completion.hop.bp_cycles,
+                                  completion.hop.starve_cycles, 0});
+
+        ProvSource cur = completion.hop.src;
+        std::uint64_t steps = 0;
+        while (provIsFiring(cur)) {
+            if (++steps > step_limit) {
+                token.truncated = true;
+                break;
+            }
+            const ProvFiring* firing =
+                log.firing(static_cast<std::uint64_t>(cur));
+            if (firing == nullptr) {
+                token.truncated = true;  // evicted from the ring
+                break;
+            }
+            attributeGap(*firing, token.attribution);
+            const ProvHop* hop = lastArrivalHop(*firing);
+            if (hop == nullptr) {
+                token.truncated = true;
+                break;
+            }
+            attributeHop(*hop, token.attribution);
+            creditCritical(*hop);
+            ++token.path_length;
+            if (token.path.size() < options.max_path_steps) {
+                PathStep step;
+                step.node = firing->node < log.nodes.size()
+                                ? log.nodes[firing->node].name
+                                : "?";
+                step.channel = hop->channel;
+                step.fire_cycle = firing->cycle;
+                step.wait = hop->wait;
+                step.bp_cycles = hop->bp_cycles;
+                step.starve_cycles = hop->starve_cycles;
+                step.emit_gap = static_cast<std::uint32_t>(
+                    firing->emit_cycle - firing->cycle);
+                token.path.push_back(step);
+            }
+            cur = hop->src;
+        }
+
+        if (!token.truncated && provIsBirth(cur)) {
+            const ProvBirth* birth = log.birth(provBirthIndex(cur));
+            if (birth != nullptr) {
+                token.origin_birth =
+                    static_cast<std::int64_t>(birth->seq);
+                token.birth_cycle = birth->cycle;
+                token.latency = completion.cycle - birth->cycle;
+                if (birth->port >= 0) {
+                    const std::uint64_t displacement =
+                        completion.ordinal > birth->ordinal
+                            ? completion.ordinal - birth->ordinal
+                            : birth->ordinal - completion.ordinal;
+                    report.reorder.add(displacement);
+                }
+            } else {
+                token.truncated = true;
+            }
+        } else if (!token.truncated) {
+            token.truncated = true;  // unknown source
+        }
+
+        if (token.truncated) {
+            ++report.truncated_tokens;
+        } else {
+            report.totals += token.attribution;
+            report.completion_latency.add(token.latency);
+        }
+        report.tokens.push_back(std::move(token));
+    }
+
+    // Tagger reorder distances (the OoO signature).
+    for (const ProvTagEvent& event : log.tag_events) {
+        if (event.kind != TagEventKind::Return)
+            continue;
+        ++report.tag_returns;
+        report.reorder.add(event.reorder_distance);
+    }
+
+    // Bottleneck ranking: who holds tokens on critical paths.
+    std::vector<int> ranked;
+    for (const ChannelProfile& profile : report.channels)
+        if (profile.critical_wait_cycles > 0 || profile.bp_cycles > 0)
+            ranked.push_back(profile.channel);
+    std::sort(ranked.begin(), ranked.end(), [&](int a, int b) {
+        const ChannelProfile& pa =
+            report.channels[static_cast<std::size_t>(a)];
+        const ChannelProfile& pb =
+            report.channels[static_cast<std::size_t>(b)];
+        if (pa.critical_wait_cycles != pb.critical_wait_cycles)
+            return pa.critical_wait_cycles > pb.critical_wait_cycles;
+        if (pa.bp_cycles != pb.bp_cycles)
+            return pa.bp_cycles > pb.bp_cycles;
+        return a < b;
+    });
+    if (ranked.size() > 8)
+        ranked.resize(8);
+    report.bottleneck_channels = std::move(ranked);
+
+    return report;
+}
+
+json::Value
+CritPathReport::toJson() const
+{
+    json::Value v;
+    v.set("cycles", static_cast<std::int64_t>(cycles));
+    v.set("totals", totals.toJson());
+    v.set("truncated_tokens",
+          static_cast<std::int64_t>(truncated_tokens));
+    v.set("tag_returns", static_cast<std::int64_t>(tag_returns));
+    v.set("reorder", reorder.toJson());
+    v.set("completion_latency", completion_latency.toJson());
+
+    json::Value token_arr{json::Array{}};
+    std::size_t rendered = 0;
+    for (const TokenProfile& token : tokens) {
+        if (rendered >= max_tokens_json)
+            break;
+        ++rendered;
+        json::Value t;
+        t.set("port", token.port);
+        t.set("ordinal", static_cast<std::int64_t>(token.ordinal));
+        t.set("completion_cycle",
+              static_cast<std::int64_t>(token.completion_cycle));
+        t.set("truncated", token.truncated);
+        t.set("origin_birth",
+              static_cast<std::int64_t>(token.origin_birth));
+        t.set("birth_cycle",
+              static_cast<std::int64_t>(token.birth_cycle));
+        t.set("latency", static_cast<std::int64_t>(token.latency));
+        t.set("attribution", token.attribution.toJson());
+        t.set("path_length", token.path_length);
+        json::Value path{json::Array{}};
+        for (const PathStep& step : token.path) {
+            json::Value s;
+            s.set("node", step.node);
+            s.set("channel", step.channel);
+            s.set("fire_cycle",
+                  static_cast<std::int64_t>(step.fire_cycle));
+            s.set("wait", static_cast<std::int64_t>(step.wait));
+            s.set("bp_cycles",
+                  static_cast<std::int64_t>(step.bp_cycles));
+            s.set("starve_cycles",
+                  static_cast<std::int64_t>(step.starve_cycles));
+            s.set("emit_gap",
+                  static_cast<std::int64_t>(step.emit_gap));
+            path.push(std::move(s));
+        }
+        t.set("path", std::move(path));
+        token_arr.push(std::move(t));
+    }
+    v.set("tokens", std::move(token_arr));
+
+    json::Value chan_arr{json::Array{}};
+    for (const ChannelProfile& profile : channels) {
+        json::Value c;
+        c.set("channel", profile.channel);
+        c.set("desc", profile.desc);
+        c.set("hops", static_cast<std::int64_t>(profile.hops));
+        c.set("wait_cycles",
+              static_cast<std::int64_t>(profile.wait_cycles));
+        c.set("bp_cycles",
+              static_cast<std::int64_t>(profile.bp_cycles));
+        c.set("starve_cycles",
+              static_cast<std::int64_t>(profile.starve_cycles));
+        c.set("critical_hops",
+              static_cast<std::int64_t>(profile.critical_hops));
+        c.set("critical_wait_cycles",
+              static_cast<std::int64_t>(profile.critical_wait_cycles));
+        c.set("max_occupancy", profile.max_occupancy);
+        c.set("avg_occupancy", profile.avg_occupancy);
+        chan_arr.push(std::move(c));
+    }
+    v.set("channels", std::move(chan_arr));
+
+    json::Value ranked{json::Array{}};
+    for (int channel : bottleneck_channels)
+        ranked.push(channel);
+    v.set("bottleneck_channels", std::move(ranked));
+    return v;
+}
+
+}  // namespace graphiti::obs

@@ -1,0 +1,165 @@
+#ifndef GRAPHITI_OBS_CRITPATH_HPP
+#define GRAPHITI_OBS_CRITPATH_HPP
+
+/**
+ * @file
+ * Offline critical-path analysis over a ProvenanceLog.
+ *
+ * The hop log is a last-arrival graph: each firing consumed one token
+ * per input channel, and the firing could not have happened before its
+ * last-arriving input. For every collected output token the analyzer
+ * walks that graph backwards — always following the consumed hop with
+ * the latest enqueue cycle — until it reaches a birth. The cycles along
+ * the walk are attributed exactly:
+ *
+ *   latency = completion_cycle - birth_cycle
+ *           = sum over hops of (channel wait)
+ *           + sum over firings of (emit gap)
+ *
+ * and each term splits without remainder:
+ *
+ *   channel wait  -> 1 transfer cycle        => compute
+ *                    head-of-queue cycles while the consumer was
+ *                    blocked on a full output => backpressure
+ *                    everything else (starved consumer, behind other
+ *                    tokens, tag window full) => queue wait
+ *   emit gap      -> pipeline service latency => compute
+ *                    completion-buffer stall  => backpressure
+ *                    Tagger return->commit hold (reorder) => queue wait
+ *
+ * so per token compute + queue_wait + backpressure always equals the
+ * measured latency (the acceptance criterion of the profiler). Tokens
+ * whose chain crosses an evicted ring-buffer window are flagged
+ * truncated and excluded from the identity and the histograms.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/provenance.hpp"
+
+namespace graphiti::obs {
+
+/** Where a token's cycles went. */
+struct CycleAttribution
+{
+    std::uint64_t compute = 0;
+    std::uint64_t queue_wait = 0;
+    std::uint64_t backpressure = 0;
+
+    std::uint64_t total() const
+    {
+        return compute + queue_wait + backpressure;
+    }
+
+    void operator+=(const CycleAttribution& other)
+    {
+        compute += other.compute;
+        queue_wait += other.queue_wait;
+        backpressure += other.backpressure;
+    }
+
+    json::Value toJson() const;
+};
+
+/** One rendered step of a critical path (most recent first). */
+struct PathStep
+{
+    std::string node;
+    int channel = -1;
+    std::uint64_t fire_cycle = 0;
+    std::uint32_t wait = 0;
+    std::uint32_t bp_cycles = 0;
+    std::uint32_t starve_cycles = 0;
+    std::uint32_t emit_gap = 0;
+};
+
+/** Per-output-token profile. */
+struct TokenProfile
+{
+    int port = 0;
+    std::uint64_t ordinal = 0;
+    std::uint64_t completion_cycle = 0;
+    /** Chain crossed the evicted window; latency/attribution partial. */
+    bool truncated = false;
+    /** Originating birth seq; -1 when truncated. */
+    std::int64_t origin_birth = -1;
+    std::uint64_t birth_cycle = 0;
+    std::uint64_t latency = 0;
+    CycleAttribution attribution;
+    std::size_t path_length = 0;
+    /** Bounded rendering of the path (newest steps kept). */
+    std::vector<PathStep> path;
+};
+
+/** Per-channel aggregates over all hops plus critical-path shares. */
+struct ChannelProfile
+{
+    int channel = -1;
+    std::string desc;
+    std::uint64_t hops = 0;
+    std::uint64_t wait_cycles = 0;
+    std::uint64_t bp_cycles = 0;
+    std::uint64_t starve_cycles = 0;
+    /** Appearances on some output token's critical path. */
+    std::uint64_t critical_hops = 0;
+    /** Wait cycles contributed to critical paths. */
+    std::uint64_t critical_wait_cycles = 0;
+    std::size_t max_occupancy = 0;
+    double avg_occupancy = 0.0;
+};
+
+/** A sparse integer histogram. */
+struct Histogram
+{
+    std::map<std::uint64_t, std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+
+    void add(std::uint64_t value);
+    /** Empty, or every sample fell in bucket 0. */
+    bool degenerate() const;
+    json::Value toJson() const;
+};
+
+struct CritPathOptions
+{
+    /** Max rendered PathSteps kept per token (newest first). */
+    std::size_t max_path_steps = 64;
+    /** Max TokenProfiles rendered into JSON (aggregates stay exact). */
+    std::size_t max_tokens = 4096;
+};
+
+/** The analysis result behind profile.json. */
+struct CritPathReport
+{
+    std::uint64_t cycles = 0;
+    std::vector<TokenProfile> tokens;
+    /** Sum of attributions over non-truncated tokens. */
+    CycleAttribution totals;
+    std::uint64_t truncated_tokens = 0;
+    std::vector<ChannelProfile> channels;
+    /** Channel indices ranked by critical-path wait contribution. */
+    std::vector<int> bottleneck_channels;
+    /** Tagger reorder distances plus completion-order displacement. */
+    Histogram reorder;
+    Histogram completion_latency;
+    std::uint64_t tag_returns = 0;
+    /** JSON render cap for tokens (from CritPathOptions). */
+    std::size_t max_tokens_json = 4096;
+
+    json::Value toJson() const;
+};
+
+/** Replay @p log into per-token critical paths and attributions. */
+CritPathReport analyzeCriticalPaths(const ProvenanceLog& log,
+                                    const CritPathOptions& options = {});
+
+}  // namespace graphiti::obs
+
+#endif  // GRAPHITI_OBS_CRITPATH_HPP

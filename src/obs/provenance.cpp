@@ -1,0 +1,540 @@
+#include "obs/provenance.hpp"
+
+#include <algorithm>
+
+namespace graphiti::obs {
+
+const char*
+toString(TagEventKind kind)
+{
+    switch (kind) {
+    case TagEventKind::Alloc: return "alloc";
+    case TagEventKind::Return: return "return";
+    case TagEventKind::Commit: return "commit";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------------
+// ProvenanceLog
+
+const ProvFiring*
+ProvenanceLog::firing(std::uint64_t seq) const
+{
+    if (seq < first_firing)
+        return nullptr;
+    const std::uint64_t off = seq - first_firing;
+    if (off >= firings.size())
+        return nullptr;
+    return &firings[off];
+}
+
+const ProvBirth*
+ProvenanceLog::birth(std::uint64_t seq) const
+{
+    if (seq >= births.size())
+        return nullptr;
+    return &births[seq];
+}
+
+namespace {
+
+json::Value
+hopToJson(const ProvHop& hop)
+{
+    json::Value v;
+    v.set("channel", hop.channel);
+    v.set("enq_cycle", static_cast<std::int64_t>(hop.enq_cycle));
+    v.set("wait", static_cast<std::int64_t>(hop.wait));
+    v.set("bp_cycles", static_cast<std::int64_t>(hop.bp_cycles));
+    v.set("starve_cycles", static_cast<std::int64_t>(hop.starve_cycles));
+    v.set("src", static_cast<std::int64_t>(hop.src));
+    return v;
+}
+
+json::Value
+firingToJson(const ProvFiring& firing)
+{
+    json::Value v;
+    v.set("seq", static_cast<std::int64_t>(firing.seq));
+    v.set("node", static_cast<std::int64_t>(firing.node));
+    v.set("cycle", static_cast<std::int64_t>(firing.cycle));
+    v.set("emit_cycle", static_cast<std::int64_t>(firing.emit_cycle));
+    v.set("svc_latency", static_cast<std::int64_t>(firing.svc_latency));
+    if (firing.tag_hold)
+        v.set("tag_hold", true);
+    json::Value hops{json::Array{}};
+    for (const ProvHop& hop : firing.consumed)
+        hops.push(hopToJson(hop));
+    v.set("consumed", std::move(hops));
+    return v;
+}
+
+}  // namespace
+
+json::Value
+ProvenanceLog::toJson() const
+{
+    json::Value v;
+
+    json::Value node_arr{json::Array{}};
+    for (const NodeInfo& node : nodes) {
+        json::Value n;
+        n.set("name", node.name);
+        n.set("type", node.type);
+        n.set("latency", node.latency);
+        json::Value ins{json::Array{}};
+        json::Value outs{json::Array{}};
+        for (int ch : node.ins)
+            ins.push(ch);
+        for (int ch : node.outs)
+            outs.push(ch);
+        n.set("ins", std::move(ins));
+        n.set("outs", std::move(outs));
+        node_arr.push(std::move(n));
+    }
+    v.set("nodes", std::move(node_arr));
+
+    json::Value chan_arr{json::Array{}};
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+        json::Value c;
+        c.set("channel", static_cast<std::int64_t>(i));
+        c.set("desc", channels[i].desc);
+        c.set("capacity", channels[i].capacity);
+        if (i < stats.size()) {
+            const ChannelStats& s = stats[i];
+            c.set("max_occupancy", s.max_occupancy);
+            c.set("occupancy_integral",
+                  static_cast<std::int64_t>(s.occupancy_integral));
+            c.set("pushes", static_cast<std::int64_t>(s.pushes));
+            c.set("pops", static_cast<std::int64_t>(s.pops));
+            json::Value series{json::Array{}};
+            for (const auto& [cycle, occ] : s.series) {
+                json::Value point{json::Array{}};
+                point.push(static_cast<std::int64_t>(cycle));
+                point.push(static_cast<std::int64_t>(occ));
+                series.push(std::move(point));
+            }
+            c.set("series", std::move(series));
+            if (s.series_truncated)
+                c.set("series_truncated", true);
+        }
+        chan_arr.push(std::move(c));
+    }
+    v.set("channels", std::move(chan_arr));
+
+    json::Value birth_arr{json::Array{}};
+    for (const ProvBirth& b : births) {
+        json::Value e;
+        e.set("seq", static_cast<std::int64_t>(b.seq));
+        e.set("channel", b.channel);
+        e.set("port", b.port);
+        if (b.port < 0)
+            e.set("node", static_cast<std::int64_t>(b.node));
+        e.set("ordinal", static_cast<std::int64_t>(b.ordinal));
+        e.set("cycle", static_cast<std::int64_t>(b.cycle));
+        birth_arr.push(std::move(e));
+    }
+    v.set("births", std::move(birth_arr));
+    v.set("dropped_births", static_cast<std::int64_t>(dropped_births));
+
+    json::Value firing_arr{json::Array{}};
+    for (const ProvFiring& firing : firings)
+        firing_arr.push(firingToJson(firing));
+    v.set("firings", std::move(firing_arr));
+    v.set("first_firing", static_cast<std::int64_t>(first_firing));
+    v.set("dropped_firings", static_cast<std::int64_t>(dropped_firings));
+
+    json::Value comp_arr{json::Array{}};
+    for (const ProvCompletion& c : completions) {
+        json::Value e;
+        e.set("port", c.port);
+        e.set("channel", c.channel);
+        e.set("ordinal", static_cast<std::int64_t>(c.ordinal));
+        e.set("cycle", static_cast<std::int64_t>(c.cycle));
+        e.set("hop", hopToJson(c.hop));
+        comp_arr.push(std::move(e));
+    }
+    v.set("completions", std::move(comp_arr));
+
+    json::Value tag_arr{json::Array{}};
+    for (const ProvTagEvent& t : tag_events) {
+        json::Value e;
+        e.set("kind", std::string(toString(t.kind)));
+        e.set("node", static_cast<std::int64_t>(t.node));
+        e.set("cycle", static_cast<std::int64_t>(t.cycle));
+        e.set("alloc_index", static_cast<std::int64_t>(t.alloc_index));
+        if (t.kind == TagEventKind::Return)
+            e.set("reorder_distance",
+                  static_cast<std::int64_t>(t.reorder_distance));
+        tag_arr.push(std::move(e));
+    }
+    v.set("tag_events", std::move(tag_arr));
+    v.set("dropped_tag_events",
+          static_cast<std::int64_t>(dropped_tag_events));
+
+    v.set("cycles", static_cast<std::int64_t>(cycles));
+    return v;
+}
+
+json::Value
+ProvenanceLog::tailJson(std::size_t max_firings) const
+{
+    json::Value v;
+    v.set("total_firings", static_cast<std::int64_t>(totalFirings()));
+    v.set("dropped_firings", static_cast<std::int64_t>(dropped_firings));
+    v.set("births", births.size());
+    v.set("completions", completions.size());
+    v.set("tag_events", tag_events.size());
+    v.set("cycles", static_cast<std::int64_t>(cycles));
+
+    const std::size_t keep = std::min(max_firings, firings.size());
+    json::Value tail{json::Array{}};
+    for (std::size_t i = firings.size() - keep; i < firings.size(); ++i) {
+        const ProvFiring& firing = firings[i];
+        json::Value e = firingToJson(firing);
+        if (firing.node < nodes.size())
+            e.set("node_name", nodes[firing.node].name);
+        tail.push(std::move(e));
+    }
+    v.set("tail", std::move(tail));
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// ProvenanceTracker
+
+ProvenanceTracker::ProvenanceTracker(ProvenanceConfig config)
+    : config_(config)
+{
+}
+
+void
+ProvenanceTracker::beginRun(std::vector<ProvenanceLog::NodeInfo> nodes,
+                            std::vector<ProvenanceLog::ChannelInfo> channels)
+{
+    log_ = ProvenanceLog{};
+    log_.nodes = std::move(nodes);
+    log_.channels = std::move(channels);
+    log_.stats.assign(log_.channels.size(), {});
+
+    mirror_.assign(log_.channels.size(), {});
+    pipeline_.assign(log_.nodes.size(), {});
+    tag_hold_.clear();
+    occupancy_.assign(log_.channels.size(), 0);
+    occupancy_cycle_.assign(log_.channels.size(), 0);
+    birth_ordinal_.clear();
+    spawn_ordinal_.assign(log_.nodes.size(), 0);
+    output_ordinal_.clear();
+    next_birth_ = 0;
+    max_cycle_ = 0;
+}
+
+void
+ProvenanceTracker::touchOccupancy(int channel, std::uint64_t cycle,
+                                  int delta)
+{
+    auto ch = static_cast<std::size_t>(channel);
+    if (ch >= occupancy_.size())
+        return;
+    ProvenanceLog::ChannelStats& stats = log_.stats[ch];
+
+    // Close the integral over [last-change, cycle) at the old level.
+    if (cycle > occupancy_cycle_[ch])
+        stats.occupancy_integral +=
+            static_cast<std::uint64_t>(occupancy_[ch]) *
+            (cycle - occupancy_cycle_[ch]);
+    occupancy_cycle_[ch] = cycle;
+
+    occupancy_[ch] = static_cast<std::uint32_t>(
+        static_cast<int>(occupancy_[ch]) + delta);
+    stats.max_occupancy =
+        std::max<std::size_t>(stats.max_occupancy, occupancy_[ch]);
+    if (delta > 0)
+        ++stats.pushes;
+    else if (delta < 0)
+        ++stats.pops;
+
+    if (!stats.series.empty() && stats.series.back().first == cycle) {
+        stats.series.back().second = occupancy_[ch];
+    } else if (stats.series.size() < config_.max_series_points) {
+        stats.series.emplace_back(cycle, occupancy_[ch]);
+    } else {
+        stats.series_truncated = true;
+    }
+    max_cycle_ = std::max(max_cycle_, cycle);
+}
+
+void
+ProvenanceTracker::pushEntry(int channel, ProvSource src,
+                             std::uint64_t cycle)
+{
+    if (channel < 0 ||
+        static_cast<std::size_t>(channel) >= mirror_.size())
+        return;  // dangling output: the simulator drops the token
+    Entry entry;
+    entry.src = src;
+    entry.enq_cycle = cycle;
+    mirror_[static_cast<std::size_t>(channel)].push_back(entry);
+    touchOccupancy(channel, cycle, +1);
+}
+
+ProvHop
+ProvenanceTracker::popHop(int channel, std::uint64_t cycle)
+{
+    ProvHop hop;
+    hop.channel = channel;
+    if (channel < 0 ||
+        static_cast<std::size_t>(channel) >= mirror_.size())
+        return hop;
+    std::deque<Entry>& queue =
+        mirror_[static_cast<std::size_t>(channel)];
+    if (queue.empty()) {
+        // Mirror drift (should not happen): keep going with an
+        // unknown source rather than corrupting neighbours.
+        hop.enq_cycle = cycle;
+        return hop;
+    }
+    const Entry entry = queue.front();
+    queue.pop_front();
+    hop.enq_cycle = entry.enq_cycle;
+    hop.wait = static_cast<std::uint32_t>(cycle - entry.enq_cycle);
+    hop.bp_cycles = entry.bp;
+    hop.starve_cycles = entry.starve;
+    hop.src = entry.src;
+    touchOccupancy(channel, cycle, -1);
+    return hop;
+}
+
+std::uint64_t
+ProvenanceTracker::recordFiring(std::uint32_t node, std::uint64_t cycle,
+                                std::uint32_t svc_latency, bool tag_hold,
+                                const int* ins, std::size_t nins)
+{
+    ProvFiring firing;
+    firing.seq = log_.totalFirings();
+    firing.node = node;
+    firing.cycle = cycle;
+    firing.emit_cycle = cycle;
+    firing.svc_latency = svc_latency;
+    firing.tag_hold = tag_hold;
+    firing.consumed.reserve(nins);
+    for (std::size_t i = 0; i < nins; ++i)
+        if (ins[i] >= 0)
+            firing.consumed.push_back(popHop(ins[i], cycle));
+
+    if (log_.firings.size() >= config_.max_firings) {
+        log_.firings.pop_front();
+        ++log_.first_firing;
+        ++log_.dropped_firings;
+    }
+    log_.firings.push_back(std::move(firing));
+    max_cycle_ = std::max(max_cycle_, cycle);
+    return log_.firings.back().seq;
+}
+
+ProvFiring*
+ProvenanceTracker::mutableFiring(std::uint64_t seq)
+{
+    if (seq < log_.first_firing)
+        return nullptr;
+    const std::uint64_t off = seq - log_.first_firing;
+    if (off >= log_.firings.size())
+        return nullptr;
+    return &log_.firings[off];
+}
+
+void
+ProvenanceTracker::onBirth(int channel, int port, std::uint64_t cycle)
+{
+    if (port >= 0 &&
+        static_cast<std::size_t>(port) >= birth_ordinal_.size())
+        birth_ordinal_.resize(static_cast<std::size_t>(port) + 1, 0);
+
+    if (log_.births.size() >= config_.max_births) {
+        ++log_.dropped_births;
+        if (port >= 0)
+            ++birth_ordinal_[static_cast<std::size_t>(port)];
+        pushEntry(channel, kProvUnknown, cycle);
+        return;
+    }
+    ProvBirth birth;
+    birth.seq = next_birth_++;
+    birth.channel = channel;
+    birth.port = port;
+    birth.ordinal =
+        port >= 0 ? birth_ordinal_[static_cast<std::size_t>(port)]++ : 0;
+    birth.cycle = cycle;
+    log_.births.push_back(birth);
+    pushEntry(channel, provBirthSource(birth.seq), cycle);
+}
+
+void
+ProvenanceTracker::onSpawn(std::uint32_t node, int channel,
+                           std::uint64_t cycle)
+{
+    if (log_.births.size() >= config_.max_births) {
+        ++log_.dropped_births;
+        pushEntry(channel, kProvUnknown, cycle);
+        return;
+    }
+    ProvBirth birth;
+    birth.seq = next_birth_++;
+    birth.channel = channel;
+    birth.port = -1;
+    birth.node = node;
+    birth.ordinal =
+        node < spawn_ordinal_.size() ? spawn_ordinal_[node]++ : 0;
+    birth.cycle = cycle;
+    log_.births.push_back(birth);
+    pushEntry(channel, provBirthSource(birth.seq), cycle);
+}
+
+void
+ProvenanceTracker::onFire(std::uint32_t node, std::uint64_t cycle,
+                          const int* ins, std::size_t nins,
+                          const int* outs, std::size_t nouts)
+{
+    const std::uint64_t seq =
+        recordFiring(node, cycle, 0, false, ins, nins);
+    for (std::size_t i = 0; i < nouts; ++i)
+        if (outs[i] >= 0)
+            pushEntry(outs[i], static_cast<ProvSource>(seq), cycle);
+}
+
+void
+ProvenanceTracker::onAccept(std::uint32_t node, std::uint64_t cycle,
+                            const int* ins, std::size_t nins,
+                            std::uint32_t latency)
+{
+    const std::uint64_t seq =
+        recordFiring(node, cycle, latency, false, ins, nins);
+    if (node < pipeline_.size())
+        pipeline_[node].push_back(seq);
+}
+
+void
+ProvenanceTracker::onEmit(std::uint32_t node, int out_channel,
+                          std::uint64_t cycle)
+{
+    if (node >= pipeline_.size() || pipeline_[node].empty())
+        return;
+    const std::uint64_t seq = pipeline_[node].front();
+    pipeline_[node].pop_front();
+    if (ProvFiring* firing = mutableFiring(seq))
+        firing->emit_cycle = cycle;
+    pushEntry(out_channel, static_cast<ProvSource>(seq), cycle);
+}
+
+void
+ProvenanceTracker::onTagAlloc(std::uint32_t node, std::uint64_t cycle,
+                              int in, int out,
+                              std::uint64_t alloc_index)
+{
+    const std::uint64_t seq =
+        recordFiring(node, cycle, 0, false, &in, 1);
+    pushEntry(out, static_cast<ProvSource>(seq), cycle);
+    if (log_.tag_events.size() < config_.max_tag_events)
+        log_.tag_events.push_back(
+            {TagEventKind::Alloc, node, cycle, alloc_index, 0});
+    else
+        ++log_.dropped_tag_events;
+}
+
+void
+ProvenanceTracker::onTagReturn(std::uint32_t node, std::uint64_t cycle,
+                               int in, std::uint64_t alloc_index,
+                               std::uint32_t reorder_distance)
+{
+    const std::uint64_t seq =
+        recordFiring(node, cycle, 0, true, &in, 1);
+    tag_hold_[alloc_index] = seq;
+    if (log_.tag_events.size() < config_.max_tag_events)
+        log_.tag_events.push_back({TagEventKind::Return, node, cycle,
+                                   alloc_index, reorder_distance});
+    else
+        ++log_.dropped_tag_events;
+}
+
+void
+ProvenanceTracker::onTagCommit(std::uint32_t node, std::uint64_t cycle,
+                               int out, std::uint64_t alloc_index)
+{
+    auto held = tag_hold_.find(alloc_index);
+    if (held == tag_hold_.end()) {
+        // The returning firing was never seen (mirror drift); emit an
+        // unknown-source token so downstream lineage stays aligned.
+        pushEntry(out, kProvUnknown, cycle);
+    } else {
+        const std::uint64_t seq = held->second;
+        tag_hold_.erase(held);
+        if (ProvFiring* firing = mutableFiring(seq))
+            firing->emit_cycle = cycle;
+        pushEntry(out, static_cast<ProvSource>(seq), cycle);
+    }
+    if (log_.tag_events.size() < config_.max_tag_events)
+        log_.tag_events.push_back(
+            {TagEventKind::Commit, node, cycle, alloc_index, 0});
+    else
+        ++log_.dropped_tag_events;
+}
+
+void
+ProvenanceTracker::onOutput(int port, int channel, std::uint64_t cycle)
+{
+    if (port >= 0 &&
+        static_cast<std::size_t>(port) >= output_ordinal_.size())
+        output_ordinal_.resize(static_cast<std::size_t>(port) + 1, 0);
+    ProvCompletion completion;
+    completion.port = port;
+    completion.channel = channel;
+    completion.ordinal =
+        port >= 0 ? output_ordinal_[static_cast<std::size_t>(port)]++
+                  : 0;
+    completion.cycle = cycle;
+    completion.hop = popHop(channel, cycle);
+    log_.completions.push_back(completion);
+    max_cycle_ = std::max(max_cycle_, cycle);
+}
+
+void
+ProvenanceTracker::onNodeBlocked(std::uint32_t node, std::uint64_t cycle,
+                                 bool starved, bool backpressured)
+{
+    if (node >= log_.nodes.size() || (!starved && !backpressured))
+        return;
+    for (int ch : log_.nodes[node].ins) {
+        if (ch < 0 ||
+            static_cast<std::size_t>(ch) >= mirror_.size())
+            continue;
+        std::deque<Entry>& queue =
+            mirror_[static_cast<std::size_t>(ch)];
+        if (queue.empty())
+            continue;
+        Entry& head = queue.front();
+        // Tokens staged this very cycle are not yet visible to the
+        // consumer; counting them would overrun the wait budget.
+        if (head.enq_cycle >= cycle)
+            continue;
+        if (starved)
+            ++head.starve;
+        else
+            ++head.bp;
+    }
+}
+
+void
+ProvenanceTracker::endRun(std::uint64_t cycles)
+{
+    max_cycle_ = std::max(max_cycle_, cycles);
+    for (std::size_t ch = 0; ch < occupancy_.size(); ++ch) {
+        if (max_cycle_ > occupancy_cycle_[ch])
+            log_.stats[ch].occupancy_integral +=
+                static_cast<std::uint64_t>(occupancy_[ch]) *
+                (max_cycle_ - occupancy_cycle_[ch]);
+        occupancy_cycle_[ch] = max_cycle_;
+    }
+    log_.cycles = cycles;
+}
+
+}  // namespace graphiti::obs

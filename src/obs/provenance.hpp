@@ -1,0 +1,352 @@
+#ifndef GRAPHITI_OBS_PROVENANCE_HPP
+#define GRAPHITI_OBS_PROVENANCE_HPP
+
+/**
+ * @file
+ * Per-token provenance: the causal hop log behind critical-path
+ * attribution (obs/critpath.hpp).
+ *
+ * The simulator assigns every injected token a *birth* and records a
+ * *firing* every time a node consumes tokens: which channels were
+ * popped, how long each popped token had waited there, and how much of
+ * that wait was spent at the head of its queue while the consumer was
+ * provably starved (a sibling input empty) or backpressured (an output
+ * full). Because every queue in the simulator is FIFO — channels,
+ * operator pipelines, completion buffers — the tracker can mirror them
+ * with plain deques of lineage entries and never needs to stamp the
+ * tokens themselves: the mirror stays in lockstep with the real run.
+ *
+ * The resulting log is a last-arrival DAG: each firing points (through
+ * its consumed hops) at the firings/births that produced its inputs.
+ * Walking any single-parent chain from a completion back to a birth
+ * telescopes exactly — the sum of channel waits and service gaps along
+ * the chain equals the completion cycle minus the birth cycle — which
+ * is what lets critpath attribute every cycle of a token's latency to
+ * compute, queue wait or backpressure without double counting.
+ *
+ * Memory is bounded: the firing log is a ring buffer (oldest firings
+ * evicted first; chains that reach an evicted firing are reported as
+ * truncated), and births/tag events/occupancy series have hard caps.
+ *
+ * Everything recorded is a pure function of the run (cycle counts and
+ * indices only, no wall-clock, no pointers), so the same seed and the
+ * same FaultPlan reproduce a byte-identical log.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace graphiti::obs {
+
+/**
+ * Where a token in a channel came from: a firing (>= 0, the firing
+ * sequence number), a birth (< 0, encoded as -(birth_seq + 1)), or
+ * unknown (the tracker lost the lineage, e.g. a capped birth log).
+ */
+using ProvSource = std::int64_t;
+
+constexpr ProvSource kProvUnknown =
+    std::numeric_limits<ProvSource>::min();
+
+inline ProvSource
+provBirthSource(std::uint64_t birth_seq)
+{
+    return -static_cast<ProvSource>(birth_seq) - 1;
+}
+
+inline bool
+provIsFiring(ProvSource src)
+{
+    return src >= 0;
+}
+
+inline bool
+provIsBirth(ProvSource src)
+{
+    return src < 0 && src != kProvUnknown;
+}
+
+inline std::uint64_t
+provBirthIndex(ProvSource src)
+{
+    return static_cast<std::uint64_t>(-(src + 1));
+}
+
+/** A token entering the circuit: graph input, Init seed or Source. */
+struct ProvBirth
+{
+    std::uint64_t seq = 0;  ///< global birth index
+    int channel = -1;       ///< channel the token entered
+    /** Graph input port, or -1 for node-spawned tokens. */
+    int port = -1;
+    /** Spawning node index (port < 0); unused otherwise. */
+    std::uint32_t node = 0;
+    /** Position within its input port (or spawner's stream). */
+    std::uint64_t ordinal = 0;
+    std::uint64_t cycle = 0;  ///< enqueue cycle
+};
+
+/** One consumed token at one firing. */
+struct ProvHop
+{
+    int channel = -1;
+    std::uint64_t enq_cycle = 0;
+    /** Dequeue cycle minus enqueue cycle (>= 1 in a committed run). */
+    std::uint32_t wait = 0;
+    /** Head-of-queue cycles while the consumer was blocked on a full
+     * output channel. */
+    std::uint32_t bp_cycles = 0;
+    /** Head-of-queue cycles while the consumer was starved of a
+     * sibling input. */
+    std::uint32_t starve_cycles = 0;
+    ProvSource src = kProvUnknown;  ///< producing firing / birth
+};
+
+/** One node firing: the consumed hops plus the service gap. */
+struct ProvFiring
+{
+    std::uint64_t seq = 0;
+    std::uint32_t node = 0;
+    std::uint64_t cycle = 0;  ///< consume cycle
+    /** Cycle the results were pushed downstream (>= cycle). For
+     * handshake components this equals cycle; for pipelined units it
+     * is cycle + service latency + any completion-buffer stall; for a
+     * Tagger return it is the program-order commit cycle. */
+    std::uint64_t emit_cycle = 0;
+    /** Pipeline service latency actually applied (including injected
+     * jitter); 0 for single-cycle handshake components. */
+    std::uint32_t svc_latency = 0;
+    /** True for Tagger return->commit holds: the emit gap is reorder
+     * wait (attributed to queue wait), not compute. */
+    bool tag_hold = false;
+    std::vector<ProvHop> consumed;
+};
+
+/** A token collected at a graph output. */
+struct ProvCompletion
+{
+    int port = 0;
+    int channel = -1;
+    std::uint64_t ordinal = 0;  ///< position within the port
+    std::uint64_t cycle = 0;    ///< collection cycle
+    ProvHop hop;                ///< residence in the output channel
+};
+
+/** Tagger lifecycle events (the reorder telemetry). */
+enum class TagEventKind
+{
+    Alloc,   ///< a fresh token received a tag
+    Return,  ///< a tagged token came back from the loop body
+    Commit,  ///< the Untagger released the oldest outstanding token
+};
+
+const char* toString(TagEventKind kind);
+
+struct ProvTagEvent
+{
+    TagEventKind kind = TagEventKind::Alloc;
+    std::uint32_t node = 0;
+    std::uint64_t cycle = 0;
+    /** Program-order allocation index of the token. */
+    std::uint64_t alloc_index = 0;
+    /** Return only: how many program-order-earlier tokens were still
+     * uncommitted when this one returned (0 = returned in order). */
+    std::uint32_t reorder_distance = 0;
+};
+
+/** Tracker capacity limits ("bounded hop records"). */
+struct ProvenanceConfig
+{
+    /** Ring-buffer capacity of the firing log; oldest evicted. */
+    std::size_t max_firings = 262144;
+    /** Hard cap on recorded births (excess lose their lineage). */
+    std::size_t max_births = 65536;
+    /** Hard cap on recorded tag events. */
+    std::size_t max_tag_events = 65536;
+    /** Per-channel cap on the change-only occupancy series. */
+    std::size_t max_series_points = 4096;
+};
+
+/** The recorded run: static structure plus the event log. */
+struct ProvenanceLog
+{
+    struct NodeInfo
+    {
+        std::string name;
+        std::string type;
+        int latency = 0;
+        std::vector<int> ins;
+        std::vector<int> outs;
+    };
+
+    struct ChannelInfo
+    {
+        std::string desc;
+        std::size_t capacity = 0;
+    };
+
+    /** Per-channel occupancy aggregates (tracker-mirror occupancy:
+     * committed slots plus the cycle's staged pushes). */
+    struct ChannelStats
+    {
+        std::size_t max_occupancy = 0;
+        /** Sum over cycles of the channel's occupancy. */
+        std::uint64_t occupancy_integral = 0;
+        std::uint64_t pushes = 0;
+        std::uint64_t pops = 0;
+        /** Change-only (cycle, occupancy) samples, capped. */
+        std::vector<std::pair<std::uint64_t, std::uint32_t>> series;
+        bool series_truncated = false;
+    };
+
+    std::vector<NodeInfo> nodes;
+    std::vector<ChannelInfo> channels;
+    std::vector<ChannelStats> stats;
+
+    std::deque<ProvFiring> firings;  ///< ring window of the firing log
+    std::uint64_t first_firing = 0;  ///< seq of firings.front()
+    std::uint64_t dropped_firings = 0;
+    std::vector<ProvBirth> births;
+    std::uint64_t dropped_births = 0;
+    std::vector<ProvCompletion> completions;
+    std::vector<ProvTagEvent> tag_events;
+    std::uint64_t dropped_tag_events = 0;
+    /** Cycle count of the run (set by endRun). */
+    std::uint64_t cycles = 0;
+
+    /** The firing with sequence number @p seq; nullptr if evicted. */
+    const ProvFiring* firing(std::uint64_t seq) const;
+    /** The birth with sequence number @p seq; nullptr if capped. */
+    const ProvBirth* birth(std::uint64_t seq) const;
+
+    std::uint64_t totalFirings() const
+    {
+        return first_firing + firings.size();
+    }
+
+    /** Full deterministic dump (can be large; see tailJson). */
+    json::Value toJson() const;
+
+    /**
+     * Post-mortem rendering: summary counts plus the last
+     * @p max_firings firings with node names resolved — the payload
+     * stress-harness failure artifacts embed.
+     */
+    json::Value tailJson(std::size_t max_firings = 64) const;
+};
+
+/**
+ * The tracker the simulator drives. One instance records one run at a
+ * time: beginRun resets all state, so attach a fresh tracker (or read
+ * the log out) before reusing a scope across runs.
+ *
+ * All hooks are invoked from the simulator's own thread; the tracker
+ * is intentionally unsynchronized (the simulator is single-threaded).
+ */
+class ProvenanceTracker
+{
+  public:
+    explicit ProvenanceTracker(ProvenanceConfig config = {});
+
+    const ProvenanceConfig& config() const { return config_; }
+    const ProvenanceLog& log() const { return log_; }
+
+    // ----- hooks, called by sim::Simulator in run order -----
+
+    /** Reset and install the circuit structure for a new run. */
+    void beginRun(std::vector<ProvenanceLog::NodeInfo> nodes,
+                  std::vector<ProvenanceLog::ChannelInfo> channels);
+
+    /** A workload token entered input @p port on @p channel. */
+    void onBirth(int channel, int port, std::uint64_t cycle);
+
+    /** @p node pushed a spontaneous token (Init seed, Source). */
+    void onSpawn(std::uint32_t node, int channel, std::uint64_t cycle);
+
+    /** A single-cycle firing: pops @p ins, pushes @p outs (channels
+     * < 0 are dangling and skipped). */
+    void onFire(std::uint32_t node, std::uint64_t cycle, const int* ins,
+                std::size_t nins, const int* outs, std::size_t nouts);
+
+    /** A pipelined unit accepted a token set with service latency
+     * @p latency; results emit later via onEmit (FIFO). */
+    void onAccept(std::uint32_t node, std::uint64_t cycle,
+                  const int* ins, std::size_t nins,
+                  std::uint32_t latency);
+
+    /** The oldest accepted token set of @p node emitted its result. */
+    void onEmit(std::uint32_t node, int out_channel,
+                std::uint64_t cycle);
+
+    /** Tagger allocated @p alloc_index: pops @p in, pushes @p out. */
+    void onTagAlloc(std::uint32_t node, std::uint64_t cycle, int in,
+                    int out, std::uint64_t alloc_index);
+
+    /** Tagger accepted returning token @p alloc_index from @p in; it
+     * is held until commit. */
+    void onTagReturn(std::uint32_t node, std::uint64_t cycle, int in,
+                     std::uint64_t alloc_index,
+                     std::uint32_t reorder_distance);
+
+    /** Tagger committed @p alloc_index in program order onto @p out. */
+    void onTagCommit(std::uint32_t node, std::uint64_t cycle, int out,
+                     std::uint64_t alloc_index);
+
+    /** A token arrived at graph output @p port (popped @p channel). */
+    void onOutput(int port, int channel, std::uint64_t cycle);
+
+    /**
+     * @p node held input tokens this cycle but did not fire:
+     * @p starved = a sibling input was empty, @p backpressured = an
+     * output was full. Bumps the wait classification of the head
+     * token of each of the node's occupied input channels.
+     */
+    void onNodeBlocked(std::uint32_t node, std::uint64_t cycle,
+                       bool starved, bool backpressured);
+
+    /** Close the run: finalize occupancy integrals. */
+    void endRun(std::uint64_t cycles);
+
+  private:
+    /** Mirror of one resident token. */
+    struct Entry
+    {
+        ProvSource src = kProvUnknown;
+        std::uint64_t enq_cycle = 0;
+        std::uint32_t bp = 0;
+        std::uint32_t starve = 0;
+    };
+
+    std::uint64_t recordFiring(std::uint32_t node, std::uint64_t cycle,
+                               std::uint32_t svc_latency, bool tag_hold,
+                               const int* ins, std::size_t nins);
+    ProvHop popHop(int channel, std::uint64_t cycle);
+    void pushEntry(int channel, ProvSource src, std::uint64_t cycle);
+    void touchOccupancy(int channel, std::uint64_t cycle, int delta);
+    ProvFiring* mutableFiring(std::uint64_t seq);
+
+    ProvenanceConfig config_;
+    ProvenanceLog log_;
+    std::vector<std::deque<Entry>> mirror_;
+    /** Per-node FIFO of accepted-not-yet-emitted firing seqs. */
+    std::vector<std::deque<std::uint64_t>> pipeline_;
+    /** Tagger holds: allocation index -> firing seq. */
+    std::map<std::uint64_t, std::uint64_t> tag_hold_;
+    std::vector<std::uint32_t> occupancy_;
+    std::vector<std::uint64_t> occupancy_cycle_;
+    std::vector<std::uint64_t> birth_ordinal_;   // per input port
+    std::vector<std::uint64_t> spawn_ordinal_;   // per node
+    std::vector<std::uint64_t> output_ordinal_;  // per output port
+    std::uint64_t next_birth_ = 0;
+    std::uint64_t max_cycle_ = 0;
+};
+
+}  // namespace graphiti::obs
+
+#endif  // GRAPHITI_OBS_PROVENANCE_HPP

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 
 // Default to enabled when built outside CMake (the option defines it).
@@ -58,10 +59,18 @@ class Scope
         vcd_ = std::move(vcd);
     }
 
+    /** The provenance tracker; nullptr when hop logging is off. */
+    ProvenanceTracker* provenance() const { return provenance_.get(); }
+    void attachProvenance(std::shared_ptr<ProvenanceTracker> tracker)
+    {
+        provenance_ = std::move(tracker);
+    }
+
   private:
     MetricsRegistry metrics_;
     std::shared_ptr<TraceSink> trace_;
     std::shared_ptr<VcdWriter> vcd_;
+    std::shared_ptr<ProvenanceTracker> provenance_;
 };
 
 /** The thread's current scope; nullptr when nothing observes. */

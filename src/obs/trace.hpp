@@ -14,6 +14,7 @@
  */
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -89,6 +90,12 @@ class TraceSink
  * memory; toJson()/dump()/writeFile() emit the {"traceEvents": [...]}
  * document. Each distinct node/track name becomes its own thread row
  * (named via thread_name metadata events).
+ *
+ * By default the buffer is unbounded (short runs keep everything, the
+ * historical behaviour). Long runs can bound it with setCapacity():
+ * when full, the oldest events are dropped — or, with setSpillFile(),
+ * flushed to disk and stitched back into a complete document by
+ * writeFile().
  */
 class PerfettoTraceSink : public TraceSink
 {
@@ -99,18 +106,47 @@ class PerfettoTraceSink : public TraceSink
     void counter(const std::string& track, double cycle,
                  double value) override;
 
+    /** Events currently buffered in memory. */
     std::size_t numEvents() const { return events_.size(); }
 
+    /** Bound the in-memory buffer; 0 (the default) = unbounded. */
+    void setCapacity(std::size_t max_events) { capacity_ = max_events; }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Flush-on-overflow target: events evicted by the capacity bound
+     * are appended to @p path (one JSON event per line) instead of
+     * being dropped. The file is truncated now; writeFile() stitches
+     * the spilled prefix and the live buffer back into one complete
+     * traceEvents document.
+     */
+    Result<bool> setSpillFile(const std::string& path);
+
+    /** Events lost to the capacity bound (no spill file set). */
+    std::size_t droppedEvents() const { return dropped_; }
+    /** Events flushed to the spill file. */
+    std::size_t spilledEvents() const { return spilled_; }
+
+    /** The buffered window only (spilled events live on disk). */
     json::Value toJson() const;
     std::string dump() const { return toJson().dump(); }
+    /** The full document: spilled prefix + buffered window. */
     Result<bool> writeFile(const std::string& path) const;
 
   private:
     /** Stable small integer per track name (Perfetto tid). */
     int trackId(const std::string& name);
+    /** Buffer one rendered event, honouring the capacity bound. */
+    void bufferEvent(json::Value event);
+    /** Append the whole buffer to the spill file and clear it. */
+    void spillAll();
 
-    std::vector<json::Value> events_;
+    std::deque<json::Value> events_;
     std::map<std::string, int> tracks_;
+    std::size_t capacity_ = 0;
+    std::size_t dropped_ = 0;
+    std::size_t spilled_ = 0;
+    std::string spill_path_;
 };
 
 /**

@@ -130,6 +130,7 @@ class Simulator::Impl
             obs_ == nullptr ? obs::ScopedTimer{}
                             : obs_->metrics().timer("sim.run_seconds");
 #endif
+        provSetup();
 
         input_streams_ = inputs;
         input_pos_.assign(inputs.size(), 0);
@@ -164,6 +165,7 @@ class Simulator::Impl
                     node.last_fire = cycle;
                 }
             }
+            provBlocked();
             collectOutputs(result);
             commitStaged();
 #if GRAPHITI_OBS_ENABLED
@@ -177,6 +179,7 @@ class Simulator::Impl
                 if (!drained.ok())
                     return drained.error();
                 result.memories = memories_;
+                provEnd(result.cycles);
 #if GRAPHITI_OBS_ENABLED
                 if (obs_ != nullptr)
                     finishObservation(result.cycles);
@@ -452,6 +455,7 @@ class Simulator::Impl
             if (hasSpace(ch)) {
                 push(ch, input_streams_[i][pos]);
                 ++pos;
+                provInput(static_cast<int>(i), ch);
             }
         }
     }
@@ -475,6 +479,7 @@ class Simulator::Impl
 #endif
                 result.outputs[i].push_back(ch.slots.front());
                 ch.slots.pop_front();
+                provOutput(static_cast<int>(i), output_channels_[i]);
                 ++moves_;
                 output_moved_ = true;
             }
@@ -565,6 +570,7 @@ class Simulator::Impl
             finishObservation(cycle_);
         }
 #endif
+        provEnd(cycle_);
         owner_.diagnosis_ = std::move(d);
         return err(headline + ": " + rendered);
     }
@@ -590,6 +596,7 @@ class Simulator::Impl
             push(node.out_channels[0],
                  std::move(node.completion.front()));
             node.completion.pop_front();
+            provEmit(node);
             trace(node, "emit", obs::EventKind::Emit);
         }
     }
@@ -606,6 +613,9 @@ class Simulator::Impl
             Token t = pop(node.in_channels[0]);
             for (int ch : node.out_channels)
                 push(ch, t);
+            provFire(node, node.in_channels.data(), 1,
+                     node.out_channels.data(),
+                     node.out_channels.size());
             trace(node, "fire " + t.toString());
             return true;
         }
@@ -630,6 +640,9 @@ class Simulator::Impl
             Token out(std::move(v));
             out.tag = tag;
             push(node.out_channels[0], std::move(out));
+            provFire(node, node.in_channels.data(),
+                     node.in_channels.size(), node.out_channels.data(),
+                     1);
             trace(node, "fire");
             return true;
         }
@@ -648,6 +661,8 @@ class Simulator::Impl
             right.tag = t.tag;
             push(node.out_channels[0], std::move(left));
             push(node.out_channels[1], std::move(right));
+            provFire(node, node.in_channels.data(), 1,
+                     node.out_channels.data(), 2);
             trace(node, "fire");
             return true;
         }
@@ -663,6 +678,8 @@ class Simulator::Impl
             Token t = pop(data_ch);
             trace(node, std::string("fire ") + (sel ? "loop" : "entry"));
             push(node.out_channels[0], std::move(t));
+            const int mux_ins[2] = {node.in_channels[0], data_ch};
+            provFire(node, mux_ins, 2, node.out_channels.data(), 1);
             return true;
         }
         if (node.type == "merge") {
@@ -677,6 +694,8 @@ class Simulator::Impl
                                     (port == 0 ? "loop" : "entry") +
                                     " " + t.toString());
                     push(node.out_channels[0], std::move(t));
+                    provFire(node, &node.in_channels[port], 1,
+                             node.out_channels.data(), 1);
                     return true;
                 }
             }
@@ -699,6 +718,8 @@ class Simulator::Impl
             t.tag = tag;
             trace(node, out == 0 ? "loop" : "exit");
             push(node.out_channels[out], std::move(t));
+            provFire(node, node.in_channels.data(), 2,
+                     &node.out_channels[out], 1);
             return true;
         }
         if (node.type == "init") {
@@ -709,27 +730,38 @@ class Simulator::Impl
                 push(node.out_channels[0],
                      Token(Value(attrStr(node.attrs, "value", "false") ==
                                  "true")));
+                provSpawn(node, node.out_channels[0]);
                 trace(node, "initial");
                 return true;
             }
-            if (hasToken(node.in_channels[0]))
+            if (hasToken(node.in_channels[0])) {
                 push(node.out_channels[0], pop(node.in_channels[0]));
+                provFire(node, node.in_channels.data(), 1,
+                         node.out_channels.data(), 1);
+            }
             return true;
         }
         if (node.type == "buffer") {
             if (hasToken(node.in_channels[0]) &&
-                hasSpace(node.out_channels[0]))
+                hasSpace(node.out_channels[0])) {
                 push(node.out_channels[0], pop(node.in_channels[0]));
+                provFire(node, node.in_channels.data(), 1,
+                         node.out_channels.data(), 1);
+            }
             return true;
         }
         if (node.type == "sink") {
-            if (hasToken(node.in_channels[0]))
+            if (hasToken(node.in_channels[0])) {
                 pop(node.in_channels[0]);
+                provFire(node, node.in_channels.data(), 1, nullptr, 0);
+            }
             return true;
         }
         if (node.type == "source") {
-            if (hasSpace(node.out_channels[0]))
+            if (hasSpace(node.out_channels[0])) {
                 push(node.out_channels[0], Token(Value()));
+                provSpawn(node, node.out_channels[0]);
+            }
             return true;
         }
         if (node.type == "constant") {
@@ -744,6 +776,8 @@ class Simulator::Impl
             Token out(v.take());
             out.tag = trigger.tag;
             push(node.out_channels[0], std::move(out));
+            provFire(node, node.in_channels.data(), 1,
+                     node.out_channels.data(), 1);
             return true;
         }
         if (node.type == "operator" || node.type == "pure" ||
@@ -791,6 +825,7 @@ class Simulator::Impl
                 latency += std::max(
                     0, faults_->latencyJitter(node.name, cycle_));
             node.pipeline.emplace_back(latency, std::move(result));
+            provAccept(node, latency);
             trace(node, "accept");
             return true;
         }
@@ -819,6 +854,8 @@ class Simulator::Impl
             Token done{Value(addr)};
             done.tag = tag;
             push(node.out_channels[0], std::move(done));
+            provFire(node, node.in_channels.data(), 2,
+                     node.out_channels.data(), 1);
             trace(node, "store");
             return true;
         }
@@ -830,15 +867,18 @@ class Simulator::Impl
                 Token t = pop(node.in_channels[0]);
                 t.tag = static_cast<Tag>(node.next_alloc %
                                          node.num_tags);
+                const std::int64_t alloc_idx = node.next_alloc;
                 node.next_alloc += 1;
                 trace(node, "tag " + t.toString());
                 push(node.out_channels[0], std::move(t));
+                provTagAlloc(node, alloc_idx);
             }
             // Accept a returning token.
             if (hasToken(node.in_channels[1])) {
                 Token t = pop(node.in_channels[1]);
                 if (!t.tag)
                     return err("untagged token returned to tagger");
+                provTagReturn(node, *t.tag);
                 node.returned.emplace(*t.tag, std::move(t));
             }
             // Commit the oldest outstanding tag in program order.
@@ -851,15 +891,239 @@ class Simulator::Impl
                     Token out = std::move(it->second);
                     out.tag.reset();
                     node.returned.erase(it);
+                    const std::int64_t commit_idx = node.next_commit;
                     node.next_commit += 1;
                     trace(node, "untag " + out.toString());
                     push(node.out_channels[1], std::move(out));
+                    provTagCommit(node, commit_idx);
                 }
             }
             return true;
         }
         return err("simulator has no model for component type '" +
                    node.type + "'");
+    }
+
+    // ----- provenance hooks (inert when no tracker is attached) -----
+    //
+    // The tracker mirrors every FIFO in the simulator, so each pop()/
+    // push() path above must report through exactly one hook; the
+    // bodies compile out entirely under GRAPHITI_OBS=OFF.
+
+    std::uint32_t
+    provNodeIndex(const SimNode& node) const
+    {
+        return static_cast<std::uint32_t>(&node - nodes_.data());
+    }
+
+    void
+    provSetup()
+    {
+#if GRAPHITI_OBS_ENABLED
+        prov_ = obs_ != nullptr ? obs_->provenance() : nullptr;
+        if (prov_ == nullptr)
+            return;
+        std::vector<obs::ProvenanceLog::NodeInfo> nodes;
+        nodes.reserve(nodes_.size());
+        for (const SimNode& node : nodes_)
+            nodes.push_back({node.name, node.type, node.latency,
+                             node.in_channels, node.out_channels});
+        std::vector<obs::ProvenanceLog::ChannelInfo> channels;
+        channels.reserve(channels_.size());
+        for (std::size_t ch = 0; ch < channels_.size(); ++ch)
+            channels.push_back(
+                {channel_desc_[ch], channels_[ch].capacity});
+        prov_->beginRun(std::move(nodes), std::move(channels));
+#endif
+    }
+
+    void
+    provFire(const SimNode& node, const int* ins, std::size_t nins,
+             const int* outs, std::size_t nouts)
+    {
+#if GRAPHITI_OBS_ENABLED
+        if (prov_ != nullptr)
+            prov_->onFire(provNodeIndex(node), cycle_, ins, nins, outs,
+                          nouts);
+#else
+        (void)node;
+        (void)ins;
+        (void)nins;
+        (void)outs;
+        (void)nouts;
+#endif
+    }
+
+    void
+    provAccept(const SimNode& node, int latency)
+    {
+#if GRAPHITI_OBS_ENABLED
+        if (prov_ != nullptr)
+            prov_->onAccept(provNodeIndex(node), cycle_,
+                            node.in_channels.data(),
+                            node.in_channels.size(),
+                            static_cast<std::uint32_t>(latency));
+#else
+        (void)node;
+        (void)latency;
+#endif
+    }
+
+    void
+    provEmit(const SimNode& node)
+    {
+#if GRAPHITI_OBS_ENABLED
+        if (prov_ != nullptr)
+            prov_->onEmit(provNodeIndex(node), node.out_channels[0],
+                          cycle_);
+#else
+        (void)node;
+#endif
+    }
+
+    void
+    provSpawn(const SimNode& node, int channel)
+    {
+#if GRAPHITI_OBS_ENABLED
+        if (prov_ != nullptr)
+            prov_->onSpawn(provNodeIndex(node), channel, cycle_);
+#else
+        (void)node;
+        (void)channel;
+#endif
+    }
+
+    void
+    provInput(int port, int channel)
+    {
+#if GRAPHITI_OBS_ENABLED
+        if (prov_ != nullptr)
+            prov_->onBirth(channel, port, cycle_);
+#else
+        (void)port;
+        (void)channel;
+#endif
+    }
+
+    void
+    provOutput(int port, int channel)
+    {
+#if GRAPHITI_OBS_ENABLED
+        if (prov_ != nullptr)
+            prov_->onOutput(port, channel, cycle_);
+#else
+        (void)port;
+        (void)channel;
+#endif
+    }
+
+    void
+    provTagAlloc(const SimNode& node, std::int64_t alloc_idx)
+    {
+#if GRAPHITI_OBS_ENABLED
+        if (prov_ != nullptr)
+            prov_->onTagAlloc(provNodeIndex(node), cycle_,
+                              node.in_channels[0], node.out_channels[0],
+                              static_cast<std::uint64_t>(alloc_idx));
+#else
+        (void)node;
+        (void)alloc_idx;
+#endif
+    }
+
+    void
+    provTagReturn(const SimNode& node, Tag tag)
+    {
+#if GRAPHITI_OBS_ENABLED
+        if (prov_ == nullptr)
+            return;
+        // Tags are unique within the outstanding window, so the
+        // allocation index is recoverable from the tag alone.
+        const std::int64_t n = node.num_tags;
+        const std::int64_t idx =
+            node.next_commit +
+            ((static_cast<std::int64_t>(tag) - node.next_commit) % n +
+             n) % n;
+        prov_->onTagReturn(provNodeIndex(node), cycle_,
+                           node.in_channels[1],
+                           static_cast<std::uint64_t>(idx),
+                           static_cast<std::uint32_t>(
+                               idx - node.next_commit));
+#else
+        (void)node;
+        (void)tag;
+#endif
+    }
+
+    void
+    provTagCommit(const SimNode& node, std::int64_t commit_idx)
+    {
+#if GRAPHITI_OBS_ENABLED
+        if (prov_ != nullptr)
+            prov_->onTagCommit(provNodeIndex(node), cycle_,
+                               node.out_channels[1],
+                               static_cast<std::uint64_t>(commit_idx));
+#else
+        (void)node;
+        (void)commit_idx;
+#endif
+    }
+
+    /**
+     * After the step loop: classify every node that held input tokens
+     * but could not fire this cycle, so the head tokens of its
+     * occupied input queues learn whether they were waiting on a
+     * starved consumer or a backpressured one. Uses raw occupancy
+     * (not hasToken/hasSpace) so fault hooks are not re-triggered.
+     */
+    void
+    provBlocked()
+    {
+#if GRAPHITI_OBS_ENABLED
+        if (prov_ == nullptr)
+            return;
+        for (const SimNode& node : nodes_) {
+            if (node.last_fire && *node.last_fire == cycle_)
+                continue;
+            bool holds = false;
+            bool starved = false;
+            for (int ch : node.in_channels) {
+                if (ch < 0)
+                    continue;
+                if (channels_[ch].empty())
+                    starved = true;
+                else
+                    holds = true;
+            }
+            if (!holds)
+                continue;
+            bool backpressured = false;
+            if (!starved) {
+                for (int ch : node.out_channels) {
+                    if (ch >= 0 && channels_[ch].slots.size() +
+                                           staged_[ch].size() >=
+                                       channels_[ch].capacity) {
+                        backpressured = true;
+                        break;
+                    }
+                }
+            }
+            if (starved || backpressured)
+                prov_->onNodeBlocked(provNodeIndex(node), cycle_,
+                                     starved, backpressured);
+        }
+#endif
+    }
+
+    void
+    provEnd(std::size_t cycles)
+    {
+#if GRAPHITI_OBS_ENABLED
+        if (prov_ != nullptr)
+            prov_->endRun(cycles);
+#else
+        (void)cycles;
+#endif
     }
 
     static Result<Value>
@@ -1004,6 +1268,7 @@ class Simulator::Impl
     FaultInjector* faults_ = nullptr;
     obs::Scope* obs_ = nullptr;
     obs::TraceSink* sink_ = nullptr;
+    obs::ProvenanceTracker* prov_ = nullptr;
     obs::VcdWriter* vcd_ = nullptr;
     std::vector<int> vcd_valid_;
     std::vector<int> vcd_ready_;

@@ -13,9 +13,17 @@
  *  - sim: the transformed circuit replaying the benchmark workload
  *    (fires, stalls, channel occupancy, VCD waveforms).
  *
+ * With --provenance and/or --critpath the tool additionally profiles
+ * the benchmark with full token provenance — once on the sequential
+ * DF-IO circuit and once on the transformed circuit — and writes
+ * provenance.json (the raw hop logs) and/or profile.json (per-token
+ * critical paths, cycle attribution, reorder histograms). See
+ * docs/profiling.md.
+ *
  * Usage:
  *     graphiti-report [benchmark] [--out-dir DIR] [--tags N]
- *                     [--no-verify] [--list]
+ *                     [--no-verify] [--provenance] [--critpath]
+ *                     [--list]
  */
 
 #include <cstdio>
@@ -58,13 +66,17 @@ usage(const char* argv0)
     std::fprintf(
         stderr,
         "usage: %s [benchmark] [--out-dir DIR] [--tags N]\n"
-        "          [--no-verify] [--list]\n"
+        "          [--no-verify] [--provenance] [--critpath] [--list]\n"
         "  benchmark    table 2/3 benchmark name (default: gcd)\n"
         "  --out-dir    directory for metrics.json / trace.json /\n"
         "               <benchmark>.vcd (default: .)\n"
         "  --tags       override the benchmark's tag count\n"
         "  --no-verify  skip catalog re-verification (faster; the\n"
         "               refine.* metrics stay zero)\n"
+        "  --provenance also write provenance.json (raw hop logs of\n"
+        "               the sequential and transformed circuits)\n"
+        "  --critpath   also write profile.json (critical paths,\n"
+        "               cycle attribution, reorder histograms)\n"
         "  --list       print available benchmark names and exit\n",
         argv0);
     return 2;
@@ -81,6 +93,8 @@ main(int argc, char** argv)
     std::string out_dir = ".";
     int tags = 0;
     bool verify = true;
+    bool want_provenance = false;
+    bool want_critpath = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -94,6 +108,10 @@ main(int argc, char** argv)
             return usage(argv[0]);
         if (arg == "--no-verify") {
             verify = false;
+        } else if (arg == "--provenance") {
+            want_provenance = true;
+        } else if (arg == "--critpath") {
+            want_critpath = true;
         } else if (arg == "--out-dir") {
             if (++i >= argc)
                 return usage(argv[0]);
@@ -196,5 +214,72 @@ main(int argc, char** argv)
                 perfetto->numEvents(), vcd->numSignals());
     std::printf("  %s\n  %s\n  %s\n", metrics_path.c_str(),
                 trace_path.c_str(), vcd_path.c_str());
+
+    if (!want_provenance && !want_critpath)
+        return 0;
+
+    // Profile both ends of the transformation: the sequential DF-IO
+    // circuit (no tagger; reorder histogram degenerate) and the
+    // transformed circuit (tagged; out-of-order returns show up).
+    faults::Workload workload;
+    workload.memories = spec.value().memories;
+    workload.inputs = spec.value().inputs;
+    workload.expected_outputs = spec.value().expected_outputs;
+    workload.serial_io = spec.value().serial_io;
+
+    struct Run
+    {
+        const char* key;
+        const ExprHigh* graph;
+    };
+    const Run runs[] = {{"sequential", &spec.value().df_io},
+                        {"transformed", &compiled.value().graph}};
+
+    json::Value provenance{json::Object{}};
+    json::Value profile{json::Object{}};
+    provenance.set("benchmark", benchmark);
+    profile.set("benchmark", benchmark);
+    for (const Run& r : runs) {
+        Result<ProfileBundle> bundle =
+            compiler.profileRun(*r.graph, workload);
+        if (!bundle.ok()) {
+            std::fprintf(stderr, "profile (%s): %s\n", r.key,
+                         bundle.error().message.c_str());
+            return 1;
+        }
+        if (want_provenance)
+            provenance.set(r.key, bundle.value().log.toJson());
+        if (want_critpath)
+            profile.set(r.key, bundle.value().report.toJson());
+        const obs::CritPathReport& rep = bundle.value().report;
+        std::printf(
+            "  %s: %llu cycles attributed (compute %llu, queue wait "
+            "%llu, backpressure %llu), reorder %s\n",
+            r.key,
+            static_cast<unsigned long long>(rep.totals.total()),
+            static_cast<unsigned long long>(rep.totals.compute),
+            static_cast<unsigned long long>(rep.totals.queue_wait),
+            static_cast<unsigned long long>(rep.totals.backpressure),
+            rep.reorder.degenerate() ? "in-order" : "out-of-order");
+    }
+
+    if (want_provenance) {
+        std::string path = out_dir + "/provenance.json";
+        Result<bool> w = json::writeFile(path, provenance);
+        if (!w.ok()) {
+            std::fprintf(stderr, "write: %s\n", w.error().message.c_str());
+            return 1;
+        }
+        std::printf("  %s\n", path.c_str());
+    }
+    if (want_critpath) {
+        std::string path = out_dir + "/profile.json";
+        Result<bool> w = json::writeFile(path, profile);
+        if (!w.ok()) {
+            std::fprintf(stderr, "write: %s\n", w.error().message.c_str());
+            return 1;
+        }
+        std::printf("  %s\n", path.c_str());
+    }
     return 0;
 }
