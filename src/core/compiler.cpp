@@ -4,6 +4,7 @@
 
 #include "dot/dot.hpp"
 #include "graph/typecheck.hpp"
+#include "guard/transaction.hpp"
 #include "rewrite/catalog_verify.hpp"
 
 namespace graphiti {
@@ -32,6 +33,20 @@ CompileReport::toJson() const
         loop_arr.push(std::move(entry));
     }
     out.set("loops", std::move(loop_arr));
+    out.set("validation", validation.toJson());
+    json::Value rollback_arr{json::Array{}};
+    for (const RewriteRollback& rb : rollbacks) {
+        json::Value entry{json::Object{}};
+        entry.set("rule", rb.rule);
+        entry.set("reason", rb.reason);
+        rollback_arr.push(std::move(entry));
+    }
+    out.set("rollbacks", std::move(rollback_arr));
+    out.set("verification_level", verification_level);
+    if (!degradation_reason.empty())
+        out.set("degradation_reason", degradation_reason);
+    if (verification_level != "not-run")
+        out.set("verification", verdict.toJson());
     return out;
 }
 
@@ -61,6 +76,15 @@ Compiler::compileGraph(const ExprHigh& graph,
     if (!typed.ok())
         return typed.error().context("compileGraph");
 
+    // Guarded mode: reject malformed inputs with structured
+    // diagnostics before any rewrite can trip over them.
+    if (options.validate) {
+        guard::ValidationReport pre = guard::validateCircuit(graph);
+        if (!pre.ok())
+            return err("compileGraph: input circuit failed validation\n" +
+                       pre.render());
+    }
+
     if (options.verify_rewrites) {
         Result<CatalogVerification> catalog = verifyCatalog();
         if (!catalog.ok())
@@ -71,9 +95,15 @@ Compiler::compileGraph(const ExprHigh& graph,
     }
 
     auto start = std::chrono::steady_clock::now();
-    Result<PipelineResult> pipeline = runOooPipeline(
-        graph, env_,
-        PipelineOptions{options.num_tags, options.reexpand});
+    PipelineOptions popts;
+    popts.num_tags = options.num_tags;
+    popts.reexpand = options.reexpand;
+    if (options.validate) {
+        // Transactional rewriting: every rule application must leave a
+        // structurally valid fragment or it is rolled back.
+        popts.post_check = guard::validatorPostCheck();
+    }
+    Result<PipelineResult> pipeline = runOooPipeline(graph, env_, popts);
     if (!pipeline.ok())
         return pipeline.error().context("compileGraph");
     auto end = std::chrono::steady_clock::now();
@@ -83,8 +113,42 @@ Compiler::compileGraph(const ExprHigh& graph,
     report.output_dot = printDot(report.graph);
     report.loops = std::move(pipeline.value().loops);
     report.rewrites = pipeline.value().stats;
+    report.rollbacks = std::move(pipeline.value().rollbacks);
     report.seconds =
         std::chrono::duration<double>(end - start).count();
+
+    if (options.validate) {
+        report.validation = guard::validateCircuit(report.graph);
+        if (!report.validation.ok())
+            return err(
+                "compileGraph: transformed circuit failed validation "
+                "(compiler bug)\n" +
+                report.validation.render());
+    }
+
+    if (options.governed_verify) {
+        guard::Governor governor(options.verify_budget);
+        std::vector<Token> tokens = options.verify_tokens;
+        if (tokens.empty())
+            tokens = {Token(Value(0)), Token(Value(1))};
+        // Bounded-queue environment sharing this compiler's registry,
+        // sized like verifyCompilation's.
+        Environment bounded(options.verify_budget.input_budget + 2,
+                            env_.functionsPtr());
+        report.verdict =
+            governor.verifyGraphs(report.graph, graph, bounded, tokens);
+        report.verification_level =
+            guard::toString(report.verdict.level);
+        report.degradation_reason = report.verdict.degradation_reason;
+        // A counterexample on any rung is a genuine violation and
+        // fails the compilation; level "none" without one just means
+        // the budget bought no assurance — the report says so.
+        if (!report.verdict.ok && !report.verdict.counterexample.empty())
+            return err("compileGraph: governed verification found a "
+                       "violation at level " +
+                       report.verification_level + ":\n" +
+                       report.verdict.counterexample);
+    }
     return report;
 }
 

@@ -29,6 +29,8 @@
 #include <string>
 
 #include "faults/stress.hpp"
+#include "guard/governor.hpp"
+#include "guard/validator.hpp"
 #include "obs/critpath.hpp"
 #include "obs/scope.hpp"
 #include "refine/refinement.hpp"
@@ -58,6 +60,25 @@ struct CompileOptions
      * whatever scope is already current.
      */
     std::shared_ptr<obs::Scope> obs;
+    /**
+     * Guarded mode (default on): structurally validate the input
+     * circuit before rewriting (errors become structured diagnostics,
+     * not crashes), run every rewrite as a validate-or-rollback
+     * transaction, and re-validate the output. Rolled-back rewrites
+     * are reported in CompileReport::rollbacks.
+     */
+    bool validate = true;
+    /**
+     * Run the resource-governed verification ladder after rewriting
+     * (transformed ⊑ original) and report the achieved assurance in
+     * CompileReport::verification_level. Off by default: bounded
+     * verification costs real time even when governed.
+     */
+    bool governed_verify = false;
+    /** Resource budget of the governed verification. */
+    guard::VerificationBudget verify_budget;
+    /** Token domain of the governed verification; empty = {0, 1}. */
+    std::vector<Token> verify_tokens;
 };
 
 /** Outcome of one compilation. */
@@ -68,6 +89,18 @@ struct CompileReport
     std::vector<LoopTransformReport> loops;
     EngineStats rewrites;
     double seconds = 0.0;    ///< rewriting wall time
+    /** Post-transform structural validation of the output circuit
+     * (empty when CompileOptions::validate was off). */
+    guard::ValidationReport validation;
+    /** Rewrites vetoed and rolled back by the transaction post-check. */
+    std::vector<RewriteRollback> rollbacks;
+    /** Assurance achieved by governed verification: "full",
+     * "bounded-partial", "trace-inclusion", "none", or "not-run". */
+    std::string verification_level = "not-run";
+    /** Why verification degraded below full; empty otherwise. */
+    std::string degradation_reason;
+    /** Full governed-verification verdict (level None when not run). */
+    guard::VerificationVerdict verdict;
 
     /**
      * Machine-readable summary (loops, rewrite counts, timing); the

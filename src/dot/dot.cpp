@@ -4,12 +4,17 @@
 
 #include "graph/signatures.hpp"
 #include <map>
+#include <set>
 #include <sstream>
 #include <vector>
 
 namespace graphiti {
 
 namespace {
+
+/** Largest accepted io `index` attribute: bounds the I/O tables a
+ * hostile document can make the parser allocate. */
+constexpr int kMaxIoIndex = 4095;
 
 /** Token kinds produced by the dot lexer. */
 enum class TokKind {
@@ -273,6 +278,8 @@ class Parser
         ExprHigh graph;
         // io pseudo-node -> index
         std::map<std::string, std::pair<bool, std::size_t>> io_nodes;
+        // (is_input, index) pairs already claimed by a pseudo-node.
+        std::set<std::pair<bool, std::size_t>> io_indices;
 
         for (auto& [name, attrs] : nodes_) {
             auto type_it = attrs.find("type");
@@ -283,11 +290,29 @@ class Parser
                 int index = attrInt(attrs, "index", -1);
                 if (index < 0)
                     return err("io node '" + name +
-                               "' needs an index attribute");
-                io_nodes[name] = {type == "input",
+                               "' needs a non-negative integer index "
+                               "attribute");
+                if (index > kMaxIoIndex)
+                    return err("io node '" + name + "' index " +
+                               std::to_string(index) +
+                               " exceeds the supported bound " +
+                               std::to_string(kMaxIoIndex));
+                if (io_nodes.count(name) > 0 || graph.hasNode(name))
+                    return err("duplicate node name: '" + name + "'");
+                bool is_input = type == "input";
+                if (!io_indices
+                         .insert({is_input,
+                                  static_cast<std::size_t>(index)})
+                         .second)
+                    return err("duplicate " + type + " index " +
+                               std::to_string(index) + " at io node '" +
+                               name + "'");
+                io_nodes[name] = {is_input,
                                   static_cast<std::size_t>(index)};
                 continue;
             }
+            if (io_nodes.count(name) > 0 || graph.hasNode(name))
+                return err("duplicate node name: '" + name + "'");
             AttrMap rest = attrs;
             rest.erase("type");
             graph.addNode(name, type, std::move(rest));
@@ -303,14 +328,20 @@ class Parser
                 if (!src_io->second.first)
                     return err("edge leaves an output pseudo-node: " +
                                e.src);
-                graph.bindInput(src_io->second.second,
-                                PortRef{e.dst, e.to});
+                std::size_t idx = src_io->second.second;
+                if (idx < graph.inputs().size() && graph.inputs()[idx])
+                    return err("input pseudo-node '" + e.src +
+                               "' drives more than one port");
+                graph.bindInput(idx, PortRef{e.dst, e.to});
             } else if (dst_io != io_nodes.end()) {
                 if (dst_io->second.first)
                     return err("edge enters an input pseudo-node: " +
                                e.dst);
-                graph.bindOutput(dst_io->second.second,
-                                 PortRef{e.src, e.from});
+                std::size_t idx = dst_io->second.second;
+                if (idx < graph.outputs().size() && graph.outputs()[idx])
+                    return err("output pseudo-node '" + e.dst +
+                               "' is fed by more than one port");
+                graph.bindOutput(idx, PortRef{e.src, e.from});
             } else {
                 graph.connect(PortRef{e.src, e.from}, PortRef{e.dst, e.to});
             }

@@ -1,5 +1,6 @@
 #include "graph/signatures.hpp"
 
+#include <cctype>
 #include <map>
 
 namespace graphiti {
@@ -10,7 +11,28 @@ attrInt(const AttrMap& attrs, const std::string& key, int default_value)
     auto it = attrs.find(key);
     if (it == attrs.end())
         return default_value;
-    return std::stoi(it->second);
+    // Hand-rolled parse: attribute values come straight from untrusted
+    // dot input, and std::stoi throws on garbage or overflow. Malformed
+    // values fall back to the default instead of crashing the pipeline
+    // (the guard::Validator reports them as diagnostics).
+    const std::string& text = it->second;
+    std::size_t pos = 0;
+    bool negative = false;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) {
+        negative = text[pos] == '-';
+        ++pos;
+    }
+    if (pos >= text.size())
+        return default_value;
+    long value = 0;
+    for (; pos < text.size(); ++pos) {
+        if (!std::isdigit(static_cast<unsigned char>(text[pos])))
+            return default_value;
+        value = value * 10 + (text[pos] - '0');
+        if (value > 1'000'000'000L)  // clamp: no attribute is this big
+            return default_value;
+    }
+    return static_cast<int>(negative ? -value : value);
 }
 
 std::string

@@ -1,0 +1,92 @@
+#include "guard/diagnostics.hpp"
+
+#include <sstream>
+
+namespace graphiti::guard {
+
+const char*
+toString(Severity severity)
+{
+    switch (severity) {
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << guard::toString(severity) << " [" << rule << "]";
+    if (!component.empty())
+        os << " " << component;
+    os << ": " << message;
+    return os.str();
+}
+
+obs::json::Value
+Diagnostic::toJson() const
+{
+    namespace json = obs::json;
+    json::Value out{json::Object{}};
+    out.set("severity", guard::toString(severity));
+    out.set("rule", rule);
+    if (!component.empty())
+        out.set("component", component);
+    out.set("message", message);
+    return out;
+}
+
+std::size_t
+ValidationReport::errorCount() const
+{
+    std::size_t count = 0;
+    for (const Diagnostic& d : diagnostics_)
+        if (d.severity == Severity::Error)
+            ++count;
+    return count;
+}
+
+bool
+ValidationReport::hasRule(const std::string& rule) const
+{
+    for (const Diagnostic& d : diagnostics_)
+        if (d.rule == rule)
+            return true;
+    return false;
+}
+
+const Diagnostic*
+ValidationReport::firstError() const
+{
+    for (const Diagnostic& d : diagnostics_)
+        if (d.severity == Severity::Error)
+            return &d;
+    return nullptr;
+}
+
+std::string
+ValidationReport::render() const
+{
+    std::ostringstream os;
+    for (const Diagnostic& d : diagnostics_)
+        os << d.toString() << "\n";
+    return os.str();
+}
+
+obs::json::Value
+ValidationReport::toJson() const
+{
+    namespace json = obs::json;
+    json::Value out{json::Object{}};
+    out.set("errors", errorCount());
+    out.set("warnings", diagnostics_.size() - errorCount());
+    json::Value arr{json::Array{}};
+    for (const Diagnostic& d : diagnostics_)
+        arr.push(d.toJson());
+    out.set("diagnostics", std::move(arr));
+    return out;
+}
+
+}  // namespace graphiti::guard

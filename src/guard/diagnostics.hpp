@@ -1,0 +1,88 @@
+#ifndef GRAPHITI_GUARD_DIAGNOSTICS_HPP
+#define GRAPHITI_GUARD_DIAGNOSTICS_HPP
+
+/**
+ * @file
+ * Structured diagnostics for the pipeline guard layer.
+ *
+ * The guard never throws: every problem a validator rule detects is
+ * reported as a Diagnostic carrying a stable machine-readable rule id
+ * (e.g. "structure.dangling-input", "tag.unpaired"), the offending
+ * component, and a human-readable message. Callers decide policy:
+ * the transactional rewrite engine rolls back on errors, the Compiler
+ * refuses invalid inputs, tests assert on rule ids.
+ */
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace graphiti::guard {
+
+/** How bad a finding is. */
+enum class Severity
+{
+    Warning,  ///< suspicious but executable (e.g. unreachable node)
+    Error,    ///< the circuit is not well-formed
+};
+
+const char* toString(Severity severity);
+
+/** One validator finding. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Stable rule id, dot-namespaced: "structure.*", "type.*",
+     * "token.*", "tag.*". */
+    std::string rule;
+    /** Offending component instance (empty for graph-level rules). */
+    std::string component;
+    std::string message;
+
+    std::string toString() const;
+    obs::json::Value toJson() const;
+};
+
+/** The outcome of one validation pass. */
+class ValidationReport
+{
+  public:
+    void
+    add(Severity severity, std::string rule, std::string component,
+        std::string message)
+    {
+        diagnostics_.push_back(Diagnostic{severity, std::move(rule),
+                                          std::move(component),
+                                          std::move(message)});
+    }
+
+    const std::vector<Diagnostic>& diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    /** Number of error-severity findings. */
+    std::size_t errorCount() const;
+
+    /** True when no error-severity finding was recorded. */
+    bool ok() const { return errorCount() == 0; }
+
+    /** Whether any finding carries rule id @p rule. */
+    bool hasRule(const std::string& rule) const;
+
+    /** First error-severity finding; nullptr when ok(). */
+    const Diagnostic* firstError() const;
+
+    /** One line per finding (empty string when clean). */
+    std::string render() const;
+
+    obs::json::Value toJson() const;
+
+  private:
+    std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace graphiti::guard
+
+#endif  // GRAPHITI_GUARD_DIAGNOSTICS_HPP

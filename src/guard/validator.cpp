@@ -1,0 +1,461 @@
+#include "guard/validator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "graph/signatures.hpp"
+#include "graph/typecheck.hpp"
+#include "obs/scope.hpp"
+
+namespace graphiti::guard {
+
+namespace {
+
+/** Per-node signature info gathered by the structural pass. */
+struct NodeInfo
+{
+    const NodeDecl* decl = nullptr;
+    Signature sig;
+    bool sig_ok = false;
+};
+
+bool
+hasPort(const std::vector<std::string>& ports, const std::string& name)
+{
+    return std::find(ports.begin(), ports.end(), name) != ports.end();
+}
+
+/** Component types that can introduce a token into a cycle (an init
+ * emits its initial value; mux/merge/tagger pull from outside the
+ * cycle). A cycle containing none of these can never start. */
+bool
+breaksCycle(const std::string& type)
+{
+    return type == "init" || type == "mux" || type == "merge" ||
+           type == "tagger";
+}
+
+class Validator
+{
+  public:
+    Validator(const ExprHigh& graph, const ValidatorOptions& options)
+        : graph_(graph), options_(options)
+    {
+    }
+
+    ValidationReport
+    run()
+    {
+        structural();
+        // The deeper passes assume per-node signatures and a sane
+        // wiring table; skip them when the structure is already
+        // broken (their findings would be noise).
+        if (report_.errorCount() == 0) {
+            if (options_.check_types)
+                types();
+            if (options_.check_token_flow) {
+                reachability();
+                cycles();
+            }
+        }
+        if (options_.check_tags)
+            tags();
+        return std::move(report_);
+    }
+
+  private:
+    void
+    structural()
+    {
+        std::set<std::string> seen;
+        for (const NodeDecl& node : graph_.nodes()) {
+            if (!seen.insert(node.name).second)
+                report_.add(Severity::Error, "structure.duplicate-name",
+                            node.name, "instance name declared twice");
+            NodeInfo info;
+            info.decl = &node;
+            Result<Signature> sig = signatureOf(node.type, node.attrs);
+            if (sig.ok()) {
+                info.sig = sig.take();
+                info.sig_ok = true;
+            } else {
+                report_.add(Severity::Error, "structure.unknown-type",
+                            node.name, sig.error().message);
+            }
+            checkArity(node);
+            nodes_.emplace(node.name, std::move(info));
+        }
+
+        // Driver / consumer tables over edges and io bindings.
+        std::map<PortRef, std::size_t> drivers;
+        std::map<PortRef, std::size_t> consumers;
+        for (const Edge& e : graph_.edges()) {
+            if (checkEndpoint(e.src, /*is_output=*/true,
+                              "edge source " + e.src.toString()))
+                ++consumers[e.src];
+            if (checkEndpoint(e.dst, /*is_output=*/false,
+                              "edge target " + e.dst.toString()))
+                ++drivers[e.dst];
+        }
+        for (std::size_t i = 0; i < graph_.inputs().size(); ++i) {
+            if (!graph_.inputs()[i])
+                continue;
+            const PortRef& dst = *graph_.inputs()[i];
+            if (checkEndpoint(dst, /*is_output=*/false,
+                              "graph input " + std::to_string(i)))
+                ++drivers[dst];
+        }
+        for (std::size_t i = 0; i < graph_.outputs().size(); ++i) {
+            if (!graph_.outputs()[i])
+                continue;
+            const PortRef& src = *graph_.outputs()[i];
+            if (checkEndpoint(src, /*is_output=*/true,
+                              "graph output " + std::to_string(i)))
+                ++consumers[src];
+        }
+
+        // Every signature port must be wired exactly once (outputs:
+        // at most once; a dropped output is only a warning since the
+        // token simply accumulates in its channel).
+        for (const NodeDecl& node : graph_.nodes()) {
+            const NodeInfo& info = nodes_[node.name];
+            if (!info.sig_ok)
+                continue;
+            for (const std::string& port : info.sig.inputs) {
+                PortRef ref{node.name, port};
+                std::size_t n = drivers.count(ref) ? drivers[ref] : 0;
+                if (n == 0)
+                    report_.add(Severity::Error,
+                                "structure.dangling-input",
+                                node.name,
+                                "input port " + port +
+                                    " has no driver; the component "
+                                    "can never fire");
+                else if (n > 1)
+                    report_.add(Severity::Error,
+                                "structure.double-driven", node.name,
+                                "input port " + port + " has " +
+                                    std::to_string(n) + " drivers");
+            }
+            for (const std::string& port : info.sig.outputs) {
+                PortRef ref{node.name, port};
+                std::size_t n =
+                    consumers.count(ref) ? consumers[ref] : 0;
+                if (n == 0)
+                    report_.add(Severity::Warning,
+                                "structure.dangling-output",
+                                node.name,
+                                "output port " + port +
+                                    " has no consumer; its tokens "
+                                    "accumulate unread");
+                else if (n > 1)
+                    report_.add(Severity::Error,
+                                "structure.double-used", node.name,
+                                "output port " + port + " feeds " +
+                                    std::to_string(n) +
+                                    " inputs (insert a fork)");
+            }
+        }
+    }
+
+    /** Arity attributes must parse to a sane positive count. */
+    void
+    checkArity(const NodeDecl& node)
+    {
+        auto check = [&](const char* key) {
+            if (node.attrs.find(key) == node.attrs.end())
+                return;
+            int v = attrInt(node.attrs, key, -1);
+            if (v < 1 || v > 1024)
+                report_.add(Severity::Error, "structure.bad-arity",
+                            node.name,
+                            std::string(key) + " attribute '" +
+                                attrStr(node.attrs, key, "") +
+                                "' is not a count in [1, 1024]");
+        };
+        if (node.type == "fork")
+            check("out");
+        if (node.type == "join")
+            check("in");
+    }
+
+    /** Edge/io endpoint sanity; true when the port is usable. */
+    bool
+    checkEndpoint(const PortRef& ref, bool is_output,
+                  const std::string& where)
+    {
+        auto it = nodes_.find(ref.inst);
+        if (it == nodes_.end()) {
+            report_.add(Severity::Error, "structure.missing-instance",
+                        ref.inst,
+                        where + " references an undeclared instance");
+            return false;
+        }
+        if (!it->second.sig_ok)
+            return false;  // unknown-type already reported
+        const std::vector<std::string>& ports =
+            is_output ? it->second.sig.outputs : it->second.sig.inputs;
+        if (!hasPort(ports, ref.port)) {
+            report_.add(Severity::Error, "structure.unknown-port",
+                        ref.inst,
+                        where + " names no " +
+                            (is_output ? "output" : "input") +
+                            " port of a " + it->second.decl->type);
+            return false;
+        }
+        return true;
+    }
+
+    void
+    types()
+    {
+        Result<TypeReport> typed = checkWellTyped(graph_);
+        if (!typed.ok())
+            report_.add(Severity::Error, "type.conflict", "",
+                        typed.error().message);
+    }
+
+    /** Forward token-flow flood from graph inputs and generators. */
+    void
+    reachability()
+    {
+        std::set<std::string> reached;
+        std::deque<std::string> frontier;
+        auto seed = [&](const std::string& inst) {
+            if (reached.insert(inst).second)
+                frontier.push_back(inst);
+        };
+        for (const auto& binding : graph_.inputs())
+            if (binding)
+                seed(binding->inst);
+        for (const NodeDecl& node : graph_.nodes())
+            if (node.type == "source" || node.type == "init")
+                seed(node.name);
+        while (!frontier.empty()) {
+            std::string at = frontier.front();
+            frontier.pop_front();
+            const NodeInfo& info = nodes_[at];
+            if (!info.sig_ok)
+                continue;
+            for (const std::string& port : info.sig.outputs)
+                for (const PortRef& c :
+                     graph_.consumersOf(PortRef{at, port}))
+                    seed(c.inst);
+        }
+        for (const NodeDecl& node : graph_.nodes())
+            if (reached.count(node.name) == 0)
+                report_.add(Severity::Warning, "graph.unreachable",
+                            node.name,
+                            "no token from any graph input or "
+                            "generator can reach this component");
+        for (std::size_t i = 0; i < graph_.outputs().size(); ++i) {
+            if (!graph_.outputs()[i])
+                continue;
+            if (reached.count(graph_.outputs()[i]->inst) == 0)
+                report_.add(Severity::Error, "token.starved-output",
+                            graph_.outputs()[i]->inst,
+                            "graph output " + std::to_string(i) +
+                                " can never receive a token");
+        }
+    }
+
+    /** Token conservation: every cycle needs a component that can
+     * introduce a token (init/mux/merge/tagger); a cycle of pure
+     * plumbing starts empty and stays empty — guaranteed deadlock. */
+    void
+    cycles()
+    {
+        // Node-index adjacency (edges only; io bindings are acyclic).
+        std::map<std::string, std::size_t> index;
+        for (std::size_t i = 0; i < graph_.nodes().size(); ++i)
+            index[graph_.nodes()[i].name] = i;
+        std::vector<std::vector<std::size_t>> adj(graph_.nodes().size());
+        std::vector<bool> self_loop(graph_.nodes().size(), false);
+        for (const Edge& e : graph_.edges()) {
+            auto s = index.find(e.src.inst);
+            auto d = index.find(e.dst.inst);
+            if (s == index.end() || d == index.end())
+                continue;
+            if (s->second == d->second)
+                self_loop[s->second] = true;
+            adj[s->second].push_back(d->second);
+        }
+
+        // Iterative Tarjan SCC.
+        const std::size_t n = adj.size();
+        std::vector<int> low(n, -1), num(n, -1);
+        std::vector<bool> on_stack(n, false);
+        std::vector<std::size_t> stack;
+        int counter = 0;
+        struct Frame
+        {
+            std::size_t v;
+            std::size_t edge = 0;
+        };
+        for (std::size_t root = 0; root < n; ++root) {
+            if (num[root] != -1)
+                continue;
+            std::vector<Frame> call{{root}};
+            while (!call.empty()) {
+                Frame& f = call.back();
+                std::size_t v = f.v;
+                if (f.edge == 0) {
+                    num[v] = low[v] = counter++;
+                    stack.push_back(v);
+                    on_stack[v] = true;
+                }
+                if (f.edge < adj[v].size()) {
+                    std::size_t w = adj[v][f.edge++];
+                    if (num[w] == -1)
+                        call.push_back(Frame{w});
+                    else if (on_stack[w])
+                        low[v] = std::min(low[v], num[w]);
+                    continue;
+                }
+                if (low[v] == num[v]) {
+                    std::vector<std::size_t> scc;
+                    for (;;) {
+                        std::size_t w = stack.back();
+                        stack.pop_back();
+                        on_stack[w] = false;
+                        scc.push_back(w);
+                        if (w == v)
+                            break;
+                    }
+                    checkScc(scc, self_loop);
+                }
+                call.pop_back();
+                if (!call.empty()) {
+                    Frame& parent = call.back();
+                    low[parent.v] =
+                        std::min(low[parent.v], low[v]);
+                }
+            }
+        }
+    }
+
+    void
+    checkScc(const std::vector<std::size_t>& scc,
+             const std::vector<bool>& self_loop)
+    {
+        bool cyclic = scc.size() > 1 ||
+                      (scc.size() == 1 && self_loop[scc[0]]);
+        if (!cyclic)
+            return;
+        std::vector<std::string> names;
+        for (std::size_t i : scc) {
+            const NodeDecl& node = graph_.nodes()[i];
+            if (breaksCycle(node.type))
+                return;
+            names.push_back(node.name);
+        }
+        std::sort(names.begin(), names.end());
+        std::string list;
+        for (std::size_t i = 0; i < std::min<std::size_t>(names.size(), 6);
+             ++i)
+            list += (i ? ", " : "") + names[i];
+        if (names.size() > 6)
+            list += ", ...";
+        report_.add(Severity::Error, "token.cycle-without-source",
+                    names.front(),
+                    "cycle {" + list +
+                        "} contains no init/mux/merge/tagger; it can "
+                        "never hold a token");
+    }
+
+    void
+    tags()
+    {
+        for (const NodeDecl& node : graph_.nodes()) {
+            if (node.type != "tagger")
+                continue;
+            int count = attrInt(node.attrs, "tags", -1);
+            if (count < 1 || count > options_.max_tag_count)
+                report_.add(Severity::Error, "tag.count", node.name,
+                            "tags attribute '" +
+                                attrStr(node.attrs, "tags", "") +
+                                "' is not a count in [1, " +
+                                std::to_string(options_.max_tag_count) +
+                                "]");
+            checkRegion(node);
+        }
+    }
+
+    /** Flood the tagged region from out0 and check its shape. */
+    void
+    checkRegion(const NodeDecl& tagger)
+    {
+        std::set<std::string> region;
+        bool returns = false;
+        std::deque<PortRef> frontier;
+        for (const PortRef& c :
+             graph_.consumersOf(PortRef{tagger.name, "out0"}))
+            frontier.push_back(c);
+        bool empty_region = frontier.empty();
+        while (!frontier.empty()) {
+            PortRef at = frontier.front();
+            frontier.pop_front();
+            if (at.inst == tagger.name) {
+                if (at.port == "in1")
+                    returns = true;
+                continue;
+            }
+            if (!region.insert(at.inst).second)
+                continue;
+            const NodeDecl* n = graph_.findNode(at.inst);
+            if (n == nullptr)
+                continue;
+            if (n->type == "tagger") {
+                report_.add(Severity::Error, "tag.nested-region",
+                            tagger.name,
+                            "tagged region contains tagger " + at.inst +
+                                "; nested tag domains are unsupported");
+                continue;
+            }
+            Result<Signature> sig = signatureOf(n->type, n->attrs);
+            if (!sig.ok())
+                continue;
+            for (const std::string& port : sig.value().outputs)
+                for (const PortRef& c :
+                     graph_.consumersOf(PortRef{at.inst, port}))
+                    frontier.push_back(c);
+        }
+        std::optional<PortRef> ret =
+            graph_.driverOf(PortRef{tagger.name, "in1"});
+        if (empty_region || !returns) {
+            report_.add(Severity::Error, "tag.unpaired", tagger.name,
+                        "region fed by out0 never returns a tagged "
+                        "token to in1");
+        } else if (ret && ret->inst != tagger.name &&
+                   region.count(ret->inst) == 0) {
+            report_.add(Severity::Error, "tag.foreign-return",
+                        tagger.name,
+                        "in1 is driven by " + ret->inst +
+                            ", which lies outside this tagger's "
+                            "region");
+        }
+    }
+
+    const ExprHigh& graph_;
+    const ValidatorOptions& options_;
+    std::map<std::string, NodeInfo> nodes_;
+    ValidationReport report_;
+};
+
+}  // namespace
+
+ValidationReport
+validateCircuit(const ExprHigh& graph, const ValidatorOptions& options)
+{
+    GRAPHITI_OBS_TIMER(obs_timer, "guard.validate_seconds");
+    GRAPHITI_OBS_COUNT("guard.validations", 1);
+    ValidationReport report = Validator(graph, options).run();
+    if (!report.ok())
+        GRAPHITI_OBS_COUNT("guard.validation_errors",
+                           static_cast<std::int64_t>(report.errorCount()));
+    return report;
+}
+
+}  // namespace graphiti::guard

@@ -1,0 +1,61 @@
+#ifndef GRAPHITI_GUARD_VALIDATOR_HPP
+#define GRAPHITI_GUARD_VALIDATOR_HPP
+
+/**
+ * @file
+ * Structural well-formedness validation of dataflow circuits.
+ *
+ * The validator is a fast lint over ExprHigh: it never throws and
+ * never mutates, it only reports. It subsumes ExprHigh::validate()
+ * (which stops at the first problem) with a complete sweep producing
+ * one Diagnostic per finding, and layers circuit-level rules on top
+ * of the purely structural ones:
+ *
+ *   structure.duplicate-name   two instances share a name
+ *   structure.unknown-type     component type has no signature
+ *   structure.bad-arity        arity attribute out of range
+ *   structure.missing-instance edge/io endpoint names no instance
+ *   structure.unknown-port     edge/io endpoint names no signature port
+ *   structure.double-driven    input port with more than one driver
+ *   structure.double-used      output port feeding more than one input
+ *   structure.dangling-input   input port with no driver (deadlock)
+ *   structure.dangling-output  output port with no consumer (warning)
+ *   type.conflict              wire type unification fails
+ *   graph.unreachable          component no token can ever reach (warning)
+ *   token.cycle-without-source cycle with no init/mux/merge/tagger
+ *   token.starved-output       graph output no token can ever reach
+ *   tag.count                  tagger tag count outside [1, max]
+ *   tag.unpaired               tagged region never returns to its tagger
+ *   tag.nested-region          a tagged region contains another tagger
+ *   tag.foreign-return         tagger return fed from outside its region
+ *
+ * Severity is Error unless noted. A circuit with zero errors is safe
+ * to lower, simulate and rewrite; warnings flag suspicious shapes
+ * that stay executable.
+ */
+
+#include "graph/expr_high.hpp"
+#include "guard/diagnostics.hpp"
+
+namespace graphiti::guard {
+
+/** Validator knobs. */
+struct ValidatorOptions
+{
+    /** Run wire-type unification (type.conflict). */
+    bool check_types = true;
+    /** Run reachability / token-conservation rules. */
+    bool check_token_flow = true;
+    /** Run tagger/tag-domain rules. */
+    bool check_tags = true;
+    /** Largest accepted tagger tag count (tag-width bound). */
+    int max_tag_count = 4096;
+};
+
+/** Validate @p graph; never throws, never mutates. */
+ValidationReport validateCircuit(const ExprHigh& graph,
+                                 const ValidatorOptions& options = {});
+
+}  // namespace graphiti::guard
+
+#endif  // GRAPHITI_GUARD_VALIDATOR_HPP

@@ -31,16 +31,20 @@ pairKey(std::uint32_t impl_state, std::uint32_t spec_state)
 class SimulationGame
 {
   public:
-    SimulationGame(const StateSpace& impl, const StateSpace& spec)
-        : impl_(impl), spec_(spec)
+    SimulationGame(const StateSpace& impl, const StateSpace& spec,
+                   bool optimistic, StopToken stop)
+        : impl_(impl), spec_(spec), optimistic_(optimistic),
+          stop_(std::move(stop))
     {
+        for (std::uint32_t s : spec.pendingFrontier())
+            spec_frontier_.insert(s);
     }
 
-    RefinementReport
+    Result<RefinementReport>
     run()
     {
-        discover();
-        prune();
+        if (!discover() || !prune())
+            return err("refinement game cancelled: " + stop_.reason());
 
         RefinementReport report;
         report.impl_states = impl_.numStates();
@@ -144,14 +148,38 @@ class SimulationGame
         }
     }
 
-    void
+    /** Does the weak closure of spec state @p t touch an unexpanded
+     * frontier state (whose edges are unknown)? Memoized. */
+    bool
+    closureTouchesFrontier(std::uint32_t t) const
+    {
+        if (spec_frontier_.empty())
+            return false;
+        auto it = touches_.find(t);
+        if (it != touches_.end())
+            return it->second;
+        bool touches = false;
+        for (std::uint32_t u : spec_.internalClosure(t)) {
+            if (spec_frontier_.count(u) > 0) {
+                touches = true;
+                break;
+            }
+        }
+        touches_.emplace(t, touches);
+        return touches;
+    }
+
+    bool
     discover()
     {
         PairKey initial = pairKey(impl_.initialState(),
                                   spec_.initialState());
         alive_.insert(initial);
         std::deque<PairKey> frontier{initial};
+        std::size_t polled = 0;
         while (!frontier.empty()) {
+            if ((++polled & 0xff) == 0 && stop_.stopRequested())
+                return false;
             PairKey key = frontier.front();
             frontier.pop_front();
             std::uint32_t s = static_cast<std::uint32_t>(key >> 32);
@@ -164,19 +192,30 @@ class SimulationGame
                 }
             });
         }
+        return true;
     }
 
-    void
+    bool
     prune()
     {
         bool changed = true;
         while (changed) {
             changed = false;
             ++iterations_;
+            if (stop_.stopRequested())
+                return false;
             std::vector<PairKey> to_kill;
+            std::size_t polled = 0;
             for (PairKey key : alive_) {
+                if ((++polled & 0x3ff) == 0 && stop_.stopRequested())
+                    return false;
                 std::uint32_t s = static_cast<std::uint32_t>(key >> 32);
                 std::uint32_t t = static_cast<std::uint32_t>(key);
+                // On a partial spec space, missing edges of frontier
+                // states could hold the matching response: never kill
+                // such pairs (the optimistic bounded verdict).
+                if (optimistic_ && closureTouchesFrontier(t))
+                    continue;
                 std::string why;
                 bool losing = false;
                 std::optional<PairKey> dead_response;
@@ -209,10 +248,15 @@ class SimulationGame
                 changed = true;
             }
         }
+        return true;
     }
 
     const StateSpace& impl_;
     const StateSpace& spec_;
+    bool optimistic_ = false;
+    StopToken stop_;
+    std::unordered_set<std::uint32_t> spec_frontier_;
+    mutable std::unordered_map<std::uint32_t, bool> touches_;
     std::unordered_set<PairKey> alive_;
     std::unordered_set<PairKey> dead_;
     std::unordered_map<PairKey, std::string> reason_;
@@ -255,8 +299,12 @@ checkRefinement(const DenotedModule& impl, const DenotedModule& spec,
     if (!spec_space.ok())
         return spec_space.error().context("spec");
 
-    SimulationGame game(impl_space.value(), spec_space.value());
-    RefinementReport report = game.run();
+    SimulationGame game(impl_space.value(), spec_space.value(),
+                        /*optimistic=*/false, limits.stop);
+    Result<RefinementReport> played = game.run();
+    if (!played.ok())
+        return played.error();
+    RefinementReport report = played.take();
     GRAPHITI_OBS_COUNT("refine.checks", 1);
     GRAPHITI_OBS_COUNT("refine.pairs",
                        static_cast<std::int64_t>(report.reachable_pairs));
@@ -266,6 +314,21 @@ checkRefinement(const DenotedModule& impl, const DenotedModule& spec,
     if (!report.refines)
         GRAPHITI_OBS_COUNT("refine.failures", 1);
     return report;
+}
+
+Result<RefinementReport>
+checkRefinementOnSpaces(const StateSpace& impl, const StateSpace& spec,
+                        bool optimistic_frontier, const StopToken& stop)
+{
+    if (impl.inputPorts() != spec.inputPorts() ||
+        impl.outputPorts() != spec.outputPorts())
+        return err("checkRefinementOnSpaces: port interfaces differ");
+    for (std::uint32_t p = 0; p < impl.inputPorts().size(); ++p) {
+        if (impl.domainTokens(p).size() != spec.domainTokens(p).size())
+            return err("checkRefinementOnSpaces: input domains differ");
+    }
+    SimulationGame game(impl, spec, optimistic_frontier, stop);
+    return game.run();
 }
 
 Result<RefinementReport>

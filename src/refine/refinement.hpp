@@ -58,6 +58,25 @@ Result<RefinementReport> checkRefinement(const DenotedModule& impl,
                                          const ExplorationLimits& limits);
 
 /**
+ * Run the simulation game on already-explored spaces.
+ *
+ * With @p optimistic_frontier set, the game is sound on *partial*
+ * spaces in the bounded-verdict sense: a pair is never killed when
+ * the spec's weak closure touches an unexpanded frontier state (the
+ * missing edges could contain the matching response), and impl
+ * frontier states have no attacker moves. refines == true then means
+ * "no counterexample within the explored bound", not full refinement
+ * — the guard::Governor reports it at the BoundedPartial level.
+ * A counterexample found in optimistic mode is a genuine unmatched
+ * move: every spec response set it ranges over was fully expanded.
+ *
+ * @p stop cancels the game between fixpoint sweeps (an error).
+ */
+Result<RefinementReport> checkRefinementOnSpaces(
+    const StateSpace& impl, const StateSpace& spec,
+    bool optimistic_frontier = false, const StopToken& stop = {});
+
+/**
  * Convenience overload: lower and denote two ExprHigh graphs in
  * @p env, then check refinement with a uniform domain.
  */

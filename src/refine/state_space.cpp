@@ -45,8 +45,12 @@ StateSpace::explore(const DenotedModule& mod, const InputDomain& domain,
     Result<StateSpace> space = explorePartial(mod, domain, limits);
     if (!space.ok())
         return space.error();
-    if (!space.value().complete())
+    if (!space.value().complete()) {
+        if (space.value().stopped())
+            return err("state space exploration cancelled: " +
+                       space.value().stopReason());
         return err("state space exploration exceeded max_states");
+    }
     return space;
 }
 
@@ -56,6 +60,7 @@ StateSpace::explorePartial(const DenotedModule& mod,
                            const ExplorationLimits& limits)
 {
     StateSpace space;
+    space.stop_ = limits.stop;
     space.in_ports_ = mod.inputNames();
     space.out_ports_ = mod.outputNames();
     for (const LowPortId& port : space.in_ports_) {
@@ -129,9 +134,19 @@ StateSpace::expand(const DenotedModule& mod, std::size_t max_states)
         return id;
     };
 
+    stopped_ = false;
+    stop_reason_.clear();
     while (!frontier.empty() && !capped) {
         std::uint32_t id = frontier.front();
         frontier.pop_front();
+        // Cooperative cancellation: park the state unexpanded, like a
+        // cap, so the space stays resumable and edge-exact.
+        if (stop_.stopRequested()) {
+            stopped_ = true;
+            stop_reason_ = stop_.reason();
+            frontier_.push_back(id);
+            break;
+        }
         // Copy, since intern() may reallocate concrete_.
         GraphState state = concrete_[id];
         std::uint32_t budget = budget_[id];

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "semantics/module.hpp"
+#include "support/cancel.hpp"
 #include "support/result.hpp"
 
 namespace graphiti {
@@ -46,6 +47,13 @@ struct ExplorationLimits
     std::size_t max_states = 200000;
     /** Total number of input tokens consumed along any execution. */
     std::size_t input_budget = 3;
+    /**
+     * Cooperative cancellation: exploration polls the token between
+     * state expansions and parks the remaining frontier when it
+     * fires. explore() then errors with the stop reason;
+     * explorePartial() returns the partial space (stopped() true).
+     */
+    StopToken stop;
 };
 
 /** The explored transition system of one module instantiation. */
@@ -89,6 +97,13 @@ class StateSpace
 
     /** True when every reachable state has been expanded. */
     bool complete() const { return frontier_.empty(); }
+
+    /** True when the last expansion stopped on the limits' StopToken
+     * (as opposed to filling max_states). */
+    bool stopped() const { return stopped_; }
+
+    /** Why the exploration stopped; empty unless stopped(). */
+    const std::string& stopReason() const { return stop_reason_; }
 
     /** State ids still awaiting expansion (empty when complete). */
     const std::vector<std::uint32_t>& pendingFrontier() const
@@ -159,6 +174,9 @@ class StateSpace
     Result<bool> expand(const DenotedModule& mod,
                         std::size_t max_states);
 
+    StopToken stop_;
+    bool stopped_ = false;
+    std::string stop_reason_;
     std::vector<std::vector<std::uint32_t>> internal_;
     std::vector<std::vector<InputEdge>> inputs_;
     std::vector<std::vector<OutputEdge>> outputs_;

@@ -38,7 +38,8 @@ struct CatalogVerification
  */
 Result<CatalogVerification> verifyCatalog(
     const ExplorationLimits& limits = {.max_states = 300000,
-                                       .input_budget = 2});
+                                       .input_budget = 2,
+                                       .stop = {}});
 
 }  // namespace graphiti
 

@@ -22,6 +22,23 @@ RewriteEngine::findRule(const std::string& name) const
 }
 
 Result<ExprHigh>
+RewriteEngine::commit(Result<ExprHigh> candidate, const std::string& rule)
+{
+    if (!candidate.ok())
+        return candidate;
+    if (post_check_) {
+        std::optional<std::string> veto = post_check_(candidate.value());
+        if (veto) {
+            rollbacks_.push_back(RewriteRollback{rule, *veto});
+            GRAPHITI_OBS_COUNT("rewrite.rollbacks", 1);
+            return err(rule + ": rolled back (post-check): " + *veto);
+        }
+    }
+    stats_.record(rule);
+    return candidate;
+}
+
+Result<ExprHigh>
 RewriteEngine::applyOnce(const ExprHigh& graph, const std::string& rule)
 {
     const RewriteDef* def = findRule(rule);
@@ -31,20 +48,14 @@ RewriteEngine::applyOnce(const ExprHigh& graph, const std::string& rule)
     std::optional<RewriteMatch> match = matchRewriteOnce(graph, *def);
     if (!match)
         return err(rule + ": no match");
-    Result<ExprHigh> out = applyRewrite(graph, *def, *match);
-    if (out.ok())
-        stats_.record(rule);
-    return out;
+    return commit(applyRewrite(graph, *def, *match), rule);
 }
 
 Result<ExprHigh>
 RewriteEngine::applyAt(const ExprHigh& graph, const RewriteDef& def,
                        const RewriteMatch& match)
 {
-    Result<ExprHigh> out = applyRewrite(graph, def, match);
-    if (out.ok())
-        stats_.record(def.name);
-    return out;
+    return commit(applyRewrite(graph, def, match), def.name);
 }
 
 Result<ExprHigh>
@@ -62,14 +73,14 @@ RewriteEngine::applyExhaustively(const ExprHigh& graph,
                 return err("unknown rule: " + rule);
             GRAPHITI_OBS_COUNT("rewrite.match_attempts", 1);
             // A match can be inapplicable (e.g. a wire rewrite whose
-            // fused wire would connect io to io); try the next one.
+            // fused wire would connect io to io) or vetoed by the
+            // post-check; try the next one.
             for (const RewriteMatch& match : matchRewrite(current, *def)) {
-                Result<ExprHigh> next = applyRewrite(current, *def,
-                                                     match);
+                Result<ExprHigh> next = commit(
+                    applyRewrite(current, *def, match), rule);
                 if (!next.ok())
                     continue;
                 current = next.take();
-                stats_.record(rule);
                 ++applied;
                 progressed = true;
                 break;

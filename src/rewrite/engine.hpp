@@ -15,7 +15,9 @@
  * evaluation of section 6.3.
  */
 
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,25 @@
 #include "rewrite/rewrite.hpp"
 
 namespace graphiti {
+
+/**
+ * Post-application well-formedness check. Invoked on the candidate
+ * graph after every successful rewrite application; returning a
+ * reason string vetoes the application (the engine discards the
+ * candidate and keeps the pre-rewrite graph — a rollback). Returning
+ * nullopt commits it. guard::validatorPostCheck() builds one from the
+ * structural validator; the hook is kept generic so rewrite/ does not
+ * depend on guard/.
+ */
+using PostCheck =
+    std::function<std::optional<std::string>(const ExprHigh&)>;
+
+/** One vetoed rewrite application. */
+struct RewriteRollback
+{
+    std::string rule;    ///< rule whose application was rolled back
+    std::string reason;  ///< post-check diagnostic
+};
 
 /** Counters reported by the engine (section 6.3's evaluation). */
 struct EngineStats
@@ -93,9 +114,31 @@ class RewriteEngine
     const EngineStats& stats() const { return stats_; }
     void resetStats() { stats_ = EngineStats{}; }
 
+    /**
+     * Install a transactional post-check: every application is
+     * validated before it is committed, and vetoed applications are
+     * recorded in rollbacks() instead of corrupting the graph.
+     * Applications always build a candidate copy (the input graph is
+     * never mutated), so rollback is simply discarding the candidate.
+     */
+    void setPostCheck(PostCheck check) { post_check_ = std::move(check); }
+
+    /** Applications vetoed by the post-check, in order. */
+    const std::vector<RewriteRollback>& rollbacks() const
+    {
+        return rollbacks_;
+    }
+    void clearRollbacks() { rollbacks_.clear(); }
+
   private:
+    /** Commit or veto a freshly rewritten candidate. */
+    Result<ExprHigh> commit(Result<ExprHigh> candidate,
+                            const std::string& rule);
+
     std::map<std::string, RewriteDef> rules_;
     EngineStats stats_;
+    PostCheck post_check_;
+    std::vector<RewriteRollback> rollbacks_;
 };
 
 }  // namespace graphiti

@@ -414,6 +414,8 @@ runOooPipeline(const ExprHigh& graph, Environment& env,
                const PipelineOptions& options)
 {
     RewriteEngine engine;
+    if (options.post_check)
+        engine.setPostCheck(options.post_check);
     for (RewriteDef& def : catalog::allRewrites()) {
         Result<bool> added = engine.addRule(std::move(def));
         if (!added.ok())
@@ -501,6 +503,7 @@ runOooPipeline(const ExprHigh& graph, Environment& env,
     }
 
     result.stats = engine.stats();
+    result.rollbacks = engine.rollbacks();
     return result;
 }
 

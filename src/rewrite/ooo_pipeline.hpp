@@ -55,6 +55,13 @@ struct PipelineOptions
     bool reexpand = true;
     /** Record the graph after each phase (the figure 4 walkthrough). */
     bool keep_snapshots = false;
+    /**
+     * Transactional guard: installed on the pipeline's engine, so
+     * every rewrite application is validated and rolled back on
+     * failure (see RewriteEngine::setPostCheck). Vetoed applications
+     * surface in PipelineResult::rollbacks.
+     */
+    PostCheck post_check;
 };
 
 /** A labelled intermediate graph (with keep_snapshots). */
@@ -73,6 +80,8 @@ struct PipelineResult
     /** One entry per completed phase when keep_snapshots is set
      * (figure 4's a-d sequence). */
     std::vector<PipelineSnapshot> snapshots;
+    /** Applications vetoed by the post-check (empty when healthy). */
+    std::vector<RewriteRollback> rollbacks;
 };
 
 /**

@@ -153,9 +153,19 @@ compileTerm(const eg::TermExpr& term, std::shared_ptr<FnRegistry> registry)
         Result<PureFn> a = compileTerm(term.children.at(0), registry);
         if (!a.ok())
             return a;
+        // Weak capture: compiled bodies are stored back into the
+        // registry, so a shared_ptr here would be a reference cycle
+        // (leak). Lookup stays lazy — replacing the registered
+        // function changes the compiled one.
         return PureFn(
-            [registry, name, fa = a.take()](const Value& v) {
-                return (*registry->find(name))(fa(v));
+            [weak = std::weak_ptr<FnRegistry>(registry), name,
+             fa = a.take()](const Value& v) {
+                auto reg = weak.lock();
+                if (!reg)
+                    throw std::runtime_error(
+                        "compileTerm: registry of function '" + name +
+                        "' no longer exists");
+                return (*reg->find(name))(fa(v));
             });
     }
     if (startsWith(term.op, "load:")) {

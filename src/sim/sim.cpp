@@ -142,6 +142,10 @@ class Simulator::Impl
         std::size_t last_output = 0;
         for (std::size_t cycle = 0; cycle < owner_.config_.max_cycles;
              ++cycle) {
+            if (owner_.config_.stop.stopRequested())
+                return err("simulation cancelled at cycle " +
+                           std::to_string(cycle) + ": " +
+                           owner_.config_.stop.reason());
             moves_ = 0;
             pipeline_busy_ = false;
             fault_hold_ = false;
@@ -234,6 +238,9 @@ class Simulator::Impl
         std::size_t limit = std::max(start_cycle, horizon) +
                             owner_.config_.drain_limit;
         for (std::size_t cycle = start_cycle; cycle < limit; ++cycle) {
+            if (owner_.config_.stop.stopRequested())
+                return err("simulation cancelled during drain: " +
+                           owner_.config_.stop.reason());
             moves_ = 0;
             pipeline_busy_ = false;
             fault_hold_ = false;

@@ -45,6 +45,7 @@
 #include "graph/expr_high.hpp"
 #include "obs/scope.hpp"
 #include "semantics/functions.hpp"
+#include "support/cancel.hpp"
 #include "support/result.hpp"
 #include "support/token.hpp"
 
@@ -142,6 +143,12 @@ struct SimConfig
     /** Watchdog: cycles without output progress (while internal
      * activity continues) before the run is declared livelocked. */
     std::size_t livelock_window = 200'000;
+    /**
+     * Cooperative cancellation: polled once per simulated cycle (and
+     * during the drain); a fired token aborts the run with a
+     * structured "cancelled" error instead of running to max_cycles.
+     */
+    StopToken stop;
     /** Post-output drain: extra cycles allowed (past the last output
      * and past any fault horizon) for in-flight side effects — e.g. a
      * store racing the final output token — to land before final

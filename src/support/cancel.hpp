@@ -1,0 +1,107 @@
+#ifndef GRAPHITI_SUPPORT_CANCEL_HPP
+#define GRAPHITI_SUPPORT_CANCEL_HPP
+
+/**
+ * @file
+ * Cooperative cancellation and deadline tokens.
+ *
+ * Long-running phases (state-space exploration, the simulation game,
+ * cycle simulation) poll a StopToken at bounded intervals and unwind
+ * with a structured reason instead of blowing past a caller's budget.
+ * Tokens are shared-state handles: copying a token shares the flag, so
+ * one guard::Governor can arm every phase of a compilation at once.
+ *
+ * Deadlines use the steady clock; an explicit requestStop() wins over
+ * the deadline so callers can also cancel from another thread.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+namespace graphiti {
+
+/** Shared cancellation + deadline handle. Default state: never stops. */
+class StopToken
+{
+  public:
+    StopToken() = default;
+
+    /** A token that stops once @p seconds of wall time elapse. */
+    static StopToken
+    withDeadline(double seconds)
+    {
+        StopToken token;
+        token.ensureState();
+        token.state_->deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+        token.state_->has_deadline = true;
+        return token;
+    }
+
+    /** Request a stop with a reason (thread-safe, idempotent: the
+     * first reason wins). */
+    void
+    requestStop(const std::string& reason)
+    {
+        ensureState();
+        bool expected = false;
+        if (state_->cancelled.compare_exchange_strong(expected, true))
+            state_->reason = reason;
+    }
+
+    /** True when a stop was requested or the deadline passed. */
+    bool
+    stopRequested() const
+    {
+        if (state_ == nullptr)
+            return false;
+        if (state_->cancelled.load(std::memory_order_relaxed))
+            return true;
+        if (state_->has_deadline &&
+            std::chrono::steady_clock::now() >= state_->deadline) {
+            // Latch, so reason() is stable afterwards.
+            const_cast<StopToken*>(this)->requestStop("deadline exceeded");
+            return true;
+        }
+        return false;
+    }
+
+    /** Why the token stopped; empty while it has not. */
+    std::string
+    reason() const
+    {
+        if (state_ == nullptr ||
+            !state_->cancelled.load(std::memory_order_acquire))
+            return "";
+        return state_->reason;
+    }
+
+    /** Whether this token can ever stop (has shared state). */
+    bool armed() const { return state_ != nullptr; }
+
+  private:
+    struct State
+    {
+        std::atomic<bool> cancelled{false};
+        std::string reason;
+        bool has_deadline = false;
+        std::chrono::steady_clock::time_point deadline;
+    };
+
+    void
+    ensureState()
+    {
+        if (state_ == nullptr)
+            state_ = std::make_shared<State>();
+    }
+
+    std::shared_ptr<State> state_;
+};
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_SUPPORT_CANCEL_HPP

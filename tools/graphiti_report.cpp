@@ -73,6 +73,9 @@ usage(const char* argv0)
         "  --tags       override the benchmark's tag count\n"
         "  --no-verify  skip catalog re-verification (faster; the\n"
         "               refine.* metrics stay zero)\n"
+        "  --governed   run the resource-governed verification ladder\n"
+        "               (transformed vs. DF-IO) and report the achieved\n"
+        "               verification level in metrics.json\n"
         "  --provenance also write provenance.json (raw hop logs of\n"
         "               the sequential and transformed circuits)\n"
         "  --critpath   also write profile.json (critical paths,\n"
@@ -93,6 +96,7 @@ main(int argc, char** argv)
     std::string out_dir = ".";
     int tags = 0;
     bool verify = true;
+    bool governed = false;
     bool want_provenance = false;
     bool want_critpath = false;
 
@@ -108,6 +112,8 @@ main(int argc, char** argv)
             return usage(argv[0]);
         if (arg == "--no-verify") {
             verify = false;
+        } else if (arg == "--governed") {
+            governed = true;
         } else if (arg == "--provenance") {
             want_provenance = true;
         } else if (arg == "--critpath") {
@@ -148,6 +154,7 @@ main(int argc, char** argv)
     CompileOptions options;
     options.num_tags = tags > 0 ? tags : spec.value().num_tags;
     options.verify_rewrites = verify;
+    options.governed_verify = governed;
     options.obs = scope;
     Result<CompileReport> compiled =
         compiler.compileGraph(spec.value().df_io, options);
@@ -155,6 +162,14 @@ main(int argc, char** argv)
         std::fprintf(stderr, "compile: %s\n",
                      compiled.error().message.c_str());
         return 1;
+    }
+    if (governed) {
+        std::printf("governed verification: %s%s%s\n",
+                    compiled.value().verification_level.c_str(),
+                    compiled.value().degradation_reason.empty()
+                        ? ""
+                        : " — ",
+                    compiled.value().degradation_reason.c_str());
     }
 
     // Simulate the transformed circuit on the benchmark workload

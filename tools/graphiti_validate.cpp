@@ -1,0 +1,200 @@
+/**
+ * @file
+ * graphiti-validate: run the guard structural validator over circuits
+ * and report diagnostics instead of letting malformed graphs crash
+ * downstream passes.
+ *
+ * Without arguments every evaluation benchmark is validated: the DF-IO
+ * circuit, the DF-OoO input variant when one exists, and (with
+ * --post-ooo) the transformed circuit produced by the out-of-order
+ * pipeline — so CI can assert that everything the compiler emits also
+ * passes its own lint.
+ *
+ * Usage:
+ *     graphiti-validate [benchmark...] [--dot FILE]... [--post-ooo]
+ *                       [--json] [--quiet] [--list]
+ *
+ * Exit status: 0 when every circuit validated without errors
+ * (warnings allowed), 1 on any validation error, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_circuits/benchmarks.hpp"
+#include "core/compiler.hpp"
+#include "dot/dot.hpp"
+#include "guard/validator.hpp"
+
+namespace {
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [benchmark...] [--dot FILE]... [--post-ooo]\n"
+        "          [--json] [--quiet] [--list]\n"
+        "  benchmark   validate this table 2/3 benchmark (default: all)\n"
+        "  --dot FILE  validate a dot file instead of a benchmark\n"
+        "  --post-ooo  also run the out-of-order pipeline on each\n"
+        "              benchmark and validate the transformed circuit\n"
+        "  --json      print one JSON report per circuit\n"
+        "  --quiet     print only failing circuits\n"
+        "  --list      print available benchmark names and exit\n",
+        argv0);
+    return 2;
+}
+
+struct Outcome
+{
+    std::size_t circuits = 0;
+    std::size_t failed = 0;
+};
+
+void
+validateOne(const std::string& label, const graphiti::ExprHigh& graph,
+            bool json, bool quiet, Outcome& outcome)
+{
+    using namespace graphiti;
+    guard::ValidationReport report = guard::validateCircuit(graph);
+    ++outcome.circuits;
+    if (!report.ok())
+        ++outcome.failed;
+    if (quiet && report.ok())
+        return;
+    if (json) {
+        obs::json::Value entry{obs::json::Object{}};
+        entry.set("circuit", label);
+        entry.set("ok", report.ok());
+        entry.set("report", report.toJson());
+        std::printf("%s\n", entry.dump().c_str());
+        return;
+    }
+    std::printf("%-32s %s (%zu error%s, %zu diagnostic%s)\n",
+                label.c_str(), report.ok() ? "ok" : "FAILED",
+                report.errorCount(),
+                report.errorCount() == 1 ? "" : "s",
+                report.diagnostics().size(),
+                report.diagnostics().size() == 1 ? "" : "s");
+    for (const guard::Diagnostic& d : report.diagnostics())
+        std::printf("    %s\n", d.toString().c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace graphiti;
+
+    std::vector<std::string> benchmarks;
+    std::vector<std::string> dot_files;
+    bool post_ooo = false;
+    bool json = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list") {
+            for (const std::string& name : circuits::benchmarkNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h")
+            return usage(argv[0]);
+        if (arg == "--post-ooo") {
+            post_ooo = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--dot") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            dot_files.push_back(argv[i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return usage(argv[0]);
+        } else {
+            benchmarks.push_back(arg);
+        }
+    }
+    if (benchmarks.empty() && dot_files.empty())
+        benchmarks = circuits::benchmarkNames();
+
+    Outcome outcome;
+
+    for (const std::string& path : dot_files) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+            ++outcome.circuits;
+            ++outcome.failed;
+            continue;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        Result<ExprHigh> parsed = parseDot(text.str());
+        if (!parsed.ok()) {
+            // A parse error is a diagnosis, not a crash: report it
+            // like a failed validation.
+            std::printf("%-32s FAILED (parse: %s)\n", path.c_str(),
+                        parsed.error().message.c_str());
+            ++outcome.circuits;
+            ++outcome.failed;
+            continue;
+        }
+        validateOne(path, parsed.value(), json, quiet, outcome);
+    }
+
+    for (const std::string& name : benchmarks) {
+        Result<circuits::BenchmarkSpec> spec =
+            circuits::buildBenchmark(name);
+        if (!spec.ok()) {
+            std::fprintf(stderr, "%s\n", spec.error().message.c_str());
+            return 2;
+        }
+        validateOne(name + "/df-io", spec.value().df_io, json, quiet,
+                    outcome);
+        if (spec.value().df_ooo_input)
+            validateOne(name + "/df-ooo-input",
+                        *spec.value().df_ooo_input, json, quiet,
+                        outcome);
+        if (post_ooo) {
+            const ExprHigh& input = spec.value().df_ooo_input
+                                        ? *spec.value().df_ooo_input
+                                        : spec.value().df_io;
+            Compiler compiler;
+            CompileOptions options;
+            options.num_tags = spec.value().num_tags;
+            Result<CompileReport> compiled =
+                compiler.compileGraph(input, options);
+            if (!compiled.ok()) {
+                std::printf("%-32s FAILED (compile: %s)\n",
+                            (name + "/post-ooo").c_str(),
+                            compiled.error().message.c_str());
+                ++outcome.circuits;
+                ++outcome.failed;
+                continue;
+            }
+            validateOne(name + "/post-ooo", compiled.value().graph,
+                        json, quiet, outcome);
+            if (!compiled.value().rollbacks.empty()) {
+                std::printf("%-32s note: %zu rewrite(s) rolled back\n",
+                            (name + "/post-ooo").c_str(),
+                            compiled.value().rollbacks.size());
+            }
+        }
+    }
+
+    if (!quiet || outcome.failed > 0)
+        std::printf("%zu circuit%s validated, %zu failed\n",
+                    outcome.circuits, outcome.circuits == 1 ? "" : "s",
+                    outcome.failed);
+    return outcome.failed > 0 ? 1 : 0;
+}
