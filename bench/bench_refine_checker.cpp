@@ -54,6 +54,44 @@ BENCHMARK(BM_LoopRewriteRefinement)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Thread-scaling mode (ci/par_gate.sh): the same theorem 5.3 instance
+ * at the largest input budget, with the verification core fanned over
+ * N worker lanes. verify_states is deterministic (byte-identical
+ * verdicts at any thread count), so the perf gate compares it exactly
+ * while real_time measures the scaling itself.
+ */
+void
+BM_ThreadScaling(benchmark::State& state)
+{
+    std::size_t threads = static_cast<std::size_t>(state.range(0));
+    std::size_t verify_states = 0;
+    for (auto _ : state) {
+        Environment env(4);
+        ExprHigh seq = circuits::buildGcdNormalizedLoop(env.functions());
+        ExprHigh ooo = circuits::buildGcdOutOfOrder(env.functions(), 2);
+        auto report = checkGraphRefinement(
+            ooo, seq, env, gcdPairs(),
+            {.max_states = 2000000, .input_budget = 3,
+             .threads = threads});
+        if (!report.ok() || !report.value().refines)
+            state.SkipWithError("refinement check failed");
+        else
+            verify_states = report.value().impl_states +
+                            report.value().spec_states;
+    }
+    state.counters["verify_states"] =
+        static_cast<double>(verify_states);
+    state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void
 BM_CatalogRewriteRefinement(benchmark::State& state)
 {

@@ -16,6 +16,9 @@
 
 #include "flows.hpp"
 
+#include "bench_circuits/gcd.hpp"
+#include "core/compiler.hpp"
+
 namespace {
 
 using graphiti::bench::BenchmarkMetrics;
@@ -97,6 +100,55 @@ main(int argc, char** argv)
     speedups.set("vs_df_io", speedup_io);
     speedups.set("vs_vericert", speedup_ver);
     report.set("speedups", std::move(speedups));
+
+    // Deterministic verification probe (ci/perf_gate.sh): govern-verify
+    // the gcd compilation twice through one compiler. Exploration sizes
+    // and cache counters are pure functions of the circuit and budget —
+    // unlike wall-clock, perf_compare.py compares them exactly.
+    {
+        auto verify_start = std::chrono::steady_clock::now();
+        graphiti::Compiler compiler;
+        graphiti::CompileOptions options;
+        options.governed_verify = true;
+        options.threads = 0;  // hardware concurrency
+        options.verify_budget.max_states = 800;
+        options.verify_budget.partial_max_states = 300;
+        options.verify_budget.input_budget = 1;
+        options.verify_budget.trace_walks = 2;
+        options.verify_budget.trace.max_steps = 60;
+        options.verify_budget.trace.max_inputs = 2;
+        graphiti::ExprHigh gcd = graphiti::circuits::buildGcdInOrder();
+        auto first = compiler.compileGraph(gcd, options);
+        auto second = compiler.compileGraph(gcd, options);
+        graphiti::obs::json::Value verify{graphiti::obs::json::Object{}};
+        if (first.ok() && second.ok()) {
+            const graphiti::guard::VerificationVerdict& verdict =
+                first.value().verdict;
+            std::size_t verify_states = verdict.report.impl_states +
+                                        verdict.report.spec_states;
+            verify.set("level", first.value().verification_level);
+            verify.set("verify_states", verify_states);
+            verify.set("reachable_pairs",
+                       verdict.report.reachable_pairs);
+            verify.set("cache_hits", compiler.verifyCache().hits());
+            verify.set("cache_misses", compiler.verifyCache().misses());
+            verify.set("second_compile_cache_hit",
+                       second.value().verify_cache_hit);
+            std::printf("\nverify probe (gcd, governed): level=%s, "
+                        "states=%zu, second compile cache hit=%s\n",
+                        first.value().verification_level.c_str(),
+                        verify_states,
+                        second.value().verify_cache_hit ? "yes" : "no");
+        } else {
+            verify.set("error", first.ok() ? second.error().message
+                                           : first.error().message);
+        }
+        report.set("verify", std::move(verify));
+        report.phase("verify_probe",
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - verify_start)
+                         .count());
+    }
     report.phase("total", std::chrono::duration<double>(
                               std::chrono::steady_clock::now() -
                               wall_start)

@@ -1,16 +1,34 @@
 #!/usr/bin/env python3
 """Compare a bench_table2 --json report against BENCH_baseline.json.
 
-Only deterministic model outputs are compared — cycle counts, the
-derived exec_time_ns (cycles x modeled clock period) and the area
-columns (lut/ff/dsp). Wall-clock fields (measure_seconds, phases) are
-ignored: they vary run to run and machine to machine.
+Deterministic-field whitelist
+-----------------------------
+Only deterministic model outputs are compared; every field outside the
+whitelist is ignored. The gate must never flake on machine speed, so
+the rule is: a field is compared if and only if rerunning the binary
+on any machine yields the same value.
 
-A metric regresses when it grows more than --threshold percent over
-the baseline (all compared metrics are smaller-is-better). Baseline
-values <= 0 are skipped (nothing meaningful to compare against), as
-are benchmarks or flows absent from either side — but each skip is
-reported so a silently shrinking benchmark set cannot pass the gate.
+  per-flow, threshold-compared (METRICS, smaller is better):
+    cycles        simulator cycle count (deterministic model output)
+    exec_time_ns  cycles x modeled clock period
+    lut, ff, dsp  area-model columns
+  top-level "verify" object, compared EXACTLY (VERIFY_EXACT — these
+  come from the governed verification probe, which is a pure function
+  of circuit + budget, so any difference is a real behavior change,
+  not noise):
+    level, verify_states, reachable_pairs, cache_hits, cache_misses,
+    second_compile_cache_hit
+
+  explicitly ignored wall-clock noise (WALL_CLOCK_FIELDS):
+    measure_seconds  per-flow simulation wall time
+    phases           per-phase wall times of the run
+    clock_period_ns  is compared only via exec_time_ns
+
+A threshold metric regresses when it grows more than --threshold
+percent over the baseline. Baseline values <= 0 are skipped (nothing
+meaningful to compare against), as are benchmarks or flows absent from
+either side — but each skip is reported so a silently shrinking
+benchmark set cannot pass the gate.
 
 Exit status: 0 when clean, or when regressions were found but the gate
 is warn-only (the default); 1 when regressions were found and
@@ -24,6 +42,15 @@ import sys
 
 FLOWS = ("df_io", "df_ooo", "graphiti", "vericert")
 METRICS = ("cycles", "exec_time_ns", "lut", "ff", "dsp")
+# Deterministic fields of the top-level "verify" probe: compared for
+# exact equality, since the governed verdict is thread-count and
+# machine independent (docs/parallelism.md).
+VERIFY_EXACT = ("level", "verify_states", "reachable_pairs",
+                "cache_hits", "cache_misses", "second_compile_cache_hit")
+# Wall-clock fields that must never be compared (run-to-run noise).
+WALL_CLOCK_FIELDS = frozenset({"measure_seconds", "phases"})
+assert WALL_CLOCK_FIELDS.isdisjoint(METRICS)
+assert WALL_CLOCK_FIELDS.isdisjoint(VERIFY_EXACT)
 
 
 def load(path):
@@ -40,6 +67,35 @@ def index_benchmarks(doc):
             for i, b in enumerate(doc.get("benchmarks", []))}
 
 
+def compare_verify(base_doc, cur_doc, regressions, skipped):
+    """Exact comparison of the deterministic verification probe."""
+    base = base_doc.get("verify")
+    cur = cur_doc.get("verify")
+    if not isinstance(base, dict):
+        skipped.append("verify: missing from baseline; regenerate "
+                       "BENCH_baseline.json to cover it")
+        return 0
+    if not isinstance(cur, dict):
+        skipped.append("verify: missing from current run")
+        return 0
+    compared = 0
+    for field in VERIFY_EXACT:
+        b = base.get(field)
+        c = cur.get(field)
+        if b is None:
+            skipped.append(f"verify.{field}: missing from baseline")
+            continue
+        if c is None:
+            skipped.append(f"verify.{field}: missing from current run")
+            continue
+        compared += 1
+        if b != c:
+            regressions.append(
+                f"verify.{field}: {b!r} -> {c!r} (deterministic field "
+                "must match exactly)")
+    return compared
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="checked-in BENCH_baseline.json")
@@ -54,8 +110,10 @@ def main():
 
     enforce = args.enforce or \
         os.environ.get("PERF_GATE_ENFORCE", "0") == "1"
-    base = index_benchmarks(load(args.baseline))
-    cur = index_benchmarks(load(args.current))
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+    base = index_benchmarks(base_doc)
+    cur = index_benchmarks(cur_doc)
 
     regressions = []
     improvements = 0
@@ -94,6 +152,8 @@ def main():
     for name in sorted(set(cur) - set(base)):
         skipped.append(f"benchmark {name}: new (no baseline); "
                        "regenerate BENCH_baseline.json to cover it")
+
+    compared += compare_verify(base_doc, cur_doc, regressions, skipped)
 
     for line in skipped:
         print(f"perf gate: skip: {line}")

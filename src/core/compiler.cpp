@@ -1,6 +1,7 @@
 #include "core/compiler.hpp"
 
 #include <chrono>
+#include <optional>
 
 #include "dot/dot.hpp"
 #include "graph/typecheck.hpp"
@@ -45,8 +46,11 @@ CompileReport::toJson() const
     out.set("verification_level", verification_level);
     if (!degradation_reason.empty())
         out.set("degradation_reason", degradation_reason);
-    if (verification_level != "not-run")
+    if (verification_level != "not-run") {
         out.set("verification", verdict.toJson());
+        out.set("verify_cache_hit", verify_cache_hit);
+        out.set("verify_cache_key", verify_cache_key);
+    }
     return out;
 }
 
@@ -127,16 +131,52 @@ Compiler::compileGraph(const ExprHigh& graph,
     }
 
     if (options.governed_verify) {
-        guard::Governor governor(options.verify_budget);
+        guard::VerificationBudget budget = options.verify_budget;
+        // CompileOptions::threads is the master knob; an explicitly
+        // non-default budget.threads wins over it.
+        if (budget.threads == 1)
+            budget.threads = ThreadPool::resolveThreads(options.threads);
         std::vector<Token> tokens = options.verify_tokens;
         if (tokens.empty())
             tokens = {Token(Value(0)), Token(Value(1))};
-        // Bounded-queue environment sharing this compiler's registry,
-        // sized like verifyCompilation's.
-        Environment bounded(options.verify_budget.input_budget + 2,
-                            env_.functionsPtr());
-        report.verdict =
-            governor.verifyGraphs(report.graph, graph, bounded, tokens);
+        std::uint64_t key = guard::verificationCacheKey(
+            report.graph, graph, budget, tokens);
+        report.verify_cache_key = guard::formatCacheKey(key);
+        bool cacheable =
+            options.verify_cache && guard::isCacheable(budget);
+        if (cacheable && !options.verify_cache_file.empty()) {
+            Result<bool> loaded =
+                verify_cache_.loadFile(options.verify_cache_file);
+            if (!loaded.ok())
+                return loaded.error().context("compileGraph");
+        }
+        std::optional<guard::VerificationVerdict> cached;
+        if (cacheable)
+            cached = verify_cache_.lookup(key);
+        if (cached) {
+            report.verdict = *cached;
+            report.verify_cache_hit = true;
+            GRAPHITI_OBS_COUNT("guard.verify.cache_hits", 1);
+        } else {
+            if (cacheable)
+                GRAPHITI_OBS_COUNT("guard.verify.cache_misses", 1);
+            guard::Governor governor(budget);
+            // Bounded-queue environment sharing this compiler's
+            // registry, sized like verifyCompilation's.
+            Environment bounded(budget.input_budget + 2,
+                                env_.functionsPtr());
+            report.verdict = governor.verifyGraphs(report.graph, graph,
+                                                   bounded, tokens);
+            if (cacheable) {
+                verify_cache_.store(key, report.verdict);
+                if (!options.verify_cache_file.empty()) {
+                    Result<bool> saved = verify_cache_.saveFile(
+                        options.verify_cache_file);
+                    if (!saved.ok())
+                        return saved.error().context("compileGraph");
+                }
+            }
+        }
         report.verification_level =
             guard::toString(report.verdict.level);
         report.degradation_reason = report.verdict.degradation_reason;

@@ -31,6 +31,7 @@
 #include "faults/stress.hpp"
 #include "guard/governor.hpp"
 #include "guard/validator.hpp"
+#include "guard/verify_cache.hpp"
 #include "obs/critpath.hpp"
 #include "obs/scope.hpp"
 #include "refine/refinement.hpp"
@@ -79,6 +80,25 @@ struct CompileOptions
     guard::VerificationBudget verify_budget;
     /** Token domain of the governed verification; empty = {0, 1}. */
     std::vector<Token> verify_tokens;
+    /**
+     * Worker lanes for the verification core (exploration, the
+     * simulation game, trace walks): 0 = hardware concurrency
+     * (default), 1 = today's sequential code path, reproduced
+     * exactly. Verdicts are byte-identical at any value
+     * (docs/parallelism.md). Overrides verify_budget.threads unless
+     * that was set explicitly (non-1).
+     */
+    std::size_t threads = 0;
+    /**
+     * Memoize governed verdicts by a canonical structural hash of
+     * (circuits, budget, token domain), so recompiling an unchanged
+     * circuit skips exploration. Only deterministic verdicts
+     * (deadline_seconds == 0) are ever cached.
+     */
+    bool verify_cache = true;
+    /** Optional JSON file the verdict cache persists through (loaded
+     * before the governed rung, saved after a miss). */
+    std::string verify_cache_file;
 };
 
 /** Outcome of one compilation. */
@@ -101,6 +121,12 @@ struct CompileReport
     std::string degradation_reason;
     /** Full governed-verification verdict (level None when not run). */
     guard::VerificationVerdict verdict;
+    /** The governed verdict came from the verification cache — no
+     * exploration ran for it. */
+    bool verify_cache_hit = false;
+    /** Canonical cache key of the governed verification ("0x…");
+     * empty when governed verification did not run. */
+    std::string verify_cache_key;
 
     /**
      * Machine-readable summary (loops, rewrite counts, timing); the
@@ -185,8 +211,12 @@ class Compiler
                                      const faults::Workload& workload,
                                      const ProfileOptions& options = {});
 
+    /** The in-process governed-verdict cache (hits/misses/size). */
+    const guard::VerifyCache& verifyCache() const { return verify_cache_; }
+
   private:
     Environment env_;
+    guard::VerifyCache verify_cache_;
 };
 
 }  // namespace graphiti

@@ -5,6 +5,7 @@
 
 #include "obs/scope.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace graphiti::faults {
 
@@ -214,8 +215,15 @@ StressHarness::run(const ExprHigh& graph,
     StressReport report;
     report.baseline_cycles = baseline.value().cycles;
 
-    for (const std::shared_ptr<FaultPlan>& plan : buildPlans(graph)) {
-        PlanOutcome outcome;
+    // Plans are independent deterministic simulations: fan them out
+    // across the pool (slot per plan), then aggregate in plan order so
+    // first_violation and the outcome list match the sequential run.
+    std::vector<std::shared_ptr<FaultPlan>> plans = buildPlans(graph);
+    std::vector<PlanOutcome> outcomes(plans.size());
+    ThreadPool pool(ThreadPool::resolveThreads(options_.threads));
+    pool.parallelFor(plans.size(), [&](std::size_t i) {
+        const std::shared_ptr<FaultPlan>& plan = plans[i];
+        PlanOutcome& outcome = outcomes[i];
         outcome.plan = plan->describe();
         outcome.seed = plan->seed();
         Result<sim::SimResult> run =
@@ -226,17 +234,19 @@ StressHarness::run(const ExprHigh& graph,
             outcome.detail =
                 firstDifference(run.value(), baseline.value());
             outcome.matched = outcome.detail.empty();
-            if (report.baseline_cycles > 0)
-                report.worst_inflation = std::max(
-                    report.worst_inflation,
-                    static_cast<double>(outcome.cycles) /
-                        static_cast<double>(report.baseline_cycles));
         } else {
             outcome.detail = run.error().message;
             if (options_.capture_failure_artifacts)
                 outcome.failure_artifact = captureFailureArtifact(
                     graph, functions, workload, options_, plan);
         }
+    });
+    for (PlanOutcome& outcome : outcomes) {
+        if (outcome.completed && report.baseline_cycles > 0)
+            report.worst_inflation = std::max(
+                report.worst_inflation,
+                static_cast<double>(outcome.cycles) /
+                    static_cast<double>(report.baseline_cycles));
         if (!outcome.matched && report.first_violation.empty()) {
             report.invariant_holds = false;
             report.first_violation =

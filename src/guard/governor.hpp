@@ -68,6 +68,14 @@ struct VerificationBudget
     TraceGenOptions trace;
     /** Seed of the trace-inclusion rung (deterministic). */
     std::uint64_t seed = 0x677561726471ULL;
+    /**
+     * Worker lanes for exploration, the simulation game and the trace
+     * walks (1 = sequential, 0 = hardware concurrency). Verdicts are
+     * byte-identical at any thread count: exploration merges in
+     * canonical order and each trace walk derives its own seed from
+     * (seed, walk index).
+     */
+    std::size_t threads = 1;
 };
 
 /** The honest outcome of a governed verification. */

@@ -62,10 +62,14 @@ struct CatalogValidityReport
 
 /**
  * Property test: every catalog rule preserves structural validity on
- * randomized host graphs. Deterministic for a fixed @p seed.
+ * randomized host graphs. Deterministic for a fixed @p seed: each
+ * rule derives its own rng from (seed, rule index), so the sweep can
+ * fan rules out across @p threads worker lanes (1 = sequential, 0 =
+ * hardware concurrency) without changing the report.
  */
 CatalogValidityReport verifyCatalogValidity(std::uint64_t seed,
-                                            std::size_t rounds_per_rule = 4);
+                                            std::size_t rounds_per_rule = 4,
+                                            std::size_t threads = 1);
 
 }  // namespace graphiti::guard
 

@@ -1,0 +1,240 @@
+#include "guard/verify_cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "dot/dot.hpp"
+
+namespace graphiti::guard {
+
+namespace {
+
+std::uint64_t
+fnv1a64(std::uint64_t h, const std::string& s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a64(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a64Double(std::uint64_t h, double d)
+{
+    // Doubles hash via a fixed decimal rendering, so the key does not
+    // depend on in-memory bit patterns of equal-printing values.
+    std::ostringstream os;
+    os << d;
+    return fnv1a64(h, os.str());
+}
+
+VerificationLevel
+levelFromString(const std::string& name)
+{
+    if (name == "full")
+        return VerificationLevel::Full;
+    if (name == "bounded-partial")
+        return VerificationLevel::BoundedPartial;
+    if (name == "trace-inclusion")
+        return VerificationLevel::TraceInclusion;
+    return VerificationLevel::None;
+}
+
+std::string
+fieldString(const obs::json::Value& v, const char* key)
+{
+    const obs::json::Value* f = v.find(key);
+    return (f != nullptr && f->isString()) ? f->asString() : "";
+}
+
+std::size_t
+fieldCount(const obs::json::Value& v, const char* key)
+{
+    const obs::json::Value* f = v.find(key);
+    return (f != nullptr && f->isNumber())
+               ? static_cast<std::size_t>(f->asNumber())
+               : 0;
+}
+
+}  // namespace
+
+std::uint64_t
+verificationCacheKey(const ExprHigh& transformed,
+                     const ExprHigh& original,
+                     const VerificationBudget& budget,
+                     const std::vector<Token>& tokens)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a64(h, printDot(transformed));
+    h = fnv1a64(h, printDot(original));
+    h = fnv1a64Double(h, budget.deadline_seconds);
+    h = fnv1a64(h, budget.max_states);
+    h = fnv1a64(h, budget.partial_max_states);
+    h = fnv1a64(h, budget.input_budget);
+    h = fnv1a64(h, budget.trace_walks);
+    h = fnv1a64(h, budget.trace.max_steps);
+    h = fnv1a64Double(h, budget.trace.input_bias);
+    h = fnv1a64(h, budget.trace.max_inputs);
+    h = fnv1a64(h, budget.seed);
+    // budget.threads deliberately excluded: verdicts are thread-count
+    // independent by construction.
+    h = fnv1a64(h, tokens.size());
+    for (const Token& token : tokens)
+        h = fnv1a64(h, token.toString());
+    return h;
+}
+
+std::string
+formatCacheKey(std::uint64_t key)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+bool
+isCacheable(const VerificationBudget& budget)
+{
+    return budget.deadline_seconds == 0.0;
+}
+
+Result<VerificationVerdict>
+verdictFromJson(const obs::json::Value& v)
+{
+    if (!v.isObject())
+        return err("verdict JSON is not an object");
+    const obs::json::Value* level = v.find("level");
+    const obs::json::Value* ok = v.find("ok");
+    if (level == nullptr || !level->isString() || ok == nullptr ||
+        !ok->isBool())
+        return err("verdict JSON lacks level/ok");
+    VerificationVerdict verdict;
+    verdict.level = levelFromString(level->asString());
+    verdict.ok = ok->asBool();
+    const obs::json::Value* refines = v.find("refines");
+    verdict.refines = refines != nullptr && refines->isBool() &&
+                      refines->asBool();
+    verdict.degradation_reason = fieldString(v, "degradation_reason");
+    verdict.counterexample = fieldString(v, "counterexample");
+    if (const obs::json::Value* game = v.find("game")) {
+        verdict.report.impl_states = fieldCount(*game, "impl_states");
+        verdict.report.spec_states = fieldCount(*game, "spec_states");
+        verdict.report.reachable_pairs =
+            fieldCount(*game, "reachable_pairs");
+        verdict.report.fixpoint_iterations =
+            fieldCount(*game, "fixpoint_iterations");
+        // toJson does not serialize the game-side duplicates; restore
+        // them consistently with how the compiler consumes verdicts.
+        verdict.report.refines = verdict.ok;
+        verdict.report.counterexample = verdict.counterexample;
+    }
+    verdict.trace_walks_run = fieldCount(v, "trace_walks_run");
+    return verdict;
+}
+
+std::optional<VerificationVerdict>
+VerifyCache::lookup(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+}
+
+void
+VerifyCache::store(std::uint64_t key, const VerificationVerdict& verdict)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key] = verdict;
+}
+
+Result<bool>
+VerifyCache::loadFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;  // a missing cache file is an empty cache
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<obs::json::Value> parsed = obs::json::parse(text.str());
+    if (!parsed.ok())
+        return parsed.error().context("verify cache " + path);
+    const obs::json::Value* entries = parsed.value().find("entries");
+    if (entries == nullptr || !entries->isArray())
+        return err("verify cache " + path + ": no entries array");
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const obs::json::Value& entry : entries->asArray()) {
+        const obs::json::Value* key = entry.find("key");
+        const obs::json::Value* verdict = entry.find("verdict");
+        if (key == nullptr || !key->isString() || verdict == nullptr)
+            return err("verify cache " + path + ": malformed entry");
+        std::uint64_t parsed_key =
+            std::strtoull(key->asString().c_str(), nullptr, 16);
+        Result<VerificationVerdict> decoded = verdictFromJson(*verdict);
+        if (!decoded.ok())
+            return decoded.error().context("verify cache " + path);
+        // In-memory entries win: they are at least as fresh.
+        entries_.emplace(parsed_key, decoded.take());
+    }
+    return true;
+}
+
+Result<bool>
+VerifyCache::saveFile(const std::string& path) const
+{
+    namespace json = obs::json;
+    json::Value out{json::Object{}};
+    out.set("version", 1);
+    json::Value arr{json::Array{}};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& [key, verdict] : entries_) {
+            json::Value entry{json::Object{}};
+            entry.set("key", formatCacheKey(key));
+            entry.set("verdict", verdict.toJson());
+            arr.push(std::move(entry));
+        }
+    }
+    out.set("entries", std::move(arr));
+    return json::writeFile(path, out);
+}
+
+std::size_t
+VerifyCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t
+VerifyCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t
+VerifyCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+}  // namespace graphiti::guard

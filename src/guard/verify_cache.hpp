@@ -1,0 +1,90 @@
+#ifndef GRAPHITI_GUARD_VERIFY_CACHE_HPP
+#define GRAPHITI_GUARD_VERIFY_CACHE_HPP
+
+/**
+ * @file
+ * Memoization of governed verification verdicts.
+ *
+ * A governed verdict with deadline_seconds == 0 is a pure function of
+ * (transformed circuit, original circuit, budget, token domain): the
+ * ladder is driven by deterministic state caps and seeds, and thread
+ * count never changes the result (docs/parallelism.md). The cache
+ * keys verdicts by a canonical structural hash of exactly those
+ * inputs, so recompiling an unchanged circuit skips exploration
+ * entirely. Deadline-governed verdicts are wall-clock dependent and
+ * are never cached.
+ *
+ * Caches are in-process (Compiler holds one per instance) and can
+ * optionally round-trip through a JSON file so verdicts survive
+ * across runs; corrupt or missing files are treated as empty.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/expr_high.hpp"
+#include "guard/governor.hpp"
+#include "support/token.hpp"
+
+namespace graphiti::guard {
+
+/**
+ * Canonical cache key: FNV-1a 64 over the printed circuits (printDot
+ * is a canonical rendering — round-trips parseDot), every
+ * verdict-relevant budget field, and the token domain.
+ * VerificationBudget::threads is deliberately excluded: thread count
+ * never changes a verdict.
+ */
+std::uint64_t verificationCacheKey(const ExprHigh& transformed,
+                                   const ExprHigh& original,
+                                   const VerificationBudget& budget,
+                                   const std::vector<Token>& tokens);
+
+/** @p key rendered the way reports and cache files spell it. */
+std::string formatCacheKey(std::uint64_t key);
+
+/** Rebuild a verdict from VerificationVerdict::toJson output. */
+Result<VerificationVerdict> verdictFromJson(const obs::json::Value& v);
+
+/** True when a verdict under @p budget may be memoized (no wall-clock
+ * deadline — the verdict is deterministic). */
+bool isCacheable(const VerificationBudget& budget);
+
+/** Thread-safe in-process verdict cache with optional JSON persistence. */
+class VerifyCache
+{
+  public:
+    /** Cached verdict for @p key; counts a hit or a miss. */
+    std::optional<VerificationVerdict> lookup(std::uint64_t key);
+
+    /** Memoize @p verdict under @p key (last store wins). */
+    void store(std::uint64_t key, const VerificationVerdict& verdict);
+
+    /**
+     * Merge entries from a cache file written by saveFile. A missing
+     * file is an empty cache (returns false); a malformed one is an
+     * error. In-memory entries win over file entries.
+     */
+    Result<bool> loadFile(const std::string& path);
+
+    /** Write all entries to @p path as JSON. */
+    Result<bool> saveFile(const std::string& path) const;
+
+    std::size_t size() const;
+    std::size_t hits() const;
+    std::size_t misses() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, VerificationVerdict> entries_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+}  // namespace graphiti::guard
+
+#endif  // GRAPHITI_GUARD_VERIFY_CACHE_HPP

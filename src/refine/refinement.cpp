@@ -1,5 +1,6 @@
 #include "refine/refinement.hpp"
 
+#include <atomic>
 #include <deque>
 #include <optional>
 #include <sstream>
@@ -27,17 +28,37 @@ pairKey(std::uint32_t impl_state, std::uint32_t spec_state)
  * (impl) move generates all defender (spec) responses as candidate
  * pairs. The greatest fixpoint then prunes pairs with an unmatched
  * attacker move; pruning iterates because a response may itself die.
+ *
+ * Both phases parallelize without changing the verdict (threads > 1):
+ * discovery expands pair frontiers level by level, computing response
+ * sets in parallel and merging them in frontier order; pruning
+ * partitions the alive set per fixpoint round — the kill set is a
+ * pure function of the round's alive set, so partition boundaries
+ * cannot change it — with a barrier between rounds. Spec closures
+ * (and the frontier-touch memo) are precomputed before the first
+ * parallel phase because their lazy memos are not thread-safe.
  */
 class SimulationGame
 {
   public:
     SimulationGame(const StateSpace& impl, const StateSpace& spec,
-                   bool optimistic, StopToken stop)
+                   bool optimistic, StopToken stop, std::size_t threads)
         : impl_(impl), spec_(spec), optimistic_(optimistic),
-          stop_(std::move(stop))
+          stop_(std::move(stop)),
+          pool_(ThreadPool::resolveThreads(threads))
     {
         for (std::uint32_t s : spec.pendingFrontier())
             spec_frontier_.insert(s);
+        touches_.assign(spec_.numStates(), -1);
+        if (pool_.size() > 1) {
+            spec_.precomputeClosures(pool_);
+            if (optimistic_ && !spec_frontier_.empty()) {
+                pool_.parallelFor(spec_.numStates(), [&](std::size_t t) {
+                    closureTouchesFrontier(
+                        static_cast<std::uint32_t>(t));
+                });
+            }
+        }
     }
 
     Result<RefinementReport>
@@ -149,15 +170,15 @@ class SimulationGame
     }
 
     /** Does the weak closure of spec state @p t touch an unexpanded
-     * frontier state (whose edges are unknown)? Memoized. */
+     * frontier state (whose edges are unknown)? Memoized; the memo is
+     * pre-filled for every state before parallel pruning starts. */
     bool
     closureTouchesFrontier(std::uint32_t t) const
     {
         if (spec_frontier_.empty())
             return false;
-        auto it = touches_.find(t);
-        if (it != touches_.end())
-            return it->second;
+        if (touches_[t] >= 0)
+            return touches_[t] != 0;
         bool touches = false;
         for (std::uint32_t u : spec_.internalClosure(t)) {
             if (spec_frontier_.count(u) > 0) {
@@ -165,7 +186,7 @@ class SimulationGame
                 break;
             }
         }
-        touches_.emplace(t, touches);
+        touches_[t] = touches ? 1 : 0;
         return touches;
     }
 
@@ -175,22 +196,34 @@ class SimulationGame
         PairKey initial = pairKey(impl_.initialState(),
                                   spec_.initialState());
         alive_.insert(initial);
-        std::deque<PairKey> frontier{initial};
-        std::size_t polled = 0;
-        while (!frontier.empty()) {
-            if ((++polled & 0xff) == 0 && stop_.stopRequested())
+        // Level-synchronized BFS: response sets for one frontier level
+        // are computed in parallel (read-only on the spaces), then
+        // merged into alive_ in level order — the same insertion
+        // sequence the sequential FIFO loop produces.
+        std::vector<PairKey> level{initial};
+        while (!level.empty()) {
+            if (stop_.stopRequested())
                 return false;
-            PairKey key = frontier.front();
-            frontier.pop_front();
-            std::uint32_t s = static_cast<std::uint32_t>(key >> 32);
-            std::uint32_t t = static_cast<std::uint32_t>(key);
-            forEachAttackerMove(s, t, [&](const std::vector<PairKey>& rs,
-                                          auto /*label*/) {
+            std::vector<std::vector<PairKey>> found(level.size());
+            pool_.parallelFor(level.size(), [&](std::size_t i) {
+                std::uint32_t s =
+                    static_cast<std::uint32_t>(level[i] >> 32);
+                std::uint32_t t = static_cast<std::uint32_t>(level[i]);
+                forEachAttackerMove(
+                    s, t,
+                    [&](const std::vector<PairKey>& rs, auto /*label*/) {
+                        found[i].insert(found[i].end(), rs.begin(),
+                                        rs.end());
+                    });
+            });
+            std::vector<PairKey> next;
+            for (const std::vector<PairKey>& rs : found) {
                 for (PairKey r : rs) {
                     if (alive_.insert(r).second)
-                        frontier.push_back(r);
+                        next.push_back(r);
                 }
-            });
+            }
+            level = std::move(next);
         }
         return true;
     }
@@ -198,65 +231,97 @@ class SimulationGame
     bool
     prune()
     {
+        // What one alive pair's scan concluded this round. Computed in
+        // parallel (slot-per-pair, read-only on alive_), applied
+        // sequentially — the kill set depends only on the round's
+        // alive set, so the verdict is thread-count independent.
+        struct Verdict
+        {
+            bool losing = false;
+            std::string why;
+            std::optional<PairKey> dead_response;
+        };
+
         bool changed = true;
         while (changed) {
             changed = false;
             ++iterations_;
             if (stop_.stopRequested())
                 return false;
-            std::vector<PairKey> to_kill;
-            std::size_t polled = 0;
-            for (PairKey key : alive_) {
-                if ((++polled & 0x3ff) == 0 && stop_.stopRequested())
-                    return false;
+            std::vector<PairKey> keys(alive_.begin(), alive_.end());
+            std::vector<Verdict> verdicts(keys.size());
+            std::atomic<bool> cancelled{false};
+            pool_.parallelForChunks(
+                keys.size(), [&](std::size_t begin, std::size_t end) {
+                    std::size_t polled = 0;
+                    for (std::size_t i = begin; i < end; ++i) {
+                        if ((++polled & 0x3ff) == 0 &&
+                            stop_.stopRequested()) {
+                            cancelled.store(true,
+                                            std::memory_order_relaxed);
+                            return;
+                        }
+                        if (cancelled.load(std::memory_order_relaxed))
+                            return;
+                        scanPair(keys[i], verdicts[i]);
+                    }
+                });
+            if (cancelled.load(std::memory_order_relaxed))
+                return false;
+            for (std::size_t i = 0; i < keys.size(); ++i) {
+                if (!verdicts[i].losing)
+                    continue;
+                PairKey key = keys[i];
                 std::uint32_t s = static_cast<std::uint32_t>(key >> 32);
                 std::uint32_t t = static_cast<std::uint32_t>(key);
-                // On a partial spec space, missing edges of frontier
-                // states could hold the matching response: never kill
-                // such pairs (the optimistic bounded verdict).
-                if (optimistic_ && closureTouchesFrontier(t))
-                    continue;
-                std::string why;
-                bool losing = false;
-                std::optional<PairKey> dead_response;
-                forEachAttackerMove(
-                    s, t,
-                    [&](const std::vector<PairKey>& rs, auto label) {
-                        if (losing)
-                            return;
-                        for (PairKey r : rs)
-                            if (alive_.count(r) > 0)
-                                return;  // some response survives
-                        losing = true;
-                        why = label();
-                        if (!rs.empty())
-                            dead_response = rs.front();
-                    });
-                if (losing) {
-                    to_kill.push_back(key);
-                    reason_[key] =
-                        "impl move unmatched by spec: " + why +
-                        " [impl state " + std::to_string(s) +
-                        ", spec state " + std::to_string(t) + "]";
-                    if (dead_response)
-                        descend_[key] = *dead_response;
-                }
-            }
-            for (PairKey key : to_kill) {
                 alive_.erase(key);
                 dead_.insert(key);
+                reason_[key] = "impl move unmatched by spec: " +
+                               verdicts[i].why + " [impl state " +
+                               std::to_string(s) + ", spec state " +
+                               std::to_string(t) + "]";
+                if (verdicts[i].dead_response)
+                    descend_[key] = *verdicts[i].dead_response;
                 changed = true;
             }
         }
         return true;
     }
 
+    /** Scan one alive pair for an unmatched attacker move against the
+     * current alive set. Read-only; writes only @p out. */
+    template <typename VerdictT>
+    void
+    scanPair(PairKey key, VerdictT& out) const
+    {
+        std::uint32_t s = static_cast<std::uint32_t>(key >> 32);
+        std::uint32_t t = static_cast<std::uint32_t>(key);
+        // On a partial spec space, missing edges of frontier states
+        // could hold the matching response: never kill such pairs
+        // (the optimistic bounded verdict).
+        if (optimistic_ && closureTouchesFrontier(t))
+            return;
+        forEachAttackerMove(
+            s, t, [&](const std::vector<PairKey>& rs, auto label) {
+                if (out.losing)
+                    return;
+                for (PairKey r : rs)
+                    if (alive_.count(r) > 0)
+                        return;  // some response survives
+                out.losing = true;
+                out.why = label();
+                if (!rs.empty())
+                    out.dead_response = rs.front();
+            });
+    }
+
     const StateSpace& impl_;
     const StateSpace& spec_;
     bool optimistic_ = false;
     StopToken stop_;
+    ThreadPool pool_;
     std::unordered_set<std::uint32_t> spec_frontier_;
-    mutable std::unordered_map<std::uint32_t, bool> touches_;
+    mutable std::vector<std::int8_t> touches_;
     std::unordered_set<PairKey> alive_;
     std::unordered_set<PairKey> dead_;
     std::unordered_map<PairKey, std::string> reason_;
@@ -300,7 +365,8 @@ checkRefinement(const DenotedModule& impl, const DenotedModule& spec,
         return spec_space.error().context("spec");
 
     SimulationGame game(impl_space.value(), spec_space.value(),
-                        /*optimistic=*/false, limits.stop);
+                        /*optimistic=*/false, limits.stop,
+                        limits.threads);
     Result<RefinementReport> played = game.run();
     if (!played.ok())
         return played.error();
@@ -318,7 +384,8 @@ checkRefinement(const DenotedModule& impl, const DenotedModule& spec,
 
 Result<RefinementReport>
 checkRefinementOnSpaces(const StateSpace& impl, const StateSpace& spec,
-                        bool optimistic_frontier, const StopToken& stop)
+                        bool optimistic_frontier, const StopToken& stop,
+                        std::size_t threads)
 {
     if (impl.inputPorts() != spec.inputPorts() ||
         impl.outputPorts() != spec.outputPorts())
@@ -327,7 +394,7 @@ checkRefinementOnSpaces(const StateSpace& impl, const StateSpace& spec,
         if (impl.domainTokens(p).size() != spec.domainTokens(p).size())
             return err("checkRefinementOnSpaces: input domains differ");
     }
-    SimulationGame game(impl, spec, optimistic_frontier, stop);
+    SimulationGame game(impl, spec, optimistic_frontier, stop, threads);
     return game.run();
 }
 

@@ -1,5 +1,6 @@
 #include "refine/state_space.hpp"
 
+#include <array>
 #include <deque>
 #include <sstream>
 
@@ -18,13 +19,27 @@ InputDomain::uniform(const DenotedModule& mod, std::vector<Token> tokens)
 
 namespace {
 
-/** Dedup key: graph state plus remaining budget. */
+/** Dedup key: graph state plus remaining budget, with the hash cached
+ * so the parallel successor phase pays for it instead of the
+ * sequential merge. */
 struct Key
 {
     GraphState state;
-    std::uint32_t budget;
+    std::uint32_t budget = 0;
+    std::size_t h = 0;
 
-    bool operator==(const Key&) const = default;
+    Key() = default;
+    Key(GraphState s, std::uint32_t b)
+        : state(std::move(s)), budget(b), h(state.hash() * 31 + b)
+    {
+    }
+
+    bool
+    operator==(const Key& other) const
+    {
+        return h == other.h && budget == other.budget &&
+               state == other.state;
+    }
 };
 
 struct KeyHash
@@ -32,9 +47,94 @@ struct KeyHash
     std::size_t
     operator()(const Key& k) const
     {
-        return k.state.hash() * 31 + k.budget;
+        return k.h;
     }
 };
+
+/**
+ * The state-interning table, sharded by key hash.
+ *
+ * During the parallel successor phase the table is *frozen*: workers
+ * do read-only lookups (no locks needed — no writer exists until the
+ * barrier). Inserts happen only in the sequential merge that follows,
+ * so canonical ids are assigned in the exact order the sequential
+ * worklist would have produced. Sharding keeps each map small (cache-
+ * friendly merge) and lets reserve() spread one large allocation.
+ */
+class ShardedStateIndex
+{
+  public:
+    void
+    reserve(std::size_t total)
+    {
+        for (auto& shard : shards_)
+            shard.reserve(total / kShards + 1);
+    }
+
+    std::optional<std::uint32_t>
+    lookup(const Key& key) const
+    {
+        const auto& shard = shards_[shardOf(key.h)];
+        auto it = shard.find(key);
+        if (it == shard.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    void
+    insert(Key key, std::uint32_t id)
+    {
+        shards_[shardOf(key.h)].emplace(std::move(key), id);
+    }
+
+  private:
+    static constexpr std::size_t kShards = 64;
+
+    static std::size_t
+    shardOf(std::size_t h)
+    {
+        // Use high bits: the maps consume the low bits for buckets.
+        return (h >> 57) % kShards;
+    }
+
+    std::array<std::unordered_map<Key, std::uint32_t, KeyHash>, kShards>
+        shards_;
+};
+
+/** One successor produced while expanding a state, recorded in the
+ * exact order the sequential loop enumerates them. */
+struct Succ
+{
+    enum class Kind : std::uint8_t { Internal, Input, Output };
+
+    Kind kind = Kind::Internal;
+    std::uint32_t port_idx = 0;
+    std::uint32_t token_idx = 0;
+    Token token;  ///< Output edges only.
+    Key key;
+    /** Hit in the frozen index, resolved during the parallel phase. */
+    std::optional<std::uint32_t> known;
+};
+
+std::uint64_t
+fnv1a64(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a64(std::uint64_t h, const std::string& s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
 
 }  // namespace
 
@@ -61,6 +161,7 @@ StateSpace::explorePartial(const DenotedModule& mod,
 {
     StateSpace space;
     space.stop_ = limits.stop;
+    space.threads_ = ThreadPool::resolveThreads(limits.threads);
     space.in_ports_ = mod.inputNames();
     space.out_ports_ = mod.outputNames();
     for (const LowPortId& port : space.in_ports_) {
@@ -101,98 +202,163 @@ StateSpace::expand(const DenotedModule& mod, std::size_t max_states)
     auto obs_start = std::chrono::steady_clock::now();
 #endif
     // Rebuild the dedup index from the interned states; a parked
-    // partial space carries no index, only its frontier.
-    std::unordered_map<Key, std::uint32_t, KeyHash> index;
-    index.reserve(concrete_.size());
+    // partial space carries no index, only its frontier. Reserve for
+    // the whole run up front (capped — max_states defaults large).
+    ShardedStateIndex index;
+    index.reserve(std::max(concrete_.size(),
+                           std::min<std::size_t>(max_states, 1 << 16)));
     for (std::uint32_t i = 0;
          i < static_cast<std::uint32_t>(concrete_.size()); ++i)
-        index.emplace(Key{concrete_[i], budget_[i]}, i);
+        index.insert(Key{concrete_[i], budget_[i]}, i);
 
     std::deque<std::uint32_t> frontier(frontier_.begin(),
                                        frontier_.end());
     frontier_.clear();
 
     bool capped = false;
-    auto intern = [&](GraphState state,
-                      std::uint32_t budget) -> std::optional<std::uint32_t> {
-        Key key{std::move(state), budget};
-        auto it = index.find(key);
-        if (it != index.end())
-            return it->second;
+    auto intern = [&](Key key) -> std::optional<std::uint32_t> {
+        if (auto hit = index.lookup(key))
+            return *hit;
         if (concrete_.size() >= max_states) {
             capped = true;
             return std::nullopt;
         }
         std::uint32_t id = static_cast<std::uint32_t>(concrete_.size());
         concrete_.push_back(key.state);
-        budget_.push_back(budget);
+        budget_.push_back(key.budget);
         internal_.emplace_back();
         inputs_.emplace_back();
         outputs_.emplace_back();
-        index.emplace(std::move(key), id);
+        index.insert(std::move(key), id);
         frontier.push_back(id);
         return id;
     };
 
-    stopped_ = false;
-    stop_reason_.clear();
-    while (!frontier.empty() && !capped) {
-        std::uint32_t id = frontier.front();
-        frontier.pop_front();
-        // Cooperative cancellation: park the state unexpanded, like a
-        // cap, so the space stays resumable and edge-exact.
-        if (stop_.stopRequested()) {
-            stopped_ = true;
-            stop_reason_ = stop_.reason();
-            frontier_.push_back(id);
-            break;
-        }
-        // Copy, since intern() may reallocate concrete_.
-        GraphState state = concrete_[id];
+    // Enumerate the successors of one state in the canonical order
+    // (internal, then inputs port/token-major, then outputs),
+    // resolving each against the frozen index. Read-only on *this.
+    auto enumerate = [&](std::uint32_t id) {
+        std::vector<Succ> out;
+        const GraphState& state = concrete_[id];
         std::uint32_t budget = budget_[id];
-
-        for (GraphState& succ : mod.internalSteps(state)) {
-            auto dst = intern(std::move(succ), budget);
-            if (!dst)
-                break;
-            internal_[id].push_back(*dst);
+        for (GraphState& next : mod.internalSteps(state)) {
+            Succ s;
+            s.kind = Succ::Kind::Internal;
+            s.key = Key{std::move(next), budget};
+            out.push_back(std::move(s));
         }
-        if (budget > 0 && !capped) {
-            for (std::uint32_t p = 0;
-                 p < in_ports_.size() && !capped; ++p) {
+        if (budget > 0) {
+            for (std::uint32_t p = 0; p < in_ports_.size(); ++p) {
                 const auto& toks = domain_tokens_[p];
-                for (std::uint32_t t = 0;
-                     t < toks.size() && !capped; ++t) {
-                    for (GraphState& succ : mod.inputStep(
-                             state, in_ports_[p], toks[t])) {
-                        auto dst = intern(std::move(succ), budget - 1);
-                        if (!dst)
-                            break;
-                        inputs_[id].push_back(InputEdge{p, t, *dst});
+                for (std::uint32_t t = 0; t < toks.size(); ++t) {
+                    for (GraphState& next :
+                         mod.inputStep(state, in_ports_[p], toks[t])) {
+                        Succ s;
+                        s.kind = Succ::Kind::Input;
+                        s.port_idx = p;
+                        s.token_idx = t;
+                        s.key = Key{std::move(next), budget - 1};
+                        out.push_back(std::move(s));
                     }
                 }
             }
         }
-        if (!capped) {
-            for (std::uint32_t p = 0;
-                 p < out_ports_.size() && !capped; ++p) {
-                for (auto& [token, succ] :
-                     mod.outputStep(state, out_ports_[p])) {
-                    auto dst = intern(std::move(succ), budget);
-                    if (!dst)
-                        break;
-                    outputs_[id].push_back(
-                        OutputEdge{p, std::move(token), *dst});
-                }
+        for (std::uint32_t p = 0; p < out_ports_.size(); ++p) {
+            for (auto& [token, next] :
+                 mod.outputStep(state, out_ports_[p])) {
+                Succ s;
+                s.kind = Succ::Kind::Output;
+                s.port_idx = p;
+                s.token = std::move(token);
+                s.key = Key{std::move(next), budget};
+                out.push_back(std::move(s));
             }
         }
-        if (capped) {
-            // The state was only partially expanded: drop its edges
-            // and park it (front of the frontier) for resume().
-            internal_[id].clear();
-            inputs_[id].clear();
-            outputs_[id].clear();
-            frontier_.push_back(id);
+        for (Succ& s : out)
+            s.known = index.lookup(s.key);
+        return out;
+    };
+
+    // Replay one expanded state's successors through intern() in
+    // enumeration order — exactly what the sequential loop does
+    // inline. Returns false when the state cap fired mid-state (its
+    // edges are dropped and the state parked, same as before).
+    auto merge = [&](std::uint32_t id, std::vector<Succ>& succs) {
+        for (Succ& s : succs) {
+            std::optional<std::uint32_t> dst =
+                s.known ? s.known : intern(std::move(s.key));
+            if (!dst) {
+                internal_[id].clear();
+                inputs_[id].clear();
+                outputs_[id].clear();
+                frontier_.push_back(id);
+                return false;
+            }
+            switch (s.kind) {
+            case Succ::Kind::Internal:
+                internal_[id].push_back(*dst);
+                break;
+            case Succ::Kind::Input:
+                inputs_[id].push_back(
+                    InputEdge{s.port_idx, s.token_idx, *dst});
+                break;
+            case Succ::Kind::Output:
+                outputs_[id].push_back(
+                    OutputEdge{s.port_idx, std::move(s.token), *dst});
+                break;
+            }
+        }
+        return true;
+    };
+
+    stopped_ = false;
+    stop_reason_.clear();
+    if (threads_ <= 1) {
+        // Sequential worklist — the canonical order every other mode
+        // reproduces.
+        while (!frontier.empty() && !capped) {
+            std::uint32_t id = frontier.front();
+            frontier.pop_front();
+            // Cooperative cancellation: park the state unexpanded,
+            // like a cap, so the space stays resumable + edge-exact.
+            if (stop_.stopRequested()) {
+                stopped_ = true;
+                stop_reason_ = stop_.reason();
+                frontier_.push_back(id);
+                break;
+            }
+            std::vector<Succ> succs = enumerate(id);
+            merge(id, succs);
+        }
+    } else {
+        // Batched frontier expansion: compute successor lists for the
+        // whole frontier in parallel against the frozen index, then
+        // intern sequentially in frontier order. The frontier is in
+        // sequential-FIFO order throughout, so the merge assigns the
+        // same ids the sequential loop would (docs/parallelism.md).
+        ThreadPool pool(threads_);
+        while (!frontier.empty() && !capped && !stopped_) {
+            std::vector<std::uint32_t> batch(frontier.begin(),
+                                             frontier.end());
+            frontier.clear();
+            std::vector<std::vector<Succ>> succs(batch.size());
+            pool.parallelFor(batch.size(), [&](std::size_t i) {
+                succs[i] = enumerate(batch[i]);
+            });
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                std::uint32_t id = batch[i];
+                if (capped || stopped_) {
+                    frontier_.push_back(id);
+                    continue;
+                }
+                if (stop_.stopRequested()) {
+                    stopped_ = true;
+                    stop_reason_ = stop_.reason();
+                    frontier_.push_back(id);
+                    continue;
+                }
+                merge(id, succs[i]);
+            }
         }
     }
     for (std::uint32_t id : frontier)
@@ -244,6 +410,63 @@ StateSpace::internalClosure(std::uint32_t s) const
     }
     closure_[s] = std::move(reach);
     return *closure_[s];
+}
+
+void
+StateSpace::precomputeClosures(ThreadPool& pool) const
+{
+    // Each lane writes only its own slots of closure_, so the fill is
+    // race-free; afterwards internalClosure() never writes again.
+    pool.parallelFor(numStates(), [&](std::size_t s) {
+        if (closure_[s])
+            return;
+        std::vector<std::uint32_t> reach;
+        std::vector<bool> seen(numStates(), false);
+        std::deque<std::uint32_t> frontier{
+            static_cast<std::uint32_t>(s)};
+        seen[s] = true;
+        while (!frontier.empty()) {
+            std::uint32_t cur = frontier.front();
+            frontier.pop_front();
+            reach.push_back(cur);
+            for (std::uint32_t next : internal_[cur]) {
+                if (!seen[next]) {
+                    seen[next] = true;
+                    frontier.push_back(next);
+                }
+            }
+        }
+        closure_[s] = std::move(reach);
+    });
+}
+
+std::uint64_t
+StateSpace::fingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a64(h, numStates());
+    for (std::uint32_t s = 0; s < numStates(); ++s) {
+        h = fnv1a64(h, budget_[s]);
+        h = fnv1a64(h, internal_[s].size());
+        for (std::uint32_t dst : internal_[s])
+            h = fnv1a64(h, dst);
+        h = fnv1a64(h, inputs_[s].size());
+        for (const InputEdge& e : inputs_[s]) {
+            h = fnv1a64(h, e.port_idx);
+            h = fnv1a64(h, e.token_idx);
+            h = fnv1a64(h, e.dst);
+        }
+        h = fnv1a64(h, outputs_[s].size());
+        for (const OutputEdge& e : outputs_[s]) {
+            h = fnv1a64(h, e.port_idx);
+            h = fnv1a64(h, e.token.toString());
+            h = fnv1a64(h, e.dst);
+        }
+    }
+    h = fnv1a64(h, frontier_.size());
+    for (std::uint32_t s : frontier_)
+        h = fnv1a64(h, s);
+    return h;
 }
 
 std::string

@@ -15,6 +15,14 @@
  * The budget is part of the state, so both sides of a refinement
  * check consume inputs in lock-step (matched executions always agree
  * on the number of inputs consumed).
+ *
+ * Exploration parallelizes (ExplorationLimits::threads) without
+ * changing the result: successor computation fans out over a
+ * ThreadPool per frontier batch against a frozen interning table,
+ * and new states are then interned by one thread in the exact order
+ * the sequential loop would have produced, so state ids — and every
+ * downstream verdict — are byte-identical at any thread count
+ * (docs/parallelism.md).
  */
 
 #include <cstdint>
@@ -26,6 +34,7 @@
 #include "semantics/module.hpp"
 #include "support/cancel.hpp"
 #include "support/result.hpp"
+#include "support/thread_pool.hpp"
 
 namespace graphiti {
 
@@ -47,6 +56,11 @@ struct ExplorationLimits
     std::size_t max_states = 200000;
     /** Total number of input tokens consumed along any execution. */
     std::size_t input_budget = 3;
+    /**
+     * Worker lanes for frontier expansion (1 = the sequential loop,
+     * 0 = hardware concurrency). Any value yields the same space.
+     */
+    std::size_t threads = 1;
     /**
      * Cooperative cancellation: exploration polls the token between
      * state expansions and parks the remaining frontier when it
@@ -121,6 +135,10 @@ class StateSpace
     Result<bool> resume(const DenotedModule& mod,
                         std::size_t additional_states);
 
+    /** Replace the stop token consulted by resume() — e.g. to resume
+     * a space whose exploration was parked by a fired token. */
+    void setStopToken(StopToken stop) { stop_ = std::move(stop); }
+
     std::size_t numStates() const { return internal_.size(); }
     std::uint32_t initialState() const { return 0; }
 
@@ -159,6 +177,22 @@ class StateSpace
      */
     const std::vector<std::uint32_t>& internalClosure(std::uint32_t s) const;
 
+    /**
+     * Fill the closure memo for every state, fanning the per-state
+     * BFS out over @p pool. Must be called before any multi-threaded
+     * consumer of internalClosure(): the lazy memo write is not
+     * thread-safe, but pre-filled entries are immutable thereafter.
+     */
+    void precomputeClosures(ThreadPool& pool) const;
+
+    /**
+     * Deterministic structural digest of the explored space (states,
+     * budgets, all three edge kinds, frontier). Two explorations that
+     * built the same space — e.g. at different thread counts, or
+     * park+resume vs one-shot — agree on this value.
+     */
+    std::uint64_t fingerprint() const;
+
     /** Pretty-printed concrete state, for counterexamples. */
     std::string describeState(std::uint32_t s) const;
 
@@ -177,6 +211,7 @@ class StateSpace
     StopToken stop_;
     bool stopped_ = false;
     std::string stop_reason_;
+    std::size_t threads_ = 1;
     std::vector<std::vector<std::uint32_t>> internal_;
     std::vector<std::vector<InputEdge>> inputs_;
     std::vector<std::vector<OutputEdge>> outputs_;

@@ -56,11 +56,57 @@ StuckDiagnosis::toString() const
 
 namespace {
 
+/** Component model dispatched by the per-cycle step (the string
+ * `type` is kept for diagnostics only). */
+enum class NodeKind : std::uint8_t
+{
+    Fork,
+    Join,
+    Split,
+    Mux,
+    Merge,
+    Branch,
+    Init,
+    Buffer,
+    Sink,
+    Source,
+    Constant,
+    Operator,
+    Pure,
+    Load,
+    Store,
+    Tagger,
+    Unknown,
+};
+
+NodeKind
+kindOf(const std::string& type)
+{
+    if (type == "fork") return NodeKind::Fork;
+    if (type == "join") return NodeKind::Join;
+    if (type == "split") return NodeKind::Split;
+    if (type == "mux") return NodeKind::Mux;
+    if (type == "merge") return NodeKind::Merge;
+    if (type == "branch") return NodeKind::Branch;
+    if (type == "init") return NodeKind::Init;
+    if (type == "buffer") return NodeKind::Buffer;
+    if (type == "sink") return NodeKind::Sink;
+    if (type == "source") return NodeKind::Source;
+    if (type == "constant") return NodeKind::Constant;
+    if (type == "operator") return NodeKind::Operator;
+    if (type == "pure") return NodeKind::Pure;
+    if (type == "load") return NodeKind::Load;
+    if (type == "store") return NodeKind::Store;
+    if (type == "tagger") return NodeKind::Tagger;
+    return NodeKind::Unknown;
+}
+
 /** Per-node mutable simulation state. */
 struct SimNode
 {
     std::string name;
     std::string type;
+    NodeKind kind = NodeKind::Unknown;
     AttrMap attrs;
     std::vector<int> in_channels;   // -1 when dangling
     std::vector<int> out_channels;  // -1 when dangling
@@ -76,11 +122,14 @@ struct SimNode
     std::deque<Token> completion;
     int latency = 0;
 
-    // Tagger state.
+    // Tagger state. Returned tokens are indexed by tag — tags are
+    // allocated modulo num_tags, so the reorder buffer is a flat
+    // vector, not a map.
     int num_tags = 0;
     std::int64_t next_alloc = 0;
     std::int64_t next_commit = 0;
-    std::map<Tag, Token> returned;
+    std::vector<std::optional<Token>> returned;
+    std::size_t returned_count = 0;
 
     // Resolved pure function.
     const PureFn* fn = nullptr;
@@ -138,6 +187,17 @@ class Simulator::Impl
         SimResult result;
         result.outputs.resize(output_channels_.size());
 
+        // Ready-worklist schedule: only nodes adjacent to a channel
+        // that changed last cycle (or with in-flight pipeline state)
+        // are stepped, in node-index order so traces and obs events
+        // are identical to the full sweep. Fault hooks may flip a
+        // channel's valid/ready without any token movement, so fault
+        // runs fall back to stepping everything.
+        const bool worklist =
+            faults_ == nullptr && !owner_.config_.full_sweep;
+        awake_.assign(nodes_.size(), 1);
+        next_awake_.assign(nodes_.size(), 0);
+
         std::size_t last_progress = 0;
         std::size_t last_output = 0;
         for (std::size_t cycle = 0; cycle < owner_.config_.max_cycles;
@@ -154,7 +214,11 @@ class Simulator::Impl
             trace_ = &result.trace;
 
             feedInputs(result, serial_io);
-            for (SimNode& node : nodes_) {
+            for (std::size_t i = 0; i < nodes_.size(); ++i) {
+                if (worklist && !awake_[i])
+                    continue;
+                stepping_ = i;
+                SimNode& node = nodes_[i];
                 std::size_t before = moves_;
                 Result<bool> fired = step(node);
                 if (!fired.ok())
@@ -167,11 +231,20 @@ class Simulator::Impl
                         observeFire(node, cycle);
 #endif
                     node.last_fire = cycle;
+                    next_awake_[i] = 1;  // internal state advanced
                 }
+                // Pipelined units must tick every cycle while tokens
+                // are in flight or waiting on output space.
+                if (!node.pipeline.empty() || !node.completion.empty())
+                    next_awake_[i] = 1;
             }
+            stepping_ = kNoNode;
             provBlocked();
             collectOutputs(result);
             commitStaged();
+            awake_.swap(next_awake_);
+            std::fill(next_awake_.begin(), next_awake_.end(),
+                      std::uint8_t{0});
 #if GRAPHITI_OBS_ENABLED
             if (obs_ != nullptr)
                 observeCycle();
@@ -266,7 +339,11 @@ class Simulator::Impl
     build()
     {
         const ExprHigh& g = owner_.graph_;
-        std::map<std::string, std::size_t> node_index;
+        // Name lookup: a sorted flat vector binary-searched per edge
+        // endpoint. The graph was validated, so every endpoint
+        // resolves.
+        std::vector<std::pair<std::string, std::size_t>> node_index;
+        node_index.reserve(g.nodes().size());
 
         for (const NodeDecl& decl : g.nodes()) {
             Result<Signature> sig = signatureOf(decl.type, decl.attrs);
@@ -275,29 +352,41 @@ class Simulator::Impl
             SimNode node;
             node.name = decl.name;
             node.type = decl.type;
+            node.kind = kindOf(decl.type);
             node.attrs = decl.attrs;
             node.in_channels.assign(sig.value().inputs.size(), -1);
             node.out_channels.assign(sig.value().outputs.size(), -1);
-            if (decl.type == "operator") {
+            if (node.kind == NodeKind::Operator) {
                 node.latency = attrInt(
                     decl.attrs, "latency",
                     operatorLatency(attrStr(decl.attrs, "op", "")));
-            } else if (decl.type == "load") {
+            } else if (node.kind == NodeKind::Load) {
                 node.latency = attrInt(decl.attrs, "latency",
                                        owner_.config_.load_latency);
-            } else if (decl.type == "pure") {
+            } else if (node.kind == NodeKind::Pure) {
                 node.latency = attrInt(decl.attrs, "latency", 0);
                 node.fn = owner_.functions_->find(
                     attrStr(decl.attrs, "fn", ""));
                 if (node.fn == nullptr)
                     return err("sim build: pure node " + decl.name +
                                " references unregistered fn");
-            } else if (decl.type == "tagger") {
+            } else if (node.kind == NodeKind::Tagger) {
                 node.num_tags = attrInt(decl.attrs, "tags", 4);
+                node.returned.assign(
+                    static_cast<std::size_t>(std::max(1, node.num_tags)),
+                    std::nullopt);
             }
-            node_index[decl.name] = nodes_.size();
+            node_index.emplace_back(decl.name, nodes_.size());
             nodes_.push_back(std::move(node));
         }
+        std::sort(node_index.begin(), node_index.end());
+        auto find_node = [&](const std::string& name) {
+            auto it = std::lower_bound(
+                node_index.begin(), node_index.end(), name,
+                [](const std::pair<std::string, std::size_t>& entry,
+                   const std::string& n) { return entry.first < n; });
+            return it->second;
+        };
 
         auto port_number = [](const std::string& port) {
             return std::stoi(port.substr(port.find_first_of("0123456789")));
@@ -320,6 +409,8 @@ class Simulator::Impl
                     1, faults->adjustCapacity(ch, base, pinned));
             channels_.push_back(Channel{{}, capacity});
             channel_desc_.push_back(std::move(description));
+            channel_producer_.push_back(-1);
+            channel_consumer_.push_back(-1);
             return ch;
         };
         for (const Edge& e : g.edges()) {
@@ -333,10 +424,12 @@ class Simulator::Impl
                 base, base > owner_.config_.channel_slots,
                 e.src.inst + "." + e.src.port + " -> " + e.dst.inst +
                     "." + e.dst.port);
-            nodes_[node_index.at(e.src.inst)]
-                .out_channels[port_number(e.src.port)] = ch;
-            nodes_[node_index.at(e.dst.inst)]
-                .in_channels[port_number(e.dst.port)] = ch;
+            std::size_t src = find_node(e.src.inst);
+            std::size_t dst = find_node(e.dst.inst);
+            nodes_[src].out_channels[port_number(e.src.port)] = ch;
+            nodes_[dst].in_channels[port_number(e.dst.port)] = ch;
+            channel_producer_[ch] = static_cast<int>(src);
+            channel_consumer_[ch] = static_cast<int>(dst);
         }
         for (std::size_t i = 0; i < g.inputs().size(); ++i) {
             if (!g.inputs()[i])
@@ -345,8 +438,10 @@ class Simulator::Impl
                                  "input#" + std::to_string(i) + " -> " +
                                      g.inputs()[i]->inst + "." +
                                      g.inputs()[i]->port);
-            nodes_[node_index.at(g.inputs()[i]->inst)]
-                .in_channels[port_number(g.inputs()[i]->port)] = ch;
+            std::size_t dst = find_node(g.inputs()[i]->inst);
+            nodes_[dst].in_channels[port_number(g.inputs()[i]->port)] =
+                ch;
+            channel_consumer_[ch] = static_cast<int>(dst);
             input_channels_.push_back(ch);
         }
         for (std::size_t i = 0; i < g.outputs().size(); ++i) {
@@ -356,8 +451,10 @@ class Simulator::Impl
                                  g.outputs()[i]->inst + "." +
                                      g.outputs()[i]->port + " -> output#" +
                                      std::to_string(i));
-            nodes_[node_index.at(g.outputs()[i]->inst)]
-                .out_channels[port_number(g.outputs()[i]->port)] = ch;
+            std::size_t src = find_node(g.outputs()[i]->inst);
+            nodes_[src].out_channels[port_number(g.outputs()[i]->port)] =
+                ch;
+            channel_producer_[ch] = static_cast<int>(src);
             output_channels_.push_back(ch);
         }
         staged_.assign(channels_.size(), {});
@@ -393,6 +490,16 @@ class Simulator::Impl
         Token t = channels_[ch].slots.front();
         channels_[ch].slots.pop_front();
         ++moves_;
+        // The producer gained space. The sequential sweep makes a pop
+        // visible to later-indexed nodes within the same cycle, so a
+        // producer not yet stepped wakes now; otherwise next cycle.
+        int p = channel_producer_[ch];
+        if (p >= 0) {
+            if (static_cast<std::size_t>(p) > stepping_)
+                awake_[p] = 1;
+            else
+                next_awake_[p] = 1;
+        }
         return t;
     }
 
@@ -423,6 +530,11 @@ class Simulator::Impl
             return;
         staged_[ch].push_back(std::move(t));
         ++moves_;
+        // Staged tokens become visible at commitStaged, so the
+        // consumer can first use this one next cycle.
+        int c = channel_consumer_[ch];
+        if (c >= 0)
+            next_awake_[c] = 1;
     }
 
     void
@@ -532,7 +644,7 @@ class Simulator::Impl
             b.last_fire = node.last_fire;
             b.held_tokens = node.pipeline.size() +
                             node.completion.size() +
-                            node.returned.size();
+                            node.returned_count;
             for (int ch : node.in_channels)
                 if (ch >= 0)
                     b.held_tokens += channels_[ch].slots.size();
@@ -611,7 +723,7 @@ class Simulator::Impl
     Result<bool>
     step(SimNode& node)
     {
-        if (node.type == "fork") {
+        if (node.kind == NodeKind::Fork) {
             if (!hasToken(node.in_channels[0]))
                 return true;
             for (int ch : node.out_channels)
@@ -626,7 +738,7 @@ class Simulator::Impl
             trace(node, "fire " + t.toString());
             return true;
         }
-        if (node.type == "join") {
+        if (node.kind == NodeKind::Join) {
             if (!hasSpace(node.out_channels[0]))
                 return true;
             std::vector<const Token*> heads;
@@ -653,7 +765,7 @@ class Simulator::Impl
             trace(node, "fire");
             return true;
         }
-        if (node.type == "split") {
+        if (node.kind == NodeKind::Split) {
             if (!hasToken(node.in_channels[0]) ||
                 !hasSpace(node.out_channels[0]) ||
                 !hasSpace(node.out_channels[1]))
@@ -673,7 +785,7 @@ class Simulator::Impl
             trace(node, "fire");
             return true;
         }
-        if (node.type == "mux") {
+        if (node.kind == NodeKind::Mux) {
             if (!hasToken(node.in_channels[0]) ||
                 !hasSpace(node.out_channels[0]))
                 return true;
@@ -689,7 +801,7 @@ class Simulator::Impl
             provFire(node, mux_ins, 2, node.out_channels.data(), 1);
             return true;
         }
-        if (node.type == "merge") {
+        if (node.kind == NodeKind::Merge) {
             if (!hasSpace(node.out_channels[0]))
                 return true;
             // Loopback (in0) has priority so in-flight iterations keep
@@ -708,7 +820,7 @@ class Simulator::Impl
             }
             return true;
         }
-        if (node.type == "branch") {
+        if (node.kind == NodeKind::Branch) {
             if (!hasToken(node.in_channels[0]) ||
                 !hasToken(node.in_channels[1]))
                 return true;
@@ -729,7 +841,7 @@ class Simulator::Impl
                      &node.out_channels[out], 1);
             return true;
         }
-        if (node.type == "init") {
+        if (node.kind == NodeKind::Init) {
             if (!hasSpace(node.out_channels[0]))
                 return true;
             if (!node.init_done) {
@@ -748,7 +860,7 @@ class Simulator::Impl
             }
             return true;
         }
-        if (node.type == "buffer") {
+        if (node.kind == NodeKind::Buffer) {
             if (hasToken(node.in_channels[0]) &&
                 hasSpace(node.out_channels[0])) {
                 push(node.out_channels[0], pop(node.in_channels[0]));
@@ -757,21 +869,21 @@ class Simulator::Impl
             }
             return true;
         }
-        if (node.type == "sink") {
+        if (node.kind == NodeKind::Sink) {
             if (hasToken(node.in_channels[0])) {
                 pop(node.in_channels[0]);
                 provFire(node, node.in_channels.data(), 1, nullptr, 0);
             }
             return true;
         }
-        if (node.type == "source") {
+        if (node.kind == NodeKind::Source) {
             if (hasSpace(node.out_channels[0])) {
                 push(node.out_channels[0], Token(Value()));
                 provSpawn(node, node.out_channels[0]);
             }
             return true;
         }
-        if (node.type == "constant") {
+        if (node.kind == NodeKind::Constant) {
             if (!hasToken(node.in_channels[0]) ||
                 !hasSpace(node.out_channels[0]))
                 return true;
@@ -787,8 +899,9 @@ class Simulator::Impl
                      node.out_channels.data(), 1);
             return true;
         }
-        if (node.type == "operator" || node.type == "pure" ||
-            node.type == "load") {
+        if (node.kind == NodeKind::Operator ||
+            node.kind == NodeKind::Pure ||
+            node.kind == NodeKind::Load) {
             advancePipeline(node);
             // Accept at most one new token set per cycle (II = 1).
             std::vector<const Token*> heads;
@@ -801,7 +914,7 @@ class Simulator::Impl
             if (!tagsAgree(heads, tag))
                 return err("tag mismatch at " + node.type);
             Token result;
-            if (node.type == "operator") {
+            if (node.kind == NodeKind::Operator) {
                 std::vector<Value> args;
                 for (const Token* t : heads)
                     args.push_back(t->value);
@@ -810,7 +923,7 @@ class Simulator::Impl
                 if (!v.ok())
                     return v.error();
                 result.value = v.take();
-            } else if (node.type == "pure") {
+            } else if (node.kind == NodeKind::Pure) {
                 result.value = (*node.fn)(heads[0]->value);
             } else {  // load
                 std::string mem = attrStr(node.attrs, "memory", "mem");
@@ -836,7 +949,7 @@ class Simulator::Impl
             trace(node, "accept");
             return true;
         }
-        if (node.type == "store") {
+        if (node.kind == NodeKind::Store) {
             if (!hasToken(node.in_channels[0]) ||
                 !hasToken(node.in_channels[1]) ||
                 !hasSpace(node.out_channels[0]))
@@ -866,7 +979,7 @@ class Simulator::Impl
             trace(node, "store");
             return true;
         }
-        if (node.type == "tagger") {
+        if (node.kind == NodeKind::Tagger) {
             // Allocate a tag for the oldest fresh token.
             if (hasToken(node.in_channels[0]) &&
                 hasSpace(node.out_channels[0]) &&
@@ -886,18 +999,25 @@ class Simulator::Impl
                 if (!t.tag)
                     return err("untagged token returned to tagger");
                 provTagReturn(node, *t.tag);
-                node.returned.emplace(*t.tag, std::move(t));
+                std::size_t slot = *t.tag;
+                if (slot >= node.returned.size())
+                    node.returned.resize(slot + 1);
+                if (!node.returned[slot]) {
+                    node.returned[slot] = std::move(t);
+                    ++node.returned_count;
+                }
             }
             // Commit the oldest outstanding tag in program order.
             if (node.next_commit < node.next_alloc &&
                 hasSpace(node.out_channels[1])) {
-                Tag wanted = static_cast<Tag>(node.next_commit %
-                                              node.num_tags);
-                auto it = node.returned.find(wanted);
-                if (it != node.returned.end()) {
-                    Token out = std::move(it->second);
+                std::size_t wanted = static_cast<std::size_t>(
+                    node.next_commit % node.num_tags);
+                if (wanted < node.returned.size() &&
+                    node.returned[wanted]) {
+                    Token out = std::move(*node.returned[wanted]);
                     out.tag.reset();
-                    node.returned.erase(it);
+                    node.returned[wanted].reset();
+                    --node.returned_count;
                     const std::int64_t commit_idx = node.next_commit;
                     node.next_commit += 1;
                     trace(node, "untag " + out.toString());
@@ -1262,10 +1382,22 @@ class Simulator::Impl
     }
 #endif  // GRAPHITI_OBS_ENABLED
 
+    static constexpr std::size_t kNoNode =
+        static_cast<std::size_t>(-1);
+
     Simulator& owner_;
     std::vector<SimNode> nodes_;
     std::vector<Channel> channels_;
     std::vector<std::string> channel_desc_;
+    /** Node producing / consuming each channel (-1 = graph I/O). */
+    std::vector<int> channel_producer_;
+    std::vector<int> channel_consumer_;
+    /** Ready-worklist wake flags for this and the next cycle. */
+    std::vector<std::uint8_t> awake_;
+    std::vector<std::uint8_t> next_awake_;
+    /** Index of the node currently stepping (kNoNode outside the
+     * sweep); decides same-cycle vs next-cycle wakes in pop(). */
+    std::size_t stepping_ = kNoNode;
     std::vector<std::deque<Token>> staged_;
     std::vector<int> input_channels_;
     std::vector<int> output_channels_;

@@ -155,6 +155,14 @@ struct SimConfig
      * memories are read. Drain stops early once the circuit
      * quiesces; it is not counted in SimResult::cycles. */
     std::size_t drain_limit = 4096;
+    /**
+     * Validation knob: step every node every cycle instead of only
+     * the ready worklist (nodes adjacent to a channel that changed
+     * last cycle). Fault injection forces the full sweep internally;
+     * cycle counts, outputs and traces are identical either way
+     * (asserted by tests/test_parallel.cpp).
+     */
+    bool full_sweep = false;
 };
 
 /** Watchdog verdict for a run that stopped making progress. */

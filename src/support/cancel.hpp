@@ -49,8 +49,13 @@ class StopToken
     {
         ensureState();
         bool expected = false;
-        if (state_->cancelled.compare_exchange_strong(expected, true))
+        // Claim first, publish last: the reason string must be fully
+        // written before cancelled becomes visible, so a concurrent
+        // reason() reader never observes a half-written string.
+        if (state_->claimed.compare_exchange_strong(expected, true)) {
             state_->reason = reason;
+            state_->cancelled.store(true, std::memory_order_release);
+        }
     }
 
     /** True when a stop was requested or the deadline passed. */
@@ -59,7 +64,7 @@ class StopToken
     {
         if (state_ == nullptr)
             return false;
-        if (state_->cancelled.load(std::memory_order_relaxed))
+        if (state_->cancelled.load(std::memory_order_acquire))
             return true;
         if (state_->has_deadline &&
             std::chrono::steady_clock::now() >= state_->deadline) {
@@ -86,6 +91,7 @@ class StopToken
   private:
     struct State
     {
+        std::atomic<bool> claimed{false};
         std::atomic<bool> cancelled{false};
         std::string reason;
         bool has_deadline = false;

@@ -1,0 +1,210 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphiti {
+
+namespace {
+
+/** Set while a lane executes batch work, so nested parallelFor calls
+ * run inline instead of deadlocking on their own pool. */
+thread_local bool tl_inside_pool_task = false;
+
+/** One contiguous index range of a batch. */
+struct Chunk
+{
+    std::size_t begin;
+    std::size_t end;
+};
+
+}  // namespace
+
+struct ThreadPool::Impl
+{
+    struct Lane
+    {
+        std::mutex m;
+        std::deque<Chunk> q;
+    };
+
+    explicit Impl(std::size_t lanes) : lanes_(lanes)
+    {
+        for (std::size_t i = 0; i < lanes; ++i)
+            lane_.push_back(std::make_unique<Lane>());
+        // Lane 0 is the caller; spawn the rest.
+        for (std::size_t i = 1; i < lanes; ++i)
+            workers_.emplace_back([this, i] { workerMain(i); });
+    }
+
+    ~Impl()
+    {
+        {
+            std::lock_guard<std::mutex> lock(batch_m_);
+            shutdown_ = true;
+        }
+        batch_cv_.notify_all();
+        for (std::thread& t : workers_)
+            t.join();
+    }
+
+    /** Pop a chunk: own front first, then steal a sibling's back. */
+    bool
+    take(std::size_t lane, Chunk& out)
+    {
+        {
+            Lane& own = *lane_[lane];
+            std::lock_guard<std::mutex> lock(own.m);
+            if (!own.q.empty()) {
+                out = own.q.front();
+                own.q.pop_front();
+                return true;
+            }
+        }
+        for (std::size_t d = 1; d < lanes_; ++d) {
+            Lane& victim = *lane_[(lane + d) % lanes_];
+            std::lock_guard<std::mutex> lock(victim.m);
+            if (!victim.q.empty()) {
+                out = victim.q.back();
+                victim.q.pop_back();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Drain the current batch from lane @p lane until no chunk can
+     * be taken anywhere. */
+    void
+    drain(std::size_t lane)
+    {
+        Chunk chunk;
+        while (take(lane, chunk)) {
+            tl_inside_pool_task = true;
+            chunk_fn_(chunk.begin, chunk.end);
+            tl_inside_pool_task = false;
+            std::size_t left =
+                remaining_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+            if (left == 0) {
+                std::lock_guard<std::mutex> lock(batch_m_);
+                batch_cv_.notify_all();
+            }
+        }
+    }
+
+    void
+    workerMain(std::size_t lane)
+    {
+        std::uint64_t seen_epoch = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(batch_m_);
+                batch_cv_.wait(lock, [&] {
+                    return shutdown_ || epoch_ != seen_epoch;
+                });
+                if (shutdown_)
+                    return;
+                seen_epoch = epoch_;
+            }
+            drain(lane);
+        }
+    }
+
+    void
+    run(std::size_t n,
+        const std::function<void(std::size_t, std::size_t)>& fn)
+    {
+        // Split into more chunks than lanes so stealing has something
+        // to steal when chunk costs are skewed.
+        std::size_t chunks = std::min(n, lanes_ * 4);
+        std::size_t per = n / chunks;
+        std::size_t extra = n % chunks;
+        chunk_fn_ = fn;
+        remaining_.store(chunks, std::memory_order_release);
+        std::size_t at = 0;
+        for (std::size_t c = 0; c < chunks; ++c) {
+            std::size_t len = per + (c < extra ? 1 : 0);
+            Lane& lane = *lane_[c % lanes_];
+            std::lock_guard<std::mutex> lock(lane.m);
+            lane.q.push_back(Chunk{at, at + len});
+            at += len;
+        }
+        {
+            std::lock_guard<std::mutex> lock(batch_m_);
+            ++epoch_;
+        }
+        batch_cv_.notify_all();
+
+        drain(0);  // the caller participates as lane 0
+        std::unique_lock<std::mutex> lock(batch_m_);
+        batch_cv_.wait(lock, [&] {
+            return remaining_.load(std::memory_order_acquire) == 0;
+        });
+        chunk_fn_ = nullptr;
+    }
+
+    std::size_t lanes_;
+    std::vector<std::unique_ptr<Lane>> lane_;
+    std::vector<std::thread> workers_;
+    std::function<void(std::size_t, std::size_t)> chunk_fn_;
+    std::atomic<std::size_t> remaining_{0};
+    std::mutex batch_m_;
+    std::condition_variable batch_cv_;
+    std::uint64_t epoch_ = 0;
+    bool shutdown_ = false;
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    size_ = resolveThreads(threads);
+    if (size_ > 1)
+        impl_ = new Impl(size_);
+}
+
+ThreadPool::~ThreadPool()
+{
+    delete impl_;
+}
+
+std::size_t
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+std::size_t
+ThreadPool::resolveThreads(std::size_t requested)
+{
+    return requested == 0 ? hardwareThreads() : requested;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)>& fn)
+{
+    parallelForChunks(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            fn(i);
+    });
+}
+
+void
+ThreadPool::parallelForChunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn)
+{
+    if (n == 0)
+        return;
+    if (impl_ == nullptr || n < 2 || tl_inside_pool_task) {
+        fn(0, n);
+        return;
+    }
+    impl_->run(n, fn);
+}
+
+}  // namespace graphiti

@@ -1,0 +1,89 @@
+#ifndef GRAPHITI_SUPPORT_THREAD_POOL_HPP
+#define GRAPHITI_SUPPORT_THREAD_POOL_HPP
+
+/**
+ * @file
+ * Fixed-size work-stealing thread pool for the parallel verification
+ * core (docs/parallelism.md).
+ *
+ * A pool owns `size() - 1` worker threads; the thread that calls
+ * parallelFor participates as lane 0, so `ThreadPool(1)` never spawns
+ * a thread and runs every loop inline — byte-for-byte the sequential
+ * code path. Work is distributed as contiguous index chunks onto
+ * per-lane deques; a lane that drains its own deque steals from the
+ * back of a sibling's, so uneven chunks (state expansions vary wildly
+ * in cost) still load-balance.
+ *
+ * Determinism contract: parallelFor only promises that fn(i) runs
+ * exactly once per index, on some lane, before the call returns (it
+ * is a barrier). Callers that need deterministic *results* must make
+ * fn(i) write only to slot i of a pre-sized output and do any
+ * order-sensitive merging themselves after the barrier — the pattern
+ * every parallel phase in refine/ follows.
+ *
+ * Tasks must not throw: exceptions cannot cross the lane boundary, so
+ * fn is run under a terminate-on-throw contract (the codebase reports
+ * errors through Result values, never exceptions).
+ *
+ * Nested parallelFor calls (from inside a task) degrade gracefully:
+ * the inner loop runs inline on the calling lane instead of
+ * deadlocking on the pool's own workers.
+ */
+
+#include <cstddef>
+#include <functional>
+
+namespace graphiti {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with @p threads total lanes (including the
+     * caller). 0 means hardwareThreads(); 1 means fully inline.
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Total lanes, including the calling thread. Always >= 1. */
+    std::size_t size() const { return size_; }
+
+    /** std::thread::hardware_concurrency, floored at 1. */
+    static std::size_t hardwareThreads();
+
+    /**
+     * Resolve a thread-count knob: 0 -> hardwareThreads(), otherwise
+     * the value itself. Shared by every `threads` option so knobs
+     * agree on what "default" means.
+     */
+    static std::size_t resolveThreads(std::size_t requested);
+
+    /**
+     * Run fn(i) once for every i in [0, n), in parallel, and return
+     * when all calls finished (a barrier). With size() == 1, or n < 2,
+     * or when called from inside a pool task, the loop runs inline.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)>& fn);
+
+    /**
+     * Chunked variant: fn(begin, end) over a partition of [0, n).
+     * Lanes steal whole chunks, so fn amortizes per-chunk setup
+     * (thread-local buffers) across many indices.
+     */
+    void parallelForChunks(
+        std::size_t n,
+        const std::function<void(std::size_t, std::size_t)>& fn);
+
+  private:
+    struct Impl;
+    Impl* impl_ = nullptr;  // null when size_ == 1 (inline pool)
+    std::size_t size_ = 1;
+};
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_SUPPORT_THREAD_POOL_HPP
