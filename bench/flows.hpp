@@ -188,7 +188,12 @@ class JsonReport
         root_.set("phases", phases_);
         Result<bool> wrote = obs::json::writeFile(path, root_);
         if (!wrote.ok()) {
-            std::cerr << "--json: " << wrote.error().message << "\n";
+            // Loud and nonzero: a bench run whose report silently
+            // vanished looks identical to one that was never asked
+            // for a report, and a perf gate comparing against the
+            // stale previous file would pass on garbage.
+            std::cerr << "error: --json report was NOT written: "
+                      << wrote.error().message << "\n";
             return false;
         }
         return true;

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Compile-service gate (docs/service.md):
+#
+#   1. Served tests: build and run the `served`-labelled suite —
+#      framing, admission/fair-share policy, the crash-safe verdict
+#      store, and the daemon byte-identity / shed-honesty / restart
+#      contracts, in-process.
+#   2. Daemon smoke: boot graphiti-served on a temporary socket with a
+#      persistent verdict store, drive it with graphiti-client (ping,
+#      then a governed verify of a real benchmark), and require an ok
+#      response.
+#   3. Crash recovery: kill -9 the daemon, restart it on the same
+#      store directory, and require the pre-kill verdict to come back
+#      as a verify_cache_hit — the write-through store must survive
+#      an unclean death, not just a polite shutdown.
+#   4. Soak: a bounded bench_served run with --misbehave — concurrent
+#      clients, a deterministic slice of them hostile (half-written
+#      frames, mid-job disconnects, deadline-zero floods, junk) — and
+#      require every healthy request answered.
+#
+# Usage: ci/served_gate.sh [build-dir]    (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+JOBS="${SERVED_GATE_JOBS:-2}"
+SOAK_CLIENTS="${SERVED_GATE_CLIENTS:-4}"
+SOAK_REQUESTS="${SERVED_GATE_REQUESTS:-10}"
+
+WORK="$(mktemp -d)"
+SOCKET="${WORK}/served.sock"
+STORE="${WORK}/verdicts"
+DAEMON_LOG="${WORK}/daemon.log"
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "${DAEMON_PID}" ] && kill -9 "${DAEMON_PID}" 2> /dev/null || true
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+wait_for_listen() {
+    # The daemon prints its listening line before serving; poll for it
+    # so the client never races the bind.
+    for _ in $(seq 1 100); do
+        grep -q "listening on" "${DAEMON_LOG}" 2> /dev/null && return 0
+        kill -0 "$1" 2> /dev/null || {
+            echo "served gate: daemon died during startup:"
+            cat "${DAEMON_LOG}"
+            exit 1
+        }
+        sleep 0.1
+    done
+    echo "served gate: daemon never started listening:"
+    cat "${DAEMON_LOG}"
+    exit 1
+}
+
+echo "== served gate: build =="
+cmake --build "${BUILD}" -j "${JOBS}" \
+    --target test_served bench_served graphiti-served graphiti-client
+
+echo "== served gate: tests (ctest -L served) =="
+ctest --test-dir "${BUILD}" -L served --output-on-failure
+
+echo "== served gate: daemon smoke =="
+"${BUILD}/tools/graphiti-served" --socket "${SOCKET}" --workers 2 \
+    --store "${STORE}" > "${DAEMON_LOG}" 2>&1 &
+DAEMON_PID=$!
+wait_for_listen "${DAEMON_PID}"
+
+"${BUILD}/tools/graphiti-client" --socket "${SOCKET}" ping > /dev/null
+# Tight budgets (the test-suite shape): the gate checks the service
+# plumbing, not assurance depth — bicg at full budgets takes minutes.
+BENCHMARK="bicg"
+TIGHT="--max-states 800 --partial-states 300 --input-budget 1 \
+    --trace-walks 2"
+"${BUILD}/tools/graphiti-client" --socket "${SOCKET}" verify \
+    --benchmark "${BENCHMARK}" ${TIGHT} > "${WORK}/verify1.json"
+grep -q '"status": "ok"' "${WORK}/verify1.json" || {
+    echo "served gate: verify of ${BENCHMARK} did not return ok:"
+    cat "${WORK}/verify1.json"
+    exit 1
+}
+echo "served gate: smoke OK (ping + verify ${BENCHMARK})"
+
+echo "== served gate: kill -9 / restart cache recovery =="
+kill -9 "${DAEMON_PID}"
+wait "${DAEMON_PID}" 2> /dev/null || true
+DAEMON_PID=""
+rm -f "${SOCKET}"
+
+"${BUILD}/tools/graphiti-served" --socket "${SOCKET}" --workers 2 \
+    --store "${STORE}" > "${DAEMON_LOG}" 2>&1 &
+DAEMON_PID=$!
+wait_for_listen "${DAEMON_PID}"
+
+"${BUILD}/tools/graphiti-client" --socket "${SOCKET}" verify \
+    --benchmark "${BENCHMARK}" ${TIGHT} > "${WORK}/verify2.json"
+grep -q '"status": "ok"' "${WORK}/verify2.json" || {
+    echo "served gate: post-restart verify did not return ok:"
+    cat "${WORK}/verify2.json"
+    exit 1
+}
+grep -q '"verify_cache_hit": true' "${WORK}/verify2.json" || {
+    echo "served gate: FAIL: pre-kill verdict was not served from the"
+    echo "store after kill -9 + restart — persistence is not"
+    echo "crash-safe:"
+    cat "${WORK}/verify2.json"
+    exit 1
+}
+python3 - "${WORK}/verify1.json" "${WORK}/verify2.json" <<'PY'
+import json, sys
+
+before = json.load(open(sys.argv[1]))["result"]["verdict"]
+after = json.load(open(sys.argv[2]))["result"]["verdict"]
+if before != after:
+    sys.exit("served gate: FAIL: recovered verdict differs from the "
+             "one committed before the kill")
+print("served gate: recovered verdict byte-identical to the "
+      "pre-kill one")
+PY
+kill "${DAEMON_PID}" 2> /dev/null || true
+wait "${DAEMON_PID}" 2> /dev/null || true
+DAEMON_PID=""
+
+echo "== served gate: misbehaving-client soak =="
+"${BUILD}/bench/bench_served" --clients "${SOAK_CLIENTS}" \
+    --requests "${SOAK_REQUESTS}" --workers 2 --queue 4 --misbehave \
+    --json "${WORK}/soak.json"
+
+echo "served gate: OK"

@@ -144,7 +144,8 @@ Compiler::compileGraph(const ExprHigh& graph,
         report.verify_cache_key = guard::formatCacheKey(key);
         bool cacheable =
             options.verify_cache && guard::isCacheable(budget);
-        if (cacheable && !options.verify_cache_file.empty()) {
+        if (cacheable && verdict_store_ == nullptr &&
+            !options.verify_cache_file.empty()) {
             Result<bool> loaded =
                 verify_cache_.loadFile(options.verify_cache_file);
             if (!loaded.ok())
@@ -152,7 +153,9 @@ Compiler::compileGraph(const ExprHigh& graph,
         }
         std::optional<guard::VerificationVerdict> cached;
         if (cacheable)
-            cached = verify_cache_.lookup(key);
+            cached = verdict_store_ != nullptr
+                         ? verdict_store_->lookup(key)
+                         : verify_cache_.lookup(key);
         if (cached) {
             report.verdict = *cached;
             report.verify_cache_hit = true;
@@ -160,20 +163,31 @@ Compiler::compileGraph(const ExprHigh& graph,
         } else {
             if (cacheable)
                 GRAPHITI_OBS_COUNT("guard.verify.cache_misses", 1);
-            guard::Governor governor(budget);
+            guard::Governor governor(budget, options.stop);
             // Bounded-queue environment sharing this compiler's
             // registry, sized like verifyCompilation's.
             Environment bounded(budget.input_budget + 2,
                                 env_.functionsPtr());
             report.verdict = governor.verifyGraphs(report.graph, graph,
                                                    bounded, tokens);
+            // A verdict computed after the caller's token fired is a
+            // wall-clock artifact (the ladder degraded because of the
+            // cancellation) — committing it would poison the cache
+            // for every future deterministic request.
+            if (cacheable && options.stop.stopRequested())
+                cacheable = false;
             if (cacheable) {
-                verify_cache_.store(key, report.verdict);
-                if (!options.verify_cache_file.empty()) {
-                    Result<bool> saved = verify_cache_.saveFile(
-                        options.verify_cache_file);
-                    if (!saved.ok())
-                        return saved.error().context("compileGraph");
+                if (verdict_store_ != nullptr) {
+                    verdict_store_->store(key, report.verdict);
+                } else {
+                    verify_cache_.store(key, report.verdict);
+                    if (!options.verify_cache_file.empty()) {
+                        Result<bool> saved = verify_cache_.saveFile(
+                            options.verify_cache_file);
+                        if (!saved.ok())
+                            return saved.error().context(
+                                "compileGraph");
+                    }
                 }
             }
         }

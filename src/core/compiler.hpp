@@ -31,6 +31,7 @@
 #include "faults/stress.hpp"
 #include "guard/governor.hpp"
 #include "guard/validator.hpp"
+#include "guard/verdict_store.hpp"
 #include "guard/verify_cache.hpp"
 #include "obs/critpath.hpp"
 #include "obs/scope.hpp"
@@ -99,6 +100,16 @@ struct CompileOptions
     /** Optional JSON file the verdict cache persists through (loaded
      * before the governed rung, saved after a miss). */
     std::string verify_cache_file;
+    /**
+     * Caller-owned cancellation handle (must be armed — see
+     * StopToken::manual / withDeadline — to have any effect). The
+     * governed verification ladder polls it, so a served job's
+     * deadline, a client disconnect, or a fair-share preemption
+     * unwinds the compile with an honest degraded verdict instead of
+     * hanging a worker. Verdicts produced after the token fired are
+     * wall-clock artifacts and are never cached.
+     */
+    StopToken stop;
 };
 
 /** Outcome of one compilation. */
@@ -214,9 +225,29 @@ class Compiler
     /** The in-process governed-verdict cache (hits/misses/size). */
     const guard::VerifyCache& verifyCache() const { return verify_cache_; }
 
+    /**
+     * Share a sharded, LRU-bounded, crash-safe verdict store (the
+     * served daemon's): when set, governed verdict lookups and
+     * commits go through it instead of the per-Compiler cache, so
+     * every request — and every daemon restart — sees the same
+     * committed verdicts. The store is thread-safe; the Compiler
+     * itself still is not (use one Compiler per job).
+     */
+    void
+    setVerdictStore(std::shared_ptr<guard::VerdictStore> store)
+    {
+        verdict_store_ = std::move(store);
+    }
+    const std::shared_ptr<guard::VerdictStore>&
+    verdictStore() const
+    {
+        return verdict_store_;
+    }
+
   private:
     Environment env_;
     guard::VerifyCache verify_cache_;
+    std::shared_ptr<guard::VerdictStore> verdict_store_;
 };
 
 }  // namespace graphiti

@@ -1,0 +1,82 @@
+#ifndef GRAPHITI_FAULTS_CONNECTION_PLAN_HPP
+#define GRAPHITI_FAULTS_CONNECTION_PLAN_HPP
+
+/**
+ * @file
+ * Deterministic misbehaving-client plans for the served daemon.
+ *
+ * The fault taxonomy moves up one layer from fault_plan.hpp: instead
+ * of perturbing channel timing inside a circuit, a ConnectionPlan
+ * perturbs the *protocol* behavior of a client talking to the daemon
+ * — half-written frames, disconnects right after sending, deadline-
+ * zero floods, junk payloads. Like FaultPlan, the whole schedule is a
+ * pure function of one seed: every decision is a fresh splitmix hash
+ * of (seed, client, request), so a failing soak reproduces from the
+ * single seed in its report, and adding clients or requests never
+ * shifts another coordinate's draw.
+ *
+ * The daemon must survive every action with a structured response or
+ * a clean connection drop — never a crash, a hang, or a poisoned
+ * worker (the served tests and ci/served_gate.sh drive exactly this).
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace graphiti::faults {
+
+/** What a client does with one request. */
+enum class ClientAction : std::uint8_t
+{
+    Behave,             ///< well-formed request, await response
+    TruncateFrame,      ///< send a prefix of the frame, then hang up
+    DisconnectAfterSend,///< full frame, but vanish before the response
+    DeadlineZero,       ///< well-formed, deadline so small it expires
+    JunkFrame,          ///< valid length prefix, garbage payload
+};
+
+const char* toString(ClientAction action);
+
+/** Tunables of a misbehaving-client plan (rates sum to < 1; the
+ * remainder behaves). */
+struct ConnectionPlanConfig
+{
+    double truncate_rate = 0.10;
+    double disconnect_rate = 0.10;
+    double deadline_zero_rate = 0.10;
+    double junk_rate = 0.05;
+};
+
+/** One reproducible client-misbehavior schedule. */
+class ConnectionPlan
+{
+  public:
+    explicit ConnectionPlan(std::uint64_t seed,
+                            ConnectionPlanConfig config = {})
+        : seed_(seed), config_(config)
+    {
+    }
+
+    /** A plan whose every request behaves. */
+    static ConnectionPlan wellBehaved() { return ConnectionPlan(0, {}); }
+
+    /** The action of @p client's request number @p request. */
+    ClientAction action(std::size_t client, std::size_t request) const;
+
+    /** Where a TruncateFrame cut lands: a byte count in
+     * [1, frame_size) — always at least the first byte, never the
+     * whole frame (then it would not be a truncation). */
+    std::size_t truncateAt(std::size_t client, std::size_t request,
+                           std::size_t frame_size) const;
+
+    std::uint64_t seed() const { return seed_; }
+    const ConnectionPlanConfig& config() const { return config_; }
+
+  private:
+    std::uint64_t seed_ = 0;
+    ConnectionPlanConfig config_;
+};
+
+}  // namespace graphiti::faults
+
+#endif  // GRAPHITI_FAULTS_CONNECTION_PLAN_HPP

@@ -38,6 +38,19 @@ fnv1a(const std::string& text)
 
 }  // namespace
 
+std::uint64_t
+derivePlanSeed(std::uint64_t base, const std::string& name,
+               std::size_t index)
+{
+    // Mix the family name in first (FNV-1a), then run the combined
+    // state through a splitmix draw so neighbouring (base, index)
+    // pairs land far apart.
+    std::uint64_t h = fnv1a(name) ^ (base * 0x9e3779b97f4a7c15ULL);
+    return Rng(h ^ (static_cast<std::uint64_t>(index) *
+                    0xc2b2ae3d27d4eb4fULL))
+        .next();
+}
+
 FaultPlan
 FaultPlan::none()
 {

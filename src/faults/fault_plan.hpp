@@ -36,6 +36,17 @@
 
 namespace graphiti::faults {
 
+/**
+ * Seed of plan number @p index in the family called @p name, derived
+ * from harness seed @p base. Hashing the family name in keeps the
+ * streams of different plan families disjoint: adding a new family
+ * (or reordering how families are built) never silently changes the
+ * schedule of an existing plan, and `base + i`-style collisions
+ * between neighbouring harness seeds cannot happen.
+ */
+std::uint64_t derivePlanSeed(std::uint64_t base, const std::string& name,
+                             std::size_t index);
+
 /** Tunables of randomized fault plans. */
 struct FaultPlanConfig
 {

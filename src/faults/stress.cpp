@@ -177,7 +177,10 @@ StressHarness::buildPlans(const ExprHigh& graph) const
 {
     std::vector<std::shared_ptr<FaultPlan>> plans;
     for (std::size_t i = 0; i < options_.random_plans; ++i) {
-        std::uint64_t seed = Rng(options_.base_seed + i).next();
+        // (name, index)-derived seeds: adding another plan family can
+        // never shift or collide with the random plans' schedules.
+        std::uint64_t seed =
+            derivePlanSeed(options_.base_seed, "random", i);
         plans.push_back(std::make_shared<FaultPlan>(
             FaultPlan::random(seed, options_.plan_config)));
     }

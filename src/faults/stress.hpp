@@ -51,7 +51,7 @@ struct StressOptions
 {
     /** Number of seeded random plans. */
     std::size_t random_plans = 6;
-    /** Base seed; plan i uses a splitmix of (base_seed, i). */
+    /** Base seed; plan i draws derivePlanSeed(base_seed, "random", i). */
     std::uint64_t base_seed = 0x6772617068697469ULL;
     /** Tunables shared by all random plans. */
     FaultPlanConfig plan_config;

@@ -51,6 +51,13 @@ Governor::Governor(VerificationBudget budget) : budget_(budget)
         stop_ = StopToken::withDeadline(budget_.deadline_seconds);
 }
 
+Governor::Governor(VerificationBudget budget, StopToken external)
+    : Governor(budget)
+{
+    if (external.armed())
+        stop_ = std::move(external);
+}
+
 namespace {
 
 std::string

@@ -108,6 +108,16 @@ class Governor
   public:
     explicit Governor(VerificationBudget budget);
 
+    /**
+     * A governor whose phases additionally poll @p external — an
+     * armed caller-owned token (job deadline, client disconnect,
+     * fair-share preemption in the served daemon). When @p external
+     * is armed it becomes the governor's token outright, so the
+     * caller controls both deadline and explicit cancellation;
+     * unarmed, this is the single-argument constructor.
+     */
+    Governor(VerificationBudget budget, StopToken external);
+
     /** The cancellation token phases poll; armed with the deadline
      * when one was configured. Share it with SimConfig::stop or
      * ExplorationLimits::stop to govern external phases too. */

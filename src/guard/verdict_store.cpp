@@ -1,0 +1,241 @@
+#include "guard/verdict_store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "obs/scope.hpp"
+
+namespace graphiti::guard {
+
+obs::json::Value
+VerdictStoreStats::toJson() const
+{
+    obs::json::Value out{obs::json::Object{}};
+    out.set("entries", entries);
+    out.set("hits", hits);
+    out.set("misses", misses);
+    out.set("evictions", evictions);
+    out.set("corrupt_entries", corrupt_entries);
+    return out;
+}
+
+VerdictStore::VerdictStore(VerdictStoreConfig config)
+    : config_(std::move(config)),
+      shards_(std::max<std::size_t>(config_.shards, 1))
+{
+    config_.shards = shards_.size();
+}
+
+std::size_t
+VerdictStore::shardOf(std::uint64_t key) const
+{
+    // Top bits: the FNV key is uniform, and the low bits already pick
+    // hash buckets inside the shard map.
+    return (key >> 48) % shards_.size();
+}
+
+std::string
+VerdictStore::shardPath(std::size_t index) const
+{
+    return config_.dir + "/verdicts-" + std::to_string(index) +
+           ".json";
+}
+
+std::optional<VerificationVerdict>
+VerdictStore::lookup(std::uint64_t key)
+{
+    Shard& shard = shards_[shardOf(key)];
+    std::optional<VerificationVerdict> found;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.entries.find(key);
+        if (it != shard.entries.end()) {
+            shard.lru.erase(it->second.lru_pos);
+            shard.lru.push_front(key);
+            it->second.lru_pos = shard.lru.begin();
+            found = it->second.verdict;
+        }
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (found)
+        ++stats_.hits;
+    else
+        ++stats_.misses;
+    return found;
+}
+
+void
+VerdictStore::store(std::uint64_t key,
+                    const VerificationVerdict& verdict)
+{
+    std::size_t index = shardOf(key);
+    Shard& shard = shards_[index];
+    std::size_t evicted = 0;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.entries.find(key);
+        if (it != shard.entries.end()) {
+            it->second.verdict = verdict;
+            shard.lru.erase(it->second.lru_pos);
+            shard.lru.push_front(key);
+            it->second.lru_pos = shard.lru.begin();
+        } else {
+            shard.lru.push_front(key);
+            shard.entries.emplace(
+                key, Shard::Entry{verdict, shard.lru.begin()});
+            while (config_.max_entries_per_shard > 0 &&
+                   shard.entries.size() >
+                       config_.max_entries_per_shard) {
+                std::uint64_t coldest = shard.lru.back();
+                shard.lru.pop_back();
+                shard.entries.erase(coldest);
+                ++evicted;
+            }
+        }
+        if (!config_.dir.empty() && config_.persist_on_store)
+            persistShardLocked(index);
+    }
+    if (evicted > 0) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.evictions += evicted;
+        GRAPHITI_OBS_COUNT("guard.verify.store_evictions",
+                           static_cast<std::int64_t>(evicted));
+    }
+}
+
+obs::json::Value
+VerdictStore::shardJsonLocked(const Shard& shard) const
+{
+    namespace json = obs::json;
+    json::Value out{json::Object{}};
+    out.set("version", 1);
+    json::Value arr{json::Array{}};
+    // Dump in LRU order (hottest first), so a bounded reload under a
+    // smaller cap keeps the hottest entries.
+    for (std::uint64_t key : shard.lru) {
+        auto it = shard.entries.find(key);
+        json::Value entry{json::Object{}};
+        entry.set("key", formatCacheKey(key));
+        entry.set("verdict", it->second.verdict.toJson());
+        arr.push(std::move(entry));
+    }
+    out.set("entries", std::move(arr));
+    return out;
+}
+
+void
+VerdictStore::persistShardLocked(std::size_t index) const
+{
+    ::mkdir(config_.dir.c_str(), 0755);  // EEXIST is fine
+    Result<bool> wrote =
+        writeJsonAtomic(shardPath(index), shardJsonLocked(shards_[index]));
+    if (!wrote.ok())
+        GRAPHITI_OBS_COUNT("guard.verify.store_persist_errors", 1);
+}
+
+Result<std::size_t>
+VerdictStore::load()
+{
+    if (config_.dir.empty())
+        return std::size_t{0};
+    std::size_t loaded = 0;
+    std::size_t corrupt = 0;
+    for (std::size_t index = 0; index < shards_.size(); ++index) {
+        std::ifstream in(shardPath(index));
+        if (!in)
+            continue;  // missing shard file: empty shard
+        std::ostringstream text;
+        text << in.rdbuf();
+        Result<obs::json::Value> parsed = obs::json::parse(text.str());
+        if (!parsed.ok()) {
+            ++corrupt;  // torn or foreign file: skip the whole shard
+            continue;
+        }
+        const obs::json::Value* entries =
+            parsed.value().find("entries");
+        if (entries == nullptr || !entries->isArray()) {
+            ++corrupt;
+            continue;
+        }
+        Shard& shard = shards_[index];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        // File is hottest-first; iterate in reverse so push_front
+        // rebuilds the same LRU order.
+        const obs::json::Array& arr = entries->asArray();
+        for (auto it = arr.rbegin(); it != arr.rend(); ++it) {
+            const obs::json::Value* key = it->find("key");
+            const obs::json::Value* verdict = it->find("verdict");
+            Result<VerificationVerdict> decoded =
+                (key != nullptr && key->isString() && verdict != nullptr)
+                    ? verdictFromJson(*verdict)
+                    : err("malformed entry");
+            if (!decoded.ok()) {
+                ++corrupt;
+                continue;
+            }
+            std::uint64_t parsed_key = std::strtoull(
+                key->asString().c_str(), nullptr, 16);
+            if (shardOf(parsed_key) != index) {
+                ++corrupt;  // entry filed under the wrong shard
+                continue;
+            }
+            auto existing = shard.entries.find(parsed_key);
+            if (existing != shard.entries.end())
+                continue;  // in-memory entries win
+            shard.lru.push_front(parsed_key);
+            shard.entries.emplace(
+                parsed_key,
+                Shard::Entry{decoded.take(), shard.lru.begin()});
+            ++loaded;
+            while (config_.max_entries_per_shard > 0 &&
+                   shard.entries.size() >
+                       config_.max_entries_per_shard) {
+                std::uint64_t coldest = shard.lru.back();
+                shard.lru.pop_back();
+                shard.entries.erase(coldest);
+            }
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.corrupt_entries += corrupt;
+    }
+    GRAPHITI_OBS_COUNT("guard.verify.cache_corrupt",
+                       static_cast<std::int64_t>(corrupt));
+    return loaded;
+}
+
+Result<bool>
+VerdictStore::save() const
+{
+    if (config_.dir.empty())
+        return false;
+    ::mkdir(config_.dir.c_str(), 0755);
+    for (std::size_t index = 0; index < shards_.size(); ++index) {
+        const Shard& shard = shards_[index];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        Result<bool> wrote = writeJsonAtomic(shardPath(index),
+                                             shardJsonLocked(shard));
+        if (!wrote.ok())
+            return wrote.error().context("verdict store save");
+    }
+    return true;
+}
+
+VerdictStoreStats
+VerdictStore::stats() const
+{
+    VerdictStoreStats out;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        out = stats_;
+    }
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        out.entries += shard.entries.size();
+    }
+    return out;
+}
+
+}  // namespace graphiti::guard

@@ -1,0 +1,127 @@
+#ifndef GRAPHITI_GUARD_VERDICT_STORE_HPP
+#define GRAPHITI_GUARD_VERDICT_STORE_HPP
+
+/**
+ * @file
+ * The served verdict store: the per-Compiler VerifyCache promoted to
+ * a sharded, LRU-bounded, crash-safe map shared across requests
+ * (docs/service.md).
+ *
+ * Sharding: the top bits of the (already uniform) FNV-1a cache key
+ * pick a shard; each shard has its own mutex, so concurrent jobs on
+ * different keys never contend. Bounding: each shard keeps an LRU
+ * list and evicts the coldest entry past its cap, so a daemon serving
+ * millions of distinct circuits stays within a fixed memory budget.
+ *
+ * Crash safety: with a persistence directory configured, every
+ * store() rewrites the owning shard's file via write-to-temp +
+ * rename(2) — atomic on POSIX — so a SIGKILL at any instant leaves
+ * either the previous complete file or the new complete file, never a
+ * torn one. A verdict is "committed" exactly when store() returns.
+ * Loading tolerates corruption: an unparseable shard file or a
+ * malformed entry is skipped and counted (`guard.verify.cache_corrupt`),
+ * never fatal — a half-written frame of a crashed foreign writer must
+ * not take the daemon down.
+ */
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "guard/verify_cache.hpp"
+
+namespace graphiti::guard {
+
+/** Shape of one VerdictStore. */
+struct VerdictStoreConfig
+{
+    /** Persistence directory; empty = memory-only. Created lazily. */
+    std::string dir;
+    /** Shard count (clamped to >= 1). More shards = less lock
+     * contention and smaller rewrite units. */
+    std::size_t shards = 8;
+    /** LRU cap per shard; 0 = unbounded. */
+    std::size_t max_entries_per_shard = 1024;
+    /** Persist the owning shard on every store (write-through). Off,
+     * verdicts only reach disk on an explicit save(). */
+    bool persist_on_store = true;
+};
+
+/** Counters of one store; see VerdictStore::stats. */
+struct VerdictStoreStats
+{
+    std::size_t entries = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t corrupt_entries = 0;
+
+    obs::json::Value toJson() const;
+};
+
+/** Sharded, LRU-bounded, crash-safe verdict store. */
+class VerdictStore
+{
+  public:
+    explicit VerdictStore(VerdictStoreConfig config = {});
+
+    /** Cached verdict for @p key; refreshes its LRU position and
+     * counts a hit or a miss. */
+    std::optional<VerificationVerdict> lookup(std::uint64_t key);
+
+    /**
+     * Commit @p verdict under @p key (last store wins), evicting the
+     * shard's coldest entry past the cap. With persistence on, the
+     * shard file is atomically rewritten before returning — the
+     * verdict survives a SIGKILL from here on.
+     */
+    void store(std::uint64_t key, const VerificationVerdict& verdict);
+
+    /**
+     * Load every shard file from the configured directory.
+     * Corruption-tolerant: bad files/entries are skipped and counted.
+     * Returns the number of entries loaded.
+     */
+    Result<std::size_t> load();
+
+    /** Persist every shard now (also happens per-store when
+     * persist_on_store). */
+    Result<bool> save() const;
+
+    VerdictStoreStats stats() const;
+    const VerdictStoreConfig& config() const { return config_; }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Most-recent first; entries hold iterators into this. */
+        std::list<std::uint64_t> lru;
+        struct Entry
+        {
+            VerificationVerdict verdict;
+            std::list<std::uint64_t>::iterator lru_pos;
+        };
+        std::unordered_map<std::uint64_t, Entry> entries;
+    };
+
+    std::size_t shardOf(std::uint64_t key) const;
+    std::string shardPath(std::size_t index) const;
+    /** Serialize one shard; caller holds its mutex. */
+    obs::json::Value shardJsonLocked(const Shard& shard) const;
+    /** Persist one shard; caller holds its mutex. */
+    void persistShardLocked(std::size_t index) const;
+
+    VerdictStoreConfig config_;
+    std::vector<Shard> shards_;
+    mutable std::mutex stats_mutex_;
+    mutable VerdictStoreStats stats_;
+};
+
+}  // namespace graphiti::guard
+
+#endif  // GRAPHITI_GUARD_VERDICT_STORE_HPP

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "dot/dot.hpp"
+#include "obs/scope.hpp"
 
 namespace graphiti::guard {
 
@@ -174,24 +175,56 @@ VerifyCache::loadFile(const std::string& path)
     std::ostringstream text;
     text << in.rdbuf();
     Result<obs::json::Value> parsed = obs::json::parse(text.str());
-    if (!parsed.ok())
-        return parsed.error().context("verify cache " + path);
-    const obs::json::Value* entries = parsed.value().find("entries");
-    if (entries == nullptr || !entries->isArray())
-        return err("verify cache " + path + ": no entries array");
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const obs::json::Value& entry : entries->asArray()) {
-        const obs::json::Value* key = entry.find("key");
-        const obs::json::Value* verdict = entry.find("verdict");
-        if (key == nullptr || !key->isString() || verdict == nullptr)
-            return err("verify cache " + path + ": malformed entry");
-        std::uint64_t parsed_key =
-            std::strtoull(key->asString().c_str(), nullptr, 16);
-        Result<VerificationVerdict> decoded = verdictFromJson(*verdict);
-        if (!decoded.ok())
-            return decoded.error().context("verify cache " + path);
-        // In-memory entries win: they are at least as fresh.
-        entries_.emplace(parsed_key, decoded.take());
+    std::size_t corrupt = 0;
+    bool loaded_any = false;
+    if (parsed.ok()) {
+        const obs::json::Value* entries =
+            parsed.value().find("entries");
+        if (entries != nullptr && entries->isArray()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (const obs::json::Value& entry : entries->asArray()) {
+                const obs::json::Value* key = entry.find("key");
+                const obs::json::Value* verdict = entry.find("verdict");
+                Result<VerificationVerdict> decoded =
+                    (key != nullptr && key->isString() &&
+                     verdict != nullptr)
+                        ? verdictFromJson(*verdict)
+                        : err("malformed entry");
+                if (!decoded.ok()) {
+                    ++corrupt;  // skip the entry, keep the rest
+                    continue;
+                }
+                std::uint64_t parsed_key = std::strtoull(
+                    key->asString().c_str(), nullptr, 16);
+                // In-memory entries win: they are at least as fresh.
+                entries_.emplace(parsed_key, decoded.take());
+                loaded_any = true;
+            }
+        } else {
+            ++corrupt;  // parsed, but not a cache document
+        }
+    } else {
+        ++corrupt;  // truncated or otherwise unparseable: empty cache
+    }
+    if (corrupt > 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        corrupt_entries_ += corrupt;
+    }
+    GRAPHITI_OBS_COUNT("guard.verify.cache_corrupt",
+                       static_cast<std::int64_t>(corrupt));
+    return loaded_any;
+}
+
+Result<bool>
+writeJsonAtomic(const std::string& path, const obs::json::Value& value)
+{
+    std::string tmp = path + ".tmp";
+    Result<bool> wrote = obs::json::writeFile(tmp, value);
+    if (!wrote.ok())
+        return wrote.error();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return err("rename " + tmp + " -> " + path + " failed");
     }
     return true;
 }
@@ -213,7 +246,7 @@ VerifyCache::saveFile(const std::string& path) const
         }
     }
     out.set("entries", std::move(arr));
-    return json::writeFile(path, out);
+    return writeJsonAtomic(path, out);
 }
 
 std::size_t
@@ -235,6 +268,13 @@ VerifyCache::misses() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return misses_;
+}
+
+std::size_t
+VerifyCache::corruptEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return corrupt_entries_;
 }
 
 }  // namespace graphiti::guard

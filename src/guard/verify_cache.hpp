@@ -66,24 +66,41 @@ class VerifyCache
 
     /**
      * Merge entries from a cache file written by saveFile. A missing
-     * file is an empty cache (returns false); a malformed one is an
-     * error. In-memory entries win over file entries.
+     * file is an empty cache (returns false). Corruption-tolerant: a
+     * truncated or malformed file, and individual malformed entries,
+     * are skipped (counted in corruptEntries() and the
+     * `guard.verify.cache_corrupt` metric) instead of failing the
+     * whole load — a torn write must never take the cache down.
+     * In-memory entries win over file entries.
      */
     Result<bool> loadFile(const std::string& path);
 
-    /** Write all entries to @p path as JSON. */
+    /** Write all entries to @p path as JSON, via a temp file and an
+     * atomic rename, so a crash mid-save never leaves a torn file. */
     Result<bool> saveFile(const std::string& path) const;
 
     std::size_t size() const;
     std::size_t hits() const;
     std::size_t misses() const;
+    /** Malformed files/entries skipped by loadFile so far. */
+    std::size_t corruptEntries() const;
 
   private:
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, VerificationVerdict> entries_;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
+    std::size_t corrupt_entries_ = 0;
 };
+
+/**
+ * Write @p value to @p path crash-safely: dump to `<path>.tmp`, then
+ * rename over the target. rename(2) is atomic on POSIX, so readers
+ * (and a post-crash reload) see either the old file or the complete
+ * new one, never a torn mix. Shared by VerifyCache and VerdictStore.
+ */
+Result<bool> writeJsonAtomic(const std::string& path,
+                             const obs::json::Value& value);
 
 }  // namespace graphiti::guard
 

@@ -377,6 +377,10 @@ writeFile(const std::string& path, const Value& value)
     if (!out)
         return err("cannot open " + path + " for writing");
     out << value.dump(2) << "\n";
+    // Flush before checking: a small document fits the stream buffer
+    // entirely, so without this the first write syscall happens at
+    // destruction and an ENOSPC/EIO there would be silently dropped.
+    out.flush();
     if (!out)
         return err("write to " + path + " failed");
     return true;

@@ -1,0 +1,88 @@
+#include "obs/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphiti::obs {
+
+LatencyReservoir::LatencyReservoir(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1))
+{
+    window_.reserve(capacity_);
+}
+
+void
+LatencyReservoir::record(double ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (window_.size() < capacity_) {
+        window_.push_back(ms);
+    } else {
+        window_[next_] = ms;
+        next_ = (next_ + 1) % capacity_;
+    }
+    count_ += 1;
+    sum_ += ms;
+    max_ = std::max(max_, ms);
+}
+
+std::size_t
+LatencyReservoir::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double
+LatencyReservoir::percentile(double p) const
+{
+    std::vector<double> sorted;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sorted = window_;
+    }
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    p = std::clamp(p, 0.0, 100.0);
+    // Nearest-rank: the smallest sample with at least p% of the
+    // window at or below it.
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    if (rank > 0)
+        rank -= 1;
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+double
+LatencyReservoir::max() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_;
+}
+
+double
+LatencyReservoir::mean() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+json::Value
+LatencyReservoir::toJson() const
+{
+    json::Value out{json::Object{}};
+    out.set("count", count());
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.set("window", window_.size());
+    }
+    out.set("p50", percentile(50));
+    out.set("p90", percentile(90));
+    out.set("p99", percentile(99));
+    out.set("max", max());
+    out.set("mean", mean());
+    return out;
+}
+
+}  // namespace graphiti::obs

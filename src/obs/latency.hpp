@@ -1,0 +1,62 @@
+#ifndef GRAPHITI_OBS_LATENCY_HPP
+#define GRAPHITI_OBS_LATENCY_HPP
+
+/**
+ * @file
+ * A bounded latency reservoir with percentile summaries.
+ *
+ * The served bench and daemon report p50/p99 request latency; the
+ * metrics registry's histograms track durations but not order
+ * statistics. This reservoir keeps the most recent `capacity` samples
+ * in a ring (full recall of a bounded window beats approximate recall
+ * of everything for a soak that runs minutes, and keeps memory flat
+ * on one that runs days), plus exact running count/mean/max over all
+ * samples ever recorded. Thread-safe; percentile queries sort a copy
+ * of the window, so keep them off hot paths.
+ */
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace graphiti::obs {
+
+/** Bounded sliding-window latency sampler. */
+class LatencyReservoir
+{
+  public:
+    explicit LatencyReservoir(std::size_t capacity = 4096);
+
+    /** Record one sample (milliseconds by convention). */
+    void record(double ms);
+
+    /** Samples ever recorded (not just those still in the window). */
+    std::size_t count() const;
+
+    /**
+     * Percentile @p p in [0, 100] over the current window, by
+     * nearest-rank; 0.0 when empty.
+     */
+    double percentile(double p) const;
+
+    double max() const;
+    double mean() const;
+
+    /** {count, window, p50, p90, p99, max, mean}. */
+    json::Value toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<double> window_;
+    std::size_t capacity_;
+    std::size_t next_ = 0;       ///< ring cursor
+    std::size_t count_ = 0;      ///< lifetime samples
+    double sum_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace graphiti::obs
+
+#endif  // GRAPHITI_OBS_LATENCY_HPP

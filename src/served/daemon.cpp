@@ -1,0 +1,182 @@
+#include "served/daemon.hpp"
+
+#include <cstdio>
+
+namespace graphiti::served {
+
+namespace json = obs::json;
+
+Daemon::Daemon(DaemonConfig config) : config_(std::move(config))
+{
+    scheduler_ = std::make_unique<Scheduler>(config_.scheduler);
+}
+
+Daemon::~Daemon() { stop(); }
+
+Result<bool>
+Daemon::start()
+{
+    if (started_)
+        return err("daemon already started");
+    if (config_.socket_path.empty())
+        return err("daemon requires a socket path");
+    Result<bool> booted = scheduler_->start();
+    if (!booted.ok())
+        return booted.error().context("Daemon::start");
+
+    Result<net::Socket> unix_listener =
+        net::listenUnix(config_.socket_path);
+    if (!unix_listener.ok())
+        return unix_listener.error().context("Daemon::start");
+    accept_threads_.emplace_back(
+        [this, listener = std::move(unix_listener.value())]() mutable {
+            acceptLoop(std::move(listener));
+        });
+
+    if (config_.tcp_port >= 0) {
+        Result<net::Socket> tcp_listener = net::listenTcp(
+            static_cast<std::uint16_t>(config_.tcp_port));
+        if (!tcp_listener.ok())
+            return tcp_listener.error().context("Daemon::start");
+        Result<std::uint16_t> port =
+            net::boundPort(tcp_listener.value());
+        if (!port.ok())
+            return port.error().context("Daemon::start");
+        tcp_port_ = port.value();
+        accept_threads_.emplace_back(
+            [this,
+             listener = std::move(tcp_listener.value())]() mutable {
+                acceptLoop(std::move(listener));
+            });
+    }
+    started_ = true;
+    return true;
+}
+
+void
+Daemon::shutdown(bool graceful)
+{
+    if (!started_ || stopping_.exchange(true))
+        return;
+    if (graceful)
+        scheduler_->stop();
+    else
+        scheduler_->kill();
+    for (std::thread& thread : accept_threads_)
+        if (thread.joinable())
+            thread.join();
+    accept_threads_.clear();
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        conns.swap(conn_threads_);
+    }
+    for (std::thread& thread : conns)
+        if (thread.joinable())
+            thread.join();
+    std::remove(config_.socket_path.c_str());
+    started_ = false;
+}
+
+void Daemon::stop() { shutdown(/*graceful=*/true); }
+
+void Daemon::kill() { shutdown(/*graceful=*/false); }
+
+void
+Daemon::acceptLoop(net::Socket listener)
+{
+    while (!stopping_.load()) {
+        // Short accept timeout so shutdown is never blocked on a
+        // quiet listener.
+        Result<net::Socket> accepted =
+            net::acceptConnection(listener, 100);
+        if (!accepted.ok())
+            return;  // listener broke; daemon keeps other listeners
+        if (!accepted.value().valid())
+            continue;  // timeout — re-check the stop flag
+        if (stopping_.load())
+            return;
+        connections_accepted_.fetch_add(1);
+        std::uint64_t conn_id = next_conn_id_.fetch_add(1);
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        conn_threads_.emplace_back(
+            [this, socket = std::move(accepted.value()),
+             conn_id]() mutable {
+                serveConnection(std::move(socket), conn_id);
+            });
+    }
+}
+
+void
+Daemon::serveConnection(net::Socket socket, std::uint64_t conn_id)
+{
+    std::string default_client = "conn-" + std::to_string(conn_id);
+    while (!stopping_.load()) {
+        // Poll for the next frame in short slices so a shutdown never
+        // waits out io_timeout_ms on an idle-but-connected client.
+        Result<bool> readable = net::waitReadable(socket, 100);
+        if (!readable.ok())
+            return;
+        if (!readable.value())
+            continue;  // idle — re-check the stop flag
+
+        std::string payload;
+        Result<bool> frame =
+            readFrame(socket, payload, config_.io_timeout_ms);
+        if (!frame.ok() || !frame.value())
+            return;  // truncation, junk length, timeout or clean EOF
+
+        JobResponse response;
+        Result<json::Value> parsed = json::parse(payload);
+        if (!parsed.ok()) {
+            // No recoverable request id: answer id 0 so the client
+            // can at least log the rejection, then drop the
+            // connection (framing with junk inside is not worth
+            // resynchronizing).
+            response.id = 0;
+            response.status = "error";
+            response.error =
+                "malformed request JSON: " + parsed.error().message;
+            writeFrame(socket, response.toJson().dump(),
+                       config_.io_timeout_ms);
+            return;
+        }
+        Result<JobRequest> request = jobRequestFromJson(parsed.value());
+        if (!request.ok()) {
+            response.id = 0;
+            response.status = "error";
+            response.error = request.error().message;
+            writeFrame(socket, response.toJson().dump(),
+                       config_.io_timeout_ms);
+            continue;
+        }
+        response.id = request.value().id;
+
+        Result<JobSpec> spec = jobSpecFromJson(request.value().job);
+        if (!spec.ok()) {
+            response.status = "error";
+            response.error = spec.error().message;
+            writeFrame(socket, response.toJson().dump(),
+                       config_.io_timeout_ms);
+            continue;
+        }
+
+        std::string client = request.value().client.empty()
+                                 ? default_client
+                                 : request.value().client;
+        JobOutcome outcome = scheduler_->submitAndWait(
+            client, spec.take(), request.value().deadline_seconds,
+            [&socket] { return net::peerClosed(socket); });
+        response.status = outcome.status;
+        response.result = std::move(outcome.result);
+        response.error = outcome.error;
+        response.retry_after_ms = outcome.retry_after_ms;
+        response.artifact = outcome.artifact;
+        Result<bool> sent = writeFrame(
+            socket, response.toJson().dump(), config_.io_timeout_ms);
+        if (!sent.ok())
+            return;  // peer vanished mid-response
+    }
+}
+
+}  // namespace graphiti::served

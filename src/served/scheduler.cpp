@@ -1,0 +1,439 @@
+#include "served/scheduler.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "faults/stress.hpp"
+#include "obs/scope.hpp"
+
+namespace graphiti::served {
+
+namespace json = obs::json;
+
+AdmissionDecision
+admitJob(const AdmissionState& state)
+{
+    AdmissionDecision decision;
+    if (state.queue_capacity == 0 ||
+        state.queued < state.queue_capacity)
+        return decision;
+    decision.admit = false;
+    decision.reason = "queue full (" + std::to_string(state.queued) +
+                      " waiting, capacity " +
+                      std::to_string(state.queue_capacity) + ")";
+    double lanes =
+        static_cast<double>(std::max<std::size_t>(state.workers, 1));
+    decision.retry_after_ms = state.estimated_job_ms *
+                              static_cast<double>(state.queued + 1) /
+                              lanes;
+    return decision;
+}
+
+std::string
+pickPreemptionVictim(
+    const std::map<std::string, std::size_t>& running_per_client,
+    const std::vector<std::string>& waiting_clients,
+    std::size_t workers)
+{
+    if (waiting_clients.empty() || running_per_client.empty() ||
+        workers == 0)
+        return "";
+    std::set<std::string> clients(waiting_clients.begin(),
+                                  waiting_clients.end());
+    for (const auto& [name, count] : running_per_client)
+        if (count > 0)
+            clients.insert(name);
+    if (clients.size() < 2)
+        return "";  // one client cannot be unfair to itself
+    std::size_t share =
+        (workers + clients.size() - 1) / clients.size();  // ceil
+
+    auto runningOf = [&](const std::string& name) {
+        auto it = running_per_client.find(name);
+        return it == running_per_client.end() ? std::size_t{0}
+                                              : it->second;
+    };
+    bool starved = false;
+    for (const std::string& waiter : waiting_clients)
+        if (runningOf(waiter) < share) {
+            starved = true;
+            break;
+        }
+    if (!starved)
+        return "";
+
+    std::string victim;
+    std::size_t victim_count = share;  // must be strictly above share
+    for (const auto& [name, count] : running_per_client) {
+        if (count > victim_count ||
+            (count == victim_count && count > share &&
+             (victim.empty() || name < victim))) {
+            victim = name;
+            victim_count = count;
+        }
+    }
+    return victim;
+}
+
+obs::json::Value
+SchedulerStats::toJson() const
+{
+    json::Value out{json::Object{}};
+    out.set("accepted", accepted);
+    out.set("shed", shed);
+    out.set("completed", completed);
+    out.set("failed", failed);
+    out.set("cancelled", cancelled);
+    out.set("preempted", preempted);
+    out.set("wedged", wedged);
+    return out;
+}
+
+Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config))
+{
+    if (config_.workers == 0)
+        config_.workers = 1;
+    store_ = std::make_shared<guard::VerdictStore>(config_.store);
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+Result<bool>
+Scheduler::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_)
+        return err("scheduler already started");
+    if (!config_.store.dir.empty()) {
+        // Corrupt shards are skipped and counted by the store loader;
+        // a missing directory is a fresh start, not a failure.
+        Result<std::size_t> loaded = store_->load();
+        if (!loaded.ok())
+            return loaded.error().context("Scheduler::start");
+    }
+    started_ = true;
+    stopping_ = false;
+    for (std::size_t i = 0; i < config_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    supervisor_ = std::thread([this] { supervisorLoop(); });
+    return true;
+}
+
+void
+Scheduler::stop()
+{
+    std::vector<std::thread> joinable;
+    std::thread supervisor;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!started_ || stopping_)
+            return;
+        stopping_ = true;
+        for (const JobPtr& job : queue_) {
+            JobOutcome outcome;
+            outcome.status = "rejected";
+            outcome.error = "daemon shutting down";
+            outcome.retry_after_ms = config_.estimated_job_ms;
+            job->done = true;
+            job->outcome = std::move(outcome);
+            stats_.shed += 1;
+        }
+        queue_.clear();
+        for (const JobPtr& job : running_)
+            job->stop.requestStop("daemon shutting down");
+        work_available_.notify_all();
+        job_done_.notify_all();
+        for (std::thread& worker : workers_)
+            if (worker.joinable())
+                joinable.push_back(std::move(worker));
+        workers_.clear();
+        supervisor = std::move(supervisor_);
+    }
+    for (std::thread& worker : joinable)
+        worker.join();
+    if (supervisor.joinable())
+        supervisor.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = false;
+}
+
+void
+Scheduler::kill()
+{
+    // The store commits write-through on every store(), so there is
+    // no buffered state to drop: kill() and stop() differ only in
+    // intent (the crash drills call kill() to prove that).
+    stop();
+}
+
+bool
+Scheduler::completeJob(const JobPtr& job, JobOutcome outcome)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->done)
+        return false;
+    job->done = true;
+    job->outcome = std::move(outcome);
+    if (job->outcome.status == "ok")
+        stats_.completed += 1;
+    else if (job->outcome.status == "cancelled")
+        stats_.cancelled += 1;
+    else
+        stats_.failed += 1;
+    job_done_.notify_all();
+    return true;
+}
+
+void
+Scheduler::enforceFairShareLocked()
+{
+    if (queue_.empty() || running_.empty())
+        return;
+    std::map<std::string, std::size_t> running_per_client;
+    for (const JobPtr& job : running_)
+        if (!job->done && !job->stop.stopRequested())
+            running_per_client[job->client] += 1;
+    std::vector<std::string> waiting;
+    waiting.reserve(queue_.size());
+    for (const JobPtr& job : queue_)
+        waiting.push_back(job->client);
+    std::string victim = pickPreemptionVictim(
+        running_per_client, waiting, config_.workers);
+    if (victim.empty())
+        return;
+    // Preempt the victim's oldest running job: it has had the most
+    // service already, and the ladder it unwinds through reports
+    // whatever assurance that bought honestly.
+    JobPtr oldest;
+    for (const JobPtr& job : running_)
+        if (job->client == victim && !job->done &&
+            !job->stop.stopRequested() &&
+            (oldest == nullptr || job->serial < oldest->serial))
+            oldest = job;
+    if (oldest == nullptr)
+        return;
+    oldest->stop.requestStop("fair-share preemption (client \"" +
+                             victim + "\" over share)");
+    stats_.preempted += 1;
+    if (config_.obs != nullptr)
+        config_.obs->metrics().add("served.jobs.preempted", 1);
+}
+
+JobOutcome
+Scheduler::submitAndWait(const std::string& client, JobSpec spec,
+                         double deadline_seconds,
+                         const std::function<bool()>& abandoned)
+{
+    JobPtr job = std::make_shared<Job>();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!started_ || stopping_) {
+            JobOutcome outcome;
+            outcome.status = "rejected";
+            outcome.error = "daemon not accepting jobs";
+            outcome.retry_after_ms = config_.estimated_job_ms;
+            return outcome;
+        }
+        AdmissionState state;
+        state.queued = queue_.size();
+        state.queue_capacity = config_.queue_capacity;
+        state.running = running_.size();
+        state.workers = config_.workers;
+        state.estimated_job_ms = config_.estimated_job_ms;
+        AdmissionDecision decision = admitJob(state);
+        if (!decision.admit) {
+            stats_.shed += 1;
+            if (config_.obs != nullptr)
+                config_.obs->metrics().add("served.jobs.shed", 1);
+            JobOutcome outcome;
+            outcome.status = "rejected";
+            outcome.error = decision.reason;
+            outcome.retry_after_ms = decision.retry_after_ms;
+            return outcome;
+        }
+        stats_.accepted += 1;
+        if (config_.obs != nullptr) {
+            config_.obs->metrics().add("served.jobs.accepted", 1);
+            config_.obs->metrics().set(
+                "served.queue.depth",
+                static_cast<double>(queue_.size() + 1));
+        }
+        double deadline = deadline_seconds;
+        if (config_.max_deadline_seconds > 0 &&
+            (deadline == 0 || deadline > config_.max_deadline_seconds))
+            deadline = config_.max_deadline_seconds;
+        job->stop = deadline > 0 ? StopToken::withDeadline(deadline)
+                                 : StopToken::manual();
+        job->client = client;
+        job->spec = std::move(spec);
+        job->serial = next_serial_++;
+        queue_.push_back(job);
+        enforceFairShareLocked();
+        work_available_.notify_one();
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    bool abandon_latched = false;
+    while (!job->done) {
+        job_done_.wait_for(lock, std::chrono::milliseconds(20));
+        if (job->done || abandon_latched || !abandoned)
+            continue;
+        lock.unlock();
+        bool gone = abandoned();
+        lock.lock();
+        if (gone) {
+            job->stop.requestStop("client disconnected");
+            abandon_latched = true;
+        }
+    }
+    return job->outcome;
+}
+
+void
+Scheduler::workerLoop()
+{
+    for (;;) {
+        JobPtr job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_available_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (stopping_)
+                return;
+            job = queue_.front();
+            queue_.pop_front();
+            job->running = true;
+            running_.push_back(job);
+        }
+
+        JobOutcome outcome;
+        if (job->stop.stopRequested()) {
+            // Expired (or disconnected) before any work: a cheap
+            // cancel, not a burned worker slot — the shape a
+            // deadline-zero flood takes.
+            outcome.status = "cancelled";
+            outcome.error = job->stop.reason();
+        } else {
+            obs::ScopedInstall obs_install(config_.obs.get());
+            // Fresh Compiler per job (the Compiler is not
+            // thread-safe); the shared store carries verdicts across
+            // jobs, workers and restarts.
+            Compiler compiler;
+            compiler.setVerdictStore(store_);
+            Result<json::Value> run =
+                runJob(compiler, job->spec, job->stop);
+            if (run.ok()) {
+                outcome.status = "ok";
+                outcome.result = run.take();
+            } else if (job->stop.stopRequested()) {
+                outcome.status = "cancelled";
+                outcome.error = job->stop.reason() + ": " +
+                                run.error().message;
+            } else {
+                outcome.status = "error";
+                outcome.error = run.error().message;
+            }
+        }
+        completeJob(job, std::move(outcome));
+
+        bool abandoned_worker = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            running_.erase(
+                std::remove(running_.begin(), running_.end(), job),
+                running_.end());
+            if (config_.obs != nullptr)
+                config_.obs->metrics().set(
+                    "served.queue.depth",
+                    static_cast<double>(queue_.size()));
+            abandoned_worker = job->worker_abandoned;
+        }
+        // The supervisor declared this job wedged and already spawned
+        // a replacement lane; this thread retires instead of doubling
+        // the worker count.
+        if (abandoned_worker)
+            return;
+    }
+}
+
+void
+Scheduler::supervisorLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (stopping_)
+                return;
+            auto now = std::chrono::steady_clock::now();
+
+            // Queued jobs whose tokens already fired (deadline-zero
+            // floods, disconnects) never reach a worker.
+            for (auto it = queue_.begin(); it != queue_.end();) {
+                const JobPtr& job = *it;
+                if (job->stop.stopRequested()) {
+                    job->done = true;
+                    job->outcome.status = "cancelled";
+                    job->outcome.error = job->stop.reason();
+                    stats_.cancelled += 1;
+                    it = queue_.erase(it);
+                    job_done_.notify_all();
+                } else {
+                    ++it;
+                }
+            }
+
+            for (const JobPtr& job : running_) {
+                if (job->done || !job->stop.stopRequested())
+                    continue;
+                if (!job->stop_seen) {
+                    // Heartbeat zero: the token fired; give the
+                    // worker the grace window to unwind honestly.
+                    job->stop_seen = true;
+                    job->stop_requested_at = now;
+                    continue;
+                }
+                double waited =
+                    std::chrono::duration<double>(
+                        now - job->stop_requested_at)
+                        .count();
+                if (waited < config_.wedge_grace_seconds)
+                    continue;
+                // Wedged: the job ignored its stop token past the
+                // grace period. Answer the client with a failure
+                // artifact, abandon the stuck worker lane and spawn a
+                // replacement so throughput recovers.
+                obs::Scope scope;
+                JobOutcome outcome;
+                outcome.status = "cancelled";
+                outcome.error =
+                    "job wedged: ignored stop request (" +
+                    job->stop.reason() + ") for " +
+                    std::to_string(waited) + "s";
+                outcome.artifact = faults::failureArtifact(
+                    nullptr, outcome.error, scope);
+                job->done = true;
+                job->outcome = std::move(outcome);
+                job->worker_abandoned = true;
+                stats_.wedged += 1;
+                stats_.cancelled += 1;
+                if (config_.obs != nullptr)
+                    config_.obs->metrics().add("served.jobs.wedged",
+                                               1);
+                workers_.emplace_back([this] { workerLoop(); });
+                job_done_.notify_all();
+            }
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            config_.supervisor_period_ms / 1000.0));
+    }
+}
+
+SchedulerStats
+Scheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace graphiti::served

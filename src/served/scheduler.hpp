@@ -1,0 +1,234 @@
+#ifndef GRAPHITI_SERVED_SCHEDULER_HPP
+#define GRAPHITI_SERVED_SCHEDULER_HPP
+
+/**
+ * @file
+ * Job scheduling for the served daemon: admission control with a
+ * bounded queue and honest load-shedding, per-client fair-share
+ * accounting with StopToken preemption, per-job deadlines, and a
+ * supervisor watchdog that turns wedged jobs into failure artifacts
+ * instead of dead workers.
+ *
+ * The policy itself — admit/shed, victim selection — is pure
+ * functions over plain counts, unit-tested without any threads; the
+ * Scheduler wires them to a worker pool. Every job runs on a fresh
+ * Compiler (the Compiler is not thread-safe) sharing one
+ * guard::VerdictStore, so verdicts committed by any worker survive
+ * both concurrency and daemon restarts.
+ *
+ * Degradation is never silent: a shed job gets status "rejected" with
+ * a retry_after hint; a deadline/preemption unwinds through the
+ * governed ladder and reports the rung it still reached; a wedged job
+ * (ignoring its stop token past the grace period) is answered with a
+ * failure artifact by the supervisor while the stuck worker is
+ * abandoned and replaced.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/job.hpp"
+#include "guard/verdict_store.hpp"
+#include "obs/scope.hpp"
+#include "served/protocol.hpp"
+#include "support/cancel.hpp"
+
+namespace graphiti::served {
+
+/** Scheduler tuning. */
+struct SchedulerConfig
+{
+    /** Worker threads executing jobs. */
+    std::size_t workers = 2;
+    /** Jobs waiting beyond the running ones before shedding starts. */
+    std::size_t queue_capacity = 8;
+    /** Ceiling clamped onto any client-requested deadline; 0 = no
+     * ceiling. */
+    double max_deadline_seconds = 0.0;
+    /** Seconds a job may keep running after its stop token fired
+     * before the supervisor declares it wedged. */
+    double wedge_grace_seconds = 5.0;
+    /** Supervisor scan period. */
+    double supervisor_period_ms = 25.0;
+    /** Per-job cost estimate behind retry_after hints. */
+    double estimated_job_ms = 50.0;
+    /** Verdict-store shape; dir empty = in-memory only. */
+    guard::VerdictStoreConfig store;
+    /** Shared observation scope: installed thread-locally around each
+     * job and fed the scheduler's own counters (accepted / shed /
+     * preempted / wedged, queue depth). MetricsRegistry is
+     * thread-safe, so one scope serves all workers. Null = no
+     * observation. */
+    std::shared_ptr<obs::Scope> obs;
+};
+
+/** Inputs of one admission decision (plain counts — pure policy). */
+struct AdmissionState
+{
+    std::size_t queued = 0;          ///< jobs waiting (not running)
+    std::size_t queue_capacity = 0;  ///< shedding threshold
+    std::size_t running = 0;         ///< jobs currently on workers
+    std::size_t workers = 0;
+    /** Estimated per-job service time, for the retry_after hint. */
+    double estimated_job_ms = 50.0;
+};
+
+/** Outcome of one admission decision. */
+struct AdmissionDecision
+{
+    bool admit = true;
+    std::string reason;
+    double retry_after_ms = 0.0;
+};
+
+/**
+ * Admit or shed one job. Sheds exactly when the queue is full; the
+ * retry_after hint scales with how much queued work each worker lane
+ * must drain first, so clients under a burst spread their retries
+ * instead of stampeding the moment one slot frees.
+ */
+AdmissionDecision admitJob(const AdmissionState& state);
+
+/**
+ * Fair-share victim selection: with @p workers lanes and the given
+ * per-client running counts, a client exceeding ceil(workers /
+ * distinct_clients) lanes while another client's work waits is over
+ * its share; the largest over-share client is the victim (ties break
+ * to the lexicographically smallest name, keeping the choice
+ * deterministic). Empty string = nobody to preempt.
+ */
+std::string pickPreemptionVictim(
+    const std::map<std::string, std::size_t>& running_per_client,
+    const std::vector<std::string>& waiting_clients,
+    std::size_t workers);
+
+/** Final state of one scheduled job. */
+struct JobOutcome
+{
+    /** "ok", "error", "rejected" or "cancelled" (protocol.hpp). */
+    std::string status = "error";
+    obs::json::Value result;
+    std::string error;
+    double retry_after_ms = 0.0;
+    /** Wedged-job post-mortem (JSON text); empty otherwise. */
+    std::string artifact;
+};
+
+/** Aggregate scheduler counters (also mirrored to obs metrics). */
+struct SchedulerStats
+{
+    std::size_t accepted = 0;
+    std::size_t shed = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+    std::size_t preempted = 0;
+    std::size_t wedged = 0;
+
+    obs::json::Value toJson() const;
+};
+
+/** The job scheduler. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerConfig config);
+    ~Scheduler();
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /** Boot workers and supervisor; loads the verdict store when a
+     * persistence dir is configured (corrupt shards are skipped and
+     * counted, never fatal). */
+    Result<bool> start();
+
+    /**
+     * Graceful shutdown: shed new submissions, cancel running jobs,
+     * join workers and supervisor. Safe to call twice.
+     */
+    void stop();
+
+    /**
+     * Abrupt shutdown for crash drills: like stop() but never
+     * persists anything beyond what store() already committed
+     * write-through. What this loses is exactly what SIGKILL loses —
+     * nothing (the crash-recovery tests pin that down).
+     */
+    void kill();
+
+    /**
+     * Submit one job and wait for its outcome. @p client is the
+     * fair-share identity; @p deadline_seconds arms a per-job
+     * deadline (clamped to max_deadline_seconds); @p abandoned is
+     * polled while waiting — when it returns true (client
+     * disconnected) the job's token is stopped, the wait continues
+     * until the worker actually unwinds, and the outcome reports
+     * "cancelled".
+     */
+    JobOutcome submitAndWait(const std::string& client, JobSpec spec,
+                             double deadline_seconds = 0.0,
+                             const std::function<bool()>& abandoned = {});
+
+    /** The shared crash-safe verdict store. */
+    const std::shared_ptr<guard::VerdictStore>& store() const
+    {
+        return store_;
+    }
+
+    SchedulerStats stats() const;
+    const SchedulerConfig& config() const { return config_; }
+
+  private:
+    struct Job
+    {
+        std::uint64_t serial = 0;
+        std::string client;
+        JobSpec spec;
+        StopToken stop;  // always armed (manual or deadline)
+        std::chrono::steady_clock::time_point stop_requested_at{};
+        bool stop_seen = false;  // supervisor latched the fired token
+        bool running = false;
+        bool done = false;
+        /** The supervisor declared this job wedged; the worker lane
+         * running it retires on unwind (a replacement already runs). */
+        bool worker_abandoned = false;
+        JobOutcome outcome;
+    };
+    using JobPtr = std::shared_ptr<Job>;
+
+    void workerLoop();
+    void supervisorLoop();
+    /** Complete @p job exactly once (worker or supervisor — first
+     * wins); returns whether this call won. Takes the scheduler lock. */
+    bool completeJob(const JobPtr& job, JobOutcome outcome);
+    void enforceFairShareLocked();
+
+    SchedulerConfig config_;
+    std::shared_ptr<guard::VerdictStore> store_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable job_done_;
+    std::deque<JobPtr> queue_;
+    std::vector<JobPtr> running_;
+    std::vector<std::thread> workers_;
+    std::thread supervisor_;
+    std::uint64_t next_serial_ = 1;
+    bool started_ = false;
+    bool stopping_ = false;
+    SchedulerStats stats_;
+};
+
+}  // namespace graphiti::served
+
+#endif  // GRAPHITI_SERVED_SCHEDULER_HPP

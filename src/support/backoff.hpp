@@ -1,0 +1,54 @@
+#ifndef GRAPHITI_SUPPORT_BACKOFF_HPP
+#define GRAPHITI_SUPPORT_BACKOFF_HPP
+
+/**
+ * @file
+ * Exponential backoff with deterministic full jitter.
+ *
+ * The served client retries shed or transport-failed requests; naive
+ * fixed retries synchronize into thundering herds the moment the
+ * daemon sheds a burst. Full jitter (delay drawn uniformly from
+ * [0, min(cap, base * 2^attempt))) decorrelates retriers while the
+ * expected delay still doubles per attempt. Draws come from the
+ * repo's splitmix Rng, so a seeded client replays the identical retry
+ * schedule — the property the served tests pin down.
+ */
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace graphiti {
+
+/** Retry shape shared by the served client and the bench harness. */
+struct BackoffPolicy
+{
+    /** Give up after this many attempts (the first call counts). */
+    std::size_t max_attempts = 5;
+    /** Ceiling of the un-jittered delay for attempt 0. */
+    double base_ms = 25.0;
+    /** Hard ceiling of any delay. */
+    double cap_ms = 2000.0;
+};
+
+/**
+ * Delay before retry number @p attempt (0-based), with full jitter
+ * drawn from @p rng. A server-provided retry_after hint raises the
+ * floor: the daemon knows its queue depth better than the client.
+ */
+inline double
+backoffDelayMs(const BackoffPolicy& policy, std::size_t attempt,
+               Rng& rng, double retry_after_hint_ms = 0.0)
+{
+    double ceiling = policy.base_ms;
+    for (std::size_t i = 0; i < attempt && ceiling < policy.cap_ms; ++i)
+        ceiling *= 2.0;
+    ceiling = std::min(ceiling, policy.cap_ms);
+    double jittered = rng.uniform() * ceiling;
+    return std::max(jittered, retry_after_hint_ms);
+}
+
+}  // namespace graphiti
+
+#endif  // GRAPHITI_SUPPORT_BACKOFF_HPP

@@ -28,6 +28,20 @@ class StopToken
   public:
     StopToken() = default;
 
+    /**
+     * An armed token with no deadline: it only stops on an explicit
+     * requestStop. Sharing requires arming first — copies of a
+     * default-constructed token do not share state, so a handle meant
+     * to be cancelled from another thread must start out armed.
+     */
+    static StopToken
+    manual()
+    {
+        StopToken token;
+        token.ensureState();
+        return token;
+    }
+
     /** A token that stops once @p seconds of wall time elapse. */
     static StopToken
     withDeadline(double seconds)

@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "bench_circuits/benchmarks.hpp"
 #include "bench_circuits/gcd.hpp"
@@ -588,6 +590,106 @@ TEST(ParallelCatalog, ValiditySweepIdenticalAcrossThreadCounts)
         EXPECT_EQ(par.rules[i].applications,
                   base.rules[i].applications);
         EXPECT_EQ(par.rules[i].violations, base.rules[i].violations);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cancellation races: a second thread fires the token while the
+// exploration / simulation is in flight. The staggered delays sweep
+// the cancel point across the run; every landing spot must be clean —
+// a parked-and-resumable frontier or a structured "cancelled" error,
+// never a crash, a hang, or a corrupted verdict afterwards.
+// ---------------------------------------------------------------------
+
+TEST(ParallelCancel, RacingCancelMidExploreParksThenResumesToOneShot)
+{
+    GcdInstance gcd;
+    InputDomain domain = InputDomain::uniform(gcd.impl, gcdPairs());
+
+    ExplorationLimits one_shot;
+    one_shot.max_states = 400000;
+    one_shot.input_budget = 2;
+    one_shot.threads = 2;
+    Result<StateSpace> full =
+        StateSpace::explore(gcd.impl, domain, one_shot);
+    ASSERT_TRUE(full.ok()) << full.error().message;
+
+    for (int lag_us : {0, 30, 60, 120, 250, 500}) {
+        StopToken stop = StopToken::manual();
+        std::thread canceller([&stop, lag_us] {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(lag_us));
+            stop.requestStop("racing cancel");
+        });
+        ExplorationLimits limits = one_shot;
+        limits.stop = stop;
+        Result<StateSpace> raced =
+            StateSpace::explorePartial(gcd.impl, domain, limits);
+        canceller.join();
+        ASSERT_TRUE(raced.ok())
+            << "lag " << lag_us << ": " << raced.error().message;
+        StateSpace space = raced.take();
+        if (space.stopped()) {
+            EXPECT_EQ(space.stopReason(), "racing cancel");
+            // The parked frontier resumes — with the token cleared —
+            // to exactly the one-shot space.
+            space.setStopToken({});
+            while (!space.complete()) {
+                Result<bool> more = space.resume(gcd.impl, 100000);
+                ASSERT_TRUE(more.ok()) << more.error().message;
+            }
+        }
+        // Whether the cancel landed mid-flight or after the finish
+        // line, the final space is the one-shot space, byte for byte.
+        ASSERT_TRUE(space.complete()) << "lag " << lag_us;
+        EXPECT_EQ(space.numStates(), full.value().numStates())
+            << "lag " << lag_us;
+        EXPECT_EQ(space.fingerprint(), full.value().fingerprint())
+            << "lag " << lag_us;
+    }
+}
+
+TEST(ParallelCancel, RacingCancelMidSimulationStaysStructured)
+{
+    circuits::BenchmarkSpec spec =
+        circuits::buildBenchmark(circuits::benchmarkNames().front())
+            .take();
+    auto registry = std::make_shared<FnRegistry>();
+    sim::SimResult baseline =
+        simulateBenchmark(spec.df_io, spec, registry, false);
+    ASSERT_GT(baseline.cycles, 0u);
+
+    for (int lag_us : {0, 30, 60, 120, 250, 500}) {
+        StopToken stop = StopToken::manual();
+        sim::SimConfig config;
+        config.stop = stop;
+        sim::Simulator simulator =
+            sim::Simulator::build(spec.df_io, registry, config).take();
+        for (const auto& [name, data] : spec.memories)
+            simulator.setMemory(name, data);
+        std::thread canceller([&stop, lag_us] {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(lag_us));
+            stop.requestStop("racing sim cancel");
+        });
+        Result<sim::SimResult> raced = simulator.run(
+            spec.inputs, spec.expected_outputs, spec.serial_io);
+        canceller.join();
+        if (raced.ok()) {
+            // Cancel landed after the finish line: the full result.
+            EXPECT_EQ(raced.value().cycles, baseline.cycles)
+                << "lag " << lag_us;
+        } else {
+            // Mid-flight: a structured cancellation, not a crash.
+            EXPECT_NE(raced.error().message.find("cancel"),
+                      std::string::npos)
+                << "lag " << lag_us << ": " << raced.error().message;
+        }
+        // Nothing leaked across runs: a fresh run reproduces the
+        // baseline exactly.
+        sim::SimResult after =
+            simulateBenchmark(spec.df_io, spec, registry, false);
+        EXPECT_EQ(after.cycles, baseline.cycles) << "lag " << lag_us;
     }
 }
 

@@ -1,0 +1,839 @@
+/**
+ * @file
+ * Tests of the compile service (label: served).
+ *
+ * The contracts under test (docs/service.md):
+ *   - framing: length-prefixed JSON round-trips; truncation, junk and
+ *     oversized lengths are structured errors, never hangs;
+ *   - byte identity: a verdict served by the daemon is byte-identical
+ *     to the one the same request produces in-process through
+ *     Compiler::compileGraph, benchmark by benchmark, at every thread
+ *     count;
+ *   - overload honesty: a flood beyond queue capacity sheds with
+ *     status "rejected" and a retry_after hint — nothing hangs,
+ *     nothing is silently dropped;
+ *   - crash safety: verdicts committed before kill() are cache hits
+ *     after a restart from the same store directory;
+ *   - misbehaving clients (half-written frames, junk payloads,
+ *     mid-job disconnects, deadline-zero floods) never take the
+ *     daemon down for the healthy ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_circuits/benchmarks.hpp"
+#include "bench_circuits/gcd.hpp"
+#include "core/compiler.hpp"
+#include "core/job.hpp"
+#include "dot/dot.hpp"
+#include "faults/connection_plan.hpp"
+#include "faults/fault_plan.hpp"
+#include "guard/verdict_store.hpp"
+#include "guard/verify_cache.hpp"
+#include "obs/latency.hpp"
+#include "served/client.hpp"
+#include "served/daemon.hpp"
+#include "served/protocol.hpp"
+#include "served/scheduler.hpp"
+#include "support/backoff.hpp"
+#include "support/socket.hpp"
+
+namespace graphiti {
+namespace {
+
+std::string
+tempPath(const std::string& name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** A short unix-socket path unique to this process and @p tag (unix
+ * socket paths are limited to ~108 bytes, so keep it in /tmp). */
+std::string
+socketPath(const std::string& tag)
+{
+    return "/tmp/graphiti-test-" + tag + "-" +
+           std::to_string(::getpid()) + ".sock";
+}
+
+/** The test-suite verification budget: tight enough that even the big
+ * benchmark circuits finish in milliseconds (the ladder degrades —
+ * determinism, not assurance depth, is what these tests pin down). */
+CompileOptions
+tightOptions()
+{
+    CompileOptions options;
+    options.governed_verify = true;
+    options.verify_budget.max_states = 800;
+    options.verify_budget.partial_max_states = 300;
+    options.verify_budget.input_budget = 1;
+    options.verify_budget.trace_walks = 2;
+    options.verify_budget.trace.max_steps = 60;
+    options.verify_budget.trace.max_inputs = 2;
+    return options;
+}
+
+JobSpec
+verifySpec(const std::string& dot, int num_tags = 4)
+{
+    JobSpec spec;
+    spec.kind = "verify";
+    spec.circuit_dot = dot;
+    spec.options = tightOptions();
+    spec.options.num_tags = num_tags;
+    return spec;
+}
+
+std::string
+gcdDot()
+{
+    return printDot(circuits::buildGcdInOrder());
+}
+
+/** A synthetic verdict distinguishable by @p salt. */
+guard::VerificationVerdict
+syntheticVerdict(std::uint64_t salt)
+{
+    guard::VerificationVerdict verdict;
+    verdict.level = guard::VerificationLevel::BoundedPartial;
+    verdict.ok = true;
+    verdict.degradation_reason = "synthetic-" + std::to_string(salt);
+    verdict.report.impl_states = salt;
+    verdict.report.spec_states = salt + 1;
+    return verdict;
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+/** A connected (server, client) unix-socket pair. */
+struct SocketPair
+{
+    net::Socket server;
+    net::Socket client;
+
+    explicit SocketPair(const std::string& tag)
+    {
+        std::string path = socketPath(tag);
+        Result<net::Socket> listener = net::listenUnix(path);
+        EXPECT_TRUE(listener.ok()) << listener.error().message;
+        Result<net::Socket> connected = net::connectUnix(path);
+        EXPECT_TRUE(connected.ok()) << connected.error().message;
+        client = connected.take();
+        Result<net::Socket> accepted =
+            net::acceptConnection(listener.value(), 2000);
+        EXPECT_TRUE(accepted.ok() && accepted.value().valid());
+        server = accepted.take();
+        std::remove(path.c_str());
+    }
+};
+
+TEST(ServedProtocol, FramesRoundTripIncludingEmptyPayload)
+{
+    SocketPair pair("frame-rt");
+    for (const std::string payload :
+         {std::string("{\"id\":1}"), std::string(""),
+          std::string(4096, 'x')}) {
+        Result<bool> sent =
+            served::writeFrame(pair.client, payload, 1000);
+        ASSERT_TRUE(sent.ok()) << sent.error().message;
+        std::string received;
+        Result<bool> got =
+            served::readFrame(pair.server, received, 1000);
+        ASSERT_TRUE(got.ok()) << got.error().message;
+        EXPECT_TRUE(got.value());
+        EXPECT_EQ(received, payload);
+    }
+}
+
+TEST(ServedProtocol, CleanEofIsFalseNotError)
+{
+    SocketPair pair("frame-eof");
+    pair.client.close();
+    std::string received;
+    Result<bool> got = served::readFrame(pair.server, received, 1000);
+    ASSERT_TRUE(got.ok()) << got.error().message;
+    EXPECT_FALSE(got.value());  // peer done before the first byte
+}
+
+TEST(ServedProtocol, TruncatedFrameIsAnError)
+{
+    SocketPair pair("frame-trunc");
+    std::string frame = served::encodeFrame("{\"id\":42}");
+    ASSERT_GT(frame.size(), 5u);
+    // Half the header plus one payload byte, then hang up.
+    net::writeAll(pair.client, frame.substr(0, 5), 1000);
+    pair.client.close();
+    std::string received;
+    Result<bool> got = served::readFrame(pair.server, received, 1000);
+    EXPECT_FALSE(got.ok());
+}
+
+TEST(ServedProtocol, OversizedLengthRejectedBeforeAllocation)
+{
+    SocketPair pair("frame-big");
+    // A header claiming kMaxFrameBytes + 1 bytes follow.
+    std::uint32_t claimed =
+        static_cast<std::uint32_t>(served::kMaxFrameBytes) + 1;
+    std::string header(4, '\0');
+    for (int i = 0; i < 4; ++i)
+        header[i] = static_cast<char>((claimed >> (24 - 8 * i)) & 0xff);
+    net::writeAll(pair.client, header, 1000);
+    std::string received;
+    Result<bool> got = served::readFrame(pair.server, received, 1000);
+    ASSERT_FALSE(got.ok());
+    EXPECT_NE(got.error().message.find("frame"), std::string::npos);
+}
+
+TEST(ServedProtocol, RequestAndResponseJsonRoundTrip)
+{
+    served::JobRequest request;
+    request.id = 7;
+    request.job = obs::json::Value{obs::json::Object{}};
+    request.job.set("kind", "ping");
+    request.deadline_seconds = 1.5;
+    request.client = "alice";
+    Result<served::JobRequest> request_back =
+        served::jobRequestFromJson(request.toJson());
+    ASSERT_TRUE(request_back.ok()) << request_back.error().message;
+    EXPECT_EQ(request_back.value().id, 7u);
+    EXPECT_EQ(request_back.value().deadline_seconds, 1.5);
+    EXPECT_EQ(request_back.value().client, "alice");
+    EXPECT_EQ(request_back.value().job.dump(), request.job.dump());
+
+    served::JobResponse response;
+    response.id = 7;
+    response.status = "rejected";
+    response.error = "queue full";
+    response.retry_after_ms = 125.0;
+    response.artifact = "{\"wedged\":true}";
+    Result<served::JobResponse> response_back =
+        served::jobResponseFromJson(response.toJson());
+    ASSERT_TRUE(response_back.ok()) << response_back.error().message;
+    EXPECT_EQ(response_back.value().id, 7u);
+    EXPECT_EQ(response_back.value().status, "rejected");
+    EXPECT_EQ(response_back.value().error, "queue full");
+    EXPECT_EQ(response_back.value().retry_after_ms, 125.0);
+    EXPECT_EQ(response_back.value().artifact, "{\"wedged\":true}");
+    EXPECT_FALSE(response_back.value().ok());
+}
+
+// ---------------------------------------------------------------------
+// Backoff.
+// ---------------------------------------------------------------------
+
+TEST(ServedBackoff, SeededScheduleReplaysExactly)
+{
+    BackoffPolicy policy;
+    policy.base_ms = 10.0;
+    policy.cap_ms = 500.0;
+    Rng a(0xbacc0ff), b(0xbacc0ff);
+    for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+        double da = backoffDelayMs(policy, attempt, a);
+        double db = backoffDelayMs(policy, attempt, b);
+        EXPECT_EQ(da, db) << "attempt " << attempt;
+        EXPECT_LE(da, policy.cap_ms);
+        EXPECT_GE(da, 0.0);
+    }
+}
+
+TEST(ServedBackoff, ServerHintRaisesTheFloorAndCapBoundsTheCeiling)
+{
+    BackoffPolicy policy;
+    policy.base_ms = 1.0;
+    policy.cap_ms = 64.0;
+    Rng rng(1);
+    // With base 1ms the jittered draw for attempt 0 is < 1ms; a 200ms
+    // hint must win.
+    EXPECT_GE(backoffDelayMs(policy, 0, rng, 200.0), 200.0);
+    // Deep attempts never exceed the cap (absent a larger hint).
+    for (std::size_t attempt = 0; attempt < 40; ++attempt)
+        EXPECT_LE(backoffDelayMs(policy, attempt, rng), policy.cap_ms);
+}
+
+// ---------------------------------------------------------------------
+// Admission and fair share (pure policy).
+// ---------------------------------------------------------------------
+
+TEST(ServedAdmission, ShedsExactlyWhenTheQueueIsFull)
+{
+    served::AdmissionState state;
+    state.queue_capacity = 4;
+    state.workers = 2;
+
+    state.queued = 3;
+    EXPECT_TRUE(served::admitJob(state).admit);
+    state.queued = 4;
+    served::AdmissionDecision shed = served::admitJob(state);
+    EXPECT_FALSE(shed.admit);
+    EXPECT_FALSE(shed.reason.empty());
+    EXPECT_GT(shed.retry_after_ms, 0.0);
+
+    // Capacity 0 = unlimited queue: never sheds.
+    state.queue_capacity = 0;
+    state.queued = 10000;
+    EXPECT_TRUE(served::admitJob(state).admit);
+}
+
+TEST(ServedAdmission, RetryAfterScalesWithBacklog)
+{
+    served::AdmissionState shallow;
+    shallow.queue_capacity = 2;
+    shallow.queued = 2;
+    shallow.workers = 2;
+    shallow.estimated_job_ms = 50.0;
+    served::AdmissionState deep = shallow;
+    deep.queue_capacity = 16;
+    deep.queued = 16;
+    EXPECT_GT(served::admitJob(deep).retry_after_ms,
+              served::admitJob(shallow).retry_after_ms);
+}
+
+TEST(ServedFairShare, VictimIsTheLargestOverShareClient)
+{
+    using Counts = std::map<std::string, std::size_t>;
+
+    // One client can never be over its own share.
+    EXPECT_EQ(served::pickPreemptionVictim(Counts{{"a", 4}},
+                                           {"a"}, 4),
+              "");
+    // Nobody waiting: nothing to preempt for.
+    EXPECT_EQ(served::pickPreemptionVictim(Counts{{"a", 4}, {"b", 0}},
+                                           {}, 4),
+              "");
+    // a holds 3 of 4 lanes while b waits; share = ceil(4/2) = 2.
+    EXPECT_EQ(served::pickPreemptionVictim(Counts{{"a", 3}, {"b", 1}},
+                                           {"b"}, 4),
+              "a");
+    // Exactly at share is not over share.
+    EXPECT_EQ(served::pickPreemptionVictim(Counts{{"a", 2}, {"b", 2}},
+                                           {"b"}, 4),
+              "");
+    // Ties break to the lexicographically smallest name.
+    EXPECT_EQ(served::pickPreemptionVictim(
+                  Counts{{"c", 3}, {"b", 3}, {"a", 0}}, {"a"}, 6),
+              "b");
+}
+
+// ---------------------------------------------------------------------
+// Deterministic plans (stress seeds, connection misbehavior).
+// ---------------------------------------------------------------------
+
+TEST(ServedPlans, DerivedSeedsAreStableAndFamilyDisjoint)
+{
+    std::uint64_t a0 = faults::derivePlanSeed(1, "random", 0);
+    EXPECT_EQ(a0, faults::derivePlanSeed(1, "random", 0));
+    EXPECT_NE(a0, faults::derivePlanSeed(1, "random", 1));
+    EXPECT_NE(a0, faults::derivePlanSeed(1, "burst", 0));
+    EXPECT_NE(a0, faults::derivePlanSeed(2, "random", 0));
+}
+
+TEST(ServedPlans, ConnectionPlanIsDeterministicPerCoordinate)
+{
+    faults::ConnectionPlan plan(0xfeed, {});
+    faults::ConnectionPlan replay(0xfeed, {});
+    bool saw_hostile = false;
+    for (std::size_t client = 0; client < 8; ++client) {
+        for (std::size_t request = 0; request < 32; ++request) {
+            faults::ClientAction action =
+                plan.action(client, request);
+            EXPECT_EQ(action, replay.action(client, request));
+            saw_hostile |= action != faults::ClientAction::Behave;
+        }
+    }
+    EXPECT_TRUE(saw_hostile);  // default rates sum to 0.35
+
+    EXPECT_EQ(faults::ConnectionPlan::wellBehaved().action(3, 9),
+              faults::ClientAction::Behave);
+
+    for (std::size_t request = 0; request < 64; ++request) {
+        std::size_t cut = plan.truncateAt(0, request, 100);
+        EXPECT_GE(cut, 1u);
+        EXPECT_LT(cut, 100u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Verdict store (crash-safe sharded LRU).
+// ---------------------------------------------------------------------
+
+TEST(ServedVerdictStore, LruEvictsTheColdestEntry)
+{
+    guard::VerdictStoreConfig config;
+    config.shards = 1;
+    config.max_entries_per_shard = 2;
+    guard::VerdictStore store(config);
+
+    store.store(1, syntheticVerdict(1));
+    store.store(2, syntheticVerdict(2));
+    ASSERT_TRUE(store.lookup(1).has_value());  // 2 is now coldest
+    store.store(3, syntheticVerdict(3));
+    EXPECT_FALSE(store.lookup(2).has_value());
+    EXPECT_TRUE(store.lookup(1).has_value());
+    EXPECT_TRUE(store.lookup(3).has_value());
+    EXPECT_EQ(store.stats().evictions, 1u);
+    EXPECT_EQ(store.stats().entries, 2u);
+}
+
+TEST(ServedVerdictStore, PersistsWriteThroughAndReloads)
+{
+    std::string dir = tempPath("verdict-store-reload");
+    std::filesystem::remove_all(dir);
+    guard::VerdictStoreConfig config;
+    config.dir = dir;
+    config.shards = 2;
+
+    {
+        guard::VerdictStore store(config);
+        store.store(5, syntheticVerdict(5));
+        store.store(std::uint64_t{1} << 48,
+                    syntheticVerdict(6));  // lands in the other shard
+        // No explicit save: persist_on_store already wrote through.
+    }
+    guard::VerdictStore reloaded(config);
+    Result<std::size_t> loaded = reloaded.load();
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    EXPECT_EQ(loaded.value(), 2u);
+    auto verdict = reloaded.lookup(5);
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_EQ(verdict->toJson().dump(2),
+              syntheticVerdict(5).toJson().dump(2));
+    // Atomic write-rename leaves no temp droppings behind.
+    for (std::size_t shard = 0; shard < 2; ++shard) {
+        std::string tmp = dir + "/verdicts-" +
+                          std::to_string(shard) + ".json.tmp";
+        std::ifstream probe(tmp);
+        EXPECT_FALSE(probe.good()) << tmp;
+    }
+}
+
+TEST(ServedVerdictStore, CorruptShardIsSkippedNotFatal)
+{
+    std::string dir = tempPath("verdict-store-corrupt");
+    std::filesystem::remove_all(dir);
+    guard::VerdictStoreConfig config;
+    config.dir = dir;
+    config.shards = 2;
+
+    {
+        guard::VerdictStore store(config);
+        store.store(9, syntheticVerdict(9));  // shard 0
+    }
+    {
+        // Simulate a torn write in the *other* shard file.
+        std::ofstream out(dir + "/verdicts-1.json");
+        out << "{\"version\":1,\"entries\":[{\"key\"";
+    }
+    guard::VerdictStore reloaded(config);
+    Result<std::size_t> loaded = reloaded.load();
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    EXPECT_EQ(loaded.value(), 1u);  // the good shard still loads
+    EXPECT_TRUE(reloaded.lookup(9).has_value());
+    EXPECT_GE(reloaded.stats().corrupt_entries, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Verify-cache persistence hardening (the satellite this PR pins).
+// ---------------------------------------------------------------------
+
+TEST(ServedVerifyCache, CorruptEntriesAreSkippedAndCounted)
+{
+    std::string path = tempPath("verify-cache-mixed.json");
+    obs::json::Value doc{obs::json::Object{}};
+    doc.set("version", 1);
+    obs::json::Value entries{obs::json::Array{}};
+    obs::json::Value good{obs::json::Object{}};
+    good.set("key", guard::formatCacheKey(42));
+    good.set("verdict", syntheticVerdict(42).toJson());
+    entries.push(std::move(good));
+    obs::json::Value bad{obs::json::Object{}};
+    bad.set("key", "0xdead");
+    bad.set("verdict", "not an object");
+    entries.push(std::move(bad));
+    obs::json::Value keyless{obs::json::Object{}};
+    keyless.set("verdict", syntheticVerdict(1).toJson());
+    entries.push(std::move(keyless));
+    doc.set("entries", std::move(entries));
+    ASSERT_TRUE(guard::writeJsonAtomic(path, doc).ok());
+
+    guard::VerifyCache cache;
+    Result<bool> loaded = cache.loadFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    EXPECT_TRUE(loaded.value());
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.corruptEntries(), 2u);
+    EXPECT_TRUE(cache.lookup(42).has_value());
+}
+
+TEST(ServedVerifyCache, WholeFileGarbageIsAnEmptyCacheNotACrash)
+{
+    std::string path = tempPath("verify-cache-garbage.json");
+    {
+        std::ofstream out(path);
+        out << "]]]] definitely not json {{";
+    }
+    guard::VerifyCache cache;
+    Result<bool> loaded = cache.loadFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    EXPECT_FALSE(loaded.value());
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_GE(cache.corruptEntries(), 1u);
+}
+
+TEST(ServedVerifyCache, AtomicSaveLeavesNoTempFile)
+{
+    std::string path = tempPath("verify-cache-atomic.json");
+    guard::VerifyCache cache;
+    cache.store(7, syntheticVerdict(7));
+    ASSERT_TRUE(cache.saveFile(path).ok());
+    std::ifstream saved(path);
+    EXPECT_TRUE(saved.good());
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+}
+
+TEST(ServedVerifyCache, FullDeviceWriteFailsLoudly)
+{
+    // /dev/full accepts opens and drops writes with ENOSPC at flush —
+    // exactly the silent-success bug the flushing writeFile fixes.
+    std::ifstream probe("/dev/full");
+    if (!probe.good())
+        GTEST_SKIP() << "no /dev/full on this system";
+    obs::json::Value doc{obs::json::Object{}};
+    doc.set("k", 1);
+    Result<bool> wrote = obs::json::writeFile("/dev/full", doc);
+    EXPECT_FALSE(wrote.ok());
+}
+
+// ---------------------------------------------------------------------
+// Latency reservoir.
+// ---------------------------------------------------------------------
+
+TEST(ServedLatency, NearestRankPercentilesOverTheWindow)
+{
+    obs::LatencyReservoir reservoir(128);
+    for (int i = 1; i <= 100; ++i)
+        reservoir.record(static_cast<double>(i));
+    EXPECT_EQ(reservoir.count(), 100u);
+    EXPECT_DOUBLE_EQ(reservoir.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(reservoir.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(reservoir.max(), 100.0);
+
+    obs::LatencyReservoir tiny(4);
+    for (double ms : {10.0, 20.0, 30.0, 40.0, 50.0})
+        tiny.record(ms);  // 10 falls out of the window
+    EXPECT_DOUBLE_EQ(tiny.percentile(100), 50.0);
+    EXPECT_DOUBLE_EQ(tiny.percentile(1), 20.0);
+    EXPECT_EQ(tiny.count(), 5u);  // lifetime count, not window size
+}
+
+// ---------------------------------------------------------------------
+// Scheduler.
+// ---------------------------------------------------------------------
+
+served::SchedulerConfig
+schedulerConfig(std::size_t workers, std::size_t queue)
+{
+    served::SchedulerConfig config;
+    config.workers = workers;
+    config.queue_capacity = queue;
+    return config;
+}
+
+TEST(ServedScheduler, PingRoundTrips)
+{
+    served::Scheduler scheduler(schedulerConfig(1, 4));
+    ASSERT_TRUE(scheduler.start().ok());
+    JobSpec ping;
+    ping.kind = "ping";
+    served::JobOutcome outcome = scheduler.submitAndWait("t", ping);
+    EXPECT_EQ(outcome.status, "ok");
+    const obs::json::Value* pong = outcome.result.find("pong");
+    ASSERT_NE(pong, nullptr);
+    EXPECT_TRUE(pong->isBool() && pong->asBool());
+    scheduler.stop();
+}
+
+TEST(ServedScheduler, FloodBeyondCapacityShedsWithHintsAndNeverHangs)
+{
+    served::Scheduler scheduler(schedulerConfig(1, 1));
+    ASSERT_TRUE(scheduler.start().ok());
+
+    const std::string dot = gcdDot();
+    constexpr std::size_t kFlood = 8;  // 4x (workers + queue)
+    std::vector<served::JobOutcome> outcomes(kFlood);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < kFlood; ++i) {
+        threads.emplace_back([&, i] {
+            JobSpec spec = verifySpec(dot);
+            // Unique seed per job: no cache short-circuits, every
+            // admitted job occupies the worker for real.
+            spec.options.verify_budget.seed = 1000 + i;
+            outcomes[i] = scheduler.submitAndWait(
+                "flood-" + std::to_string(i), spec);
+        });
+    }
+    for (std::thread& thread : threads)
+        thread.join();
+
+    std::size_t ok = 0, rejected = 0;
+    for (const served::JobOutcome& outcome : outcomes) {
+        ASSERT_TRUE(outcome.status == "ok" ||
+                    outcome.status == "rejected")
+            << outcome.status << ": " << outcome.error;
+        if (outcome.status == "ok") {
+            ++ok;
+        } else {
+            ++rejected;
+            // A structured rejection: a reason and a retry hint.
+            EXPECT_FALSE(outcome.error.empty());
+            EXPECT_GT(outcome.retry_after_ms, 0.0);
+        }
+    }
+    EXPECT_EQ(ok + rejected, kFlood);
+    EXPECT_GE(ok, 1u);  // the flood never starves everyone
+
+    served::SchedulerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.accepted + stats.shed, kFlood);
+    EXPECT_EQ(stats.shed, rejected);
+    EXPECT_EQ(stats.completed, ok);
+    scheduler.stop();
+}
+
+TEST(ServedScheduler, DeadlineNeverPoisonsTheVerdictStore)
+{
+    served::Scheduler scheduler(schedulerConfig(1, 4));
+    ASSERT_TRUE(scheduler.start().ok());
+    const std::string dot = gcdDot();
+
+    // A deadline that has already expired: the job is answered (as a
+    // cancellation or a fully degraded run), and whatever it produced
+    // must NOT be committed as the circuit's verdict.
+    served::JobOutcome rushed =
+        scheduler.submitAndWait("t", verifySpec(dot), 1e-9);
+    EXPECT_TRUE(rushed.status == "cancelled" || rushed.status == "ok")
+        << rushed.status << ": " << rushed.error;
+
+    served::JobOutcome honest =
+        scheduler.submitAndWait("t", verifySpec(dot));
+    ASSERT_EQ(honest.status, "ok") << honest.error;
+    const obs::json::Value* hit = honest.result.find("verify_cache_hit");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_FALSE(hit->asBool())
+        << "deadline-degraded verdict was served from the store";
+
+    // The honest verdict, however, is committed: the same request
+    // again is a hit with the identical verdict.
+    served::JobOutcome repeat =
+        scheduler.submitAndWait("t", verifySpec(dot));
+    ASSERT_EQ(repeat.status, "ok") << repeat.error;
+    const obs::json::Value* repeat_hit =
+        repeat.result.find("verify_cache_hit");
+    ASSERT_NE(repeat_hit, nullptr);
+    EXPECT_TRUE(repeat_hit->asBool());
+    EXPECT_EQ(honest.result.find("verdict")->dump(2),
+              repeat.result.find("verdict")->dump(2));
+    scheduler.stop();
+}
+
+// ---------------------------------------------------------------------
+// Daemon end-to-end.
+// ---------------------------------------------------------------------
+
+served::ClientConfig
+clientConfig(const std::string& socket_path)
+{
+    served::ClientConfig config;
+    config.socket_path = socket_path;
+    config.sleep_between_retries = false;  // tests stay fast
+    return config;
+}
+
+TEST(ServedDaemon, VerdictsByteIdenticalToOneShotOnEveryBenchmark)
+{
+    std::string path = socketPath("byte-identity");
+    served::DaemonConfig config;
+    config.socket_path = path;
+    config.scheduler = schedulerConfig(2, 8);
+    served::Daemon daemon(config);
+    ASSERT_TRUE(daemon.start().ok());
+    served::Client client(clientConfig(path));
+
+    for (const std::string& name : circuits::benchmarkNames()) {
+        circuits::BenchmarkSpec bench =
+            circuits::buildBenchmark(name).take();
+        const ExprHigh& graph =
+            bench.df_ooo_input ? *bench.df_ooo_input : bench.df_io;
+        JobSpec spec = verifySpec(printDot(graph), bench.num_tags);
+        // Recompute every time: byte identity must come from the
+        // verification core, not from one request warming the store.
+        spec.options.verify_cache = false;
+
+        // The one-shot baseline: a fresh Compiler, same options.
+        Compiler compiler;
+        CompileOptions options = spec.options;
+        Result<CompileReport> oneshot =
+            compiler.compileDot(spec.circuit_dot, options);
+        ASSERT_TRUE(oneshot.ok()) << name << ": "
+                                  << oneshot.error().message;
+        std::string baseline_verdict =
+            oneshot.value().verdict.toJson().dump(2);
+        std::string baseline_dot = oneshot.value().output_dot;
+
+        for (std::size_t threads : {1, 2, 8}) {
+            spec.options.threads = threads;
+            Result<served::JobResponse> response =
+                client.request(spec);
+            ASSERT_TRUE(response.ok())
+                << name << " threads " << threads << ": "
+                << response.error().message;
+            ASSERT_EQ(response.value().status, "ok")
+                << name << " threads " << threads << ": "
+                << response.value().error;
+            const obs::json::Value& result = response.value().result;
+            const obs::json::Value* verdict = result.find("verdict");
+            const obs::json::Value* output_dot =
+                result.find("output_dot");
+            ASSERT_NE(verdict, nullptr) << name;
+            ASSERT_NE(output_dot, nullptr) << name;
+            EXPECT_EQ(verdict->dump(2), baseline_verdict)
+                << name << " threads " << threads;
+            EXPECT_EQ(output_dot->asString(), baseline_dot)
+                << name << " threads " << threads;
+        }
+    }
+    daemon.stop();
+}
+
+TEST(ServedDaemon, MisbehavingClientsDoNotStarveHealthyOnes)
+{
+    std::string path = socketPath("misbehave");
+    served::DaemonConfig config;
+    config.socket_path = path;
+    config.scheduler = schedulerConfig(1, 4);
+    served::Daemon daemon(config);
+    ASSERT_TRUE(daemon.start().ok());
+
+    const std::string dot = gcdDot();
+    JobSpec spec = verifySpec(dot);
+    served::JobRequest request;
+    request.id = 1;
+    request.job = spec.toJson();
+    std::string frame = served::encodeFrame(request.toJson().dump());
+
+    {  // Half-written frame, then hang up.
+        Result<net::Socket> raw = net::connectUnix(path);
+        ASSERT_TRUE(raw.ok());
+        net::writeAll(raw.value(), frame.substr(0, frame.size() / 2),
+                      1000);
+    }
+    {  // Junk payload behind a valid length prefix.
+        Result<net::Socket> raw = net::connectUnix(path);
+        ASSERT_TRUE(raw.ok());
+        net::writeAll(raw.value(), served::encodeFrame("Z}junk!{"),
+                      1000);
+        std::string reply;
+        Result<bool> got = served::readFrame(raw.value(), reply, 5000);
+        // A structured error response comes back before the drop.
+        ASSERT_TRUE(got.ok() && got.value());
+        Result<served::JobResponse> parsed = served::jobResponseFromJson(
+            obs::json::parse(reply).take());
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(parsed.value().status, "error");
+    }
+    {  // Full request, vanish before the response.
+        Result<net::Socket> raw = net::connectUnix(path);
+        ASSERT_TRUE(raw.ok());
+        net::writeAll(raw.value(), frame, 1000);
+    }
+
+    // The healthy client still gets served.
+    served::Client client(clientConfig(path));
+    Result<bool> pong = client.ping();
+    ASSERT_TRUE(pong.ok()) << pong.error().message;
+    EXPECT_TRUE(pong.value());
+    Result<served::JobResponse> response = client.request(spec);
+    ASSERT_TRUE(response.ok()) << response.error().message;
+    EXPECT_EQ(response.value().status, "ok")
+        << response.value().error;
+    EXPECT_GE(daemon.connectionsAccepted(), 4u);
+    daemon.stop();
+}
+
+TEST(ServedDaemon, KillThenRestartServesEveryCommittedVerdict)
+{
+    std::string path = socketPath("crash-recovery");
+    std::string store_dir = tempPath("served-crash-store");
+    // A previous run's store would turn the "fresh" request into a
+    // hit; this test owns the directory.
+    std::filesystem::remove_all(store_dir);
+    served::DaemonConfig config;
+    config.socket_path = path;
+    config.scheduler = schedulerConfig(1, 4);
+    config.scheduler.store.dir = store_dir;
+
+    const std::string dot = gcdDot();
+    std::string committed_verdict;
+    {
+        served::Daemon daemon(config);
+        ASSERT_TRUE(daemon.start().ok());
+        served::Client client(clientConfig(path));
+        Result<served::JobResponse> first =
+            client.request(verifySpec(dot));
+        ASSERT_TRUE(first.ok()) << first.error().message;
+        ASSERT_EQ(first.value().status, "ok") << first.value().error;
+        EXPECT_FALSE(
+            first.value().result.find("verify_cache_hit")->asBool());
+        committed_verdict =
+            first.value().result.find("verdict")->dump(2);
+        // Crash drill: no graceful persistence pass. Everything the
+        // store committed write-through must already be on disk.
+        daemon.kill();
+    }
+    {
+        served::Daemon daemon(config);
+        ASSERT_TRUE(daemon.start().ok());
+        served::Client client(clientConfig(path));
+        Result<served::JobResponse> again =
+            client.request(verifySpec(dot));
+        ASSERT_TRUE(again.ok()) << again.error().message;
+        ASSERT_EQ(again.value().status, "ok") << again.value().error;
+        EXPECT_TRUE(
+            again.value().result.find("verify_cache_hit")->asBool())
+            << "pre-kill verdict was lost across the restart";
+        EXPECT_EQ(again.value().result.find("verdict")->dump(2),
+                  committed_verdict);
+        daemon.stop();
+    }
+}
+
+TEST(ServedDaemon, LoopbackTcpServesTheSameProtocol)
+{
+    std::string path = socketPath("tcp");
+    served::DaemonConfig config;
+    config.socket_path = path;
+    config.tcp_port = 0;  // ephemeral
+    config.scheduler = schedulerConfig(1, 4);
+    served::Daemon daemon(config);
+    ASSERT_TRUE(daemon.start().ok());
+
+    served::ClientConfig cc;
+    cc.tcp_port = daemon.tcpPort();
+    cc.sleep_between_retries = false;
+    served::Client client(cc);
+    Result<bool> pong = client.ping();
+    ASSERT_TRUE(pong.ok()) << pong.error().message;
+    EXPECT_TRUE(pong.value());
+    daemon.stop();
+}
+
+}  // namespace
+}  // namespace graphiti

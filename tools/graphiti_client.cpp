@@ -1,0 +1,190 @@
+/**
+ * @file
+ * graphiti-client: command-line client of graphiti-served
+ * (docs/service.md).
+ *
+ * Submits one job — ping, compile, verify, validate — against a
+ * running daemon, retrying shed responses and transport hiccups with
+ * full-jitter exponential backoff, and prints the response JSON.
+ * Circuits come from a dot file (--dot) or a built-in evaluation
+ * benchmark by name (--benchmark; resolved locally, only the dot text
+ * travels).
+ *
+ * Usage:
+ *     graphiti-client --socket PATH [--tcp PORT] KIND
+ *                     [--dot FILE | --benchmark NAME]
+ *                     [--deadline S] [--threads N] [--attempts N]
+ *                     [--max-states N] [--partial-states N]
+ *                     [--input-budget N] [--trace-walks N]
+ *
+ * Exit status: 0 on an ok response, 1 on an error/cancelled response,
+ * 2 on usage errors, 3 when every attempt failed at the transport.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_circuits/benchmarks.hpp"
+#include "dot/dot.hpp"
+#include "served/client.hpp"
+
+namespace {
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [--tcp PORT] KIND\n"
+        "          [--dot FILE | --benchmark NAME] [--deadline S]\n"
+        "          [--threads N] [--attempts N]\n"
+        "  KIND             ping | compile | verify | validate\n"
+        "  --dot FILE       send this dot file as the circuit\n"
+        "  --benchmark NAME send this built-in benchmark's circuit\n"
+        "  --deadline S     per-job wall-clock deadline in seconds\n"
+        "  --threads N      verification worker lanes on the daemon\n"
+        "  --attempts N     retry budget (default 5)\n"
+        "  --max-states N   full-exploration state cap (verify)\n"
+        "  --partial-states N  partial-exploration state cap\n"
+        "  --input-budget N input tokens per explored execution\n"
+        "  --trace-walks N  trace-inclusion walk count\n",
+        argv0);
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace graphiti;
+
+    served::ClientConfig config;
+    std::string kind;
+    std::string dot_file;
+    std::string benchmark;
+    double deadline_seconds = 0.0;
+    std::size_t threads = 0;
+    guard::VerificationBudget budget;
+    bool budget_set = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else if (arg == "--socket") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.socket_path = v;
+        } else if (arg == "--tcp") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.tcp_port = std::atoi(v);
+        } else if (arg == "--dot") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            dot_file = v;
+        } else if (arg == "--benchmark") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            benchmark = v;
+        } else if (arg == "--deadline") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            deadline_seconds = std::atof(v);
+        } else if (arg == "--threads") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            threads = static_cast<std::size_t>(std::atoi(v));
+        } else if (arg == "--attempts") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.backoff.max_attempts =
+                static_cast<std::size_t>(std::atoi(v));
+        } else if (arg == "--max-states" || arg == "--partial-states" ||
+                   arg == "--input-budget" || arg == "--trace-walks") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            std::size_t n = static_cast<std::size_t>(std::atoll(v));
+            if (arg == "--max-states")
+                budget.max_states = n;
+            else if (arg == "--partial-states")
+                budget.partial_max_states = n;
+            else if (arg == "--input-budget")
+                budget.input_budget = n;
+            else
+                budget.trace_walks = n;
+            budget_set = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return usage(argv[0]);
+        } else if (kind.empty()) {
+            kind = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (kind.empty() ||
+        (config.socket_path.empty() && config.tcp_port < 0))
+        return usage(argv[0]);
+
+    JobSpec spec;
+    spec.kind = kind;
+    spec.options.threads = threads;
+    if (budget_set)
+        spec.options.verify_budget = budget;
+    if (!dot_file.empty()) {
+        std::ifstream in(dot_file);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot open\n",
+                         dot_file.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        spec.circuit_dot = text.str();
+    } else if (!benchmark.empty()) {
+        Result<circuits::BenchmarkSpec> built =
+            circuits::buildBenchmark(benchmark);
+        if (!built.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         built.error().message.c_str());
+            return 2;
+        }
+        const ExprHigh& graph = built.value().df_ooo_input
+                                    ? *built.value().df_ooo_input
+                                    : built.value().df_io;
+        spec.circuit_dot = printDot(graph);
+        spec.options.num_tags = built.value().num_tags;
+    } else if (kind != "ping") {
+        std::fprintf(stderr,
+                     "job kind \"%s\" needs --dot or --benchmark\n",
+                     kind.c_str());
+        return usage(argv[0]);
+    }
+
+    served::Client client(config);
+    Result<served::JobResponse> response =
+        client.request(spec, deadline_seconds);
+    if (!response.ok()) {
+        std::fprintf(stderr, "graphiti-client: %s\n",
+                     response.error().message.c_str());
+        return 3;
+    }
+    std::printf("%s\n", response.value().toJson().dump(2).c_str());
+    return response.value().ok() ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * graphiti-served: the long-running compile service (docs/service.md).
+ *
+ * Boots a Daemon on a unix-domain socket (and optionally loopback
+ * TCP), serving compile / validate / verify / profile jobs with
+ * admission control, per-job deadlines, fair-share preemption and a
+ * crash-safe verdict store. Runs until SIGINT/SIGTERM; `--store DIR`
+ * makes committed verdicts survive restarts — including kill -9.
+ *
+ * Usage:
+ *     graphiti-served --socket PATH [--tcp PORT] [--workers N]
+ *                     [--queue N] [--store DIR] [--max-deadline S]
+ *                     [--wedge-grace S]
+ *
+ * Exit status: 0 on clean shutdown, 2 on usage/startup errors.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "served/daemon.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [--tcp PORT] [--workers N] [--queue N]\n"
+        "          [--store DIR] [--max-deadline S] [--wedge-grace S]\n"
+        "  --socket PATH    unix-domain socket to listen on (required)\n"
+        "  --tcp PORT       also listen on loopback TCP (0 = ephemeral)\n"
+        "  --workers N      worker threads (default 2)\n"
+        "  --queue N        waiting jobs before shedding (default 8)\n"
+        "  --store DIR      persist governed verdicts (crash-safe)\n"
+        "  --max-deadline S clamp client deadlines to S seconds\n"
+        "  --wedge-grace S  grace before a stopped job counts as "
+        "wedged\n",
+        argv0);
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace graphiti;
+
+    served::DaemonConfig config;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            return ++i < argc ? argv[i] : nullptr;
+        };
+        if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else if (arg == "--socket") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.socket_path = v;
+        } else if (arg == "--tcp") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.tcp_port = std::atoi(v);
+        } else if (arg == "--workers") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.scheduler.workers =
+                static_cast<std::size_t>(std::atoi(v));
+        } else if (arg == "--queue") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.scheduler.queue_capacity =
+                static_cast<std::size_t>(std::atoi(v));
+        } else if (arg == "--store") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.scheduler.store.dir = v;
+        } else if (arg == "--max-deadline") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.scheduler.max_deadline_seconds = std::atof(v);
+        } else if (arg == "--wedge-grace") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.scheduler.wedge_grace_seconds = std::atof(v);
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (config.socket_path.empty())
+        return usage(argv[0]);
+
+    served::Daemon daemon(config);
+    Result<bool> started = daemon.start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "graphiti-served: %s\n",
+                     started.error().message.c_str());
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::printf("graphiti-served: listening on %s",
+                config.socket_path.c_str());
+    if (config.tcp_port >= 0)
+        std::printf(" and tcp:%u", daemon.tcpPort());
+    std::printf("\n");
+    std::fflush(stdout);
+
+    while (!g_stop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    daemon.stop();
+    served::SchedulerStats stats = daemon.scheduler().stats();
+    std::printf("graphiti-served: shutting down (%s)\n",
+                stats.toJson().dump().c_str());
+    return 0;
+}
