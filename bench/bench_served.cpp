@@ -12,6 +12,13 @@
  * after sending, deadline-zero floods, junk payloads — and the run
  * asserts the daemon answered every *healthy* request anyway.
  *
+ * Latency is kept in per-verb reservoirs keyed by JobSpec kind (each
+ * client sends one ping alongside its verify load), so a cheap verb
+ * never dilutes an expensive verb's percentiles. --json embeds the
+ * daemon's own end-of-run stats snapshot (per-verb queue-wait vs
+ * execute splits, connection counters, flight/log/span occupancy) —
+ * docs/service_observability.md.
+ *
  * Usage:
  *     bench_served [--clients N] [--requests N] [--workers N]
  *                  [--queue N] [--misbehave] [--seed S] [--json PATH]
@@ -22,6 +29,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -149,7 +157,8 @@ main(int argc, char** argv)
     config.socket_path = socket_path;
     config.scheduler.workers = args.workers;
     config.scheduler.queue_capacity = args.queue;
-    config.scheduler.obs = std::make_shared<obs::Scope>();
+    auto observer = std::make_shared<served::ServiceObserver>();
+    config.scheduler.observer = observer;
     served::Daemon daemon(config);
     Result<bool> started = daemon.start();
     if (!started.ok()) {
@@ -163,7 +172,12 @@ main(int argc, char** argv)
         args.misbehave ? faults::ConnectionPlan(args.seed, plan_config)
                        : faults::ConnectionPlan::wellBehaved();
 
-    obs::LatencyReservoir latency;
+    // Per-verb reservoirs, keyed by JobSpec kind. The map is built
+    // up-front and never mutated by the client threads — each
+    // LatencyReservoir is itself thread-safe.
+    std::map<std::string, obs::LatencyReservoir> latency;
+    latency["verify"];
+    latency["ping"];
     std::vector<ClientOutcome> outcomes(args.clients);
     auto wall_start = std::chrono::steady_clock::now();
 
@@ -178,6 +192,26 @@ main(int argc, char** argv)
             cc.backoff.max_attempts = 6;
             served::Client client(cc);
             ClientOutcome& mine = outcomes[c];
+
+            // One ping per client: a second verb in the mix, proving
+            // the per-verb reservoirs keep cheap and expensive kinds
+            // apart (the daemon splits the same way).
+            {
+                JobSpec ping;
+                ping.kind = "ping";
+                mine.healthy_sent += 1;
+                auto t0 = std::chrono::steady_clock::now();
+                Result<served::JobResponse> response =
+                    client.request(ping);
+                if (response.ok() &&
+                    response.value().status != "rejected") {
+                    mine.healthy_answered += 1;
+                    latency.at("ping").record(
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+                }
+            }
 
             for (std::size_t r = 0; r < args.requests; ++r) {
                 const auto& [dot, num_tags] =
@@ -242,7 +276,7 @@ main(int argc, char** argv)
                             client.request(spec, 1e-9);
                         if (response.ok()) {
                             mine.healthy_answered += 1;
-                            latency.record(
+                            latency.at(spec.kind).record(
                                 std::chrono::duration<double,
                                                       std::milli>(
                                     std::chrono::steady_clock::now() -
@@ -259,7 +293,7 @@ main(int argc, char** argv)
                         if (response.ok() &&
                             response.value().status != "rejected") {
                             mine.healthy_answered += 1;
-                            latency.record(
+                            latency.at(spec.kind).record(
                                 std::chrono::duration<double,
                                                       std::milli>(
                                     std::chrono::steady_clock::now() -
@@ -282,6 +316,10 @@ main(int argc, char** argv)
 
     served::SchedulerStats sched = daemon.scheduler().stats();
     guard::VerdictStoreStats store = daemon.scheduler().store()->stats();
+    // The service's own view — per-verb queue-wait/execute windows,
+    // connection counters, flight/log occupancy — before stop() tears
+    // the daemon down.
+    obs::json::Value service_snapshot = daemon.statsJson();
     daemon.stop();
 
     std::size_t healthy_sent = 0, healthy_answered = 0, sheds = 0,
@@ -306,9 +344,11 @@ main(int argc, char** argv)
     std::printf("bench_served: %zu clients x %zu requests "
                 "(%zu hostile) in %.2fs\n",
                 args.clients, args.requests, hostile, wall_seconds);
-    std::printf("  latency  p50 %.1fms  p99 %.1fms  max %.1fms\n",
-                latency.percentile(50), latency.percentile(99),
-                latency.max());
+    for (const auto& [verb, reservoir] : latency)
+        std::printf(
+            "  latency[%s]  p50 %.1fms  p99 %.1fms  max %.1fms\n",
+            verb.c_str(), reservoir.percentile(50),
+            reservoir.percentile(99), reservoir.max());
     std::printf("  shed rate %.1f%%  cache hit rate %.1f%%\n",
                 100.0 * shed_rate, 100.0 * hit_rate);
     std::printf("  scheduler %s\n", sched.toJson().dump().c_str());
@@ -328,13 +368,17 @@ main(int argc, char** argv)
         doc.set("requests_per_client", args.requests);
         doc.set("hostile_requests", hostile);
         doc.set("wall_seconds", wall_seconds);
-        doc.set("latency", latency.toJson());
+        obs::json::Value latency_json{obs::json::Object{}};
+        for (const auto& [verb, reservoir] : latency)
+            latency_json.set(verb, reservoir.toJson());
+        doc.set("latency", latency_json);
         doc.set("shed_rate", shed_rate);
         doc.set("cache_hit_rate", hit_rate);
         doc.set("scheduler", sched.toJson());
         doc.set("store", store.toJson());
         doc.set("healthy_sent", healthy_sent);
         doc.set("healthy_answered", healthy_answered);
+        doc.set("service", service_snapshot);
         Result<bool> wrote =
             obs::json::writeFile(args.json_path, doc);
         if (!wrote.ok()) {

@@ -2,8 +2,11 @@
 # Observability CI gate: both GRAPHITI_OBS configurations must hold
 # their side of the zero-cost contract.
 #
-#  1. OFF build: tier-1 passes, and the hot-layer objects contain no
-#     instrumentation call sites (checked by metric-name strings).
+#  1. OFF build: tier-1 passes, the hot-layer objects contain no
+#     instrumentation call sites (checked by metric-name strings), the
+#     served objects contain no service log/span event names, and the
+#     served-labelled suite still passes — the introspection verbs and
+#     the byte-identity contract are functional without the plane.
 #  2. ON build: tier-1 passes, including the obs-labeled suite with
 #     the <2x instrumented-gcd overhead assertion, and
 #     graphiti-report produces a valid gcd bundle.
@@ -40,7 +43,30 @@ for probe in "rewrite.match_attempts:libgraphiti_rewrite.a" \
 done
 echo "OK: no instrumentation strings in OFF hot-layer objects"
 
+# Service plane (docs/service_observability.md): the scheduler's
+# structured-log event names and span names live only behind
+# GRAPHITI_SVC_* macros / GRAPHITI_OBS_ENABLED blocks, so an OFF build
+# must strip every one of them from the served objects.
+SERVED_LIB="$(find "${PREFIX}-off" -name libgraphiti_served.a | head -1)"
+if [ -z "${SERVED_LIB}" ]; then
+    echo "FAIL: libgraphiti_served.a not built"
+    exit 1
+fi
+for name in "job.admit" "job.shed" "job.preempt" "job.wedge" \
+            "job.done" "queue-wait"; do
+    if strings "${SERVED_LIB}" | grep -qF "${name}"; then
+        echo "FAIL: OFF build still contains '${name}' in the served" \
+             "objects"
+        exit 1
+    fi
+done
+echo "OK: no service log/span strings in OFF served objects"
+
 (cd "${PREFIX}-off" && ctest --output-on-failure -j "${JOBS}")
+# Explicitly: the compile service keeps its whole contract (framing,
+# admission, byte identity, introspection verbs) with the plane
+# compiled out.
+(cd "${PREFIX}-off" && ctest -L served --output-on-failure)
 
 echo "== ON configuration =="
 cmake -B "${PREFIX}-on" -S . -DGRAPHITI_OBS=ON

@@ -13,7 +13,11 @@
 #      store directory, and require the pre-kill verdict to come back
 #      as a verify_cache_hit — the write-through store must survive
 #      an unclean death, not just a polite shutdown.
-#   4. Soak: a bounded bench_served run with --misbehave — concurrent
+#   4. Observability probe (docs/service_observability.md): while the
+#      smoke daemon is up, require live --stats and --health answers
+#      (per-verb windows, lane liveness), then SIGUSR1 and require the
+#      flight-recorder JSON to appear with completed-job records.
+#   5. Soak: a bounded bench_served run with --misbehave — concurrent
 #      clients, a deterministic slice of them hostile (half-written
 #      frames, mid-job disconnects, deadline-zero floods, junk) — and
 #      require every healthy request answered.
@@ -32,6 +36,7 @@ WORK="$(mktemp -d)"
 SOCKET="${WORK}/served.sock"
 STORE="${WORK}/verdicts"
 DAEMON_LOG="${WORK}/daemon.log"
+FLIGHT="${WORK}/flight.json"
 DAEMON_PID=""
 
 cleanup() {
@@ -66,7 +71,7 @@ ctest --test-dir "${BUILD}" -L served --output-on-failure
 
 echo "== served gate: daemon smoke =="
 "${BUILD}/tools/graphiti-served" --socket "${SOCKET}" --workers 2 \
-    --store "${STORE}" > "${DAEMON_LOG}" 2>&1 &
+    --store "${STORE}" --flight "${FLIGHT}" > "${DAEMON_LOG}" 2>&1 &
 DAEMON_PID=$!
 wait_for_listen "${DAEMON_PID}"
 
@@ -84,6 +89,57 @@ grep -q '"status": "ok"' "${WORK}/verify1.json" || {
     exit 1
 }
 echo "served gate: smoke OK (ping + verify ${BENCHMARK})"
+
+echo "== served gate: live stats/health probe =="
+"${BUILD}/tools/graphiti-client" --socket "${SOCKET}" --stats \
+    > "${WORK}/stats.json"
+"${BUILD}/tools/graphiti-client" --socket "${SOCKET}" --health \
+    > "${WORK}/health.json"
+python3 - "${WORK}/stats.json" "${WORK}/health.json" <<'PY'
+import json, sys
+
+stats = json.load(open(sys.argv[1]))
+assert stats["connections"]["accepted"] >= 1, "no connections counted"
+assert stats["scheduler"]["completed"] >= 2, "ping+verify not counted"
+verbs = stats["verbs"]
+for verb in ("ping", "verify"):
+    assert verbs[verb]["ok"] >= 1, verb + " verb not accounted"
+    assert "queue_wait" in verbs[verb] and "execute" in verbs[verb], \
+        verb + " verb missing its split latency windows"
+
+health = json.load(open(sys.argv[2]))
+assert health["status"] == "ok", "daemon not healthy: " + str(health)
+sched = health["scheduler"]
+assert sched["workers_alive"] == sched["workers_configured"] == 2, \
+    "worker lanes not all alive: " + str(sched)
+assert health["store"]["persistent"], "store should be persistent"
+print("served gate: live stats/health answers are well-formed")
+PY
+
+echo "== served gate: SIGUSR1 flight dump =="
+kill -USR1 "${DAEMON_PID}"
+for _ in $(seq 1 50); do
+    [ -s "${FLIGHT}" ] && break
+    sleep 0.1
+done
+[ -s "${FLIGHT}" ] || {
+    echo "served gate: FAIL: no flight dump after SIGUSR1"
+    cat "${DAEMON_LOG}"
+    exit 1
+}
+python3 - "${FLIGHT}" <<'PY'
+import json, sys
+
+flight = json.load(open(sys.argv[1]))
+records = flight["records"]
+assert isinstance(records, list) and records, "empty flight ring"
+jobs = [r for r in records if r["kind"] == "job"]
+assert jobs, "no completed-job records in the flight ring"
+assert all("job_id" in r and "status" in r for r in jobs), \
+    "job records missing correlation id or status"
+print("served gate: flight dump has %d records (%d jobs)"
+      % (len(records), len(jobs)))
+PY
 
 echo "== served gate: kill -9 / restart cache recovery =="
 kill -9 "${DAEMON_PID}"

@@ -237,12 +237,14 @@ jobSpecFromJson(const obs::json::Value& v)
             return err("job \"kind\" must be a string");
         spec.kind = kind->asString();
     }
+    bool introspection = spec.kind == "stats" ||
+                         spec.kind == "jobs" || spec.kind == "health";
     if (spec.kind != "ping" && spec.kind != "compile" &&
         spec.kind != "verify" && spec.kind != "validate" &&
-        spec.kind != "profile")
+        spec.kind != "profile" && !introspection)
         return err("unknown job kind \"" + spec.kind +
-                   "\" (expected ping, compile, verify, validate or "
-                   "profile)");
+                   "\" (expected ping, compile, verify, validate, "
+                   "profile, stats, jobs or health)");
 
     const json::Value* dot = v.find("circuit_dot");
     if (dot != nullptr) {
@@ -250,7 +252,8 @@ jobSpecFromJson(const obs::json::Value& v)
             return err("job \"circuit_dot\" must be a string");
         spec.circuit_dot = dot->asString();
     }
-    if (spec.kind != "ping" && spec.circuit_dot.empty())
+    if (spec.kind != "ping" && !introspection &&
+        spec.circuit_dot.empty())
         return err("job kind \"" + spec.kind +
                    "\" requires a non-empty \"circuit_dot\"");
 
@@ -333,6 +336,15 @@ runJob(Compiler& compiler, const JobSpec& spec, const StopToken& stop)
         out.set("pong", true);
         return out;
     }
+
+    if (spec.kind == "stats" || spec.kind == "jobs" ||
+        spec.kind == "health")
+        // Deterministic by design: the daemon intercepts these before
+        // the scheduler, so reaching runJob means the caller asked a
+        // one-shot compiler a question only a live service can answer.
+        return err("job kind \"" + spec.kind +
+                   "\" is answered by a running daemon, not a "
+                   "one-shot job runner");
 
     if (spec.kind == "validate") {
         Result<ExprHigh> parsed = parseDot(spec.circuit_dot);

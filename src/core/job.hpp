@@ -20,6 +20,11 @@
  *   validate  structural validation only (no rewriting);
  *   profile   compile, then simulate the transformed circuit on the
  *             request's workload; returns cycle counts.
+ *   stats / jobs / health
+ *             read-only service introspection
+ *             (docs/service_observability.md). Parsed here so specs
+ *             round-trip, but answered by the served daemon before
+ *             the scheduler; runJob refuses them deterministically.
  *
  * Determinism: every knob that reaches the verification ladder is
  * part of the spec (and of the verdict cache key); wall-clock fields
@@ -39,7 +44,8 @@ namespace graphiti {
 struct JobSpec
 {
     std::string kind = "compile";
-    /** The input circuit (dot text); required except for ping. */
+    /** The input circuit (dot text); required except for ping and
+     * the introspection kinds. */
     std::string circuit_dot;
     /** Compilation knobs (subset settable over the wire). */
     CompileOptions options;

@@ -218,15 +218,9 @@ VerifyCache::loadFile(const std::string& path)
 Result<bool>
 writeJsonAtomic(const std::string& path, const obs::json::Value& value)
 {
-    std::string tmp = path + ".tmp";
-    Result<bool> wrote = obs::json::writeFile(tmp, value);
-    if (!wrote.ok())
-        return wrote.error();
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return err("rename " + tmp + " -> " + path + " failed");
-    }
-    return true;
+    // The write-temp-then-rename discipline lives in obs::json now so
+    // the flight recorder (which cannot depend on guard) shares it.
+    return obs::json::writeFileAtomic(path, value);
 }
 
 Result<bool>

@@ -1,0 +1,159 @@
+#include "obs/flight.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace graphiti::obs {
+
+namespace {
+
+std::atomic<FlightRecorder*> g_crash_recorder{nullptr};
+std::atomic<bool> g_crash_hooks_installed{false};
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    // Never leave the crash hooks pointing at a dead recorder: a
+    // post-destruction exit()/fatal signal must find nullptr, not a
+    // dangling pointer whose mutex no longer exists.
+    FlightRecorder* self = this;
+    g_crash_recorder.compare_exchange_strong(self, nullptr);
+}
+
+double
+FlightRecorder::nowMs() const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+FlightRecorder::record(const std::string& kind, json::Value data)
+{
+    json::Value entry{json::Object{}};
+    entry.set("t_ms", nowMs());
+    entry.set("kind", kind);
+    if (data.isObject())
+        for (auto& [key, value] : data.asObject())
+            entry.set(key, std::move(value));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    recorded_ += 1;
+    ring_.push_back(std::move(entry));
+    while (ring_.size() > capacity_) {
+        ring_.pop_front();
+        dropped_ += 1;
+    }
+}
+
+void
+FlightRecorder::setDumpPath(const std::string& path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    dump_path_ = path;
+}
+
+std::string
+FlightRecorder::dumpPath() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dump_path_;
+}
+
+Result<bool>
+FlightRecorder::dump() const
+{
+    std::string path = dumpPath();
+    if (path.empty())
+        return err("FlightRecorder: no dump path configured");
+    return dumpTo(path);
+}
+
+Result<bool>
+FlightRecorder::dumpTo(const std::string& path) const
+{
+    return json::writeFileAtomic(path, toJson());
+}
+
+std::size_t
+FlightRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+std::size_t
+FlightRecorder::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_;
+}
+
+std::size_t
+FlightRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+json::Value
+FlightRecorder::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value out{json::Object{}};
+    out.set("capacity", capacity_);
+    out.set("recorded", recorded_);
+    out.set("dropped", dropped_);
+    json::Value records{json::Array{}};
+    for (const json::Value& record : ring_)
+        records.push(record);
+    out.set("records", std::move(records));
+    return out;
+}
+
+namespace {
+
+void
+crashDumpNow()
+{
+    FlightRecorder* recorder = g_crash_recorder.load();
+    if (recorder != nullptr && !recorder->dumpPath().empty())
+        (void)recorder->dump();
+}
+
+void
+fatalSignalHandler(int signum)
+{
+    // Dump once (exchange so a handler re-entered mid-dump cannot
+    // loop), then re-raise with the default disposition so the
+    // process still dies with the original signal (and core dump).
+    FlightRecorder* recorder = g_crash_recorder.exchange(nullptr);
+    if (recorder != nullptr && !recorder->dumpPath().empty())
+        (void)recorder->dump();
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+}
+
+}  // namespace
+
+void
+installCrashDump(FlightRecorder* recorder)
+{
+    g_crash_recorder.store(recorder);
+    if (recorder == nullptr || g_crash_hooks_installed.exchange(true))
+        return;
+    std::atexit(crashDumpNow);
+    for (int signum : {SIGSEGV, SIGABRT, SIGBUS})
+        std::signal(signum, fatalSignalHandler);
+}
+
+}  // namespace graphiti::obs

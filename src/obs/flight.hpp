@@ -1,0 +1,97 @@
+#ifndef GRAPHITI_OBS_FLIGHT_HPP
+#define GRAPHITI_OBS_FLIGHT_HPP
+
+/**
+ * @file
+ * A flight recorder: a bounded ring of the last N notable service
+ * events (completed jobs, scheduler decisions — admit / shed /
+ * preempt / deadline / wedge, each with its reason), dumpable as one
+ * JSON document so a wedged, signalled or crashed daemon leaves a
+ * post-mortem.
+ *
+ * Dump paths, in decreasing order of ceremony:
+ *   - dump()/dumpTo(): atomic write-temp-then-rename (the same
+ *     discipline as the verdict store), triggered by SIGUSR1 from the
+ *     daemon's main loop or by the wedge supervisor;
+ *   - installCrashDump(): atexit + fatal-signal (SIGSEGV/SIGABRT/
+ *     SIGBUS) best-effort write. The handlers allocate and lock,
+ *     which is not async-signal-safe — a corrupt heap can lose the
+ *     dump, but the alternative is losing it always. kill -9 leaves
+ *     only what a previous dump wrote, by design.
+ *
+ * Thread-safe; records are stamped with a monotonic millisecond
+ * timestamp sharing the recorder's epoch.
+ */
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "obs/json.hpp"
+#include "support/result.hpp"
+
+namespace graphiti::obs {
+
+/** Bounded ring of post-mortem-worthy service events. */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(std::size_t capacity = 256);
+
+    /** Disarms the crash-dump hooks if this recorder is the one
+     * installed, so the atexit/signal path can never touch a
+     * destroyed recorder. */
+    ~FlightRecorder();
+
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    /** Record one event: @p kind is "job" (a completed-job record) or
+     * "sched" (a scheduler decision); @p data carries the payload
+     * (job_id, status, reason, timings...). */
+    void record(const std::string& kind, json::Value data);
+
+    /** Default target of dump(); also the crash-dump target. */
+    void setDumpPath(const std::string& path);
+    std::string dumpPath() const;
+
+    /** Atomic JSON dump to the configured path. */
+    Result<bool> dump() const;
+    /** Atomic JSON dump to @p path. */
+    Result<bool> dumpTo(const std::string& path) const;
+
+    std::size_t size() const;
+    std::size_t recorded() const;
+    std::size_t dropped() const;
+
+    /** {capacity, recorded, dropped, records: [{t_ms, kind, ...}]}. */
+    json::Value toJson() const;
+
+    /** Milliseconds since this recorder's epoch (monotonic). */
+    double nowMs() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<json::Value> ring_;
+    std::size_t capacity_;
+    std::size_t recorded_ = 0;
+    std::size_t dropped_ = 0;
+    std::string dump_path_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+/**
+ * Register @p recorder for best-effort dumps on process exit and on
+ * fatal signals (SIGSEGV, SIGABRT, SIGBUS). One recorder per process;
+ * a second call replaces the first. Pass nullptr to disarm; the
+ * recorder's destructor disarms automatically, so a recorder that
+ * dies before the process leaves the hooks inert rather than
+ * dangling.
+ */
+void installCrashDump(FlightRecorder* recorder);
+
+}  // namespace graphiti::obs
+
+#endif  // GRAPHITI_OBS_FLIGHT_HPP

@@ -386,4 +386,18 @@ writeFile(const std::string& path, const Value& value)
     return true;
 }
 
+Result<bool>
+writeFileAtomic(const std::string& path, const Value& value)
+{
+    std::string tmp = path + ".tmp";
+    Result<bool> wrote = writeFile(tmp, value);
+    if (!wrote.ok())
+        return wrote.error();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return err("rename " + tmp + " -> " + path + " failed");
+    }
+    return true;
+}
+
 }  // namespace graphiti::obs::json

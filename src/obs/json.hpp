@@ -89,6 +89,15 @@ Result<Value> parse(const std::string& text);
 /** Write @p value to @p path (compact). */
 Result<bool> writeFile(const std::string& path, const Value& value);
 
+/**
+ * Write @p value to @p path via write-temp-then-rename, so readers
+ * never observe a torn document: they see the old file or the new
+ * one, nothing in between (the verdict store and the flight recorder
+ * both rely on this).
+ */
+Result<bool> writeFileAtomic(const std::string& path,
+                             const Value& value);
+
 }  // namespace graphiti::obs::json
 
 #endif  // GRAPHITI_OBS_JSON_HPP

@@ -1,0 +1,132 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+
+namespace graphiti::obs {
+
+const char*
+toString(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    }
+    return "info";
+}
+
+json::Value
+LogRecord::toJson() const
+{
+    json::Value out{json::Object{}};
+    out.set("t_ms", t_ms);
+    out.set("level", toString(level));
+    out.set("event", event);
+    if (!job_id.empty())
+        out.set("job_id", job_id);
+    if (!fields.isNull())
+        out.set("fields", fields);
+    return out;
+}
+
+Logger::Logger(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+double
+Logger::nowMs() const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+Logger::log(LogLevel level, const std::string& job_id,
+            const std::string& event, json::Value fields)
+{
+    LogRecord record;
+    record.level = level;
+    record.t_ms = nowMs();
+    record.job_id = job_id;
+    record.event = event;
+    record.fields = std::move(fields);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (level < min_level_)
+        return;
+    recorded_ += 1;
+    if (file_open_) {
+        file_ << record.toJson().dump() << "\n";
+        file_.flush();
+    }
+    ring_.push_back(std::move(record));
+    while (ring_.size() > capacity_) {
+        ring_.pop_front();
+        dropped_ += 1;
+    }
+}
+
+void
+Logger::setMinLevel(LogLevel level)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    min_level_ = level;
+}
+
+Result<bool>
+Logger::openFile(const std::string& path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    file_.open(path, std::ios::app);
+    if (!file_)
+        return err("Logger: cannot open " + path + " for appending");
+    file_open_ = true;
+    return true;
+}
+
+std::size_t
+Logger::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_;
+}
+
+std::size_t
+Logger::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::vector<LogRecord>
+Logger::tail(std::size_t n) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<LogRecord> out;
+    std::size_t take = std::min(n, ring_.size());
+    out.reserve(take);
+    for (std::size_t i = ring_.size() - take; i < ring_.size(); ++i)
+        out.push_back(ring_[i]);
+    return out;
+}
+
+json::Value
+Logger::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value out{json::Object{}};
+    out.set("capacity", capacity_);
+    out.set("recorded", recorded_);
+    out.set("dropped", dropped_);
+    json::Value records{json::Array{}};
+    for (const LogRecord& record : ring_)
+        records.push(record.toJson());
+    out.set("records", std::move(records));
+    return out;
+}
+
+}  // namespace graphiti::obs

@@ -113,6 +113,40 @@ MetricsRegistry::timerStats(const std::string& name) const
 }
 
 void
+MetricsRegistry::mergeFrom(const MetricsRegistry& other)
+{
+    // Snapshot under the source lock, fold under ours: never hold
+    // both at once (no lock-order edge between registries).
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, TimerStats> timers;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        counters = other.counters_;
+        gauges = other.gauges_;
+        timers = other.timers_;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, value] : counters)
+        counters_[name] += value;
+    for (const auto& [name, value] : gauges)
+        gauges_[name] = value;
+    for (const auto& [name, stats] : timers) {
+        TimerStats& mine = timers_[name];
+        if (mine.count == 0) {
+            mine = stats;
+        } else if (stats.count > 0) {
+            mine.min_seconds =
+                std::min(mine.min_seconds, stats.min_seconds);
+            mine.max_seconds =
+                std::max(mine.max_seconds, stats.max_seconds);
+            mine.count += stats.count;
+            mine.total_seconds += stats.total_seconds;
+        }
+    }
+}
+
+void
 MetricsRegistry::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -91,6 +91,14 @@ class MetricsRegistry
     /** Histogram aggregate; nullopt when never observed. */
     std::optional<TimerStats> timerStats(const std::string& name) const;
 
+    /**
+     * Fold @p other into this registry: counters add, timer
+     * histograms merge, gauges take @p other's value when set. The
+     * served scheduler folds each finished job's private scope into
+     * the service-wide one this way.
+     */
+    void mergeFrom(const MetricsRegistry& other);
+
     /** Drop every metric. */
     void clear();
 

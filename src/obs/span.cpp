@@ -1,0 +1,117 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace graphiti::obs {
+
+json::Value
+SpanRecord::toJson() const
+{
+    json::Value out{json::Object{}};
+    out.set("track", track);
+    out.set("name", name);
+    out.set("start_ms", start_ms);
+    out.set("duration_ms", duration_ms);
+    return out;
+}
+
+SpanTracker::SpanTracker(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+void
+SpanTracker::attachSink(std::shared_ptr<TraceSink> sink)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink_ = std::move(sink);
+}
+
+double
+SpanTracker::nowMs() const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+SpanTracker::record(const std::string& track, const std::string& name,
+                    double start_ms, double end_ms)
+{
+    SpanRecord span;
+    span.track = track;
+    span.name = name;
+    span.start_ms = start_ms;
+    span.duration_ms = end_ms > start_ms ? end_ms - start_ms : 0.0;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    recorded_ += 1;
+    if (sink_ != nullptr)
+        sink_->span(span.track, span.name, span.start_ms,
+                    span.duration_ms);
+    ring_.push_back(std::move(span));
+    while (ring_.size() > capacity_) {
+        ring_.pop_front();
+        dropped_ += 1;
+    }
+}
+
+SpanTracker::Scoped::Scoped(SpanTracker* tracker, std::string track,
+                            std::string name)
+    : tracker_(tracker), track_(std::move(track)),
+      name_(std::move(name))
+{
+    if (tracker_ != nullptr)
+        start_ms_ = tracker_->nowMs();
+}
+
+SpanTracker::Scoped::~Scoped()
+{
+    if (tracker_ != nullptr)
+        tracker_->record(track_, name_, start_ms_, tracker_->nowMs());
+}
+
+std::size_t
+SpanTracker::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_;
+}
+
+std::size_t
+SpanTracker::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::vector<SpanRecord>
+SpanTracker::tail(std::size_t n) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SpanRecord> out;
+    std::size_t take = std::min(n, ring_.size());
+    out.reserve(take);
+    for (std::size_t i = ring_.size() - take; i < ring_.size(); ++i)
+        out.push_back(ring_[i]);
+    return out;
+}
+
+json::Value
+SpanTracker::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value out{json::Object{}};
+    out.set("capacity", capacity_);
+    out.set("recorded", recorded_);
+    out.set("dropped", dropped_);
+    json::Value spans{json::Array{}};
+    for (const SpanRecord& span : ring_)
+        spans.push(span.toJson());
+    out.set("spans", std::move(spans));
+    return out;
+}
+
+}  // namespace graphiti::obs

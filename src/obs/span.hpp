@@ -1,0 +1,111 @@
+#ifndef GRAPHITI_OBS_SPAN_HPP
+#define GRAPHITI_OBS_SPAN_HPP
+
+/**
+ * @file
+ * Service-level span tracking: named durations on named tracks, on a
+ * shared monotonic millisecond timeline, recorded concurrently from
+ * many threads and forwarded to one PerfettoTraceSink.
+ *
+ * Why not feed the sink directly? PerfettoTraceSink is deliberately
+ * not thread-safe (the simulator feeds it from one thread); the
+ * served daemon's workers, supervisor and connection threads all emit
+ * spans at once. The SpanTracker owns a mutex, serializes every
+ * record, keeps its own bounded ring (the `stats` verb reads it back
+ * without a trace file), and forwards to the sink under the same
+ * lock — so one service-level trace stitches all concurrent jobs,
+ * each job's track keyed by its correlation id.
+ *
+ * Service spans use milliseconds as the sink's "cycle" unit: the
+ * Perfetto UI renders one unit as 1 us, so a served trace reads in
+ * milliseconds directly off the time axis.
+ */
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace graphiti::obs {
+
+/** One completed span. */
+struct SpanRecord
+{
+    /** Track name; the served scheduler uses the job's correlation
+     * id, so every phase of one job shares a row. */
+    std::string track;
+    std::string name;
+    double start_ms = 0.0;
+    double duration_ms = 0.0;
+
+    json::Value toJson() const;
+};
+
+/** Thread-safe span recorder with an optional Perfetto backend. */
+class SpanTracker
+{
+  public:
+    explicit SpanTracker(std::size_t capacity = 2048);
+
+    /** Forward every span to @p sink (serialized by this tracker's
+     * lock; the sink itself may stay single-threaded). */
+    void attachSink(std::shared_ptr<TraceSink> sink);
+
+    /** Milliseconds since this tracker's epoch (monotonic). */
+    double nowMs() const;
+
+    /** Record a completed span [@p start_ms, @p end_ms). */
+    void record(const std::string& track, const std::string& name,
+                double start_ms, double end_ms);
+
+    /** RAII span: starts now, records at scope exit. */
+    class Scoped
+    {
+      public:
+        Scoped(SpanTracker* tracker, std::string track,
+               std::string name);
+        ~Scoped();
+
+        Scoped(const Scoped&) = delete;
+        Scoped& operator=(const Scoped&) = delete;
+
+      private:
+        SpanTracker* tracker_;
+        std::string track_;
+        std::string name_;
+        double start_ms_ = 0.0;
+    };
+
+    Scoped span(std::string track, std::string name)
+    {
+        return Scoped(this, std::move(track), std::move(name));
+    }
+
+    std::size_t recorded() const;
+    std::size_t dropped() const;
+
+    /** The newest @p n spans, oldest first. */
+    std::vector<SpanRecord> tail(std::size_t n) const;
+
+    /** {capacity, recorded, dropped, spans: [...]}. */
+    json::Value toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<SpanRecord> ring_;
+    std::size_t capacity_;
+    std::size_t recorded_ = 0;
+    std::size_t dropped_ = 0;
+    std::shared_ptr<TraceSink> sink_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace graphiti::obs
+
+#endif  // GRAPHITI_OBS_SPAN_HPP

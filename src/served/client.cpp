@@ -61,13 +61,31 @@ Client::requestOnce(const std::string& payload)
     return response;
 }
 
+std::string
+Client::mintJobId()
+{
+    // Hex of one Rng draw: unique across clients with distinct seeds,
+    // deterministic for a seeded replay.
+    static const char* digits = "0123456789abcdef";
+    std::uint64_t draw = rng_.next();
+    std::string id = "c-";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        id.push_back(digits[(draw >> shift) & 0xf]);
+    return id;
+}
+
 Result<JobResponse>
-Client::request(const JobSpec& spec, double deadline_seconds)
+Client::request(const JobSpec& spec, double deadline_seconds,
+                const std::string& job_id)
 {
     JobRequest request;
     request.id = next_id_++;
     request.job = spec.toJson();
     request.deadline_seconds = deadline_seconds;
+    // One id per LOGICAL request: the payload is built once, so every
+    // retry attempt below carries the same correlation id.
+    request.job_id = job_id.empty() ? mintJobId() : job_id;
+    last_job_id_ = request.job_id;
     std::string payload = request.toJson().dump();
     stats_.requests += 1;
 
@@ -125,6 +143,36 @@ Client::ping()
     if (pong == nullptr || !pong->isBool() || !pong->asBool())
         return err("ping: daemon answered without a pong");
     return true;
+}
+
+Result<obs::json::Value>
+Client::introspect(const char* kind)
+{
+    JobSpec spec;
+    spec.kind = kind;
+    Result<json::Value> result = call(spec);
+    if (!result.ok())
+        return result.error();
+    const json::Value* payload = result.value().find(kind);
+    if (payload == nullptr)
+        return err(std::string(kind) +
+                   ": daemon answered without a payload");
+    return *payload;
+}
+
+Result<obs::json::Value> Client::serviceStats()
+{
+    return introspect("stats");
+}
+
+Result<obs::json::Value> Client::serviceJobs()
+{
+    return introspect("jobs");
+}
+
+Result<obs::json::Value> Client::serviceHealth()
+{
+    return introspect("health");
 }
 
 }  // namespace graphiti::served

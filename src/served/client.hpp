@@ -62,9 +62,15 @@ class Client
      * up to the backoff policy's attempt cap; the final failure is
      * returned as an error. An "error"/"cancelled" response is
      * returned as a JobResponse, not an error — the transport worked.
+     *
+     * @p job_id is the correlation id; empty mints one from the
+     * client's seeded Rng. Either way the SAME id rides every retry
+     * attempt of this logical request, so the daemon's log and flight
+     * recorder stitch a shed-then-resubmit sequence into one story.
      */
     Result<JobResponse> request(const JobSpec& spec,
-                                double deadline_seconds = 0.0);
+                                double deadline_seconds = 0.0,
+                                const std::string& job_id = {});
 
     /** request() + unwrap: the "result" payload of an ok response,
      * an error otherwise. */
@@ -73,6 +79,15 @@ class Client
 
     /** Liveness probe. */
     Result<bool> ping();
+
+    /** Introspection verbs (docs/service_observability.md): the
+     * daemon's stats / live job table / health payloads. */
+    Result<obs::json::Value> serviceStats();
+    Result<obs::json::Value> serviceJobs();
+    Result<obs::json::Value> serviceHealth();
+
+    /** The correlation id the last request() carried. */
+    const std::string& lastJobId() const { return last_job_id_; }
 
     const ClientStats& stats() const { return stats_; }
 
@@ -83,11 +98,16 @@ class Client
     Result<net::Socket> connect();
     Result<JobResponse> requestOnce(const std::string& payload);
 
+    /** Mint a correlation id from the seeded Rng. */
+    std::string mintJobId();
+    Result<obs::json::Value> introspect(const char* kind);
+
     ClientConfig config_;
     Rng rng_;
     net::Socket socket_;
     std::uint64_t next_id_ = 1;
     ClientStats stats_;
+    std::string last_job_id_;
 };
 
 }  // namespace graphiti::served

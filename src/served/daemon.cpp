@@ -8,6 +8,13 @@ namespace json = obs::json;
 
 Daemon::Daemon(DaemonConfig config) : config_(std::move(config))
 {
+    // Every daemon carries a ServiceObserver: callers that configured
+    // one keep theirs (shared with their own probes); the rest get a
+    // default so stats/jobs/health always answer.
+    if (config_.scheduler.observer == nullptr)
+        config_.scheduler.observer =
+            std::make_shared<ServiceObserver>();
+    observer_ = config_.scheduler.observer;
     scheduler_ = std::make_unique<Scheduler>(config_.scheduler);
 }
 
@@ -82,6 +89,98 @@ void Daemon::stop() { shutdown(/*graceful=*/true); }
 
 void Daemon::kill() { shutdown(/*graceful=*/false); }
 
+obs::json::Value
+Daemon::statsJson() const
+{
+    json::Value out{json::Object{}};
+    out.set("uptime_seconds", observer_->uptimeSeconds());
+    json::Value conns{json::Object{}};
+    conns.set("accepted", connections_accepted_.load());
+    conns.set("malformed_frames", malformed_frames_.load());
+    conns.set("oversize_frames", oversize_frames_.load());
+    conns.set("clean_eofs", clean_eofs_.load());
+    conns.set("malformed_requests", malformed_requests_.load());
+    out.set("connections", std::move(conns));
+    out.set("scheduler", scheduler_->stats().toJson());
+    out.set("store", scheduler_->store()->stats().toJson());
+    out.set("verbs", observer_->verbsJson());
+    out.set("metrics", observer_->scope().metrics().toJson());
+    json::Value flight{json::Object{}};
+    flight.set("recorded", observer_->flight().recorded());
+    flight.set("dropped", observer_->flight().dropped());
+    out.set("flight", std::move(flight));
+    json::Value log{json::Object{}};
+    log.set("recorded", observer_->log().recorded());
+    log.set("dropped", observer_->log().dropped());
+    out.set("log", std::move(log));
+    json::Value spans{json::Object{}};
+    spans.set("recorded", observer_->spans().recorded());
+    spans.set("dropped", observer_->spans().dropped());
+    out.set("spans", std::move(spans));
+    return out;
+}
+
+obs::json::Value
+Daemon::jobsJson() const
+{
+    return scheduler_->jobsJson();
+}
+
+obs::json::Value
+Daemon::healthJson() const
+{
+    json::Value scheduler_health = scheduler_->healthJson();
+    bool accepting = false;
+    bool lanes_ok = false;
+    if (const json::Value* a = scheduler_health.find("accepting"))
+        accepting = a->isBool() && a->asBool();
+    const json::Value* alive = scheduler_health.find("workers_alive");
+    const json::Value* configured =
+        scheduler_health.find("workers_configured");
+    if (alive != nullptr && configured != nullptr &&
+        alive->isNumber() && configured->isNumber())
+        lanes_ok = alive->asNumber() >= configured->asNumber();
+
+    json::Value out{json::Object{}};
+    out.set("status",
+            accepting && lanes_ok ? "ok" : "degraded");
+    out.set("uptime_seconds", observer_->uptimeSeconds());
+    out.set("scheduler", std::move(scheduler_health));
+    guard::VerdictStoreStats store = scheduler_->store()->stats();
+    json::Value store_health = store.toJson();
+    store_health.set("persistent",
+                     !config_.scheduler.store.dir.empty());
+    store_health.set("shards", config_.scheduler.store.shards);
+    out.set("store", std::move(store_health));
+    json::Value listeners{json::Object{}};
+    listeners.set("socket_path", config_.socket_path);
+    if (config_.tcp_port >= 0)
+        listeners.set("tcp_port", static_cast<int>(tcp_port_));
+    out.set("listeners", std::move(listeners));
+    out.set("connections_accepted", connections_accepted_.load());
+    return out;
+}
+
+Result<bool>
+Daemon::dumpFlight() const
+{
+    return observer_->flight().dump();
+}
+
+obs::json::Value
+Daemon::introspect(const std::string& kind) const
+{
+    json::Value out{json::Object{}};
+    out.set("kind", kind);
+    if (kind == "stats")
+        out.set("stats", statsJson());
+    else if (kind == "jobs")
+        out.set("jobs", jobsJson());
+    else
+        out.set("health", healthJson());
+    return out;
+}
+
 void
 Daemon::acceptLoop(net::Socket listener)
 {
@@ -111,6 +210,7 @@ void
 Daemon::serveConnection(net::Socket socket, std::uint64_t conn_id)
 {
     std::string default_client = "conn-" + std::to_string(conn_id);
+    std::uint64_t frames_seen = 0;
     while (!stopping_.load()) {
         // Poll for the next frame in short slices so a shutdown never
         // waits out io_timeout_ms on an idle-but-connected client.
@@ -123,12 +223,31 @@ Daemon::serveConnection(net::Socket socket, std::uint64_t conn_id)
         std::string payload;
         Result<bool> frame =
             readFrame(socket, payload, config_.io_timeout_ms);
-        if (!frame.ok() || !frame.value())
-            return;  // truncation, junk length, timeout or clean EOF
+        if (!frame.ok()) {
+            // Truncation, junk length or timeout: classify so the
+            // stats verb can tell a flooder from a flaky link.
+            if (frame.error().message.find("exceeds limit") !=
+                std::string::npos)
+                oversize_frames_.fetch_add(1);
+            else
+                malformed_frames_.fetch_add(1);
+            return;
+        }
+        if (!frame.value()) {
+            clean_eofs_.fetch_add(1);
+            return;  // peer done
+        }
+        frames_seen += 1;
+        // A correlation id exists for every response, even one
+        // answering an unparseable request.
+        std::string fallback_job_id = default_client + "-r" +
+                                      std::to_string(frames_seen);
 
         JobResponse response;
+        response.job_id = fallback_job_id;
         Result<json::Value> parsed = json::parse(payload);
         if (!parsed.ok()) {
+            malformed_frames_.fetch_add(1);
             // No recoverable request id: answer id 0 so the client
             // can at least log the rejection, then drop the
             // connection (framing with junk inside is not worth
@@ -143,6 +262,7 @@ Daemon::serveConnection(net::Socket socket, std::uint64_t conn_id)
         }
         Result<JobRequest> request = jobRequestFromJson(parsed.value());
         if (!request.ok()) {
+            malformed_requests_.fetch_add(1);
             response.id = 0;
             response.status = "error";
             response.error = request.error().message;
@@ -151,13 +271,31 @@ Daemon::serveConnection(net::Socket socket, std::uint64_t conn_id)
             continue;
         }
         response.id = request.value().id;
+        if (!request.value().job_id.empty())
+            response.job_id = request.value().job_id;
 
         Result<JobSpec> spec = jobSpecFromJson(request.value().job);
         if (!spec.ok()) {
+            malformed_requests_.fetch_add(1);
             response.status = "error";
             response.error = spec.error().message;
             writeFrame(socket, response.toJson().dump(),
                        config_.io_timeout_ms);
+            continue;
+        }
+
+        const std::string& kind = spec.value().kind;
+        if (kind == "stats" || kind == "jobs" || kind == "health") {
+            // Read-only introspection bypasses the scheduler queue on
+            // purpose: the whole point is answering while the queue
+            // is full or a job is wedged.
+            response.status = "ok";
+            response.result = introspect(kind);
+            Result<bool> answered = writeFrame(
+                socket, response.toJson().dump(),
+                config_.io_timeout_ms);
+            if (!answered.ok())
+                return;
             continue;
         }
 
@@ -166,7 +304,9 @@ Daemon::serveConnection(net::Socket socket, std::uint64_t conn_id)
                                  : request.value().client;
         JobOutcome outcome = scheduler_->submitAndWait(
             client, spec.take(), request.value().deadline_seconds,
-            [&socket] { return net::peerClosed(socket); });
+            [&socket] { return net::peerClosed(socket); },
+            request.value().job_id);
+        response.job_id = outcome.job_id;
         response.status = outcome.status;
         response.result = std::move(outcome.result);
         response.error = outcome.error;

@@ -73,22 +73,58 @@ class Daemon
     Scheduler& scheduler() { return *scheduler_; }
     const Scheduler& scheduler() const { return *scheduler_; }
 
+    /** The observability plane. Always non-null: the daemon creates
+     * one when the config carries none, so the introspection verbs
+     * answer even for callers that never thought about observation. */
+    const std::shared_ptr<ServiceObserver>& observer() const
+    {
+        return observer_;
+    }
+
     /** Connections accepted since start. */
     std::size_t connectionsAccepted() const
     {
         return connections_accepted_.load();
     }
 
+    /**
+     * The `stats` verb payload: uptime, connection counters
+     * (malformed / oversize frames, clean EOFs, bad requests),
+     * scheduler and store counters, per-verb latency split, and the
+     * service-wide metrics snapshot.
+     */
+    obs::json::Value statsJson() const;
+
+    /** The `jobs` verb payload: the scheduler's live job table. */
+    obs::json::Value jobsJson() const;
+
+    /** The `health` verb payload: lane liveness, store shard status,
+     * listener addresses, uptime. */
+    obs::json::Value healthJson() const;
+
+    /** Dump the flight recorder to its configured path (SIGUSR1
+     * handler in the daemon tool; tests call it directly). */
+    Result<bool> dumpFlight() const;
+
   private:
     void acceptLoop(net::Socket listener);
     void serveConnection(net::Socket socket, std::uint64_t conn_id);
     void shutdown(bool graceful);
+    /** Answer a read-only introspection verb without touching the
+     * scheduler queue (so `stats` works under full load or wedge). */
+    obs::json::Value introspect(const std::string& kind) const;
 
     DaemonConfig config_;
+    std::shared_ptr<ServiceObserver> observer_;
     std::unique_ptr<Scheduler> scheduler_;
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> next_conn_id_{1};
     std::atomic<std::size_t> connections_accepted_{0};
+    /** Dropped-on-the-floor-no-more connection counters. */
+    std::atomic<std::size_t> malformed_frames_{0};
+    std::atomic<std::size_t> oversize_frames_{0};
+    std::atomic<std::size_t> clean_eofs_{0};
+    std::atomic<std::size_t> malformed_requests_{0};
     std::uint16_t tcp_port_ = 0;
     std::vector<std::thread> accept_threads_;
     std::mutex conn_mutex_;

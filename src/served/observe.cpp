@@ -1,0 +1,80 @@
+#include "served/observe.hpp"
+
+namespace graphiti::served {
+
+namespace json = obs::json;
+
+json::Value
+VerbStats::toJson() const
+{
+    json::Value out{json::Object{}};
+    out.set("requests", requests);
+    out.set("ok", ok);
+    out.set("errors", errors);
+    out.set("shed", shed);
+    out.set("cancelled", cancelled);
+    out.set("queue_wait", queue_wait.toJson());
+    out.set("execute", execute.toJson());
+    return out;
+}
+
+ServiceObserver::ServiceObserver(std::size_t flight_capacity,
+                                 std::size_t log_capacity,
+                                 std::size_t span_capacity)
+    : scope_(std::make_shared<obs::Scope>()), log_(log_capacity),
+      spans_(span_capacity), flight_(flight_capacity),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+ServiceObserver::attachTrace(
+    std::shared_ptr<obs::PerfettoTraceSink> sink)
+{
+    trace_ = sink;
+    spans_.attachSink(std::move(sink));
+}
+
+void
+ServiceObserver::recordVerb(const std::string& kind,
+                            const std::string& status,
+                            double queue_wait_ms, double execute_ms)
+{
+    std::lock_guard<std::mutex> lock(verbs_mutex_);
+    VerbStats& verb = verbs_[kind];
+    verb.requests += 1;
+    if (status == "ok")
+        verb.ok += 1;
+    else if (status == "rejected")
+        verb.shed += 1;
+    else if (status == "cancelled")
+        verb.cancelled += 1;
+    else
+        verb.errors += 1;
+    // A shed job never queued or ran; keep its zeros out of the
+    // windows so the percentiles describe work actually done.
+    if (status != "rejected") {
+        verb.queue_wait.record(queue_wait_ms);
+        verb.execute.record(execute_ms);
+    }
+}
+
+json::Value
+ServiceObserver::verbsJson() const
+{
+    std::lock_guard<std::mutex> lock(verbs_mutex_);
+    json::Value out{json::Object{}};
+    for (const auto& [kind, verb] : verbs_)
+        out.set(kind, verb.toJson());
+    return out;
+}
+
+double
+ServiceObserver::uptimeSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+}  // namespace graphiti::served

@@ -95,6 +95,8 @@ JobRequest::toJson() const
         out.set("deadline_seconds", deadline_seconds);
     if (!client.empty())
         out.set("client", client);
+    if (!job_id.empty())
+        out.set("job_id", job_id);
     return out;
 }
 
@@ -125,6 +127,12 @@ jobRequestFromJson(const obs::json::Value& v)
             return err("request \"client\" must be a string");
         request.client = client->asString();
     }
+    const json::Value* job_id = v.find("job_id");
+    if (job_id != nullptr) {
+        if (!job_id->isString())
+            return err("request \"job_id\" must be a string");
+        request.job_id = job_id->asString();
+    }
     return request;
 }
 
@@ -133,6 +141,8 @@ JobResponse::toJson() const
 {
     json::Value out{json::Object{}};
     out.set("id", id);
+    if (!job_id.empty())
+        out.set("job_id", job_id);
     out.set("status", status);
     if (status == "ok")
         out.set("result", result);
@@ -155,6 +165,9 @@ jobResponseFromJson(const obs::json::Value& v)
     if (id == nullptr || !id->isNumber())
         return err("response \"id\" must be a number");
     response.id = static_cast<std::uint64_t>(id->asNumber());
+    const json::Value* job_id = v.find("job_id");
+    if (job_id != nullptr && job_id->isString())
+        response.job_id = job_id->asString();
     const json::Value* status = v.find("status");
     if (status == nullptr || !status->isString())
         return err("response \"status\" must be a string");

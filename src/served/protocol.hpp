@@ -11,10 +11,17 @@
  * prefix must not let one client balloon the daemon's memory.
  *
  * Request:  { "id": n, "job": <JobSpec>, "deadline_seconds": s?,
- *             "client": "name"? }
- * Response: { "id": n, "status": "ok" | "error" | "rejected" |
- *             "cancelled", "result"?: ..., "error"?: "...",
- *             "retry_after_ms"?: ms, "artifact"?: "..." }
+ *             "client": "name"?, "job_id": "..."? }
+ * Response: { "id": n, "job_id": "...", "status": "ok" | "error" |
+ *             "rejected" | "cancelled", "result"?: ..., "error"?:
+ *             "...", "retry_after_ms"?: ms, "artifact"?: "..." }
+ *
+ * `job_id` is the correlation id (docs/service_observability.md):
+ * the client mints one per logical request and reuses it across
+ * retry attempts (so a shed-then-resubmit sequence shares one id in
+ * the daemon's logs and flight recorder); the daemon adopts it at
+ * admission — or mints one if the request carries none — and echoes
+ * it in every response.
  *
  * Status semantics:
  *   ok         the job ran; "result" holds runJob's output verbatim.
@@ -72,6 +79,8 @@ struct JobRequest
     double deadline_seconds = 0.0;
     /** Fair-share accounting identity; defaults to the connection. */
     std::string client;
+    /** Correlation id; empty = let the daemon mint one. */
+    std::string job_id;
 
     obs::json::Value toJson() const;
 };
@@ -82,6 +91,8 @@ Result<JobRequest> jobRequestFromJson(const obs::json::Value& v);
 struct JobResponse
 {
     std::uint64_t id = 0;
+    /** Correlation id the daemon attached to this request. */
+    std::string job_id;
     std::string status = "error";
     obs::json::Value result;
     std::string error;

@@ -86,8 +86,21 @@ SchedulerStats::toJson() const
     out.set("cancelled", cancelled);
     out.set("preempted", preempted);
     out.set("wedged", wedged);
+    out.set("disconnect_cancelled", disconnect_cancelled);
     return out;
 }
+
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from)
+        .count();
+}
+
+}  // namespace
 
 Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config))
 {
@@ -134,9 +147,7 @@ Scheduler::stop()
             outcome.status = "rejected";
             outcome.error = "daemon shutting down";
             outcome.retry_after_ms = config_.estimated_job_ms;
-            job->done = true;
-            job->outcome = std::move(outcome);
-            stats_.shed += 1;
+            completeJobLocked(job, std::move(outcome));
         }
         queue_.clear();
         for (const JobPtr& job : running_)
@@ -170,16 +181,94 @@ bool
 Scheduler::completeJob(const JobPtr& job, JobOutcome outcome)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    return completeJobLocked(job, std::move(outcome));
+}
+
+bool
+Scheduler::completeJobLocked(const JobPtr& job, JobOutcome outcome)
+{
     if (job->done)
         return false;
+    auto now = std::chrono::steady_clock::now();
     job->done = true;
     job->outcome = std::move(outcome);
+    job->outcome.job_id = job->job_id;
     if (job->outcome.status == "ok")
         stats_.completed += 1;
     else if (job->outcome.status == "cancelled")
         stats_.cancelled += 1;
+    else if (job->outcome.status == "rejected")
+        stats_.shed += 1;
     else
         stats_.failed += 1;
+
+    double queue_wait_ms =
+        elapsedMs(job->enqueued_at,
+                  job->started ? job->started_at : now);
+    double execute_ms =
+        job->started ? elapsedMs(job->started_at, now) : 0.0;
+
+    ServiceObserver* observer = config_.observer.get();
+    if (observer != nullptr) {
+        observer->recordVerb(job->spec.kind, job->outcome.status,
+                             queue_wait_ms, execute_ms);
+        // Fold the job's private counters into the service-wide
+        // scope so stats aggregates across jobs keep accumulating.
+        if (job->job_scope != nullptr)
+            observer->scope().metrics().mergeFrom(
+                job->job_scope->metrics());
+    }
+#if GRAPHITI_OBS_ENABLED
+    if (observer != nullptr) {
+        // The span tree of one job: its correlation id is the track,
+        // queue-wait and execute are the phases (forwarded to the
+        // Perfetto sink when one is attached — one service-level
+        // trace across concurrent jobs).
+        double now_ms = observer->spans().nowMs();
+        observer->spans().record(job->job_id, "queue-wait",
+                                 now_ms - queue_wait_ms - execute_ms,
+                                 now_ms - execute_ms);
+        if (job->started)
+            observer->spans().record(job->job_id, "execute",
+                                     now_ms - execute_ms, now_ms);
+
+        std::int64_t states =
+            job->job_scope != nullptr
+                ? job->job_scope->metrics().counter("refine.states")
+                : 0;
+        json::Value flight{json::Object{}};
+        flight.set("job_id", job->job_id);
+        flight.set("client", job->client);
+        flight.set("verb", job->spec.kind);
+        flight.set("status", job->outcome.status);
+        if (!job->outcome.error.empty())
+            flight.set("reason", job->outcome.error);
+        flight.set("queue_wait_ms", queue_wait_ms);
+        flight.set("execute_ms", execute_ms);
+        flight.set("states", states);
+        if (job->outcome.result.isObject()) {
+            const json::Value* level =
+                job->outcome.result.find("verification_level");
+            if (level != nullptr)
+                flight.set("verification_level", *level);
+            const json::Value* cache_hit =
+                job->outcome.result.find("verify_cache_hit");
+            if (cache_hit != nullptr)
+                flight.set("verify_cache_hit", *cache_hit);
+        }
+        observer->flight().record("job", std::move(flight));
+
+        obs::LogLevel level = job->outcome.status == "ok"
+                                  ? obs::LogLevel::Info
+                                  : obs::LogLevel::Warn;
+        observer->log().log(
+            level, job->job_id, "job.done",
+            obs::logFields("client", job->client, "verb",
+                           job->spec.kind, "status",
+                           job->outcome.status, "queue_wait_ms",
+                           queue_wait_ms, "execute_ms", execute_ms));
+    }
+#endif
     job_done_.notify_all();
     return true;
 }
@@ -212,23 +301,37 @@ Scheduler::enforceFairShareLocked()
             oldest = job;
     if (oldest == nullptr)
         return;
-    oldest->stop.requestStop("fair-share preemption (client \"" +
-                             victim + "\" over share)");
+    std::string reason = "fair-share preemption (client \"" + victim +
+                         "\" over share)";
+    oldest->stop.requestStop(reason);
     stats_.preempted += 1;
-    if (config_.obs != nullptr)
-        config_.obs->metrics().add("served.jobs.preempted", 1);
+    ServiceObserver* observer = config_.observer.get();
+    if (observer != nullptr)
+        observer->scope().metrics().add("served.jobs.preempted", 1);
+    GRAPHITI_SVC_FLIGHT(observer, "sched", "event", "preempt",
+                        "job_id", oldest->job_id, "client", victim,
+                        "reason", reason);
+    GRAPHITI_SVC_LOG(observer, obs::LogLevel::Warn, oldest->job_id,
+                     "job.preempt", "client", victim, "reason",
+                     reason);
 }
 
 JobOutcome
 Scheduler::submitAndWait(const std::string& client, JobSpec spec,
                          double deadline_seconds,
-                         const std::function<bool()>& abandoned)
+                         const std::function<bool()>& abandoned,
+                         const std::string& job_id)
 {
     JobPtr job = std::make_shared<Job>();
+    ServiceObserver* observer = config_.observer.get();
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        std::string id = job_id.empty()
+                             ? "job-" + std::to_string(next_serial_)
+                             : job_id;
         if (!started_ || stopping_) {
             JobOutcome outcome;
+            outcome.job_id = id;
             outcome.status = "rejected";
             outcome.error = "daemon not accepting jobs";
             outcome.retry_after_ms = config_.estimated_job_ms;
@@ -243,18 +346,28 @@ Scheduler::submitAndWait(const std::string& client, JobSpec spec,
         AdmissionDecision decision = admitJob(state);
         if (!decision.admit) {
             stats_.shed += 1;
-            if (config_.obs != nullptr)
-                config_.obs->metrics().add("served.jobs.shed", 1);
+            if (observer != nullptr)
+                observer->scope().metrics().add("served.jobs.shed",
+                                                1);
+            GRAPHITI_SVC_FLIGHT(observer, "sched", "event", "shed",
+                                "job_id", id, "client", client, "verb",
+                                spec.kind, "reason", decision.reason,
+                                "retry_after_ms",
+                                decision.retry_after_ms);
+            GRAPHITI_SVC_LOG(observer, obs::LogLevel::Warn, id,
+                             "job.shed", "client", client, "verb",
+                             spec.kind, "reason", decision.reason);
             JobOutcome outcome;
+            outcome.job_id = id;
             outcome.status = "rejected";
             outcome.error = decision.reason;
             outcome.retry_after_ms = decision.retry_after_ms;
             return outcome;
         }
         stats_.accepted += 1;
-        if (config_.obs != nullptr) {
-            config_.obs->metrics().add("served.jobs.accepted", 1);
-            config_.obs->metrics().set(
+        if (observer != nullptr) {
+            observer->scope().metrics().add("served.jobs.accepted", 1);
+            observer->scope().metrics().set(
                 "served.queue.depth",
                 static_cast<double>(queue_.size() + 1));
         }
@@ -267,6 +380,24 @@ Scheduler::submitAndWait(const std::string& client, JobSpec spec,
         job->client = client;
         job->spec = std::move(spec);
         job->serial = next_serial_++;
+        job->job_id = id;
+        job->enqueued_at = std::chrono::steady_clock::now();
+        if (deadline > 0) {
+            job->has_deadline = true;
+            job->deadline_at =
+                job->enqueued_at +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(deadline));
+        }
+        job->job_scope = std::make_shared<obs::Scope>();
+        GRAPHITI_SVC_FLIGHT(observer, "sched", "event", "admit",
+                            "job_id", job->job_id, "client", client,
+                            "verb", job->spec.kind, "queued",
+                            queue_.size());
+        GRAPHITI_SVC_LOG(observer, obs::LogLevel::Debug, job->job_id,
+                         "job.admit", "client", client, "verb",
+                         job->spec.kind, "queued", queue_.size());
         queue_.push_back(job);
         enforceFairShareLocked();
         work_available_.notify_one();
@@ -286,12 +417,18 @@ Scheduler::submitAndWait(const std::string& client, JobSpec spec,
             abandon_latched = true;
         }
     }
+    if (abandon_latched && job->outcome.status == "cancelled")
+        stats_.disconnect_cancelled += 1;
     return job->outcome;
 }
 
 void
 Scheduler::workerLoop()
 {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        workers_alive_ += 1;
+    }
     for (;;) {
         JobPtr job;
         {
@@ -299,11 +436,15 @@ Scheduler::workerLoop()
             work_available_.wait(lock, [this] {
                 return stopping_ || !queue_.empty();
             });
-            if (stopping_)
+            if (stopping_) {
+                workers_alive_ -= 1;
                 return;
+            }
             job = queue_.front();
             queue_.pop_front();
             job->running = true;
+            job->started = true;
+            job->started_at = std::chrono::steady_clock::now();
             running_.push_back(job);
         }
 
@@ -315,7 +456,11 @@ Scheduler::workerLoop()
             outcome.status = "cancelled";
             outcome.error = job->stop.reason();
         } else {
-            obs::ScopedInstall obs_install(config_.obs.get());
+            // The job's private scope catches cooperative progress
+            // counters (refine.states, guard.verify.*) so the jobs
+            // verb can report them live; it folds into the service
+            // scope at completion.
+            obs::ScopedInstall obs_install(job->job_scope.get());
             // Fresh Compiler per job (the Compiler is not
             // thread-safe); the shared store carries verdicts across
             // jobs, workers and restarts.
@@ -343,11 +488,15 @@ Scheduler::workerLoop()
             running_.erase(
                 std::remove(running_.begin(), running_.end(), job),
                 running_.end());
-            if (config_.obs != nullptr)
-                config_.obs->metrics().set(
+            if (config_.observer != nullptr)
+                config_.observer->scope().metrics().set(
                     "served.queue.depth",
                     static_cast<double>(queue_.size()));
             abandoned_worker = job->worker_abandoned;
+            if (abandoned_worker) {
+                workers_alive_ -= 1;
+                workers_abandoned_ += 1;
+            }
         }
         // The supervisor declared this job wedged and already spawned
         // a replacement lane; this thread retires instead of doubling
@@ -361,23 +510,29 @@ void
 Scheduler::supervisorLoop()
 {
     for (;;) {
+        bool dump_flight = false;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             if (stopping_)
                 return;
             auto now = std::chrono::steady_clock::now();
+            supervisor_heartbeat_ = now;
+            supervisor_seen_ = true;
 
             // Queued jobs whose tokens already fired (deadline-zero
             // floods, disconnects) never reach a worker.
             for (auto it = queue_.begin(); it != queue_.end();) {
                 const JobPtr& job = *it;
                 if (job->stop.stopRequested()) {
-                    job->done = true;
-                    job->outcome.status = "cancelled";
-                    job->outcome.error = job->stop.reason();
-                    stats_.cancelled += 1;
+                    JobOutcome outcome;
+                    outcome.status = "cancelled";
+                    outcome.error = job->stop.reason();
+                    GRAPHITI_SVC_FLIGHT(
+                        config_.observer.get(), "sched", "event",
+                        "deadline", "job_id", job->job_id, "client",
+                        job->client, "reason", outcome.error);
+                    completeJobLocked(job, std::move(outcome));
                     it = queue_.erase(it);
-                    job_done_.notify_all();
                 } else {
                     ++it;
                 }
@@ -412,21 +567,102 @@ Scheduler::supervisorLoop()
                     std::to_string(waited) + "s";
                 outcome.artifact = faults::failureArtifact(
                     nullptr, outcome.error, scope);
-                job->done = true;
-                job->outcome = std::move(outcome);
+                GRAPHITI_SVC_FLIGHT(
+                    config_.observer.get(), "sched", "event", "wedge",
+                    "job_id", job->job_id, "client", job->client,
+                    "reason", outcome.error);
+                GRAPHITI_SVC_LOG(config_.observer.get(),
+                                 obs::LogLevel::Error, job->job_id,
+                                 "job.wedge", "client", job->client,
+                                 "reason", outcome.error);
+                completeJobLocked(job, std::move(outcome));
                 job->worker_abandoned = true;
                 stats_.wedged += 1;
-                stats_.cancelled += 1;
-                if (config_.obs != nullptr)
-                    config_.obs->metrics().add("served.jobs.wedged",
-                                               1);
+                if (config_.observer != nullptr)
+                    config_.observer->scope().metrics().add(
+                        "served.jobs.wedged", 1);
                 workers_.emplace_back([this] { workerLoop(); });
-                job_done_.notify_all();
+                dump_flight = true;
             }
         }
+        // A wedge is exactly what the flight recorder exists for:
+        // dump outside the scheduler lock (file IO under a lock would
+        // stall admission).
+        if (dump_flight && config_.observer != nullptr &&
+            !config_.observer->flight().dumpPath().empty())
+            (void)config_.observer->flight().dump();
         std::this_thread::sleep_for(std::chrono::duration<double>(
             config_.supervisor_period_ms / 1000.0));
     }
+}
+
+obs::json::Value
+Scheduler::jobsJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto now = std::chrono::steady_clock::now();
+    auto entry = [&](const JobPtr& job, const char* phase) {
+        json::Value out{json::Object{}};
+        out.set("job_id", job->job_id);
+        out.set("client", job->client);
+        out.set("verb", job->spec.kind);
+        out.set("phase", phase);
+        out.set("age_ms", elapsedMs(job->enqueued_at, now));
+        if (job->started)
+            out.set("queue_wait_ms",
+                    elapsedMs(job->enqueued_at, job->started_at));
+        if (job->has_deadline)
+            out.set("deadline_remaining_ms",
+                    elapsedMs(now, job->deadline_at));
+        out.set("stop_requested", job->stop.stopRequested());
+        if (job->stop.stopRequested())
+            out.set("stop_reason", job->stop.reason());
+        if (job->job_scope != nullptr) {
+            const obs::MetricsRegistry& metrics =
+                job->job_scope->metrics();
+            out.set("states_explored",
+                    metrics.counter("refine.states"));
+            json::Value rungs{json::Object{}};
+            rungs.set("full", metrics.counter("guard.verify.full"));
+            rungs.set("bounded_partial",
+                      metrics.counter("guard.verify.bounded_partial"));
+            rungs.set("trace_inclusion",
+                      metrics.counter("guard.verify.trace_inclusion"));
+            rungs.set("none", metrics.counter("guard.verify.none"));
+            out.set("verify_rungs", std::move(rungs));
+        }
+        return out;
+    };
+    json::Value jobs{json::Array{}};
+    for (const JobPtr& job : queue_)
+        jobs.push(entry(job, "queued"));
+    for (const JobPtr& job : running_)
+        if (!job->done)
+            jobs.push(entry(job, "running"));
+    json::Value out{json::Object{}};
+    out.set("queued", queue_.size());
+    out.set("running", running_.size());
+    out.set("jobs", std::move(jobs));
+    return out;
+}
+
+obs::json::Value
+Scheduler::healthJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value out{json::Object{}};
+    out.set("accepting", started_ && !stopping_);
+    out.set("workers_configured", config_.workers);
+    out.set("workers_alive", workers_alive_);
+    out.set("workers_abandoned", workers_abandoned_);
+    out.set("queue_depth", queue_.size());
+    out.set("queue_capacity", config_.queue_capacity);
+    out.set("running", running_.size());
+    if (supervisor_seen_)
+        out.set("supervisor_heartbeat_age_ms",
+                elapsedMs(supervisor_heartbeat_,
+                          std::chrono::steady_clock::now()));
+    return out;
 }
 
 SchedulerStats

@@ -39,6 +39,7 @@
 #include "core/job.hpp"
 #include "guard/verdict_store.hpp"
 #include "obs/scope.hpp"
+#include "served/observe.hpp"
 #include "served/protocol.hpp"
 #include "support/cancel.hpp"
 
@@ -63,12 +64,12 @@ struct SchedulerConfig
     double estimated_job_ms = 50.0;
     /** Verdict-store shape; dir empty = in-memory only. */
     guard::VerdictStoreConfig store;
-    /** Shared observation scope: installed thread-locally around each
-     * job and fed the scheduler's own counters (accepted / shed /
-     * preempted / wedged, queue depth). MetricsRegistry is
-     * thread-safe, so one scope serves all workers. Null = no
-     * observation. */
-    std::shared_ptr<obs::Scope> obs;
+    /** The service observability plane: scheduler counters land in
+     * its scope, every job gets spans/log/flight records correlated
+     * by job_id, and each finished job's private scope is folded into
+     * the service-wide one. Null = no observation (the byte-identical
+     * -verdict contract holds either way). */
+    std::shared_ptr<ServiceObserver> observer;
 };
 
 /** Inputs of one admission decision (plain counts — pure policy). */
@@ -114,6 +115,8 @@ std::string pickPreemptionVictim(
 /** Final state of one scheduled job. */
 struct JobOutcome
 {
+    /** Correlation id (caller-supplied or minted at admission). */
+    std::string job_id;
     /** "ok", "error", "rejected" or "cancelled" (protocol.hpp). */
     std::string status = "error";
     obs::json::Value result;
@@ -133,6 +136,8 @@ struct SchedulerStats
     std::size_t cancelled = 0;
     std::size_t preempted = 0;
     std::size_t wedged = 0;
+    /** Cancels caused by the client vanishing mid-request. */
+    std::size_t disconnect_cancelled = 0;
 
     obs::json::Value toJson() const;
 };
@@ -173,11 +178,29 @@ class Scheduler
      * polled while waiting — when it returns true (client
      * disconnected) the job's token is stopped, the wait continues
      * until the worker actually unwinds, and the outcome reports
-     * "cancelled".
+     * "cancelled". @p job_id is the correlation id; empty mints
+     * "job-<serial>" at admission. The outcome echoes it either way.
      */
     JobOutcome submitAndWait(const std::string& client, JobSpec spec,
                              double deadline_seconds = 0.0,
-                             const std::function<bool()>& abandoned = {});
+                             const std::function<bool()>& abandoned = {},
+                             const std::string& job_id = {});
+
+    /**
+     * The live job table (the `jobs` verb): one entry per queued or
+     * running job — job_id, client, kind, phase, age, queue wait,
+     * deadline remaining, stop state, and the cooperative progress
+     * counters (states explored, verification rungs) read off the
+     * job's private scope. Functional with or without an observer.
+     */
+    obs::json::Value jobsJson() const;
+
+    /**
+     * Liveness summary (the `health` verb): configured vs alive
+     * worker lanes, abandoned (wedged) lanes, queue depth/capacity,
+     * supervisor heartbeat age, whether submissions are accepted.
+     */
+    obs::json::Value healthJson() const;
 
     /** The shared crash-safe verdict store. */
     const std::shared_ptr<guard::VerdictStore>& store() const
@@ -192,6 +215,7 @@ class Scheduler
     struct Job
     {
         std::uint64_t serial = 0;
+        std::string job_id;  // correlation id (client's or minted)
         std::string client;
         JobSpec spec;
         StopToken stop;  // always armed (manual or deadline)
@@ -202,6 +226,18 @@ class Scheduler
         /** The supervisor declared this job wedged; the worker lane
          * running it retires on unwind (a replacement already runs). */
         bool worker_abandoned = false;
+        /** Admission / dequeue timestamps for queue-wait vs execute
+         * attribution. */
+        std::chrono::steady_clock::time_point enqueued_at{};
+        std::chrono::steady_clock::time_point started_at{};
+        bool started = false;
+        /** Armed deadline, for the jobs verb's remaining-time column. */
+        bool has_deadline = false;
+        std::chrono::steady_clock::time_point deadline_at{};
+        /** Private scope installed around runJob: the jobs verb reads
+         * live progress counters off it; on completion it folds into
+         * the observer's service-wide scope. */
+        std::shared_ptr<obs::Scope> job_scope;
         JobOutcome outcome;
     };
     using JobPtr = std::shared_ptr<Job>;
@@ -211,6 +247,8 @@ class Scheduler
     /** Complete @p job exactly once (worker or supervisor — first
      * wins); returns whether this call won. Takes the scheduler lock. */
     bool completeJob(const JobPtr& job, JobOutcome outcome);
+    /** completeJob with the scheduler lock already held. */
+    bool completeJobLocked(const JobPtr& job, JobOutcome outcome);
     void enforceFairShareLocked();
 
     SchedulerConfig config_;
@@ -227,6 +265,12 @@ class Scheduler
     bool started_ = false;
     bool stopping_ = false;
     SchedulerStats stats_;
+    /** Worker lanes currently inside workerLoop (health verb). */
+    std::size_t workers_alive_ = 0;
+    /** Lanes the supervisor abandoned as wedged (health verb). */
+    std::size_t workers_abandoned_ = 0;
+    std::chrono::steady_clock::time_point supervisor_heartbeat_{};
+    bool supervisor_seen_ = false;
 };
 
 }  // namespace graphiti::served

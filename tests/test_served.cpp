@@ -835,5 +835,47 @@ TEST(ServedDaemon, LoopbackTcpServesTheSameProtocol)
     daemon.stop();
 }
 
+TEST(ServedScheduler, InstrumentedSchedulerOverheadUnderTwoTimes)
+{
+    // The service-plane twin of ObsGcd.OverheadUnderTwoTimes: a
+    // scheduler with the full observability plane attached (logger,
+    // spans, flight recorder, per-verb reservoirs, per-job metric
+    // scopes) must keep its p50 request latency within 2x of the
+    // uninstrumented scheduler on the same replay.
+    const std::string dot = gcdDot();
+    auto replay_p50 = [&](bool observed) {
+        served::SchedulerConfig config = schedulerConfig(1, 8);
+        if (observed)
+            config.observer =
+                std::make_shared<served::ServiceObserver>();
+        served::Scheduler scheduler(config);
+        EXPECT_TRUE(scheduler.start().ok());
+        obs::LatencyReservoir latency;
+        for (std::size_t r = 0; r < 13; ++r) {
+            JobSpec spec = verifySpec(dot);
+            spec.options.verify_cache = false;  // real work each time
+            spec.options.verify_budget.seed = 4200 + r;
+            auto start = std::chrono::steady_clock::now();
+            served::JobOutcome outcome =
+                scheduler.submitAndWait("overhead", spec);
+            double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+            EXPECT_EQ(outcome.status, "ok") << outcome.error;
+            if (r >= 2)  // skip warmup (allocator, first-touch)
+                latency.record(ms);
+        }
+        scheduler.stop();
+        return latency.percentile(50);
+    };
+
+    double plain = replay_p50(false);
+    double observed = replay_p50(true);
+    EXPECT_LT(observed, plain * 2.0)
+        << "observability overhead " << observed / plain
+        << "x (plain p50 " << plain << "ms, observed p50 "
+        << observed << "ms)";
+}
+
 }  // namespace
 }  // namespace graphiti

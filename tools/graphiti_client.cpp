@@ -10,22 +10,34 @@
  * benchmark by name (--benchmark; resolved locally, only the dot text
  * travels).
  *
+ * Read-only introspection (docs/service_observability.md): --stats,
+ * --jobs and --health query the daemon's observability plane; these
+ * verbs bypass the scheduler queue, so they answer even when the
+ * service is saturated or wedged. --watch polls the selected verb
+ * (default stats) every --interval seconds, printing one JSON line
+ * per poll, until interrupted.
+ *
  * Usage:
  *     graphiti-client --socket PATH [--tcp PORT] KIND
  *                     [--dot FILE | --benchmark NAME]
  *                     [--deadline S] [--threads N] [--attempts N]
  *                     [--max-states N] [--partial-states N]
  *                     [--input-budget N] [--trace-walks N]
+ *     graphiti-client --socket PATH [--tcp PORT]
+ *                     --stats | --jobs | --health
+ *                     [--watch [--interval S]]
  *
  * Exit status: 0 on an ok response, 1 on an error/cancelled response,
  * 2 on usage errors, 3 when every attempt failed at the transport.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "bench_circuits/benchmarks.hpp"
 #include "dot/dot.hpp"
@@ -41,7 +53,11 @@ usage(const char* argv0)
         "usage: %s --socket PATH [--tcp PORT] KIND\n"
         "          [--dot FILE | --benchmark NAME] [--deadline S]\n"
         "          [--threads N] [--attempts N]\n"
+        "       %s --socket PATH [--tcp PORT]\n"
+        "          --stats | --jobs | --health [--watch [--interval "
+        "S]]\n"
         "  KIND             ping | compile | verify | validate\n"
+        "                   | stats | jobs | health\n"
         "  --dot FILE       send this dot file as the circuit\n"
         "  --benchmark NAME send this built-in benchmark's circuit\n"
         "  --deadline S     per-job wall-clock deadline in seconds\n"
@@ -50,9 +66,23 @@ usage(const char* argv0)
         "  --max-states N   full-exploration state cap (verify)\n"
         "  --partial-states N  partial-exploration state cap\n"
         "  --input-budget N input tokens per explored execution\n"
-        "  --trace-walks N  trace-inclusion walk count\n",
-        argv0);
+        "  --trace-walks N  trace-inclusion walk count\n"
+        "  --stats          service counters, per-verb latency "
+        "windows\n"
+        "  --jobs           live job table (phase, deadline, rungs)\n"
+        "  --health         lane liveness, store shards, uptime\n"
+        "  --watch          poll the introspection verb until "
+        "interrupted\n"
+        "  --interval S     watch poll period in seconds (default "
+        "2)\n",
+        argv0, argv0);
     return 2;
+}
+
+bool
+isIntrospection(const std::string& kind)
+{
+    return kind == "stats" || kind == "jobs" || kind == "health";
 }
 
 }  // namespace
@@ -70,6 +100,8 @@ main(int argc, char** argv)
     std::size_t threads = 0;
     guard::VerificationBudget budget;
     bool budget_set = false;
+    bool watch = false;
+    double interval_seconds = 2.0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -114,6 +146,16 @@ main(int argc, char** argv)
                 return usage(argv[0]);
             config.backoff.max_attempts =
                 static_cast<std::size_t>(std::atoi(v));
+        } else if (arg == "--stats" || arg == "--jobs" ||
+                   arg == "--health") {
+            kind = arg.substr(2);
+        } else if (arg == "--watch") {
+            watch = true;
+        } else if (arg == "--interval") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            interval_seconds = std::atof(v);
         } else if (arg == "--max-states" || arg == "--partial-states" ||
                    arg == "--input-budget" || arg == "--trace-walks") {
             const char* v = value();
@@ -138,9 +180,43 @@ main(int argc, char** argv)
             return usage(argv[0]);
         }
     }
+    if (watch && kind.empty())
+        kind = "stats";
     if (kind.empty() ||
         (config.socket_path.empty() && config.tcp_port < 0))
         return usage(argv[0]);
+    if (watch && !isIntrospection(kind)) {
+        std::fprintf(stderr,
+                     "--watch needs an introspection verb "
+                     "(--stats/--jobs/--health), not \"%s\"\n",
+                     kind.c_str());
+        return 2;
+    }
+
+    served::Client client(config);
+
+    if (isIntrospection(kind)) {
+        do {
+            Result<obs::json::Value> snapshot =
+                kind == "stats"    ? client.serviceStats()
+                : kind == "jobs"   ? client.serviceJobs()
+                                   : client.serviceHealth();
+            if (!snapshot.ok()) {
+                std::fprintf(stderr, "graphiti-client: %s\n",
+                             snapshot.error().message.c_str());
+                return 3;
+            }
+            // One JSON document per poll: pretty for a single query,
+            // one line per poll under --watch (pipeable).
+            std::printf("%s\n",
+                        snapshot.value().dump(watch ? -1 : 2).c_str());
+            std::fflush(stdout);
+            if (watch)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(interval_seconds));
+        } while (watch);
+        return 0;
+    }
 
     JobSpec spec;
     spec.kind = kind;
@@ -177,7 +253,6 @@ main(int argc, char** argv)
         return usage(argv[0]);
     }
 
-    served::Client client(config);
     Result<served::JobResponse> response =
         client.request(spec, deadline_seconds);
     if (!response.ok()) {

@@ -8,10 +8,18 @@
  * crash-safe verdict store. Runs until SIGINT/SIGTERM; `--store DIR`
  * makes committed verdicts survive restarts — including kill -9.
  *
+ * Observability (docs/service_observability.md): `--flight PATH`
+ * arms the flight recorder — dumped on SIGUSR1, on a wedge, at exit,
+ * and best-effort on fatal signals; `--log PATH` mirrors structured
+ * JSON-lines logs; `--trace PATH` writes one service-level Perfetto
+ * trace (per-job span trees keyed by correlation id) at shutdown.
+ * Live introspection needs no files: `graphiti-client --stats`.
+ *
  * Usage:
  *     graphiti-served --socket PATH [--tcp PORT] [--workers N]
  *                     [--queue N] [--store DIR] [--max-deadline S]
- *                     [--wedge-grace S]
+ *                     [--wedge-grace S] [--flight PATH] [--log PATH]
+ *                     [--trace PATH]
  *
  * Exit status: 0 on clean shutdown, 2 on usage/startup errors.
  */
@@ -29,11 +37,18 @@
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_dump_flight{false};
 
 void
 onSignal(int)
 {
     g_stop.store(true);
+}
+
+void
+onDumpSignal(int)
+{
+    g_dump_flight.store(true);
 }
 
 int
@@ -43,6 +58,7 @@ usage(const char* argv0)
         stderr,
         "usage: %s --socket PATH [--tcp PORT] [--workers N] [--queue N]\n"
         "          [--store DIR] [--max-deadline S] [--wedge-grace S]\n"
+        "          [--flight PATH] [--log PATH] [--trace PATH]\n"
         "  --socket PATH    unix-domain socket to listen on (required)\n"
         "  --tcp PORT       also listen on loopback TCP (0 = ephemeral)\n"
         "  --workers N      worker threads (default 2)\n"
@@ -50,7 +66,13 @@ usage(const char* argv0)
         "  --store DIR      persist governed verdicts (crash-safe)\n"
         "  --max-deadline S clamp client deadlines to S seconds\n"
         "  --wedge-grace S  grace before a stopped job counts as "
-        "wedged\n",
+        "wedged\n"
+        "  --flight PATH    flight-recorder dump target (SIGUSR1, "
+        "wedge,\n"
+        "                   exit, fatal signals)\n"
+        "  --log PATH       mirror structured logs as JSON lines\n"
+        "  --trace PATH     write a service-level Perfetto trace at "
+        "shutdown\n",
         argv0);
     return 2;
 }
@@ -63,6 +85,9 @@ main(int argc, char** argv)
     using namespace graphiti;
 
     served::DaemonConfig config;
+    std::string flight_path;
+    std::string log_path;
+    std::string trace_path;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto value = [&]() -> const char* {
@@ -107,6 +132,21 @@ main(int argc, char** argv)
             if (v == nullptr)
                 return usage(argv[0]);
             config.scheduler.wedge_grace_seconds = std::atof(v);
+        } else if (arg == "--flight") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            flight_path = v;
+        } else if (arg == "--log") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            log_path = v;
+        } else if (arg == "--trace") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            trace_path = v;
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             return usage(argv[0]);
@@ -114,6 +154,29 @@ main(int argc, char** argv)
     }
     if (config.socket_path.empty())
         return usage(argv[0]);
+
+    auto observer = std::make_shared<served::ServiceObserver>();
+    config.scheduler.observer = observer;
+    if (!flight_path.empty()) {
+        observer->flight().setDumpPath(flight_path);
+        // Best-effort post-mortem on exit / SIGSEGV / SIGABRT /
+        // SIGBUS; kill -9 keeps only what an earlier dump wrote.
+        obs::installCrashDump(&observer->flight());
+    }
+    if (!log_path.empty()) {
+        Result<bool> opened = observer->log().openFile(log_path);
+        if (!opened.ok()) {
+            std::fprintf(stderr, "graphiti-served: %s\n",
+                         opened.error().message.c_str());
+            return 2;
+        }
+    }
+    std::shared_ptr<obs::PerfettoTraceSink> trace;
+    if (!trace_path.empty()) {
+        trace = std::make_shared<obs::PerfettoTraceSink>();
+        trace->setCapacity(1 << 16);
+        observer->attachTrace(trace);
+    }
 
     served::Daemon daemon(config);
     Result<bool> started = daemon.start();
@@ -125,6 +188,7 @@ main(int argc, char** argv)
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+    std::signal(SIGUSR1, onDumpSignal);
 
     std::printf("graphiti-served: listening on %s",
                 config.socket_path.c_str());
@@ -133,10 +197,30 @@ main(int argc, char** argv)
     std::printf("\n");
     std::fflush(stdout);
 
-    while (!g_stop.load())
+    while (!g_stop.load()) {
+        if (g_dump_flight.exchange(false) && !flight_path.empty()) {
+            // SIGUSR1: dump from the main loop, where allocation and
+            // locking are safe (the handler only set a flag).
+            Result<bool> dumped = daemon.dumpFlight();
+            std::printf("graphiti-served: flight recorder %s %s\n",
+                        dumped.ok() ? "dumped to" : "dump failed:",
+                        dumped.ok()
+                            ? flight_path.c_str()
+                            : dumped.error().message.c_str());
+            std::fflush(stdout);
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
 
     daemon.stop();
+    if (!flight_path.empty())
+        (void)daemon.dumpFlight();
+    if (trace != nullptr) {
+        Result<bool> wrote = trace->writeFile(trace_path);
+        if (!wrote.ok())
+            std::fprintf(stderr, "graphiti-served: trace: %s\n",
+                         wrote.error().message.c_str());
+    }
     served::SchedulerStats stats = daemon.scheduler().stats();
     std::printf("graphiti-served: shutting down (%s)\n",
                 stats.toJson().dump().c_str());
