@@ -11,6 +11,7 @@
 #include "flows.hpp"
 
 #include "bench_circuits/gcd.hpp"
+#include "obs/scope.hpp"
 #include "refine/refinement.hpp"
 #include "refine/trace.hpp"
 #include "rewrite/catalog.hpp"
@@ -30,7 +31,7 @@ void
 BM_LoopRewriteRefinement(benchmark::State& state)
 {
     std::size_t budget = static_cast<std::size_t>(state.range(0));
-    std::size_t pairs = 0, impl_states = 0;
+    std::size_t pairs = 0, impl_states = 0, peak_bytes = 0;
     for (auto _ : state) {
         Environment env(4);
         ExprHigh seq = circuits::buildGcdNormalizedLoop(env.functions());
@@ -43,10 +44,15 @@ BM_LoopRewriteRefinement(benchmark::State& state)
         else {
             pairs = report.value().reachable_pairs;
             impl_states = report.value().impl_states;
+            peak_bytes = report.value().explore_peak_bytes +
+                         report.value().peak_bytes;
         }
     }
     state.counters["impl_states"] = static_cast<double>(impl_states);
     state.counters["game_pairs"] = static_cast<double>(pairs);
+    // Memory footprint of the check (explore + game high-water); 0
+    // when the build compiles observability out.
+    state.counters["peak_bytes"] = static_cast<double>(peak_bytes);
 }
 BENCHMARK(BM_LoopRewriteRefinement)
     ->Arg(1)
@@ -65,7 +71,9 @@ void
 BM_ThreadScaling(benchmark::State& state)
 {
     std::size_t threads = static_cast<std::size_t>(state.range(0));
-    std::size_t verify_states = 0;
+    std::size_t verify_states = 0, peak_bytes = 0;
+    auto scope = std::make_shared<obs::Scope>();
+    obs::ScopedInstall install(scope.get());
     for (auto _ : state) {
         Environment env(4);
         ExprHigh seq = circuits::buildGcdNormalizedLoop(env.functions());
@@ -76,13 +84,24 @@ BM_ThreadScaling(benchmark::State& state)
              .threads = threads});
         if (!report.ok() || !report.value().refines)
             state.SkipWithError("refinement check failed");
-        else
+        else {
             verify_states = report.value().impl_states +
                             report.value().spec_states;
+            peak_bytes = report.value().explore_peak_bytes +
+                         report.value().peak_bytes;
+        }
     }
     state.counters["verify_states"] =
         static_cast<double>(verify_states);
     state.counters["threads"] = static_cast<double>(threads);
+    // peak_bytes is identical at every thread count (size-based
+    // estimates; docs/verification_observability.md); the pool
+    // occupancy split is the nondeterministic part worth eyeballing.
+    state.counters["peak_bytes"] = static_cast<double>(peak_bytes);
+    state.counters["pool_chunks"] = static_cast<double>(
+        scope->metrics().counter("pool.chunks"));
+    state.counters["pool_steals"] = static_cast<double>(
+        scope->metrics().counter("pool.steals"));
 }
 BENCHMARK(BM_ThreadScaling)
     ->Arg(1)

@@ -109,6 +109,7 @@ main(int argc, char** argv)
         auto verify_start = std::chrono::steady_clock::now();
         graphiti::Compiler compiler;
         graphiti::CompileOptions options;
+        options.obs = std::make_shared<graphiti::obs::Scope>();
         options.governed_verify = true;
         options.threads = 0;  // hardware concurrency
         options.verify_budget.max_states = 800;
@@ -144,6 +145,25 @@ main(int argc, char** argv)
                                            : first.error().message);
         }
         report.set("verify", std::move(verify));
+        // Resource telemetry next to — never inside — the
+        // deterministic verify object: peak bytes are stable per
+        // budget, but pool occupancy (steals, idle) is timing-noise,
+        // so perf_compare.py ignores this whole object.
+        graphiti::obs::json::Value resources{
+            graphiti::obs::json::Object{}};
+        if (first.ok()) {
+            resources.set("explore_peak_bytes",
+                          first.value().verify_explore_peak_bytes);
+            resources.set("game_peak_bytes",
+                          first.value().verify_game_peak_bytes);
+        }
+        const graphiti::obs::MetricsRegistry& metrics =
+            options.obs->metrics();
+        resources.set("pool_batches", metrics.counter("pool.batches"));
+        resources.set("pool_chunks", metrics.counter("pool.chunks"));
+        resources.set("pool_idle_ns", metrics.counter("pool.idle_ns"));
+        resources.set("pool_steals", metrics.counter("pool.steals"));
+        report.set("verify_resources", std::move(resources));
         report.phase("verify_probe",
                      std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - verify_start)

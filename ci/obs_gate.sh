@@ -28,6 +28,8 @@ cmake --build "${PREFIX}-off" -j "${JOBS}"
 for probe in "rewrite.match_attempts:libgraphiti_rewrite.a" \
              "egraph.saturations:libgraphiti_egraph.a" \
              "refine.states_per_second:libgraphiti_refine.a" \
+             "refine.peak_bytes:libgraphiti_refine.a" \
+             "guard.verify.peak_bytes:libgraphiti_guard.a" \
              "sim.tokens_in_flight_max:libgraphiti_sim.a"; do
     name="${probe%%:*}"
     lib="${probe##*:}"
@@ -67,6 +69,35 @@ echo "OK: no service log/span strings in OFF served objects"
 # admission, byte identity, introspection verbs) with the plane
 # compiled out.
 (cd "${PREFIX}-off" && ctest -L served --output-on-failure)
+
+# metricsz under OFF: the verb still answers — all zeros, but the
+# alias families are present, so a scraper pointed at an OFF-build
+# fleet sees flat lines instead of scrape errors
+# (docs/verification_observability.md).
+echo "== OFF metricsz zeros smoke =="
+OFF_SOCK="$(mktemp -u /tmp/graphiti-obs-gate-XXXXXX.sock)"
+"${PREFIX}-off/tools/graphiti-served" --socket "${OFF_SOCK}" \
+    --workers 1 &
+OFF_PID=$!
+trap 'kill "${OFF_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+    [ -S "${OFF_SOCK}" ] && break
+    sleep 0.1
+done
+OFF_METRICS="$("${PREFIX}-off/tools/graphiti-client" \
+    --socket "${OFF_SOCK}" --metricsz)"
+kill "${OFF_PID}" 2>/dev/null || true
+wait "${OFF_PID}" 2>/dev/null || true
+trap - EXIT
+echo "${OFF_METRICS}" | grep -q "^graphiti_verify_states_total 0$" || {
+    echo "FAIL: OFF metricsz missing 'graphiti_verify_states_total 0'"
+    exit 1
+}
+echo "${OFF_METRICS}" | grep -q "^graphiti_verify_peak_bytes 0$" || {
+    echo "FAIL: OFF metricsz missing 'graphiti_verify_peak_bytes 0'"
+    exit 1
+}
+echo "OK: OFF build answers metricsz with zeroed alias families"
 
 echo "== ON configuration =="
 cmake -B "${PREFIX}-on" -S . -DGRAPHITI_OBS=ON

@@ -24,11 +24,25 @@ on any machine yields the same value.
     phases           per-phase wall times of the run
     clock_period_ns  is compared only via exec_time_ns
 
+  explicitly ignored resource telemetry (RESOURCE_FIELDS):
+    verify_resources  peak bytes are stable, but the pool occupancy
+                      split (chunks per lane, steals, idle time) is
+                      scheduling noise — the whole object stays out of
+                      the comparison and exists for humans reading the
+                      report (docs/verification_observability.md)
+
 A threshold metric regresses when it grows more than --threshold
 percent over the baseline. Baseline values <= 0 are skipped (nothing
 meaningful to compare against), as are benchmarks or flows absent from
 either side — but each skip is reported so a silently shrinking
 benchmark set cannot pass the gate.
+
+Bench trajectory (--history PATH): after comparing, append one
+timestamped line summarizing the current run's whitelisted metrics to
+PATH (JSON lines), and WARN on any metric that grew on each of the
+last three recorded runs — a slow monotone drift that per-run
+thresholds never catch. History warnings never fail the gate, even
+under --enforce: the signal is "look at the trend", not "block".
 
 Exit status: 0 when clean, or when regressions were found but the gate
 is warn-only (the default); 1 when regressions were found and
@@ -36,6 +50,7 @@ enforcement is on (--enforce or PERF_GATE_ENFORCE=1); 2 on bad input.
 """
 
 import argparse
+import datetime
 import json
 import os
 import sys
@@ -49,8 +64,15 @@ VERIFY_EXACT = ("level", "verify_states", "reachable_pairs",
                 "cache_hits", "cache_misses", "second_compile_cache_hit")
 # Wall-clock fields that must never be compared (run-to-run noise).
 WALL_CLOCK_FIELDS = frozenset({"measure_seconds", "phases"})
+# Resource-telemetry objects that ride next to the deterministic ones
+# and must never be compared (pool occupancy is scheduling noise).
+RESOURCE_FIELDS = frozenset({"verify_resources"})
 assert WALL_CLOCK_FIELDS.isdisjoint(METRICS)
 assert WALL_CLOCK_FIELDS.isdisjoint(VERIFY_EXACT)
+assert RESOURCE_FIELDS.isdisjoint(VERIFY_EXACT)
+# Consecutive increases (runs, including the current one) that count
+# as a monotone drift worth warning about.
+HISTORY_RUNS = 3
 
 
 def load(path):
@@ -96,6 +118,83 @@ def compare_verify(base_doc, cur_doc, regressions, skipped):
     return compared
 
 
+def flatten_metrics(doc):
+    """The whitelisted metrics of one report as a flat {key: number}.
+
+    Keys are dotted (`bicg.graphiti.cycles`, `verify.verify_states`);
+    only numeric values land here, so history comparison is a plain
+    number-to-number affair.
+    """
+    flat = {}
+    for name, bench in sorted(index_benchmarks(doc).items()):
+        for flow in FLOWS:
+            flow_obj = bench.get(flow)
+            if not isinstance(flow_obj, dict):
+                continue
+            for metric in METRICS:
+                value = flow_obj.get(metric)
+                if isinstance(value, (int, float)):
+                    flat[f"{name}.{flow}.{metric}"] = value
+    verify = doc.get("verify")
+    if isinstance(verify, dict):
+        for field in VERIFY_EXACT:
+            value = verify.get(field)
+            if isinstance(value, (int, float)) and \
+                    not isinstance(value, bool):
+                flat[f"verify.{field}"] = value
+    return flat
+
+
+def update_history(path, cur_doc):
+    """Append the current run to the trajectory file and return
+    warning lines for metrics that grew on each of the last
+    HISTORY_RUNS runs."""
+    entries = []
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # a corrupt line never wedges the gate
+                if isinstance(entry, dict) and \
+                        isinstance(entry.get("metrics"), dict):
+                    entries.append(entry)
+    except OSError:
+        pass  # first run: no history yet
+
+    current = {
+        "ts": datetime.datetime.now(datetime.timezone.utc)
+              .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "metrics": flatten_metrics(cur_doc),
+    }
+    window = entries[-(HISTORY_RUNS - 1):] + [current]
+
+    warnings = []
+    if len(window) == HISTORY_RUNS:
+        for key in sorted(current["metrics"]):
+            values = [e["metrics"].get(key) for e in window]
+            if any(not isinstance(v, (int, float)) for v in values):
+                continue
+            if all(values[i] < values[i + 1]
+                   for i in range(len(values) - 1)):
+                trend = " -> ".join(f"{v:g}" for v in values)
+                warnings.append(
+                    f"{key}: grew {HISTORY_RUNS} runs straight "
+                    f"({trend})")
+
+    try:
+        with open(path, "a") as f:
+            f.write(json.dumps(current, sort_keys=True,
+                               separators=(",", ":")) + "\n")
+    except OSError as e:
+        warnings.append(f"cannot append to {path}: {e}")
+    return warnings
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="checked-in BENCH_baseline.json")
@@ -106,6 +205,10 @@ def main():
     parser.add_argument("--enforce", action="store_true",
                         help="fail (exit 1) on regressions instead of "
                              "warning; PERF_GATE_ENFORCE=1 also works")
+    parser.add_argument("--history", metavar="PATH",
+                        help="append a one-line summary of this run to "
+                             "PATH (JSON lines) and warn on metrics "
+                             "that grew three runs straight")
     args = parser.parse_args()
 
     enforce = args.enforce or \
@@ -154,6 +257,10 @@ def main():
                        "regenerate BENCH_baseline.json to cover it")
 
     compared += compare_verify(base_doc, cur_doc, regressions, skipped)
+
+    if args.history:
+        for line in update_history(args.history, cur_doc):
+            print(f"perf gate: TREND WARNING: {line}")
 
     for line in skipped:
         print(f"perf gate: skip: {line}")

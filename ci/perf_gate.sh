@@ -9,6 +9,12 @@
 #
 #     build/bench/bench_table2 --json BENCH_baseline.json
 #
+# Every run also appends a one-line timestamped summary of the
+# whitelisted metrics to BENCH_history.jsonl; perf_compare.py warns
+# (never fails) when a metric grew on three consecutive runs — the
+# slow drift a per-run threshold cannot see. The history file is
+# per-machine working state, not a checked-in artifact.
+#
 # Usage: ci/perf_gate.sh [build-dir] [--enforce]   (default: build)
 
 set -euo pipefail
@@ -32,4 +38,5 @@ CURRENT="$(mktemp)"
 trap 'rm -f "${CURRENT}"' EXIT
 "${BENCH}" --json "${CURRENT}" > /dev/null
 
-python3 ci/perf_compare.py "${BASELINE}" "${CURRENT}" "${@:2}"
+python3 ci/perf_compare.py "${BASELINE}" "${CURRENT}" \
+    --history BENCH_history.jsonl "${@:2}"

@@ -17,6 +17,10 @@
 #      smoke daemon is up, require live --stats and --health answers
 #      (per-verb windows, lane liveness), then SIGUSR1 and require the
 #      flight-recorder JSON to appear with completed-job records.
+#      The smoke daemon also runs with --expose 0; after the verify
+#      job, an HTTP scrape of the bound port must serve the metricsz
+#      document with the contract families
+#      (docs/verification_observability.md).
 #   5. Soak: a bounded bench_served run with --misbehave — concurrent
 #      clients, a deterministic slice of them hostile (half-written
 #      frames, mid-job disconnects, deadline-zero floods, junk) — and
@@ -71,7 +75,8 @@ ctest --test-dir "${BUILD}" -L served --output-on-failure
 
 echo "== served gate: daemon smoke =="
 "${BUILD}/tools/graphiti-served" --socket "${SOCKET}" --workers 2 \
-    --store "${STORE}" --flight "${FLIGHT}" > "${DAEMON_LOG}" 2>&1 &
+    --store "${STORE}" --flight "${FLIGHT}" --expose 0 \
+    > "${DAEMON_LOG}" 2>&1 &
 DAEMON_PID=$!
 wait_for_listen "${DAEMON_PID}"
 
@@ -114,6 +119,42 @@ assert sched["workers_alive"] == sched["workers_configured"] == 2, \
     "worker lanes not all alive: " + str(sched)
 assert health["store"]["persistent"], "store should be persistent"
 print("served gate: live stats/health answers are well-formed")
+PY
+
+echo "== served gate: metrics scrape (--expose) =="
+# The startup banner prints the ephemeral exposition port:
+#   ... (metrics on http://127.0.0.1:PORT/metricsz)
+EXPOSE_PORT="$(sed -n \
+    's#.*metrics on http://127\.0\.0\.1:\([0-9]*\)/metricsz.*#\1#p' \
+    "${DAEMON_LOG}" | head -1)"
+[ -n "${EXPOSE_PORT}" ] || {
+    echo "served gate: FAIL: no exposition port in the daemon banner:"
+    cat "${DAEMON_LOG}"
+    exit 1
+}
+python3 - "${EXPOSE_PORT}" <<'PY'
+import sys
+import urllib.request
+
+port = sys.argv[1]
+with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/metricsz", timeout=10) as response:
+    body = response.read().decode()
+
+lines = {ln.split(" ")[0]: ln for ln in body.splitlines()
+         if ln and not ln.startswith("#")}
+# The scrape contract: both alias families present, and the states
+# counter moved after the verify job that just completed.
+for family in ("graphiti_verify_states_total",
+               "graphiti_verify_peak_bytes",
+               "graphiti_jobs_completed_total",
+               "graphiti_expose_scrapes_total"):
+    assert family in lines, family + " missing from scrape:\n" + body
+states = float(lines["graphiti_verify_states_total"].split(" ")[1])
+completed = float(lines["graphiti_jobs_completed_total"].split(" ")[1])
+assert completed >= 2, "ping+verify not counted: " + str(completed)
+print("served gate: scrape OK (states=%g, completed=%g)"
+      % (states, completed))
 PY
 
 echo "== served gate: SIGUSR1 flight dump =="

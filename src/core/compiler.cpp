@@ -50,6 +50,12 @@ CompileReport::toJson() const
         out.set("verification", verdict.toJson());
         out.set("verify_cache_hit", verify_cache_hit);
         out.set("verify_cache_key", verify_cache_key);
+        json::Value peak{json::Object{}};
+        peak.set("explore", verify_explore_peak_bytes);
+        peak.set("game", verify_game_peak_bytes);
+        peak.set("total",
+                 verify_explore_peak_bytes + verify_game_peak_bytes);
+        out.set("verify_peak_bytes", std::move(peak));
     }
     return out;
 }
@@ -69,8 +75,12 @@ Compiler::compileGraph(const ExprHigh& graph,
                        const CompileOptions& options)
 {
     // Route the whole compilation (typecheck, catalog verification,
-    // pipeline) through the caller's scope when one is given.
-    obs::ScopedInstall obs_install(options.obs.get());
+    // pipeline) through the caller's scope when one is given; with no
+    // explicit scope, inherit whatever the calling thread installed —
+    // the served worker installs the per-job scope this way, and the
+    // jobs/metricsz verbs read its probe live.
+    obs::ScopedInstall obs_install(
+        options.obs != nullptr ? options.obs.get() : obs::current());
     GRAPHITI_OBS_TIMER(obs_timer, "compile.seconds");
     GRAPHITI_OBS_COUNT("compile.runs", 1);
 
@@ -194,6 +204,14 @@ Compiler::compileGraph(const ExprHigh& graph,
         report.verification_level =
             guard::toString(report.verdict.level);
         report.degradation_reason = report.verdict.degradation_reason;
+        // Per-phase peak bytes (0 on a cache hit: nothing explored).
+        report.verify_explore_peak_bytes =
+            report.verdict.explore_peak_bytes;
+        report.verify_game_peak_bytes = report.verdict.report.peak_bytes;
+        GRAPHITI_OBS_GAUGE("guard.verify.peak_bytes.cache",
+                           verdict_store_ != nullptr
+                               ? verdict_store_->approxBytes()
+                               : verify_cache_.approxBytes());
         // A counterexample on any rung is a genuine violation and
         // fails the compilation; level "none" without one just means
         // the budget bought no assurance — the report says so.

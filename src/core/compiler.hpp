@@ -138,6 +138,15 @@ struct CompileReport
     /** Canonical cache key of the governed verification ("0x…");
      * empty when governed verification did not run. */
     std::string verify_cache_key;
+    /**
+     * High-water byte estimates of the governed verification's
+     * exploration (both state spaces + dedup indexes) and simulation
+     * game. Resource accounting only: deterministic per
+     * (seed, budget) at any thread count, 0 on a cache hit (no
+     * exploration ran) or when observability is compiled out.
+     */
+    std::size_t verify_explore_peak_bytes = 0;
+    std::size_t verify_game_peak_bytes = 0;
 
     /**
      * Machine-readable summary (loops, rewrite counts, timing); the

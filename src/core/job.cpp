@@ -238,13 +238,15 @@ jobSpecFromJson(const obs::json::Value& v)
         spec.kind = kind->asString();
     }
     bool introspection = spec.kind == "stats" ||
-                         spec.kind == "jobs" || spec.kind == "health";
+                         spec.kind == "jobs" ||
+                         spec.kind == "health" ||
+                         spec.kind == "metricsz";
     if (spec.kind != "ping" && spec.kind != "compile" &&
         spec.kind != "verify" && spec.kind != "validate" &&
         spec.kind != "profile" && !introspection)
         return err("unknown job kind \"" + spec.kind +
                    "\" (expected ping, compile, verify, validate, "
-                   "profile, stats, jobs or health)");
+                   "profile, stats, jobs, health or metricsz)");
 
     const json::Value* dot = v.find("circuit_dot");
     if (dot != nullptr) {
@@ -338,7 +340,7 @@ runJob(Compiler& compiler, const JobSpec& spec, const StopToken& stop)
     }
 
     if (spec.kind == "stats" || spec.kind == "jobs" ||
-        spec.kind == "health")
+        spec.kind == "health" || spec.kind == "metricsz")
         // Deterministic by design: the daemon intercepts these before
         // the scheduler, so reaching runJob means the caller asked a
         // one-shot compiler a question only a live service can answer.

@@ -276,6 +276,7 @@ EGraph::finishSaturation(const SaturationStats& stats) const
                        static_cast<std::int64_t>(stats.applications));
     GRAPHITI_OBS_GAUGE_MAX("egraph.nodes_max", nodes_.size());
     GRAPHITI_OBS_GAUGE_MAX("egraph.classes_max", numClasses());
+    GRAPHITI_OBS_GAUGE_MAX("egraph.bytes", approxBytes());
     if (stats.saturated)
         GRAPHITI_OBS_COUNT("egraph.saturated", 1);
     (void)stats;
@@ -336,6 +337,32 @@ std::size_t
 EGraph::numClasses() const
 {
     return class_nodes_.size();
+}
+
+std::size_t
+EGraph::approxBytes() const
+{
+    // std::map node: left/right/parent links + color word.
+    constexpr std::size_t kTreeOverhead = 4 * sizeof(void*);
+    auto nodeBytes = [](const ENode& node) {
+        return sizeof(ENode) + node.op.size() +
+               node.children.size() * sizeof(ClassId);
+    };
+    std::size_t bytes = sizeof(EGraph);
+    bytes += parent_.size() * sizeof(ClassId);
+    bytes += node_class_.size() * sizeof(ClassId);
+    for (const ENode& node : nodes_)
+        bytes += nodeBytes(node);
+    for (const auto& [node, idx] : hashcons_) {
+        (void)idx;
+        bytes += nodeBytes(node) + sizeof(std::size_t) + kTreeOverhead;
+    }
+    for (const auto& [cls, idxs] : class_nodes_) {
+        (void)cls;
+        bytes += sizeof(ClassId) + sizeof(idxs) +
+                 idxs.size() * sizeof(std::size_t) + kTreeOverhead;
+    }
+    return bytes;
 }
 
 }  // namespace graphiti::eg

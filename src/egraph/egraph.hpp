@@ -143,6 +143,12 @@ class EGraph
     std::size_t numNodes() const { return nodes_.size(); }
     std::size_t numClasses() const;
 
+    /** Size-based byte estimate of the e-graph's tables (e-nodes with
+     * their op strings, union-find, hashcons, class index). Resource
+     * accounting only — feeds the `egraph.bytes` gauge, never any
+     * saturation limit. */
+    std::size_t approxBytes() const;
+
   private:
     /** Variable bindings of a pattern match. */
     using Subst = std::map<std::string, ClassId>;

@@ -1,6 +1,7 @@
 #include "guard/governor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "obs/scope.hpp"
@@ -80,6 +81,50 @@ Governor::verify(const DenotedModule& impl, const DenotedModule& spec,
     VerificationVerdict verdict;
     std::ostringstream why;
 
+#if GRAPHITI_OBS_ENABLED
+    auto verify_start = std::chrono::steady_clock::now();
+#endif
+    // Mark a rung/phase transition on the job's progress probe (and
+    // refresh the deadline headroom). Observation only — the ladder's
+    // control flow never reads the probe.
+    auto obs_rung = [&](obs::VerifyPhase phase, const char* rung) {
+#if GRAPHITI_OBS_ENABLED
+        if (obs::Scope* scope = obs::current()) {
+            if (obs::VerifyProbe* probe = scope->verifyProbe()) {
+                probe->beginPhase(phase, rung);
+                if (budget_.deadline_seconds > 0) {
+                    double elapsed =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            verify_start)
+                            .count();
+                    probe->setDeadlineRemaining(std::max(
+                        0.0, budget_.deadline_seconds - elapsed));
+                }
+            }
+        }
+#else
+        (void)phase;
+        (void)rung;
+#endif
+    };
+    // Roll a winning rung's high-water bytes into the scope gauges.
+    auto obs_peaks = [&](std::size_t explore_bytes,
+                         std::size_t game_bytes) {
+#if GRAPHITI_OBS_ENABLED
+        GRAPHITI_OBS_GAUGE_MAX("guard.verify.peak_bytes.explore",
+                               explore_bytes);
+        GRAPHITI_OBS_GAUGE_MAX("guard.verify.peak_bytes.game",
+                               game_bytes);
+        GRAPHITI_OBS_GAUGE_MAX("guard.verify.peak_bytes.total",
+                               explore_bytes + game_bytes);
+        GRAPHITI_OBS_VPROBE(notePeakBytes(explore_bytes + game_bytes));
+#else
+        (void)explore_bytes;
+        (void)game_bytes;
+#endif
+    };
+
     // Rung 1: full exploration + exact game.
     if (budget_.max_states == 0) {
         why << "full check skipped (max_states = 0)";
@@ -89,12 +134,14 @@ Governor::verify(const DenotedModule& impl, const DenotedModule& spec,
         limits.input_budget = budget_.input_budget;
         limits.threads = budget_.threads;
         limits.stop = stop_;
+        obs_rung(obs::VerifyPhase::Explore, "full");
         Result<StateSpace> impl_space =
             StateSpace::explore(impl, domain, limits);
         Result<StateSpace> spec_space =
             impl_space.ok() ? StateSpace::explore(spec, domain, limits)
                             : err("skipped");
         if (impl_space.ok() && spec_space.ok()) {
+            obs_rung(obs::VerifyPhase::Game, "full");
             Result<RefinementReport> played = checkRefinementOnSpaces(
                 impl_space.value(), spec_space.value(),
                 /*optimistic_frontier=*/false, stop_,
@@ -105,6 +152,11 @@ Governor::verify(const DenotedModule& impl, const DenotedModule& spec,
                 verdict.refines = verdict.report.refines;
                 verdict.ok = verdict.refines;
                 verdict.counterexample = verdict.report.counterexample;
+                verdict.explore_peak_bytes =
+                    impl_space.value().peakBytes() +
+                    spec_space.value().peakBytes();
+                obs_peaks(verdict.explore_peak_bytes,
+                          verdict.report.peak_bytes);
                 GRAPHITI_OBS_COUNT("guard.verify.full", 1);
                 return verdict;
             }
@@ -129,6 +181,7 @@ Governor::verify(const DenotedModule& impl, const DenotedModule& spec,
         limits.input_budget = budget_.input_budget;
         limits.threads = budget_.threads;
         limits.stop = stop_;
+        obs_rung(obs::VerifyPhase::Explore, "bounded-partial");
         Result<StateSpace> impl_space =
             StateSpace::explorePartial(impl, domain, limits);
         Result<StateSpace> spec_space =
@@ -136,6 +189,7 @@ Governor::verify(const DenotedModule& impl, const DenotedModule& spec,
                 ? StateSpace::explorePartial(spec, domain, limits)
                 : err("skipped");
         if (impl_space.ok() && spec_space.ok()) {
+            obs_rung(obs::VerifyPhase::Game, "bounded-partial");
             Result<RefinementReport> played = checkRefinementOnSpaces(
                 impl_space.value(), spec_space.value(),
                 /*optimistic_frontier=*/true, stop_,
@@ -147,6 +201,11 @@ Governor::verify(const DenotedModule& impl, const DenotedModule& spec,
                 verdict.ok = verdict.report.refines;
                 verdict.counterexample = verdict.report.counterexample;
                 verdict.degradation_reason = why.str();
+                verdict.explore_peak_bytes =
+                    impl_space.value().peakBytes() +
+                    spec_space.value().peakBytes();
+                obs_peaks(verdict.explore_peak_bytes,
+                          verdict.report.peak_bytes);
                 GRAPHITI_OBS_COUNT("guard.verify.bounded_partial", 1);
                 return verdict;
             }
@@ -167,6 +226,7 @@ Governor::verify(const DenotedModule& impl, const DenotedModule& spec,
     // flow — lowest failing walk wins — so the verdict is identical
     // at any thread count.
     {
+        obs_rung(obs::VerifyPhase::TraceWalks, "trace-inclusion");
         // Replaying one linear trace is cheap; when the exhaustive
         // rungs were skipped (caps of 0) fall back to a cap that still
         // lets the walk run.

@@ -96,6 +96,15 @@ struct VerificationVerdict
     RefinementReport report;
     /** Walks completed (rung TraceInclusion). */
     std::size_t trace_walks_run = 0;
+    /**
+     * High-water byte estimate of the winning rung's explorations
+     * (both spaces plus their dedup indexes). Resource accounting
+     * only: deliberately NOT part of toJson() — cached verdicts
+     * round-trip through that JSON and golden tests compare it
+     * byte-for-byte — so a cache hit honestly reports 0 (no
+     * exploration ran). 0 when observability is compiled out.
+     */
+    std::size_t explore_peak_bytes = 0;
 
     /** Deterministic summary: no wall-clock content, so two runs with
      * the same seed/budget dump byte-identical JSON. */

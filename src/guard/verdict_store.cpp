@@ -238,4 +238,22 @@ VerdictStore::stats() const
     return out;
 }
 
+std::size_t
+VerdictStore::approxBytes() const
+{
+    constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+    std::size_t bytes = 0;
+    for (const Shard& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (const auto& [key, entry] : shard.entries)
+            bytes += sizeof(key) + verdictApproxBytes(entry.verdict) +
+                     sizeof(entry.lru_pos) + kNodeOverhead;
+        bytes += shard.entries.bucket_count() * sizeof(void*);
+        // LRU list: one key + two links per node.
+        bytes += shard.lru.size() *
+                 (sizeof(std::uint64_t) + 2 * sizeof(void*));
+    }
+    return bytes;
+}
+
 }  // namespace graphiti::guard

@@ -95,6 +95,10 @@ class VerdictStore
     VerdictStoreStats stats() const;
     const VerdictStoreConfig& config() const { return config_; }
 
+    /** Size-based byte estimate of all shards' verdicts + LRU lists
+     * (resource accounting only). */
+    std::size_t approxBytes() const;
+
   private:
     struct Shard
     {

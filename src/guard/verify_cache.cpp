@@ -1,5 +1,6 @@
 #include "guard/verify_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -110,6 +111,15 @@ bool
 isCacheable(const VerificationBudget& budget)
 {
     return budget.deadline_seconds == 0.0;
+}
+
+std::size_t
+verdictApproxBytes(const VerificationVerdict& verdict)
+{
+    return sizeof(VerificationVerdict) +
+           verdict.degradation_reason.size() +
+           verdict.counterexample.size() +
+           verdict.report.counterexample.size();
 }
 
 Result<VerificationVerdict>
@@ -232,10 +242,19 @@ VerifyCache::saveFile(const std::string& path) const
     json::Value arr{json::Array{}};
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        for (const auto& [key, verdict] : entries_) {
+        // Emit entries in key order: unordered_map iteration depends
+        // on insertion history, and cache files should be
+        // byte-reproducible for identical content (diffable, and the
+        // obs tests compare snapshots textually).
+        std::vector<std::uint64_t> keys;
+        keys.reserve(entries_.size());
+        for (const auto& [key, verdict] : entries_)
+            keys.push_back(key);
+        std::sort(keys.begin(), keys.end());
+        for (std::uint64_t key : keys) {
             json::Value entry{json::Object{}};
             entry.set("key", formatCacheKey(key));
-            entry.set("verdict", verdict.toJson());
+            entry.set("verdict", entries_.at(key).toJson());
             arr.push(std::move(entry));
         }
     }
@@ -269,6 +288,19 @@ VerifyCache::corruptEntries() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return corrupt_entries_;
+}
+
+std::size_t
+VerifyCache::approxBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+    std::size_t bytes = 0;
+    for (const auto& [key, verdict] : entries_)
+        bytes += sizeof(key) + verdictApproxBytes(verdict) +
+                 kNodeOverhead;
+    bytes += entries_.bucket_count() * sizeof(void*);
+    return bytes;
 }
 
 }  // namespace graphiti::guard

@@ -54,6 +54,10 @@ Result<VerificationVerdict> verdictFromJson(const obs::json::Value& v);
  * deadline — the verdict is deterministic). */
 bool isCacheable(const VerificationBudget& budget);
 
+/** Size-based byte estimate of one verdict (strings deep, capacity
+ * slack ignored). Shared by the cache/store accounting below. */
+std::size_t verdictApproxBytes(const VerificationVerdict& verdict);
+
 /** Thread-safe in-process verdict cache with optional JSON persistence. */
 class VerifyCache
 {
@@ -84,6 +88,9 @@ class VerifyCache
     std::size_t misses() const;
     /** Malformed files/entries skipped by loadFile so far. */
     std::size_t corruptEntries() const;
+    /** Size-based byte estimate of all memoized verdicts (resource
+     * accounting only — docs/verification_observability.md). */
+    std::size_t approxBytes() const;
 
   private:
     mutable std::mutex mutex_;

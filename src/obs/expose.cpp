@@ -1,0 +1,295 @@
+#include "obs/expose.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace graphiti::obs::expo {
+
+namespace {
+
+/** Integers render without a fraction; everything else as %.10g. */
+std::string
+formatValue(double value)
+{
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::abs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    return buf;
+}
+
+}  // namespace
+
+std::string
+metricName(const std::string& dotted, const std::string& prefix)
+{
+    std::string out = prefix;
+    for (char c : dotted) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void
+TextExposition::typeLine(const std::string& name, const char* type)
+{
+    out_ += "# TYPE ";
+    out_ += name;
+    out_ += ' ';
+    out_ += type;
+    out_ += '\n';
+}
+
+void
+TextExposition::sample(const std::string& name, double value)
+{
+    out_ += name;
+    out_ += ' ';
+    out_ += formatValue(value);
+    out_ += '\n';
+}
+
+void
+TextExposition::counter(const std::string& dotted, double value)
+{
+    std::string name = metricName(dotted) + "_total";
+    typeLine(name, "counter");
+    sample(name, value);
+}
+
+void
+TextExposition::gauge(const std::string& dotted, double value)
+{
+    std::string name = metricName(dotted);
+    typeLine(name, "gauge");
+    sample(name, value);
+}
+
+void
+TextExposition::timer(const std::string& dotted,
+                      const TimerStats& stats)
+{
+    std::string name = metricName(dotted) + "_seconds";
+    typeLine(name, "summary");
+    sample(name + "_count", static_cast<double>(stats.count));
+    sample(name + "_sum", stats.total_seconds);
+    typeLine(name + "_max", "gauge");
+    sample(name + "_max", stats.max_seconds);
+}
+
+void
+TextExposition::reservoir(const std::string& dotted,
+                          const LatencyReservoir& window)
+{
+    std::string name = metricName(dotted);
+    typeLine(name, "summary");
+    static constexpr std::pair<const char*, double> kQuantiles[] = {
+        {"0.5", 50.0}, {"0.9", 90.0}, {"0.99", 99.0}};
+    for (const auto& [label, p] : kQuantiles) {
+        out_ += name;
+        out_ += "{quantile=\"";
+        out_ += label;
+        out_ += "\"} ";
+        out_ += formatValue(window.percentile(p));
+        out_ += '\n';
+    }
+    sample(name + "_count", static_cast<double>(window.count()));
+    typeLine(name + "_max", "gauge");
+    sample(name + "_max", window.max());
+}
+
+std::size_t
+renderRegistry(const MetricsRegistry& registry, TextExposition& out)
+{
+    // The registry snapshots as {"counters", "gauges", "timers"},
+    // each keyed by a std::map — already sorted within its family.
+    // Interleave the families into one name-sorted emission so the
+    // document layout is a pure function of registry content.
+    json::Value snapshot = registry.toJson();
+    std::map<std::string, std::function<void()>> emit;
+    if (const json::Value* counters = snapshot.find("counters")) {
+        for (const auto& [name, value] : counters->asObject()) {
+            double v = value.asNumber();
+            emit[metricName(name)] = [&out, name = name, v] {
+                out.counter(name, v);
+            };
+        }
+    }
+    if (const json::Value* gauges = snapshot.find("gauges")) {
+        for (const auto& [name, value] : gauges->asObject()) {
+            double v = value.asNumber();
+            emit[metricName(name)] = [&out, name = name, v] {
+                out.gauge(name, v);
+            };
+        }
+    }
+    if (const json::Value* timers = snapshot.find("timers")) {
+        for (const auto& [name, value] : timers->asObject()) {
+            TimerStats stats;
+            if (const json::Value* c = value.find("count"))
+                stats.count =
+                    static_cast<std::uint64_t>(c->asNumber());
+            if (const json::Value* t = value.find("total_seconds"))
+                stats.total_seconds = t->asNumber();
+            if (const json::Value* m = value.find("min_seconds"))
+                stats.min_seconds = m->asNumber();
+            if (const json::Value* m = value.find("max_seconds"))
+                stats.max_seconds = m->asNumber();
+            emit[metricName(name)] = [&out, name = name, stats] {
+                out.timer(name, stats);
+            };
+        }
+    }
+    for (const auto& [name, fn] : emit)
+        fn();
+    return emit.size();
+}
+
+Result<std::vector<Sample>>
+parseExposition(const std::string& text)
+{
+    std::vector<Sample> samples;
+    std::size_t pos = 0;
+    std::size_t line_no = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        line_no += 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        Sample sample;
+        std::size_t at = 0;
+        while (at < line.size() && line[at] != '{' && line[at] != ' ')
+            at += 1;
+        sample.name = line.substr(0, at);
+        if (sample.name.empty())
+            return err("exposition line " + std::to_string(line_no) +
+                       ": missing metric name");
+        if (at < line.size() && line[at] == '{') {
+            std::size_t close = line.find('}', at);
+            if (close == std::string::npos)
+                return err("exposition line " +
+                           std::to_string(line_no) +
+                           ": unterminated label set");
+            std::string labels = line.substr(at + 1, close - at - 1);
+            std::size_t lp = 0;
+            while (lp < labels.size()) {
+                std::size_t eq = labels.find('=', lp);
+                if (eq == std::string::npos ||
+                    eq + 1 >= labels.size() || labels[eq + 1] != '"')
+                    return err("exposition line " +
+                               std::to_string(line_no) +
+                               ": malformed label");
+                std::size_t endq = labels.find('"', eq + 2);
+                if (endq == std::string::npos)
+                    return err("exposition line " +
+                               std::to_string(line_no) +
+                               ": unterminated label value");
+                sample.labels[labels.substr(lp, eq - lp)] =
+                    labels.substr(eq + 2, endq - eq - 2);
+                lp = endq + 1;
+                if (lp < labels.size() && labels[lp] == ',')
+                    lp += 1;
+            }
+            at = close + 1;
+        }
+        while (at < line.size() && line[at] == ' ')
+            at += 1;
+        if (at >= line.size())
+            return err("exposition line " + std::to_string(line_no) +
+                       ": missing value");
+        char* end = nullptr;
+        sample.value = std::strtod(line.c_str() + at, &end);
+        if (end == line.c_str() + at)
+            return err("exposition line " + std::to_string(line_no) +
+                       ": unparseable value");
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+ExpositionServer::~ExpositionServer()
+{
+    stop();
+}
+
+Result<bool>
+ExpositionServer::start(std::uint16_t port, Provider provider)
+{
+    if (started_)
+        return err("exposition server already started");
+    if (provider == nullptr)
+        return err("exposition server needs a provider");
+    Result<net::Socket> listener = net::listenTcp(port);
+    if (!listener.ok())
+        return listener.error().context("ExpositionServer::start");
+    Result<std::uint16_t> bound = net::boundPort(listener.value());
+    if (!bound.ok())
+        return bound.error().context("ExpositionServer::start");
+    listener_ = listener.take();
+    port_ = bound.value();
+    provider_ = std::move(provider);
+    stopping_.store(false);
+    thread_ = std::thread([this] { acceptLoop(); });
+    started_ = true;
+    return true;
+}
+
+void
+ExpositionServer::stop()
+{
+    if (!started_)
+        return;
+    stopping_.store(true);
+    if (thread_.joinable())
+        thread_.join();
+    listener_.close();
+    started_ = false;
+}
+
+void
+ExpositionServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        Result<net::Socket> accepted =
+            net::acceptConnection(listener_, 100);
+        if (!accepted.ok())
+            return;  // listener broke; the daemon keeps running
+        if (!accepted.value().valid())
+            continue;  // timeout — re-check the stop flag
+        net::Socket socket = accepted.take();
+        // Drain whatever request head arrived (one read is enough
+        // for any scraper's GET); the response is the same whatever
+        // the path, so parsing it buys nothing.
+        std::string request;
+        (void)net::readSome(socket, request, 4096, 500);
+        std::string body = provider_();
+        std::string response =
+            "HTTP/1.0 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4; "
+            "charset=utf-8\r\n"
+            "Content-Length: " +
+            std::to_string(body.size()) +
+            "\r\n"
+            "Connection: close\r\n\r\n" +
+            body;
+        (void)net::writeAll(socket, response, 2000);
+        scrapes_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace graphiti::obs::expo

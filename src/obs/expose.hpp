@@ -1,0 +1,147 @@
+#ifndef GRAPHITI_OBS_EXPOSE_HPP
+#define GRAPHITI_OBS_EXPOSE_HPP
+
+/**
+ * @file
+ * Prometheus-style text exposition of the metrics plane
+ * (docs/verification_observability.md).
+ *
+ * A fleet of graphiti-served daemons is only operable if a scraper
+ * can read their counters without speaking the framed protocol. This
+ * module renders a MetricsRegistry snapshot (plus ad-hoc counters,
+ * gauges and latency-reservoir quantiles) as the text exposition
+ * format every scraper understands:
+ *
+ *     # TYPE graphiti_refine_states_total counter
+ *     graphiti_refine_states_total 184520
+ *     graphiti_served_request_ms{quantile="0.99"} 41.7
+ *
+ * Dotted metric names (`refine.states`) are sanitized to underscore
+ * form with a `graphiti_` prefix; counters gain the conventional
+ * `_total` suffix. Rendering is sorted by output name, so two
+ * snapshots of equal state are byte-identical — the same discipline
+ * every JSON snapshot in this codebase follows.
+ *
+ * parseExposition() is the minimal line parser the round-trip tests
+ * (and a curious shell script) use; it is not a full openmetrics
+ * parser and does not try to be.
+ *
+ * ExpositionServer is a deliberately tiny HTTP/1.0 responder bound to
+ * loopback: every request — whatever the path — gets the provider's
+ * current rendering as text/plain. No keep-alive, no routing, no TLS;
+ * `curl localhost:PORT/metricsz` works and that is the whole point.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/latency.hpp"
+#include "obs/metrics.hpp"
+#include "support/result.hpp"
+#include "support/socket.hpp"
+
+namespace graphiti::obs::expo {
+
+/** `refine.states` -> `graphiti_refine_states` (prefix + sanitize). */
+std::string metricName(const std::string& dotted,
+                       const std::string& prefix = "graphiti_");
+
+/** One parsed exposition sample. */
+struct Sample
+{
+    std::string name;
+    std::map<std::string, std::string> labels;
+    double value = 0.0;
+};
+
+/**
+ * Incremental builder of one exposition document. Emission order is
+ * whatever order the caller feeds; renderRegistry() feeds sorted.
+ */
+class TextExposition
+{
+  public:
+    /** A monotonically increasing counter (appends `_total`). */
+    void counter(const std::string& dotted, double value);
+
+    /** A point-in-time gauge. */
+    void gauge(const std::string& dotted, double value);
+
+    /** A duration histogram as a summary: `_seconds_count`,
+     * `_seconds_sum` and a `_seconds_max` gauge. */
+    void timer(const std::string& dotted, const TimerStats& stats);
+
+    /** A latency reservoir as quantile samples (p50/p90/p99) plus
+     * `_count` and `_max`; values are milliseconds by convention. */
+    void reservoir(const std::string& dotted,
+                   const LatencyReservoir& window);
+
+    /** One raw pre-sanitized sample line (no TYPE header). */
+    void sample(const std::string& name, double value);
+
+    const std::string& str() const { return out_; }
+
+  private:
+    void typeLine(const std::string& name, const char* type);
+
+    std::string out_;
+};
+
+/**
+ * Render every counter, gauge and timer of @p registry into @p out,
+ * sorted by name. Returns the number of samples emitted.
+ */
+std::size_t renderRegistry(const MetricsRegistry& registry,
+                           TextExposition& out);
+
+/** Parse an exposition document back into samples (comments and
+ * blank lines skipped). Fails on a malformed sample line. */
+Result<std::vector<Sample>> parseExposition(const std::string& text);
+
+/**
+ * The loopback scrape endpoint behind `graphiti-served --expose`.
+ * Single accept thread, one short-lived connection per request.
+ */
+class ExpositionServer
+{
+  public:
+    using Provider = std::function<std::string()>;
+
+    ~ExpositionServer();
+
+    /** Bind loopback @p port (0 = ephemeral) and serve @p provider's
+     * rendering to every request. */
+    Result<bool> start(std::uint16_t port, Provider provider);
+
+    /** Close the listener and join the accept thread (idempotent). */
+    void stop();
+
+    /** The port actually bound (after start). */
+    std::uint16_t port() const { return port_; }
+
+    /** Requests answered since start. */
+    std::uint64_t scrapes() const
+    {
+        return scrapes_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void acceptLoop();
+
+    Provider provider_;
+    net::Socket listener_;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> scrapes_{0};
+    std::uint16_t port_ = 0;
+    bool started_ = false;
+};
+
+}  // namespace graphiti::obs::expo
+
+#endif  // GRAPHITI_OBS_EXPOSE_HPP

@@ -1,5 +1,6 @@
 #include "obs/json.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +67,24 @@ Value::push(Value value)
     if (!isArray())
         repr_ = Array{};
     std::get<Array>(repr_).push_back(std::move(value));
+    return *this;
+}
+
+Value&
+Value::sortKeys()
+{
+    if (isObject()) {
+        Object& fields = std::get<Object>(repr_);
+        std::stable_sort(fields.begin(), fields.end(),
+                         [](const auto& a, const auto& b) {
+                             return a.first < b.first;
+                         });
+        for (auto& [key, value] : fields)
+            value.sortKeys();
+    } else if (isArray()) {
+        for (Value& element : std::get<Array>(repr_))
+            element.sortKeys();
+    }
     return *this;
 }
 

@@ -70,6 +70,14 @@ class Value
     /** Append to an array; converts null to array. */
     Value& push(Value value);
 
+    /**
+     * Recursively sort object keys (arrays keep element order).
+     * Snapshots assembled from unordered containers call this before
+     * emission so equal state always dumps byte-identical text —
+     * gate diffs and golden tests must never be order-fragile.
+     */
+    Value& sortKeys();
+
     /** Render compactly (indent < 0) or pretty-printed. */
     std::string dump(int indent = -1) const;
 

@@ -30,6 +30,7 @@
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
+#include "obs/vprobe.hpp"
 
 // Default to enabled when built outside CMake (the option defines it).
 #ifndef GRAPHITI_OBS_ENABLED
@@ -66,11 +67,20 @@ class Scope
         provenance_ = std::move(tracker);
     }
 
+    /** The live verification probe; nullptr when nothing tails
+     * progress (docs/verification_observability.md). */
+    VerifyProbe* verifyProbe() const { return vprobe_.get(); }
+    void attachVerifyProbe(std::shared_ptr<VerifyProbe> probe)
+    {
+        vprobe_ = std::move(probe);
+    }
+
   private:
     MetricsRegistry metrics_;
     std::shared_ptr<TraceSink> trace_;
     std::shared_ptr<VcdWriter> vcd_;
     std::shared_ptr<ProvenanceTracker> provenance_;
+    std::shared_ptr<VerifyProbe> vprobe_;
 };
 
 /** The thread's current scope; nullptr when nothing observes. */
@@ -145,6 +155,17 @@ timerFor(Scope* scope, const char* name)
     ::graphiti::obs::ScopedTimer var =                                   \
         ::graphiti::obs::timerFor(::graphiti::obs::current(), (name))
 
+/** Invoke one VerifyProbe method on the current scope's probe, e.g.
+ * GRAPHITI_OBS_VPROBE(recordPark()). No-op when nothing observes. */
+#define GRAPHITI_OBS_VPROBE(call)                                        \
+    do {                                                                 \
+        if (::graphiti::obs::Scope* obs_scope_ =                         \
+                ::graphiti::obs::current())                              \
+            if (::graphiti::obs::VerifyProbe* obs_probe_ =               \
+                    obs_scope_->verifyProbe())                           \
+                obs_probe_->call;                                        \
+    } while (0)
+
 /** Emit a counter-track sample to the current scope's trace sink. */
 #define GRAPHITI_OBS_TRACK(track, cycle, value)                          \
     do {                                                                 \
@@ -163,6 +184,7 @@ timerFor(Scope* scope, const char* name)
 #define GRAPHITI_OBS_GAUGE_MAX(name, value) do { } while (0)
 #define GRAPHITI_OBS_OBSERVE(name, seconds) do { } while (0)
 #define GRAPHITI_OBS_TIMER(var, name) ::graphiti::obs::ScopedTimer var{}
+#define GRAPHITI_OBS_VPROBE(call) do { } while (0)
 #define GRAPHITI_OBS_TRACK(track, cycle, value) do { } while (0)
 
 #endif  // GRAPHITI_OBS_ENABLED

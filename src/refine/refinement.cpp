@@ -1,5 +1,6 @@
 #include "refine/refinement.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <optional>
@@ -50,6 +51,10 @@ class SimulationGame
         for (std::uint32_t s : spec.pendingFrontier())
             spec_frontier_.insert(s);
         touches_.assign(spec_.numStates(), -1);
+#if GRAPHITI_OBS_ENABLED
+        if (obs::Scope* obs_scope = obs::current())
+            probe_ = obs_scope->verifyProbe();
+#endif
         if (pool_.size() > 1) {
             spec_.precomputeClosures(pool_);
             if (optimistic_ && !spec_frontier_.empty()) {
@@ -72,6 +77,30 @@ class SimulationGame
         report.spec_states = spec_.numStates();
         report.reachable_pairs = alive_.size() + dead_.size();
         report.fixpoint_iterations = iterations_;
+#if GRAPHITI_OBS_ENABLED
+        obsPublish();
+        report.peak_bytes = peak_bytes_;
+        // Lane occupancy of the game's pool — one snapshot per game.
+        if (obs::Scope* scope = obs::current()) {
+            ThreadPool::PoolStats ps = pool_.stats();
+            std::uint64_t chunks = 0;
+            std::uint64_t steals = 0;
+            std::uint64_t idle_ns = 0;
+            for (const ThreadPool::LaneStats& lane : ps.lanes) {
+                chunks += lane.chunks;
+                steals += lane.steals;
+                idle_ns += lane.idle_ns;
+            }
+            scope->metrics().add(
+                "pool.chunks", static_cast<std::int64_t>(chunks));
+            scope->metrics().add(
+                "pool.steals", static_cast<std::int64_t>(steals));
+            scope->metrics().add(
+                "pool.idle_ns", static_cast<std::int64_t>(idle_ns));
+            scope->metrics().add(
+                "pool.batches", static_cast<std::int64_t>(ps.batches));
+        }
+#endif
         PairKey initial = pairKey(impl_.initialState(),
                                   spec_.initialState());
         report.refines = alive_.count(initial) > 0;
@@ -224,6 +253,9 @@ class SimulationGame
                 }
             }
             level = std::move(next);
+#if GRAPHITI_OBS_ENABLED
+            obsPublish();  // once per BFS level, never per pair
+#endif
         }
         return true;
     }
@@ -284,6 +316,9 @@ class SimulationGame
                     descend_[key] = *verdicts[i].dead_response;
                 changed = true;
             }
+#if GRAPHITI_OBS_ENABLED
+            obsPublish();  // once per fixpoint round
+#endif
         }
         return true;
     }
@@ -315,6 +350,52 @@ class SimulationGame
             });
     }
 
+#if GRAPHITI_OBS_ENABLED
+    /**
+     * Size-based byte estimate of the game's own tables. Bucket counts
+     * follow deterministically from the (thread-count-independent)
+     * insertion sequences; the figure feeds resource accounting only.
+     */
+    std::size_t
+    approxBytes() const
+    {
+        constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+        std::size_t bytes = 0;
+        bytes += alive_.size() * (sizeof(PairKey) + kNodeOverhead) +
+                 alive_.bucket_count() * sizeof(void*);
+        bytes += dead_.size() * (sizeof(PairKey) + kNodeOverhead) +
+                 dead_.bucket_count() * sizeof(void*);
+        for (const auto& [key, why] : reason_) {
+            (void)key;
+            bytes += sizeof(std::pair<const PairKey, std::string>) +
+                     why.size() + kNodeOverhead;
+        }
+        bytes += reason_.bucket_count() * sizeof(void*);
+        bytes += descend_.size() *
+                     (sizeof(std::pair<const PairKey, PairKey>) +
+                      kNodeOverhead) +
+                 descend_.bucket_count() * sizeof(void*);
+        bytes += touches_.size() * sizeof(std::int8_t);
+        bytes += spec_frontier_.size() *
+                 (sizeof(std::uint32_t) + kNodeOverhead);
+        return bytes;
+    }
+
+    /** Bounded-cadence game progress: pairs discovered, fixpoint
+     * round, alive-set size, high-water bytes. Observation only. */
+    void
+    obsPublish()
+    {
+        std::size_t bytes = approxBytes();
+        peak_bytes_ = std::max(peak_bytes_, bytes);
+        if (probe_ == nullptr)
+            return;
+        probe_->publishGame(alive_.size() + dead_.size(), iterations_,
+                            alive_.size());
+        probe_->notePeakBytes(bytes);
+    }
+#endif
+
     const StateSpace& impl_;
     const StateSpace& spec_;
     bool optimistic_ = false;
@@ -327,6 +408,10 @@ class SimulationGame
     std::unordered_map<PairKey, std::string> reason_;
     std::unordered_map<PairKey, PairKey> descend_;
     std::size_t iterations_ = 0;
+#if GRAPHITI_OBS_ENABLED
+    obs::VerifyProbe* probe_ = nullptr;
+    std::size_t peak_bytes_ = 0;
+#endif
 };
 
 }  // namespace
@@ -371,6 +456,8 @@ checkRefinement(const DenotedModule& impl, const DenotedModule& spec,
     if (!played.ok())
         return played.error();
     RefinementReport report = played.take();
+    report.explore_peak_bytes = impl_space.value().peakBytes() +
+                                spec_space.value().peakBytes();
     GRAPHITI_OBS_COUNT("refine.checks", 1);
     GRAPHITI_OBS_COUNT("refine.pairs",
                        static_cast<std::int64_t>(report.reachable_pairs));

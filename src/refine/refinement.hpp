@@ -44,6 +44,21 @@ struct RefinementReport
     std::size_t spec_states = 0;
     std::size_t reachable_pairs = 0;
     std::size_t fixpoint_iterations = 0;
+    /**
+     * High-water size-based byte estimate of the game's pair tables
+     * (alive/dead sets, reasons, descent map). Resource accounting
+     * only: never serialized with the verdict and never compared by
+     * golden tests; 0 when the build compiles observability out.
+     */
+    std::size_t peak_bytes = 0;
+    /**
+     * High-water byte estimate of the two explorations feeding the
+     * game (state vectors + dedup indexes), when this report came
+     * from checkRefinement/checkGraphRefinement (the on-spaces entry
+     * point leaves it 0 — the caller owns the spaces). Same
+     * accounting-only contract as peak_bytes.
+     */
+    std::size_t explore_peak_bytes = 0;
 };
 
 /**

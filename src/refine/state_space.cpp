@@ -87,6 +87,29 @@ class ShardedStateIndex
         shards_[shardOf(key.h)].emplace(std::move(key), id);
     }
 
+    /**
+     * Byte estimate of the table itself: entries (each shard holds
+     * its own Key, i.e. a full copy of the state — @p deep_key_bytes
+     * carries that sum), node and bucket-array overhead. Bucket
+     * counts follow deterministically from the canonical insertion
+     * sequence, but differ across standard libraries, so this figure
+     * feeds resource accounting and never any verdict.
+     */
+    std::size_t
+    approxBytes(std::size_t deep_key_bytes) const
+    {
+        // Unordered-map node: hash link + cached hash + payload.
+        constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+        std::size_t bytes = deep_key_bytes;
+        for (const auto& shard : shards_) {
+            bytes += shard.size() *
+                     (sizeof(std::pair<const Key, std::uint32_t>) +
+                      kNodeOverhead);
+            bytes += shard.bucket_count() * sizeof(void*);
+        }
+        return bytes;
+    }
+
   private:
     static constexpr std::size_t kShards = 64;
 
@@ -170,6 +193,9 @@ StateSpace::explorePartial(const DenotedModule& mod,
             it == domain.tokens.end() ? std::vector<Token>{} : it->second);
     }
     space.concrete_.push_back(mod.initialState());
+#if GRAPHITI_OBS_ENABLED
+    space.state_bytes_ += space.concrete_.back().approxBytes();
+#endif
     space.budget_.push_back(
         static_cast<std::uint32_t>(limits.input_budget));
     space.internal_.emplace_back();
@@ -190,6 +216,8 @@ StateSpace::resume(const DenotedModule& mod,
 {
     if (complete())
         return true;
+    GRAPHITI_OBS_COUNT("refine.resumes", 1);
+    GRAPHITI_OBS_VPROBE(recordResume());
     return expand(mod, concrete_.size() + additional_states);
 }
 
@@ -200,6 +228,9 @@ StateSpace::expand(const DenotedModule& mod, std::size_t max_states)
 #if GRAPHITI_OBS_ENABLED
     std::size_t states_before = concrete_.size();
     auto obs_start = std::chrono::steady_clock::now();
+    obs::VerifyProbe* probe = nullptr;
+    if (obs::Scope* obs_scope = obs::current())
+        probe = obs_scope->verifyProbe();
 #endif
     // Rebuild the dedup index from the interned states; a parked
     // partial space carries no index, only its frontier. Reserve for
@@ -229,10 +260,39 @@ StateSpace::expand(const DenotedModule& mod, std::size_t max_states)
         internal_.emplace_back();
         inputs_.emplace_back();
         outputs_.emplace_back();
+#if GRAPHITI_OBS_ENABLED
+        state_bytes_ += key.state.approxBytes();
+#endif
         index.insert(std::move(key), id);
         frontier.push_back(id);
         return id;
     };
+
+#if GRAPHITI_OBS_ENABLED
+    // Bounded-cadence progress publisher: once per frontier batch in
+    // the parallel path, every kPublishEvery merges in the sequential
+    // one, and once at the end — never per state. Observation only;
+    // nothing here feeds back into exploration order.
+    constexpr std::size_t kPublishEvery = 2048;
+    auto obs_publish = [&] {
+        std::size_t bytes =
+            approxBytes() + index.approxBytes(state_bytes_);
+        peak_bytes_ = std::max(peak_bytes_, bytes);
+        if (probe == nullptr)
+            return;
+        double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             obs_start)
+                             .count();
+        std::size_t grown = concrete_.size() - states_before;
+        probe->publishExplore(
+            concrete_.size(), frontier.size() + frontier_.size(),
+            seconds > 0.0 ? static_cast<double>(grown) / seconds : 0.0,
+            100.0 * static_cast<double>(concrete_.size()) /
+                static_cast<double>(max_states));
+        probe->notePeakBytes(bytes);
+    };
+#endif
 
     // Enumerate the successors of one state in the canonical order
     // (internal, then inputs port/token-major, then outputs),
@@ -316,6 +376,9 @@ StateSpace::expand(const DenotedModule& mod, std::size_t max_states)
     if (threads_ <= 1) {
         // Sequential worklist — the canonical order every other mode
         // reproduces.
+#if GRAPHITI_OBS_ENABLED
+        std::size_t expanded_since_publish = 0;
+#endif
         while (!frontier.empty() && !capped) {
             std::uint32_t id = frontier.front();
             frontier.pop_front();
@@ -329,6 +392,12 @@ StateSpace::expand(const DenotedModule& mod, std::size_t max_states)
             }
             std::vector<Succ> succs = enumerate(id);
             merge(id, succs);
+#if GRAPHITI_OBS_ENABLED
+            if (++expanded_since_publish >= kPublishEvery) {
+                expanded_since_publish = 0;
+                obs_publish();
+            }
+#endif
         }
     } else {
         // Batched frontier expansion: compute successor lists for the
@@ -359,12 +428,45 @@ StateSpace::expand(const DenotedModule& mod, std::size_t max_states)
                 }
                 merge(id, succs[i]);
             }
+#if GRAPHITI_OBS_ENABLED
+            obs_publish();
+#endif
         }
+#if GRAPHITI_OBS_ENABLED
+        // Lane occupancy of this expansion's pool — observation only,
+        // aggregated so the cost is one snapshot per expand().
+        if (obs::Scope* scope = obs::current()) {
+            ThreadPool::PoolStats ps = pool.stats();
+            std::uint64_t chunks = 0;
+            std::uint64_t steals = 0;
+            std::uint64_t idle_ns = 0;
+            for (const ThreadPool::LaneStats& lane : ps.lanes) {
+                chunks += lane.chunks;
+                steals += lane.steals;
+                idle_ns += lane.idle_ns;
+            }
+            scope->metrics().add(
+                "pool.chunks", static_cast<std::int64_t>(chunks));
+            scope->metrics().add(
+                "pool.steals", static_cast<std::int64_t>(steals));
+            scope->metrics().add(
+                "pool.idle_ns", static_cast<std::int64_t>(idle_ns));
+            scope->metrics().add(
+                "pool.batches", static_cast<std::int64_t>(ps.batches));
+        }
+#endif
     }
     for (std::uint32_t id : frontier)
         frontier_.push_back(id);
 
 #if GRAPHITI_OBS_ENABLED
+    obs_publish();
+    if (!frontier_.empty()) {
+        // Exploration parked (cap or stop) with work left over.
+        GRAPHITI_OBS_COUNT("refine.parks", 1);
+        if (probe != nullptr)
+            probe->recordPark();
+    }
     if (obs::Scope* scope = obs::current()) {
         std::size_t grown = concrete_.size() - states_before;
         scope->metrics().add("refine.states",
@@ -372,6 +474,8 @@ StateSpace::expand(const DenotedModule& mod, std::size_t max_states)
         scope->metrics().add("refine.explorations");
         scope->metrics().set("refine.frontier",
                              static_cast<double>(frontier_.size()));
+        scope->metrics().setMax("refine.peak_bytes",
+                                static_cast<double>(peak_bytes_));
         double seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() -
                              obs_start)
@@ -467,6 +571,28 @@ StateSpace::fingerprint() const
     for (std::uint32_t s : frontier_)
         h = fnv1a64(h, s);
     return h;
+}
+
+std::size_t
+StateSpace::approxBytes() const
+{
+    std::size_t bytes = sizeof(StateSpace);
+    // Deep state content: incrementally maintained at intern time
+    // (stays 0 when the build has observability compiled out — the
+    // figure is then a shallow structural estimate only).
+    bytes += state_bytes_;
+    for (std::size_t s = 0; s < internal_.size(); ++s) {
+        bytes += sizeof(internal_[s]) +
+                 internal_[s].size() * sizeof(std::uint32_t);
+        bytes += sizeof(inputs_[s]) +
+                 inputs_[s].size() * sizeof(InputEdge);
+        bytes += sizeof(outputs_[s]) +
+                 outputs_[s].size() * sizeof(OutputEdge);
+        bytes += sizeof(concrete_[s]);
+    }
+    bytes += budget_.size() * sizeof(std::uint32_t);
+    bytes += frontier_.size() * sizeof(std::uint32_t);
+    return bytes;
 }
 
 std::string

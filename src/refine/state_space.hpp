@@ -202,6 +202,22 @@ class StateSpace
         return concrete_[s].totalTokens();
     }
 
+    /**
+     * Size-based byte estimate of the explored space: interned
+     * concrete states (deep), all three edge tables, budgets and the
+     * parked frontier. Deliberately counts sizes rather than
+     * capacities, so the figure is a pure function of the space —
+     * equal at any thread count and stable per seed
+     * (docs/verification_observability.md). A parked partial space
+     * costs exactly this: the dedup index lives only inside expand().
+     */
+    std::size_t approxBytes() const;
+
+    /** High-water approxBytes() + dedup-index estimate seen by any
+     * expansion of this space (0 until instrumentation observed it;
+     * maintained only when the build has GRAPHITI_OBS on). */
+    std::size_t peakBytes() const { return peak_bytes_; }
+
   private:
     /** The shared worklist loop behind explore/explorePartial/resume:
      * expand frontier states until done or @p max_states interned. */
@@ -212,6 +228,10 @@ class StateSpace
     bool stopped_ = false;
     std::string stop_reason_;
     std::size_t threads_ = 1;
+    /** Running sum of concrete_[i].approxBytes() (incremental: deep
+     * state scans happen once, at intern time). */
+    std::size_t state_bytes_ = 0;
+    std::size_t peak_bytes_ = 0;
     std::vector<std::vector<std::uint32_t>> internal_;
     std::vector<std::vector<InputEdge>> inputs_;
     std::vector<std::vector<OutputEdge>> outputs_;

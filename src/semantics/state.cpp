@@ -24,6 +24,21 @@ CompState::totalTokens() const
 }
 
 std::size_t
+CompState::approxBytes() const
+{
+    // Size-based estimate (counts x element sizes), deliberately
+    // ignoring vector slack: capacities depend on growth history, so
+    // only sizes keep the figure a pure function of state content —
+    // the property that makes peak-bytes stable per seed and equal at
+    // any thread count. Tuple payloads count as one Token (shallow).
+    std::size_t bytes = sizeof(CompState);
+    for (const auto& q : queues)
+        bytes += sizeof(q) + q.size() * sizeof(Token);
+    bytes += regs.size() * sizeof(std::int64_t);
+    return bytes;
+}
+
+std::size_t
 CompState::hash() const
 {
     std::size_t seed = 0x51ed;
@@ -66,6 +81,15 @@ GraphState::totalTokens() const
     for (const CompState& c : comps)
         n += c.totalTokens();
     return n;
+}
+
+std::size_t
+GraphState::approxBytes() const
+{
+    std::size_t bytes = sizeof(GraphState);
+    for (const CompState& c : comps)
+        bytes += c.approxBytes();
+    return bytes;
 }
 
 std::size_t

@@ -32,6 +32,11 @@ struct CompState
 
     bool operator==(const CompState&) const = default;
 
+    /** Size-based heap estimate in bytes: a pure function of state
+     * content (no capacity slack), so resource accounting stays
+     * deterministic across runs and thread counts. */
+    std::size_t approxBytes() const;
+
     /** Enqueue @p t on queue @p q. */
     void
     enq(std::size_t q, Token t)
@@ -74,6 +79,8 @@ struct GraphState
     bool operator==(const GraphState&) const = default;
 
     std::size_t totalTokens() const;
+    /** Deterministic size-based byte estimate (see CompState). */
+    std::size_t approxBytes() const;
     std::size_t hash() const;
     std::string toString() const;
 };

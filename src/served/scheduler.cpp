@@ -391,6 +391,11 @@ Scheduler::submitAndWait(const std::string& client, JobSpec spec,
                     std::chrono::duration<double>(deadline));
         }
         job->job_scope = std::make_shared<obs::Scope>();
+        // Every job carries a live verification probe: the worker's
+        // thread publishes into it lock-free and the jobs/metricsz
+        // verbs snapshot it from the connection threads.
+        job->job_scope->attachVerifyProbe(
+            std::make_shared<obs::VerifyProbe>());
         GRAPHITI_SVC_FLIGHT(observer, "sched", "event", "admit",
                             "job_id", job->job_id, "client", client,
                             "verb", job->spec.kind, "queued",
@@ -630,6 +635,12 @@ Scheduler::jobsJson() const
                       metrics.counter("guard.verify.trace_inclusion"));
             rungs.set("none", metrics.counter("guard.verify.none"));
             out.set("verify_rungs", std::move(rungs));
+            // Live verification progress: a tearing-tolerant snapshot
+            // of the worker's probe (samples == 0 until the first
+            // publish — the job has not reached the verify core yet).
+            if (const obs::VerifyProbe* probe =
+                    job->job_scope->verifyProbe())
+                out.set("progress", probe->snapshot().toJson());
         }
         return out;
     };
@@ -644,6 +655,27 @@ Scheduler::jobsJson() const
     out.set("running", running_.size());
     out.set("jobs", std::move(jobs));
     return out;
+}
+
+void
+Scheduler::liveVerifyTotals(std::int64_t& states,
+                            std::uint64_t& peak_bytes) const
+{
+    states = 0;
+    peak_bytes = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto fold = [&](const JobPtr& job) {
+        if (job->done || job->job_scope == nullptr)
+            return;
+        states += job->job_scope->metrics().counter("refine.states");
+        if (const obs::VerifyProbe* probe =
+                job->job_scope->verifyProbe())
+            peak_bytes = std::max(peak_bytes, probe->peakBytes());
+    };
+    for (const JobPtr& job : queue_)
+        fold(job);
+    for (const JobPtr& job : running_)
+        fold(job);
 }
 
 obs::json::Value

@@ -1,8 +1,10 @@
 #include "support/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -30,6 +32,10 @@ struct ThreadPool::Impl
     {
         std::mutex m;
         std::deque<Chunk> q;
+        /** Occupancy counters; relaxed, touched per chunk at most. */
+        std::atomic<std::uint64_t> chunks{0};
+        std::atomic<std::uint64_t> steals{0};
+        std::atomic<std::uint64_t> idle_ns{0};
     };
 
     explicit Impl(std::size_t lanes) : lanes_(lanes)
@@ -71,6 +77,8 @@ struct ThreadPool::Impl
             if (!victim.q.empty()) {
                 out = victim.q.back();
                 victim.q.pop_back();
+                lane_[lane]->steals.fetch_add(
+                    1, std::memory_order_relaxed);
                 return true;
             }
         }
@@ -87,6 +95,8 @@ struct ThreadPool::Impl
             tl_inside_pool_task = true;
             chunk_fn_(chunk.begin, chunk.end);
             tl_inside_pool_task = false;
+            lane_[lane]->chunks.fetch_add(1,
+                                          std::memory_order_relaxed);
             std::size_t left =
                 remaining_.fetch_sub(1, std::memory_order_acq_rel) - 1;
             if (left == 0) {
@@ -102,10 +112,19 @@ struct ThreadPool::Impl
         std::uint64_t seen_epoch = 0;
         for (;;) {
             {
+                auto wait_start = std::chrono::steady_clock::now();
                 std::unique_lock<std::mutex> lock(batch_m_);
                 batch_cv_.wait(lock, [&] {
                     return shutdown_ || epoch_ != seen_epoch;
                 });
+                lane_[lane]->idle_ns.fetch_add(
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() -
+                            wait_start)
+                            .count()),
+                    std::memory_order_relaxed);
                 if (shutdown_)
                     return;
                 seen_epoch = epoch_;
@@ -123,6 +142,8 @@ struct ThreadPool::Impl
         std::size_t chunks = std::min(n, lanes_ * 4);
         std::size_t per = n / chunks;
         std::size_t extra = n % chunks;
+        submitted_.fetch_add(chunks, std::memory_order_relaxed);
+        batches_.fetch_add(1, std::memory_order_relaxed);
         chunk_fn_ = fn;
         remaining_.store(chunks, std::memory_order_release);
         std::size_t at = 0;
@@ -140,13 +161,22 @@ struct ThreadPool::Impl
         batch_cv_.notify_all();
 
         drain(0);  // the caller participates as lane 0
+        auto wait_start = std::chrono::steady_clock::now();
         std::unique_lock<std::mutex> lock(batch_m_);
         batch_cv_.wait(lock, [&] {
             return remaining_.load(std::memory_order_acquire) == 0;
         });
+        lane_[0]->idle_ns.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - wait_start)
+                    .count()),
+            std::memory_order_relaxed);
         chunk_fn_ = nullptr;
     }
 
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> batches_{0};
     std::size_t lanes_;
     std::vector<std::unique_ptr<Lane>> lane_;
     std::vector<std::thread> workers_;
@@ -202,9 +232,40 @@ ThreadPool::parallelForChunks(
         return;
     if (impl_ == nullptr || n < 2 || tl_inside_pool_task) {
         fn(0, n);
+        inline_chunks_.fetch_add(1, std::memory_order_relaxed);
         return;
     }
     impl_->run(n, fn);
+}
+
+ThreadPool::PoolStats
+ThreadPool::stats() const
+{
+    PoolStats out;
+    out.lanes.resize(size_);
+    std::uint64_t inl =
+        inline_chunks_.load(std::memory_order_relaxed);
+    // Inline runs happen on the calling thread: attribute to lane 0,
+    // one single-chunk batch each.
+    out.lanes[0].chunks = inl;
+    out.chunks_submitted = inl;
+    out.batches = inl;
+    if (impl_ != nullptr) {
+        for (std::size_t i = 0; i < size_; ++i) {
+            const Impl::Lane& lane = *impl_->lane_[i];
+            out.lanes[i].chunks +=
+                lane.chunks.load(std::memory_order_relaxed);
+            out.lanes[i].steals +=
+                lane.steals.load(std::memory_order_relaxed);
+            out.lanes[i].idle_ns +=
+                lane.idle_ns.load(std::memory_order_relaxed);
+        }
+        out.chunks_submitted +=
+            impl_->submitted_.load(std::memory_order_relaxed);
+        out.batches +=
+            impl_->batches_.load(std::memory_order_relaxed);
+    }
+    return out;
 }
 
 }  // namespace graphiti

@@ -30,14 +30,46 @@
  * deadlocking on the pool's own workers.
  */
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace graphiti {
 
 class ThreadPool
 {
   public:
+    /** Occupancy counters of one lane (see stats()). */
+    struct LaneStats
+    {
+        /** Chunks this lane executed. */
+        std::uint64_t chunks = 0;
+        /** Chunks it took from a sibling's deque. */
+        std::uint64_t steals = 0;
+        /** Time spent waiting for work (between batches, and the
+         * caller's barrier wait at the end of a batch). */
+        std::uint64_t idle_ns = 0;
+    };
+
+    /**
+     * One pool's lifetime occupancy snapshot. Pure observation: the
+     * counters are written with relaxed atomics off the chunk path
+     * (never per index) and feed no scheduling decision, so verdicts
+     * stay byte-identical at any thread count (docs/parallelism.md).
+     * Invariant the obs tests pin down: the lanes' chunks sum to
+     * chunks_submitted — work stealing moves chunks, never loses or
+     * duplicates them. Inline runs (size() == 1, tiny batches, nested
+     * loops) are attributed to lane 0.
+     */
+    struct PoolStats
+    {
+        std::vector<LaneStats> lanes;
+        std::uint64_t chunks_submitted = 0;
+        std::uint64_t batches = 0;
+    };
+
     /**
      * Create a pool with @p threads total lanes (including the
      * caller). 0 means hardwareThreads(); 1 means fully inline.
@@ -78,10 +110,15 @@ class ThreadPool
         std::size_t n,
         const std::function<void(std::size_t, std::size_t)>& fn);
 
+    /** Lifetime occupancy snapshot (any thread, any time). */
+    PoolStats stats() const;
+
   private:
     struct Impl;
     Impl* impl_ = nullptr;  // null when size_ == 1 (inline pool)
     std::size_t size_ = 1;
+    /** Chunks run inline (no Impl, n < 2, or nested call). */
+    std::atomic<std::uint64_t> inline_chunks_{0};
 };
 
 }  // namespace graphiti

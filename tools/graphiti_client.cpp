@@ -10,12 +10,15 @@
  * benchmark by name (--benchmark; resolved locally, only the dot text
  * travels).
  *
- * Read-only introspection (docs/service_observability.md): --stats,
- * --jobs and --health query the daemon's observability plane; these
- * verbs bypass the scheduler queue, so they answer even when the
- * service is saturated or wedged. --watch polls the selected verb
- * (default stats) every --interval seconds, printing one JSON line
- * per poll, until interrupted.
+ * Read-only introspection (docs/service_observability.md,
+ * docs/verification_observability.md): --stats, --jobs, --health and
+ * --metricsz query the daemon's observability plane; these verbs
+ * bypass the scheduler queue, so they answer even when the service is
+ * saturated or wedged. --watch polls the selected verb (default
+ * stats) every --interval seconds, printing one JSON line per poll,
+ * until interrupted. --watch-job ID tails one job's live verification
+ * progress (states, frontier, game rounds, rung, parks/resumes) until
+ * the job leaves the live table.
  *
  * Usage:
  *     graphiti-client --socket PATH [--tcp PORT] KIND
@@ -24,8 +27,10 @@
  *                     [--max-states N] [--partial-states N]
  *                     [--input-budget N] [--trace-walks N]
  *     graphiti-client --socket PATH [--tcp PORT]
- *                     --stats | --jobs | --health
+ *                     --stats | --jobs | --health | --metricsz
  *                     [--watch [--interval S]]
+ *     graphiti-client --socket PATH [--tcp PORT]
+ *                     --watch-job ID [--interval S]
  *
  * Exit status: 0 on an ok response, 1 on an error/cancelled response,
  * 2 on usage errors, 3 when every attempt failed at the transport.
@@ -54,10 +59,10 @@ usage(const char* argv0)
         "          [--dot FILE | --benchmark NAME] [--deadline S]\n"
         "          [--threads N] [--attempts N]\n"
         "       %s --socket PATH [--tcp PORT]\n"
-        "          --stats | --jobs | --health [--watch [--interval "
-        "S]]\n"
+        "          --stats | --jobs | --health | --metricsz\n"
+        "          [--watch [--interval S]] | --watch-job ID\n"
         "  KIND             ping | compile | verify | validate\n"
-        "                   | stats | jobs | health\n"
+        "                   | stats | jobs | health | metricsz\n"
         "  --dot FILE       send this dot file as the circuit\n"
         "  --benchmark NAME send this built-in benchmark's circuit\n"
         "  --deadline S     per-job wall-clock deadline in seconds\n"
@@ -71,8 +76,12 @@ usage(const char* argv0)
         "windows\n"
         "  --jobs           live job table (phase, deadline, rungs)\n"
         "  --health         lane liveness, store shards, uptime\n"
+        "  --metricsz       metrics in Prometheus text exposition "
+        "format\n"
         "  --watch          poll the introspection verb until "
         "interrupted\n"
+        "  --watch-job ID   tail one job's live verification "
+        "progress\n"
         "  --interval S     watch poll period in seconds (default "
         "2)\n",
         argv0, argv0);
@@ -82,7 +91,8 @@ usage(const char* argv0)
 bool
 isIntrospection(const std::string& kind)
 {
-    return kind == "stats" || kind == "jobs" || kind == "health";
+    return kind == "stats" || kind == "jobs" || kind == "health" ||
+           kind == "metricsz";
 }
 
 }  // namespace
@@ -102,6 +112,7 @@ main(int argc, char** argv)
     bool budget_set = false;
     bool watch = false;
     double interval_seconds = 2.0;
+    std::string watch_job_id;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -147,8 +158,13 @@ main(int argc, char** argv)
             config.backoff.max_attempts =
                 static_cast<std::size_t>(std::atoi(v));
         } else if (arg == "--stats" || arg == "--jobs" ||
-                   arg == "--health") {
+                   arg == "--health" || arg == "--metricsz") {
             kind = arg.substr(2);
+        } else if (arg == "--watch-job") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            watch_job_id = v;
         } else if (arg == "--watch") {
             watch = true;
         } else if (arg == "--interval") {
@@ -182,18 +198,79 @@ main(int argc, char** argv)
     }
     if (watch && kind.empty())
         kind = "stats";
-    if (kind.empty() ||
+    if ((kind.empty() && watch_job_id.empty()) ||
         (config.socket_path.empty() && config.tcp_port < 0))
         return usage(argv[0]);
     if (watch && !isIntrospection(kind)) {
         std::fprintf(stderr,
                      "--watch needs an introspection verb "
-                     "(--stats/--jobs/--health), not \"%s\"\n",
+                     "(--stats/--jobs/--health/--metricsz), not "
+                     "\"%s\"\n",
                      kind.c_str());
         return 2;
     }
 
     served::Client client(config);
+
+    if (!watch_job_id.empty()) {
+        // Tail one job's live verification progress off the jobs
+        // verb: one JSON line per poll while the job is queued or
+        // running, stop once it leaves the table (completed). A job
+        // never seen keeps polling — it may not have been submitted
+        // yet — until interrupted.
+        bool seen = false;
+        for (;;) {
+            Result<obs::json::Value> jobs = client.serviceJobs();
+            if (!jobs.ok()) {
+                std::fprintf(stderr, "graphiti-client: %s\n",
+                             jobs.error().message.c_str());
+                return 3;
+            }
+            const obs::json::Value* table = jobs.value().find("jobs");
+            const obs::json::Value* match = nullptr;
+            if (table != nullptr && table->isArray())
+                for (const obs::json::Value& entry :
+                     table->asArray()) {
+                    const obs::json::Value* id = entry.find("job_id");
+                    if (id != nullptr && id->isString() &&
+                        id->asString() == watch_job_id) {
+                        match = &entry;
+                        break;
+                    }
+                }
+            if (match != nullptr) {
+                seen = true;
+                std::printf("%s\n", match->dump(-1).c_str());
+                std::fflush(stdout);
+            } else if (seen) {
+                std::printf(
+                    "{\"job_id\": \"%s\", \"phase\": \"done\"}\n",
+                    watch_job_id.c_str());
+                return 0;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(interval_seconds));
+        }
+    }
+
+    if (kind == "metricsz") {
+        do {
+            Result<std::string> text = client.serviceMetricsText();
+            if (!text.ok()) {
+                std::fprintf(stderr, "graphiti-client: %s\n",
+                             text.error().message.c_str());
+                return 3;
+            }
+            // The raw exposition document, pipeable into any scraper
+            // tooling.
+            std::fputs(text.value().c_str(), stdout);
+            std::fflush(stdout);
+            if (watch)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(interval_seconds));
+        } while (watch);
+        return 0;
+    }
 
     if (isIntrospection(kind)) {
         do {

@@ -19,7 +19,11 @@
  *     graphiti-served --socket PATH [--tcp PORT] [--workers N]
  *                     [--queue N] [--store DIR] [--max-deadline S]
  *                     [--wedge-grace S] [--flight PATH] [--log PATH]
- *                     [--trace PATH]
+ *                     [--trace PATH] [--expose PORT]
+ *
+ * `--expose PORT` binds a loopback scrape endpoint serving the
+ * `metricsz` document (Prometheus text exposition) to any HTTP
+ * request; `curl localhost:PORT/metricsz` works.
  *
  * Exit status: 0 on clean shutdown, 2 on usage/startup errors.
  */
@@ -59,8 +63,11 @@ usage(const char* argv0)
         "usage: %s --socket PATH [--tcp PORT] [--workers N] [--queue N]\n"
         "          [--store DIR] [--max-deadline S] [--wedge-grace S]\n"
         "          [--flight PATH] [--log PATH] [--trace PATH]\n"
+        "          [--expose PORT]\n"
         "  --socket PATH    unix-domain socket to listen on (required)\n"
         "  --tcp PORT       also listen on loopback TCP (0 = ephemeral)\n"
+        "  --expose PORT    loopback metrics scrape endpoint "
+        "(0 = ephemeral)\n"
         "  --workers N      worker threads (default 2)\n"
         "  --queue N        waiting jobs before shedding (default 8)\n"
         "  --store DIR      persist governed verdicts (crash-safe)\n"
@@ -105,6 +112,11 @@ main(int argc, char** argv)
             if (v == nullptr)
                 return usage(argv[0]);
             config.tcp_port = std::atoi(v);
+        } else if (arg == "--expose") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.expose_port = std::atoi(v);
         } else if (arg == "--workers") {
             const char* v = value();
             if (v == nullptr)
@@ -194,6 +206,9 @@ main(int argc, char** argv)
                 config.socket_path.c_str());
     if (config.tcp_port >= 0)
         std::printf(" and tcp:%u", daemon.tcpPort());
+    if (config.expose_port >= 0)
+        std::printf(" (metrics on http://127.0.0.1:%u/metricsz)",
+                    daemon.exposePort());
     std::printf("\n");
     std::fflush(stdout);
 
