@@ -12,6 +12,17 @@
  * after sending, deadline-zero floods, junk payloads — and the run
  * asserts the daemon answered every *healthy* request anyway.
  *
+ * With --isolate N jobs run in sandboxed worker processes
+ * (docs/service.md, "Process isolation"); the same latency
+ * reservoirs then measure the isolation overhead against an
+ * in-thread run (the perf gate records both and compares p50/p99 —
+ * the budgeted ceiling is 2x). --crash-rate R arms a seeded
+ * faults::CrashPlan in every worker, so a fraction R of compiles
+ * die mid-job; the run then reports the answered rate — every
+ * request must still get *some* structured response (ok, error, or
+ * an honest shed) while workers are dying and respawning, and the
+ * exit status only tolerates error/shed responses, never silence.
+ *
  * Latency is kept in per-verb reservoirs keyed by JobSpec kind (each
  * client sends one ping alongside its verify load), so a cheap verb
  * never dilutes an expensive verb's percentiles. --json embeds the
@@ -22,6 +33,7 @@
  * Usage:
  *     bench_served [--clients N] [--requests N] [--workers N]
  *                  [--queue N] [--misbehave] [--seed S] [--json PATH]
+ *                  [--isolate N] [--crash-rate R]
  *
  * Exit status: 0 when every healthy request got a response and the
  * report (when requested) was written; 1 otherwise.
@@ -56,6 +68,10 @@ struct Args
     bool misbehave = false;
     std::uint64_t seed = 0x5e4ed5ULL;
     std::string json_path;
+    /** 0 = in-thread lanes; N = sandboxed worker processes. */
+    std::size_t isolate = 0;
+    /** Seeded CrashPlan rate armed in every worker (needs --isolate). */
+    double crash_rate = 0.0;
 };
 
 /** Tight, deterministic verification budget (the test-suite shape:
@@ -88,6 +104,12 @@ struct ClientOutcome
     std::size_t healthy_answered = 0;
     std::size_t sheds = 0;
     std::size_t hostile_sent = 0;
+    /** Structured "error" responses (crash-storm casualties). */
+    std::size_t errors = 0;
+    /** "rejected" after retry exhaustion (breaker/queue sheds). */
+    std::size_t rejected = 0;
+    /** Requests that got silence — always a failure. */
+    std::size_t transport_failures = 0;
 };
 
 }  // namespace
@@ -116,7 +138,14 @@ main(int argc, char** argv)
             ok = size_flag(args.workers);
         else if (arg == "--queue")
             ok = size_flag(args.queue);
-        else if (arg == "--misbehave")
+        else if (arg == "--isolate")
+            ok = size_flag(args.isolate);
+        else if (arg == "--crash-rate") {
+            const char* v = value();
+            ok = v != nullptr;
+            if (ok)
+                args.crash_rate = std::atof(v);
+        } else if (arg == "--misbehave")
             args.misbehave = true;
         else if (arg == "--seed") {
             const char* v = value();
@@ -151,12 +180,30 @@ main(int argc, char** argv)
         circuits_pool.emplace_back(printDot(graph), spec.num_tags);
     }
 
+    if (args.crash_rate > 0.0 && args.isolate == 0) {
+        std::fprintf(stderr,
+                     "--crash-rate needs --isolate (crashes are "
+                     "injected into worker processes)\n");
+        return 1;
+    }
+
     std::string socket_path = "/tmp/graphiti-bench-served-" +
                               std::to_string(::getpid()) + ".sock";
     served::DaemonConfig config;
     config.socket_path = socket_path;
     config.scheduler.workers = args.workers;
     config.scheduler.queue_capacity = args.queue;
+    config.scheduler.isolate = args.isolate;
+    if (args.crash_rate > 0.0) {
+        char plan_text[64];
+        std::snprintf(plan_text, sizeof plan_text, "seed=%llu,rate=%g",
+                      static_cast<unsigned long long>(args.seed),
+                      args.crash_rate);
+        config.scheduler.pool.sandbox.crash_plan = plan_text;
+        // A crash storm trips the breaker by design; give it a short
+        // cooldown so the run measures recovery, not a long outage.
+        config.scheduler.pool.breaker_backoff.cap_ms = 500.0;
+    }
     auto observer = std::make_shared<served::ServiceObserver>();
     config.scheduler.observer = observer;
     served::Daemon daemon(config);
@@ -290,16 +337,23 @@ main(int argc, char** argv)
                         auto t0 = std::chrono::steady_clock::now();
                         Result<served::JobResponse> response =
                             client.request(spec);
-                        if (response.ok() &&
-                            response.value().status != "rejected") {
-                            mine.healthy_answered += 1;
-                            latency.at(spec.kind).record(
-                                std::chrono::duration<double,
-                                                      std::milli>(
-                                    std::chrono::steady_clock::now() -
-                                    t0)
-                                    .count());
+                        if (!response.ok()) {
+                            mine.transport_failures += 1;
+                            break;
                         }
+                        const std::string& status =
+                            response.value().status;
+                        if (status == "rejected") {
+                            mine.rejected += 1;
+                            break;
+                        }
+                        if (status == "error")
+                            mine.errors += 1;
+                        mine.healthy_answered += 1;
+                        latency.at(spec.kind).record(
+                            std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
                         break;
                     }
                 }
@@ -316,6 +370,12 @@ main(int argc, char** argv)
 
     served::SchedulerStats sched = daemon.scheduler().stats();
     guard::VerdictStoreStats store = daemon.scheduler().store()->stats();
+    // Worker-tier view (isolate mode only): spawn/respawn/crash
+    // counters and the breaker — the storm's footprint.
+    obs::json::Value worker_snapshot;
+    if (const served::WorkerPool* pool =
+            daemon.scheduler().workerPool())
+        worker_snapshot = pool->healthJson();
     // The service's own view — per-verb queue-wait/execute windows,
     // connection counters, flight/log occupancy — before stop() tears
     // the daemon down.
@@ -323,12 +383,15 @@ main(int argc, char** argv)
     daemon.stop();
 
     std::size_t healthy_sent = 0, healthy_answered = 0, sheds = 0,
-                hostile = 0;
+                hostile = 0, errors = 0, rejected = 0, silent = 0;
     for (const ClientOutcome& outcome : outcomes) {
         healthy_sent += outcome.healthy_sent;
         healthy_answered += outcome.healthy_answered;
         sheds += outcome.sheds;
         hostile += outcome.hostile_sent;
+        errors += outcome.errors;
+        rejected += outcome.rejected;
+        silent += outcome.transport_failures;
     }
     double shed_rate =
         sched.accepted + sched.shed == 0
@@ -354,12 +417,35 @@ main(int argc, char** argv)
     std::printf("  scheduler %s\n", sched.toJson().dump().c_str());
     std::printf("  healthy answered %zu / %zu\n", healthy_answered,
                 healthy_sent);
+    if (args.isolate > 0)
+        std::printf("  workers %s\n",
+                    worker_snapshot.dump().c_str());
+    if (args.crash_rate > 0.0)
+        std::printf("  crash storm: %zu error, %zu shed, %zu silent "
+                    "(answered rate %.1f%%)\n",
+                    errors, rejected, silent,
+                    healthy_sent == 0
+                        ? 100.0
+                        : 100.0 *
+                              static_cast<double>(healthy_answered +
+                                                  rejected) /
+                              static_cast<double>(healthy_sent));
 
-    bool all_answered = healthy_answered == healthy_sent;
-    if (!all_answered)
+    // The pass bar: without a crash storm every healthy request must
+    // be answered outright; under one, structured errors and honest
+    // sheds are the contract — only silence (a request that never got
+    // a response) fails the run.
+    bool all_answered =
+        args.crash_rate > 0.0
+            ? silent == 0 &&
+                  healthy_answered + rejected == healthy_sent
+            : healthy_answered == healthy_sent;
+    if (!all_answered) {
+        std::size_t excused = args.crash_rate > 0.0 ? rejected : 0;
         std::fprintf(stderr,
                      "error: %zu healthy request(s) went unanswered\n",
-                     healthy_sent - healthy_answered);
+                     healthy_sent - healthy_answered - excused);
+    }
 
     if (!args.json_path.empty()) {
         obs::json::Value doc{obs::json::Object{}};
@@ -378,6 +464,21 @@ main(int argc, char** argv)
         doc.set("store", store.toJson());
         doc.set("healthy_sent", healthy_sent);
         doc.set("healthy_answered", healthy_answered);
+        doc.set("isolate", args.isolate);
+        if (args.isolate > 0)
+            doc.set("workers", worker_snapshot);
+        if (args.crash_rate > 0.0) {
+            doc.set("crash_rate", args.crash_rate);
+            doc.set("error_responses", errors);
+            doc.set("shed_responses", rejected);
+            doc.set("silent_requests", silent);
+            doc.set("answered_rate",
+                    healthy_sent == 0
+                        ? 1.0
+                        : static_cast<double>(healthy_answered +
+                                              rejected) /
+                              static_cast<double>(healthy_sent));
+        }
         doc.set("service", service_snapshot);
         Result<bool> wrote =
             obs::json::writeFile(args.json_path, doc);

@@ -15,6 +15,14 @@
 # slow drift a per-run threshold cannot see. The history file is
 # per-machine working state, not a checked-in artifact.
 #
+# Isolation overhead (docs/service.md, "Process isolation"): the gate
+# also runs bench_served back-to-back in-thread and --isolate with the
+# same seed and load, records the verify p50/p99 overhead ratios and
+# the crash-storm answered rate to BENCH_history.jsonl, and warns when
+# the ratio blows the 2x budget (wall-clock ratios are advisory, never
+# blocking — only the same-machine back-to-back pairing makes them
+# meaningful at all).
+#
 # Usage: ci/perf_gate.sh [build-dir] [--enforce]   (default: build)
 
 set -euo pipefail
@@ -35,8 +43,52 @@ if [ ! -x "${BENCH}" ]; then
 fi
 
 CURRENT="$(mktemp)"
-trap 'rm -f "${CURRENT}"' EXIT
+INTHREAD="$(mktemp)"
+ISOLATED="$(mktemp)"
+STORM="$(mktemp)"
+trap 'rm -f "${CURRENT}" "${INTHREAD}" "${ISOLATED}" "${STORM}"' EXIT
 "${BENCH}" --json "${CURRENT}" > /dev/null
 
 python3 ci/perf_compare.py "${BASELINE}" "${CURRENT}" \
     --history BENCH_history.jsonl "${@:2}"
+
+# --- Isolation overhead: in-thread vs --isolate, same seed and load,
+# back to back on the same machine, plus a crash-storm answered-rate
+# probe. Advisory: records to history and warns past 2x, never fails.
+SERVED="${BUILD}/bench/bench_served"
+if [ -x "${SERVED}" ]; then
+    "${SERVED}" --clients 2 --requests 4 --workers 2 \
+        --json "${INTHREAD}" > /dev/null
+    "${SERVED}" --clients 2 --requests 4 --workers 2 --isolate 2 \
+        --json "${ISOLATED}" > /dev/null
+    "${SERVED}" --clients 2 --requests 6 --workers 2 --isolate 2 \
+        --crash-rate 0.3 --json "${STORM}" > /dev/null
+    python3 - "${INTHREAD}" "${ISOLATED}" "${STORM}" <<'EOF'
+import datetime, json, sys
+inthread, isolated, storm = (json.load(open(p)) for p in sys.argv[1:4])
+def p(doc, q):
+    return float(doc["latency"]["verify"][q])
+metrics = {}
+for q in ("p50", "p99"):
+    base, iso = p(inthread, q), p(isolated, q)
+    ratio = iso / base if base > 0 else 0.0
+    metrics[f"served.isolate.overhead_{q}"] = round(ratio, 3)
+    tag = "OK" if ratio < 2.0 else "WARN: blew the 2x budget"
+    print(f"perf gate: isolate overhead {q}: {base:.1f}ms -> "
+          f"{iso:.1f}ms ({ratio:.2f}x) [{tag}]")
+metrics["served.isolate.answered_rate"] = storm.get("answered_rate", 0.0)
+crashes = storm.get("workers", {}).get("crashes", 0)
+print(f"perf gate: crash storm: answered rate "
+      f"{100.0 * metrics['served.isolate.answered_rate']:.1f}% "
+      f"through {crashes} worker death(s)")
+entry = {"ts": datetime.datetime.now(datetime.timezone.utc)
+               .strftime("%Y-%m-%dT%H:%M:%SZ"),
+         "metrics": metrics}
+with open("BENCH_history.jsonl", "a") as f:
+    f.write(json.dumps(entry, sort_keys=True,
+                       separators=(",", ":")) + "\n")
+EOF
+else
+    echo "perf gate: skip: ${SERVED} not built (isolation overhead" \
+         "not measured)"
+fi

@@ -25,6 +25,18 @@
 #      clients, a deterministic slice of them hostile (half-written
 #      frames, mid-job disconnects, deadline-zero floods, junk) — and
 #      require every healthy request answered.
+#   6. Isolate smoke (docs/service.md, "Process isolation"): boot the
+#      daemon with --isolate and a targeted GRAPHITI_CRASH_PLAN, kill
+#      one worker mid-compile via its job id, and require a structured
+#      error with a post-mortem artifact, an ok follow-up job on the
+#      same daemon, and a health report showing the respawn.
+#   7. Crash-storm soak: bench_served --isolate --crash-rate — workers
+#      die at a seeded rate while every request still gets a
+#      structured response (ok, error, or an honest shed), never
+#      silence.
+#   8. Sanitizer leg: the served-labelled suite (sandbox tests
+#      included) runs clean under ASan + UBSan in a separate build
+#      tree. Skip with SERVED_GATE_ASAN=0.
 #
 # Usage: ci/served_gate.sh [build-dir]    (default: build)
 
@@ -68,7 +80,8 @@ wait_for_listen() {
 
 echo "== served gate: build =="
 cmake --build "${BUILD}" -j "${JOBS}" \
-    --target test_served bench_served graphiti-served graphiti-client
+    --target test_served test_sandbox bench_served graphiti-served \
+    graphiti-client
 
 echo "== served gate: tests (ctest -L served) =="
 ctest --test-dir "${BUILD}" -L served --output-on-failure
@@ -226,5 +239,85 @@ echo "== served gate: misbehaving-client soak =="
 "${BUILD}/bench/bench_served" --clients "${SOAK_CLIENTS}" \
     --requests "${SOAK_REQUESTS}" --workers 2 --queue 4 --misbehave \
     --json "${WORK}/soak.json"
+
+echo "== served gate: isolate smoke (crash containment) =="
+# Boot with sandboxed workers and a targeted crash plan: only the job
+# whose id starts with "doom" is killed (SIGSEGV mid-compile); every
+# other job must be untouched by the plan.
+GRAPHITI_CRASH_PLAN="seed=1,kill=doom:segv" \
+    "${BUILD}/tools/graphiti-served" --socket "${SOCKET}" \
+    --isolate 2 > "${DAEMON_LOG}" 2>&1 &
+DAEMON_PID=$!
+wait_for_listen "${DAEMON_PID}"
+
+# The doomed job: the worker dies, the daemon must answer with a
+# structured error carrying the post-mortem artifact (client exits 1
+# on an error response — that is the expected outcome here).
+"${BUILD}/tools/graphiti-client" --socket "${SOCKET}" verify \
+    --job-id doom-1 --benchmark "${BENCHMARK}" ${TIGHT} \
+    > "${WORK}/doom.json" || true
+python3 - "${WORK}/doom.json" <<'PY'
+import json, sys
+
+doom = json.load(open(sys.argv[1]))
+assert doom["status"] == "error", \
+    "doomed job should error, got: " + str(doom)
+assert "crash" in doom.get("error", "").lower() or \
+       "signal" in doom.get("error", ""), \
+    "error should name the crash: " + doom.get("error", "")
+artifact = json.loads(doom["artifact"])
+assert artifact["exit"]["class"] == "crash", \
+    "artifact should classify the death: " + str(artifact["exit"])
+assert "rlimits" in artifact, "artifact should record the jail"
+print("served gate: crashed worker produced a structured error "
+      "with a post-mortem artifact")
+PY
+
+# The daemon must shrug the death off: an untargeted follow-up job on
+# the same daemon answers ok, and health shows the respawned worker.
+"${BUILD}/tools/graphiti-client" --socket "${SOCKET}" verify \
+    --benchmark "${BENCHMARK}" ${TIGHT} > "${WORK}/after-doom.json"
+grep -q '"status": "ok"' "${WORK}/after-doom.json" || {
+    echo "served gate: FAIL: daemon did not answer ok after a worker"
+    echo "crash:"
+    cat "${WORK}/after-doom.json"
+    exit 1
+}
+"${BUILD}/tools/graphiti-client" --socket "${SOCKET}" --health \
+    > "${WORK}/health-isolate.json"
+python3 - "${WORK}/health-isolate.json" <<'PY'
+import json, sys
+
+health = json.load(open(sys.argv[1]))
+pool = health["scheduler"]["worker_pool"]
+assert pool["live"] == pool["configured"] == 2, \
+    "pool not back to full strength: " + str(pool)
+assert pool["respawned"] >= 1, "no respawn recorded: " + str(pool)
+assert pool["crashes_by_class"].get("crash", 0) >= 1, \
+    "crash not classified: " + str(pool)
+assert health["status"] == "ok", \
+    "daemon should be healthy after the respawn: " + str(health)
+print("served gate: isolate health OK (respawned=%d, crashes=%s)"
+      % (pool["respawned"], pool["crashes_by_class"]))
+PY
+kill "${DAEMON_PID}" 2> /dev/null || true
+wait "${DAEMON_PID}" 2> /dev/null || true
+DAEMON_PID=""
+rm -f "${SOCKET}"
+
+echo "== served gate: crash-storm soak (--isolate --crash-rate) =="
+"${BUILD}/bench/bench_served" --clients "${SOAK_CLIENTS}" \
+    --requests "${SOAK_REQUESTS}" --isolate 2 --crash-rate 0.25 \
+    --json "${WORK}/storm.json"
+
+if [ "${SERVED_GATE_ASAN:-1}" = "1" ]; then
+    echo "== served gate: sanitizer leg (ASan + UBSan) =="
+    cmake -B "${BUILD}-asan" -S . -DGRAPHITI_SANITIZE=address,undefined
+    cmake --build "${BUILD}-asan" -j "${JOBS}" \
+        --target test_served test_sandbox
+    (cd "${BUILD}-asan" && ctest -L served --output-on-failure)
+else
+    echo "== served gate: sanitizer leg skipped (SERVED_GATE_ASAN=0) =="
+fi
 
 echo "served gate: OK"

@@ -1,0 +1,129 @@
+#ifndef GRAPHITI_FAULTS_CRASH_PLAN_HPP
+#define GRAPHITI_FAULTS_CRASH_PLAN_HPP
+
+/**
+ * @file
+ * Deterministic worker-crash plans for the served sandbox tier.
+ *
+ * The fault taxonomy moves one layer below connection_plan.hpp:
+ * instead of a client misbehaving on the wire, a CrashPlan makes the
+ * *worker process itself* die mid-job — segfault, abort, runaway
+ * allocation into the rlimit jail, a busy-loop that never heartbeats,
+ * or a silent exit(7). Like every plan in faults/, the schedule is a
+ * pure function of one seed: each decision is a fresh splitmix hash of
+ * (seed, job_id, site), so the same seed reproduces the same casualty
+ * schedule regardless of worker count or dispatch order, and a soak
+ * failure replays from the single seed in its report.
+ *
+ * The plan crosses the fork boundary as a string (the
+ * GRAPHITI_CRASH_PLAN environment seam, parse()/render() round-trip),
+ * so injection needs no test hooks inside the daemon: the child reads
+ * the env, draws its fate per job, and executes it. Production
+ * daemons simply never set the variable.
+ *
+ * The contract the sandbox tests drive with this: every crash class
+ * must come back as a structured `error` with a post-mortem artifact
+ * for that job only — never a daemon death, a hang, or a torn
+ * verdict store.
+ */
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace graphiti::faults {
+
+/** How a planned worker death presents. */
+enum class CrashAction : std::uint8_t
+{
+    None,      ///< run the job honestly
+    Segv,      ///< write through a null pointer (SIGSEGV)
+    Abort,     ///< std::abort (SIGABRT — the assert/UB shape)
+    OomAlloc,  ///< allocate unboundedly until the rlimit jail kills it
+    BusyLoop,  ///< spin forever without heartbeating (the wedge shape)
+    Exit7,     ///< _exit(7) mid-job (silent tool death)
+};
+
+const char* toString(CrashAction action);
+
+/** Per-class injection rates (sum < 1; the remainder behaves). */
+struct CrashPlanConfig
+{
+    double segv_rate = 0.0;
+    double abort_rate = 0.0;
+    double oom_rate = 0.0;
+    double busy_rate = 0.0;
+    double exit_rate = 0.0;
+
+    double total() const
+    {
+        return segv_rate + abort_rate + oom_rate + busy_rate +
+               exit_rate;
+    }
+};
+
+/** One reproducible worker-casualty schedule. */
+class CrashPlan
+{
+  public:
+    CrashPlan() = default;  ///< benign: every action is None
+    CrashPlan(std::uint64_t seed, CrashPlanConfig config)
+        : seed_(seed), config_(config)
+    {
+    }
+
+    /** A plan that never kills anything. */
+    static CrashPlan benign() { return CrashPlan(); }
+
+    /** Rate @p rate split evenly across all five crash classes. */
+    static CrashPlan storm(std::uint64_t seed, double rate);
+
+    /**
+     * Parse the GRAPHITI_CRASH_PLAN format: comma-separated
+     * `key=value` pairs. Keys: `seed` (uint64), per-class rates
+     * `segv`/`abort`/`oom`/`busy`/`exit` (doubles in [0,1]), `rate`
+     * (shorthand: split evenly across all five classes), and
+     * targeted matches `kill=<job-id-prefix>:<class>` (repeatable) —
+     * a job whose id starts with the prefix always takes that action,
+     * regardless of rates. Empty text parses as the benign plan.
+     */
+    static Result<CrashPlan> parse(const std::string& text);
+
+    /** Render in the format parse() reads (round-trips). */
+    std::string render() const;
+
+    /** True when any rate or targeted match is set. */
+    bool armed() const;
+
+    /** The fate of @p job_id at injection site @p site. Targeted
+     * matches win over rate draws. */
+    CrashAction action(const std::string& job_id,
+                       const std::string& site) const;
+
+    /** Always crash jobs whose id starts with @p job_prefix with
+     * @p action (the deterministic smoke-test seam). */
+    void addMatch(const std::string& job_prefix, CrashAction action);
+
+    std::uint64_t seed() const { return seed_; }
+    const CrashPlanConfig& config() const { return config_; }
+
+  private:
+    std::uint64_t seed_ = 0;
+    CrashPlanConfig config_;
+    std::vector<std::pair<std::string, CrashAction>> matches_;
+};
+
+/**
+ * Carry out @p action in the calling process: the fatal classes never
+ * return (the process dies by signal, jail, or _exit); BusyLoop spins
+ * forever; None returns immediately. Lives here so the sandbox child
+ * and the tests execute the exact same deaths.
+ */
+void executeCrashAction(CrashAction action);
+
+}  // namespace graphiti::faults
+
+#endif  // GRAPHITI_FAULTS_CRASH_PLAN_HPP

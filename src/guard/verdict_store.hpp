@@ -63,15 +63,21 @@ struct VerdictStoreStats
     obs::json::Value toJson() const;
 };
 
-/** Sharded, LRU-bounded, crash-safe verdict store. */
+/** Sharded, LRU-bounded, crash-safe verdict store.
+ *
+ * lookup/store/approxBytes are virtual so the sandbox tier can stand
+ * in a proxy: an isolated worker's Compiler talks to a subclass that
+ * forwards over the worker socketpair, keeping every real store write
+ * in the daemon parent where a dying child cannot tear it. */
 class VerdictStore
 {
   public:
     explicit VerdictStore(VerdictStoreConfig config = {});
+    virtual ~VerdictStore() = default;
 
     /** Cached verdict for @p key; refreshes its LRU position and
      * counts a hit or a miss. */
-    std::optional<VerificationVerdict> lookup(std::uint64_t key);
+    virtual std::optional<VerificationVerdict> lookup(std::uint64_t key);
 
     /**
      * Commit @p verdict under @p key (last store wins), evicting the
@@ -79,7 +85,8 @@ class VerdictStore
      * shard file is atomically rewritten before returning — the
      * verdict survives a SIGKILL from here on.
      */
-    void store(std::uint64_t key, const VerificationVerdict& verdict);
+    virtual void store(std::uint64_t key,
+                       const VerificationVerdict& verdict);
 
     /**
      * Load every shard file from the configured directory.
@@ -97,7 +104,7 @@ class VerdictStore
 
     /** Size-based byte estimate of all shards' verdicts + LRU lists
      * (resource accounting only). */
-    std::size_t approxBytes() const;
+    virtual std::size_t approxBytes() const;
 
   private:
     struct Shard

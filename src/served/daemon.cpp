@@ -113,6 +113,8 @@ Daemon::statsJson() const
     conns.set("malformed_requests", malformed_requests_.load());
     out.set("connections", std::move(conns));
     out.set("scheduler", scheduler_->stats().toJson());
+    if (WorkerPool* pool = scheduler_->workerPool())
+        out.set("workers", pool->healthJson());
     out.set("store", scheduler_->store()->stats().toJson());
     out.set("verbs", observer_->verbsJson());
     out.set("metrics", observer_->scope().metrics().toJson());
@@ -151,10 +153,14 @@ Daemon::healthJson() const
     if (alive != nullptr && configured != nullptr &&
         alive->isNumber() && configured->isNumber())
         lanes_ok = alive->asNumber() >= configured->asNumber();
+    // An open crash-loop breaker is exactly the degradation health
+    // exists to report: the daemon answers, but sheds compiles.
+    WorkerPool* pool = scheduler_->workerPool();
+    bool breaker_ok = pool == nullptr || !pool->breakerOpen();
 
     json::Value out{json::Object{}};
     out.set("status",
-            accepting && lanes_ok ? "ok" : "degraded");
+            accepting && lanes_ok && breaker_ok ? "ok" : "degraded");
     out.set("uptime_seconds", observer_->uptimeSeconds());
     out.set("scheduler", std::move(scheduler_health));
     guard::VerdictStoreStats store = scheduler_->store()->stats();
@@ -225,6 +231,30 @@ Daemon::metricsText() const
     out.gauge("store.entries", static_cast<double>(store.entries));
     out.counter("expose.scrapes",
                 static_cast<double>(expose_.scrapes()));
+
+    // Worker-tier families (isolate mode only): pool gauges, crash
+    // counters by exit class, breaker state.
+    if (WorkerPool* pool = scheduler_->workerPool()) {
+        WorkerPoolStats workers = pool->stats();
+        out.gauge("worker.pool_size",
+                  static_cast<double>(workers.configured));
+        out.gauge("worker.live", static_cast<double>(workers.live));
+        out.gauge("worker.busy", static_cast<double>(workers.busy));
+        out.counter("worker.spawned",
+                    static_cast<double>(workers.spawned));
+        out.counter("worker.respawned",
+                    static_cast<double>(workers.respawned));
+        out.counter("worker.crashes",
+                    static_cast<double>(workers.crashes));
+        for (const auto& [cls, count] : workers.crashes_by_class)
+            out.sample("graphiti_worker_crashes_total{class=\"" + cls +
+                           "\"}",
+                       static_cast<double>(count));
+        out.gauge("worker.breaker_open",
+                  workers.breaker_open ? 1.0 : 0.0);
+        out.counter("worker.breaker_trips",
+                    static_cast<double>(workers.breaker_trips));
+    }
     return out.str();
 }
 

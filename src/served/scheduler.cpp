@@ -104,6 +104,16 @@ elapsedMs(std::chrono::steady_clock::time_point from,
 
 Scheduler::Scheduler(SchedulerConfig config) : config_(std::move(config))
 {
+    if (config_.isolate > 0) {
+        // Isolate mode: one dispatch lane per sandboxed child, so a
+        // lane never waits on a worker another lane owns.
+        config_.workers = config_.isolate;
+        config_.pool.workers = config_.isolate;
+        if (config_.pool.sandbox.heartbeat_timeout_seconds <= 0.0)
+            config_.pool.sandbox.heartbeat_timeout_seconds =
+                config_.wedge_grace_seconds;
+        config_.pool.observer = config_.observer;
+    }
     if (config_.workers == 0)
         config_.workers = 1;
     store_ = std::make_shared<guard::VerdictStore>(config_.store);
@@ -123,6 +133,26 @@ Scheduler::start()
         Result<std::size_t> loaded = store_->load();
         if (!loaded.ok())
             return loaded.error().context("Scheduler::start");
+    }
+    if (config_.isolate > 0) {
+        // Sandbox children proxy their verdict traffic here: every
+        // real store write stays in this (parent) process, so a dying
+        // child can never tear the store.
+        StoreHooks hooks;
+        hooks.lookup = [this](std::uint64_t key) {
+            return store_->lookup(key);
+        };
+        hooks.store = [this](std::uint64_t key,
+                             const guard::VerificationVerdict& verdict) {
+            store_->store(key, verdict);
+        };
+        pool_ = std::make_unique<WorkerPool>(config_.pool,
+                                             std::move(hooks));
+        Result<bool> forked = pool_->start();
+        if (!forked.ok()) {
+            pool_.reset();
+            return forked.error().context("Scheduler::start");
+        }
     }
     started_ = true;
     stopping_ = false;
@@ -164,6 +194,10 @@ Scheduler::stop()
         worker.join();
     if (supervisor.joinable())
         supervisor.join();
+    // Lanes are drained (running children were stop-killed by their
+    // lanes' poll loops); shut the idle sandbox workers down politely.
+    if (pool_ != nullptr)
+        pool_->stop();
     std::lock_guard<std::mutex> lock(mutex_);
     started_ = false;
 }
@@ -460,6 +494,25 @@ Scheduler::workerLoop()
             // deadline-zero flood takes.
             outcome.status = "cancelled";
             outcome.error = job->stop.reason();
+        } else if (pool_ != nullptr) {
+            // Isolate mode: the job runs in a sandboxed child; this
+            // lane only dispatches, mirrors heartbeats and maps the
+            // outcome. Whatever the child does — crash, OOM, wedge —
+            // lands here as a structured SandboxOutcome.
+            SandboxOutcome run = pool_->execute(
+                job->job_id, job->spec, job->stop, job->job_scope.get());
+            outcome.status = run.status;
+            outcome.result = std::move(run.result);
+            outcome.error = std::move(run.error);
+            outcome.artifact = std::move(run.artifact);
+            outcome.retry_after_ms = run.retry_after_ms;
+            if (run.exit_class == ExitClass::Wedged) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                stats_.wedged += 1;
+                if (config_.observer != nullptr)
+                    config_.observer->scope().metrics().add(
+                        "served.jobs.wedged", 1);
+            }
         } else {
             // The job's private scope catches cooperative progress
             // counters (refine.states, guard.verify.*) so the jobs
@@ -694,6 +747,8 @@ Scheduler::healthJson() const
         out.set("supervisor_heartbeat_age_ms",
                 elapsedMs(supervisor_heartbeat_,
                           std::chrono::steady_clock::now()));
+    if (pool_ != nullptr)
+        out.set("worker_pool", pool_->healthJson());
     return out;
 }
 

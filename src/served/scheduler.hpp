@@ -41,6 +41,7 @@
 #include "obs/scope.hpp"
 #include "served/observe.hpp"
 #include "served/protocol.hpp"
+#include "served/worker_pool.hpp"
 #include "support/cancel.hpp"
 
 namespace graphiti::served {
@@ -62,6 +63,14 @@ struct SchedulerConfig
     double supervisor_period_ms = 25.0;
     /** Per-job cost estimate behind retry_after hints. */
     double estimated_job_ms = 50.0;
+    /** Process isolation: > 0 runs every job in one of this many
+     * sandboxed worker processes (and overrides `workers` to match,
+     * one dispatch lane per child). 0 = in-thread lanes, the
+     * historical mode. See docs/service.md, "Process isolation". */
+    std::size_t isolate = 0;
+    /** Worker-pool tuning when isolate > 0 (sandbox jails, breaker
+     * thresholds). workers/observer are filled from this config. */
+    WorkerPoolConfig pool;
     /** Verdict-store shape; dir empty = in-memory only. */
     guard::VerdictStoreConfig store;
     /** The service observability plane: scheduler counters land in
@@ -220,6 +229,9 @@ class Scheduler
         return store_;
     }
 
+    /** The sandboxed worker pool; null when isolate == 0. */
+    WorkerPool* workerPool() const { return pool_.get(); }
+
     SchedulerStats stats() const;
     const SchedulerConfig& config() const { return config_; }
 
@@ -265,6 +277,8 @@ class Scheduler
 
     SchedulerConfig config_;
     std::shared_ptr<guard::VerdictStore> store_;
+    /** Sandboxed worker pool (isolate mode only). */
+    std::unique_ptr<WorkerPool> pool_;
 
     mutable std::mutex mutex_;
     std::condition_variable work_available_;

@@ -66,6 +66,8 @@ usage(const char* argv0)
         "  --dot FILE       send this dot file as the circuit\n"
         "  --benchmark NAME send this built-in benchmark's circuit\n"
         "  --deadline S     per-job wall-clock deadline in seconds\n"
+        "  --job-id ID      correlation id for the job (default "
+        "minted)\n"
         "  --threads N      verification worker lanes on the daemon\n"
         "  --attempts N     retry budget (default 5)\n"
         "  --max-states N   full-exploration state cap (verify)\n"
@@ -113,6 +115,7 @@ main(int argc, char** argv)
     bool watch = false;
     double interval_seconds = 2.0;
     std::string watch_job_id;
+    std::string job_id;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -160,6 +163,11 @@ main(int argc, char** argv)
         } else if (arg == "--stats" || arg == "--jobs" ||
                    arg == "--health" || arg == "--metricsz") {
             kind = arg.substr(2);
+        } else if (arg == "--job-id") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            job_id = v;
         } else if (arg == "--watch-job") {
             const char* v = value();
             if (v == nullptr)
@@ -331,7 +339,7 @@ main(int argc, char** argv)
     }
 
     Result<served::JobResponse> response =
-        client.request(spec, deadline_seconds);
+        client.request(spec, deadline_seconds, job_id);
     if (!response.ok()) {
         std::fprintf(stderr, "graphiti-client: %s\n",
                      response.error().message.c_str());

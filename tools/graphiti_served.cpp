@@ -15,10 +15,18 @@
  * trace (per-job span trees keyed by correlation id) at shutdown.
  * Live introspection needs no files: `graphiti-client --stats`.
  *
+ * Process isolation (docs/service.md, "Process isolation"):
+ * `--isolate N` runs every compile in one of N sandboxed worker
+ * processes with resource jails derived from the job's verification
+ * budget — a crashing, OOMing or wedging job costs one worker respawn
+ * and yields a structured error with a post-mortem artifact; the
+ * daemon itself never dies with a job.
+ *
  * Usage:
  *     graphiti-served --socket PATH [--tcp PORT] [--workers N]
- *                     [--queue N] [--store DIR] [--max-deadline S]
- *                     [--wedge-grace S] [--flight PATH] [--log PATH]
+ *                     [--isolate N] [--queue N] [--store DIR]
+ *                     [--max-deadline S] [--wedge-grace S]
+ *                     [--flight PATH] [--log PATH]
  *                     [--trace PATH] [--expose PORT]
  *
  * `--expose PORT` binds a loopback scrape endpoint serving the
@@ -61,14 +69,16 @@ usage(const char* argv0)
     std::fprintf(
         stderr,
         "usage: %s --socket PATH [--tcp PORT] [--workers N] [--queue N]\n"
-        "          [--store DIR] [--max-deadline S] [--wedge-grace S]\n"
-        "          [--flight PATH] [--log PATH] [--trace PATH]\n"
-        "          [--expose PORT]\n"
+        "          [--isolate N] [--store DIR] [--max-deadline S]\n"
+        "          [--wedge-grace S] [--flight PATH] [--log PATH]\n"
+        "          [--trace PATH] [--expose PORT]\n"
         "  --socket PATH    unix-domain socket to listen on (required)\n"
         "  --tcp PORT       also listen on loopback TCP (0 = ephemeral)\n"
         "  --expose PORT    loopback metrics scrape endpoint "
         "(0 = ephemeral)\n"
         "  --workers N      worker threads (default 2)\n"
+        "  --isolate N      run jobs in N sandboxed worker processes\n"
+        "                   (crash containment + resource jails)\n"
         "  --queue N        waiting jobs before shedding (default 8)\n"
         "  --store DIR      persist governed verdicts (crash-safe)\n"
         "  --max-deadline S clamp client deadlines to S seconds\n"
@@ -122,6 +132,12 @@ main(int argc, char** argv)
             if (v == nullptr)
                 return usage(argv[0]);
             config.scheduler.workers =
+                static_cast<std::size_t>(std::atoi(v));
+        } else if (arg == "--isolate") {
+            const char* v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            config.scheduler.isolate =
                 static_cast<std::size_t>(std::atoi(v));
         } else if (arg == "--queue") {
             const char* v = value();
