@@ -111,6 +111,134 @@ BENCHMARK(BM_ThreadScaling)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/**
+ * Bytes/state of the compact encoding vs the retired deep encoding.
+ * The deep figure re-derives what the pre-pool StateSpace stored per
+ * state: the full concrete GraphState (decoded here on demand), three
+ * edge-vector headers, and the edge elements — the dedup index's
+ * second deep copy is left out, so the ratio reported is conservative.
+ */
+void
+BM_EncodingFootprint(benchmark::State& state)
+{
+    std::size_t budget = static_cast<std::size_t>(state.range(0));
+    Environment env(4);
+    ExprHigh ooo = circuits::buildGcdOutOfOrder(env.functions(), 2);
+    DenotedModule impl =
+        DenotedModule::denote(lowerToExprLow(ooo).value(), env).take();
+    InputDomain domain = InputDomain::uniform(impl, gcdPairs());
+
+    double encoded_per_state = 0, deep_per_state = 0;
+    std::size_t states = 0, pool_states = 0;
+    for (auto _ : state) {
+        Result<StateSpace> space = StateSpace::explore(
+            impl, domain,
+            {.max_states = 2000000, .input_budget = budget});
+        if (!space.ok()) {
+            state.SkipWithError("exploration failed");
+            continue;
+        }
+        const StateSpace& s = space.value();
+        states = s.numStates();
+        pool_states = s.pool().size();
+        std::size_t deep = sizeof(StateSpace);
+        for (std::uint32_t id = 0;
+             id < static_cast<std::uint32_t>(states); ++id) {
+            // What the old encoding kept resident per state.
+            GraphState concrete;
+            for (std::uint32_t pid : s.encodedRow(id))
+                concrete.comps.push_back(s.pool().value(pid));
+            deep += concrete.approxBytes() + sizeof(GraphState);
+            deep += 3 * sizeof(std::vector<std::uint32_t>);
+            deep += s.internalEdges(id).size() * sizeof(std::uint32_t);
+            deep += s.inputEdges(id).size() *
+                    sizeof(StateSpace::InputEdge);
+            deep += s.outputEdges(id).size() *
+                    sizeof(StateSpace::OutputEdge);
+            deep += 2 * sizeof(std::uint32_t);  // budget + frontier slot
+        }
+        encoded_per_state = static_cast<double>(s.approxBytes()) /
+                            static_cast<double>(states);
+        deep_per_state = static_cast<double>(deep) /
+                         static_cast<double>(states);
+        benchmark::DoNotOptimize(space);
+    }
+    state.counters["verify_states"] = static_cast<double>(states);
+    state.counters["pool_states"] = static_cast<double>(pool_states);
+    state.counters["encoded_bytes_per_state"] = encoded_per_state;
+    state.counters["deep_bytes_per_state"] = deep_per_state;
+    state.counters["footprint_ratio"] =
+        encoded_per_state > 0 ? deep_per_state / encoded_per_state : 0;
+}
+BENCHMARK(BM_EncodingFootprint)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Spill-tier round trip: park an exploration whose frontier exceeds
+ * spill_bytes, then resume to completion — completion must go through
+ * the spill file, and the run reports how much paging cost. The
+ * fingerprint is asserted against a one-shot exploration, so the
+ * benchmark doubles as an end-to-end spill correctness probe.
+ */
+void
+BM_FrontierSpill(benchmark::State& state)
+{
+    Environment env(4);
+    ExprHigh ooo = circuits::buildGcdOutOfOrder(env.functions(), 2);
+    DenotedModule impl =
+        DenotedModule::denote(lowerToExprLow(ooo).value(), env).take();
+    InputDomain domain = InputDomain::uniform(impl, gcdPairs());
+    Result<StateSpace> one_shot = StateSpace::explore(
+        impl, domain, {.max_states = 2000000, .input_budget = 3});
+    if (!one_shot.ok()) {
+        state.SkipWithError("one-shot exploration failed");
+        return;
+    }
+    std::uint64_t want = one_shot.value().fingerprint();
+
+    std::size_t spills = 0, spilled_bytes = 0, paged_in_bytes = 0;
+    std::size_t states = 0;
+    for (auto _ : state) {
+        Result<StateSpace> parked = StateSpace::explorePartial(
+            impl, domain,
+            {.max_states = 800, .input_budget = 3,
+             .spill_bytes = 256});
+        if (!parked.ok() || parked.value().complete() ||
+            parked.value().spillBytes() == 0) {
+            state.SkipWithError("exploration did not park + spill");
+            continue;
+        }
+        StateSpace space = parked.take();
+        bool ok = true;
+        while (!space.complete()) {
+            Result<bool> more = space.resume(impl, 400);
+            if (!more.ok()) {
+                state.SkipWithError("resume failed");
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+        if (space.fingerprint() != want) {
+            state.SkipWithError("spilled space diverged from one-shot");
+            continue;
+        }
+        spills = space.spillStats().spills;
+        spilled_bytes = space.spillStats().spilled_bytes;
+        paged_in_bytes = space.spillStats().paged_in_bytes;
+        states = space.numStates();
+    }
+    state.counters["verify_states"] = static_cast<double>(states);
+    state.counters["spills"] = static_cast<double>(spills);
+    state.counters["spilled_bytes"] = static_cast<double>(spilled_bytes);
+    state.counters["paged_in_bytes"] =
+        static_cast<double>(paged_in_bytes);
+}
+BENCHMARK(BM_FrontierSpill)->Unit(benchmark::kMillisecond);
+
 void
 BM_CatalogRewriteRefinement(benchmark::State& state)
 {

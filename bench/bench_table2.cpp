@@ -120,13 +120,18 @@ main(int argc, char** argv)
         options.verify_budget.trace.max_inputs = 2;
         graphiti::ExprHigh gcd = graphiti::circuits::buildGcdInOrder();
         auto first = compiler.compileGraph(gcd, options);
+        double first_seconds = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   verify_start)
+                                   .count();
         auto second = compiler.compileGraph(gcd, options);
         graphiti::obs::json::Value verify{graphiti::obs::json::Object{}};
+        std::size_t verify_states = 0;
         if (first.ok() && second.ok()) {
             const graphiti::guard::VerificationVerdict& verdict =
                 first.value().verdict;
-            std::size_t verify_states = verdict.report.impl_states +
-                                        verdict.report.spec_states;
+            verify_states = verdict.report.impl_states +
+                            verdict.report.spec_states;
             verify.set("level", first.value().verification_level);
             verify.set("verify_states", verify_states);
             verify.set("reachable_pairs",
@@ -156,6 +161,23 @@ main(int argc, char** argv)
                           first.value().verify_explore_peak_bytes);
             resources.set("game_peak_bytes",
                           first.value().verify_game_peak_bytes);
+            // Memory-efficiency figures the perf gate tracks over time
+            // (ci/perf_compare.py hard-fails a >10% peak-bytes/state
+            // regression): explore high-water per explored state, and
+            // explored states over the first (uncached) compile's
+            // wall-clock.
+            if (verify_states > 0) {
+                resources.set(
+                    "peak_bytes_per_state",
+                    static_cast<double>(
+                        first.value().verify_explore_peak_bytes) /
+                        static_cast<double>(verify_states));
+                resources.set("states_per_second",
+                              first_seconds > 0.0
+                                  ? static_cast<double>(verify_states) /
+                                        first_seconds
+                                  : 0.0);
+            }
         }
         const graphiti::obs::MetricsRegistry& metrics =
             options.obs->metrics();

@@ -5,7 +5,10 @@
 #      -DGRAPHITI_SANITIZE=thread in a dedicated build tree and run
 #      them under ThreadSanitizer. The tests pin every verdict to
 #      byte-identical results at threads 1/2/8, so this doubles as the
-#      data-race and the determinism check.
+#      data-race and the determinism check. test_state_encoding rides
+#      in this leg so the interned state pool and the frontier spill
+#      tier (docs/parallelism.md, "Compact encoding") get the same
+#      race coverage as the worker lanes themselves.
 #   2. Scaling probe: run bench_refine_checker's BM_ThreadScaling at
 #      threads=1 and threads=4 from the regular build and require a
 #      >= 2x real-time speedup — enforced only when the machine has
@@ -28,7 +31,8 @@ JOBS="${PAR_GATE_JOBS:-2}"
 echo "== par gate: TSan build (${TSAN_BUILD}) =="
 cmake -S . -B "${TSAN_BUILD}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DGRAPHITI_SANITIZE=thread > /dev/null
-cmake --build "${TSAN_BUILD}" --target test_parallel -j "${JOBS}"
+cmake --build "${TSAN_BUILD}" --target test_parallel \
+    test_state_encoding -j "${JOBS}"
 
 echo "== par gate: TSan run (ctest -L par) =="
 ctest --test-dir "${TSAN_BUILD}" -L par --output-on-failure

@@ -27,9 +27,19 @@ on any machine yields the same value.
   explicitly ignored resource telemetry (RESOURCE_FIELDS):
     verify_resources  peak bytes are stable, but the pool occupancy
                       split (chunks per lane, steals, idle time) is
-                      scheduling noise — the whole object stays out of
-                      the comparison and exists for humans reading the
-                      report (docs/verification_observability.md)
+                      scheduling noise — the object stays out of the
+                      threshold comparison and exists for humans
+                      reading the report
+                      (docs/verification_observability.md), with one
+                      exception below
+
+  memory-efficiency gate (RESOURCE_HARD, always blocking):
+    verify_resources.peak_bytes_per_state is deterministic (size-based
+    byte accounting over a fixed budget; docs/parallelism.md, "Compact
+    encoding") and a >10% regression FAILS the gate even without
+    --enforce — memory-footprint regressions in the verification core
+    are never warn-only. states_per_second is wall-clock and is only
+    recorded into the history trajectory, never compared.
 
 A threshold metric regresses when it grows more than --threshold
 percent over the baseline. Baseline values <= 0 are skipped (nothing
@@ -67,9 +77,21 @@ WALL_CLOCK_FIELDS = frozenset({"measure_seconds", "phases"})
 # Resource-telemetry objects that ride next to the deterministic ones
 # and must never be compared (pool occupancy is scheduling noise).
 RESOURCE_FIELDS = frozenset({"verify_resources"})
+# verify_resources fields recorded into the history trajectory
+# (memory-efficiency figures of the compact state encoding).
+RESOURCE_HISTORY = ("peak_bytes_per_state", "states_per_second")
+# The always-blocking subset of RESOURCE_HISTORY: deterministic
+# (size-based accounting), so a regression is a real encoding change,
+# and memory-footprint regressions must never pass as warn-only.
+RESOURCE_HARD = ("peak_bytes_per_state",)
+RESOURCE_HARD_THRESHOLD = 10.0
+# History keys where growth is an improvement (throughput), exempt
+# from the monotone-drift warning.
+BIGGER_IS_BETTER = frozenset({"verify_resources.states_per_second"})
 assert WALL_CLOCK_FIELDS.isdisjoint(METRICS)
 assert WALL_CLOCK_FIELDS.isdisjoint(VERIFY_EXACT)
 assert RESOURCE_FIELDS.isdisjoint(VERIFY_EXACT)
+assert set(RESOURCE_HARD) <= set(RESOURCE_HISTORY)
 # Consecutive increases (runs, including the current one) that count
 # as a monotone drift worth warning about.
 HISTORY_RUNS = 3
@@ -118,6 +140,44 @@ def compare_verify(base_doc, cur_doc, regressions, skipped):
     return compared
 
 
+def compare_resources(base_doc, cur_doc, hard_failures, skipped):
+    """Memory-efficiency gate over verify_resources.
+
+    peak_bytes_per_state is deterministic (size-based accounting over
+    a fixed budget), so a >RESOURCE_HARD_THRESHOLD% growth lands in
+    hard_failures — which fail the gate even without --enforce.
+    """
+    base = base_doc.get("verify_resources")
+    cur = cur_doc.get("verify_resources")
+    if not isinstance(base, dict):
+        skipped.append("verify_resources: missing from baseline; "
+                       "regenerate BENCH_baseline.json to cover it")
+        return 0
+    if not isinstance(cur, dict):
+        skipped.append("verify_resources: missing from current run")
+        return 0
+    compared = 0
+    for field in RESOURCE_HARD:
+        b = base.get(field)
+        c = cur.get(field)
+        if not isinstance(b, (int, float)) or b <= 0:
+            skipped.append(f"verify_resources.{field}: missing from "
+                           "baseline; regenerate BENCH_baseline.json "
+                           "to cover it")
+            continue
+        if not isinstance(c, (int, float)):
+            skipped.append(f"verify_resources.{field}: missing from "
+                           "current run")
+            continue
+        compared += 1
+        delta = (c - b) / b * 100.0
+        if delta > RESOURCE_HARD_THRESHOLD:
+            hard_failures.append(
+                f"verify_resources.{field}: {b:g} -> {c:g} "
+                f"(+{delta:.1f}% > {RESOURCE_HARD_THRESHOLD:g}%)")
+    return compared
+
+
 def flatten_metrics(doc):
     """The whitelisted metrics of one report as a flat {key: number}.
 
@@ -142,6 +202,13 @@ def flatten_metrics(doc):
             if isinstance(value, (int, float)) and \
                     not isinstance(value, bool):
                 flat[f"verify.{field}"] = value
+    resources = doc.get("verify_resources")
+    if isinstance(resources, dict):
+        for field in RESOURCE_HISTORY:
+            value = resources.get(field)
+            if isinstance(value, (int, float)) and \
+                    not isinstance(value, bool):
+                flat[f"verify_resources.{field}"] = value
     return flat
 
 
@@ -176,6 +243,8 @@ def update_history(path, cur_doc):
     warnings = []
     if len(window) == HISTORY_RUNS:
         for key in sorted(current["metrics"]):
+            if key in BIGGER_IS_BETTER:
+                continue  # growth there is improvement, not drift
             values = [e["metrics"].get(key) for e in window]
             if any(not isinstance(v, (int, float)) for v in values):
                 continue
@@ -257,6 +326,9 @@ def main():
                        "regenerate BENCH_baseline.json to cover it")
 
     compared += compare_verify(base_doc, cur_doc, regressions, skipped)
+    hard_failures = []
+    compared += compare_resources(base_doc, cur_doc, hard_failures,
+                                  skipped)
 
     if args.history:
         for line in update_history(args.history, cur_doc):
@@ -266,17 +338,28 @@ def main():
         print(f"perf gate: skip: {line}")
     print(f"perf gate: {compared} metrics compared, "
           f"{len(regressions)} regressions, "
+          f"{len(hard_failures)} memory regressions, "
           f"{improvements} improvements beyond threshold")
+    failed = False
     if regressions:
         for line in regressions:
             print(f"perf gate: REGRESSION: {line}")
         if enforce:
-            print("perf gate: FAIL (enforcement on)")
-            return 1
-        print("perf gate: WARN only (set PERF_GATE_ENFORCE=1 or pass "
-              "--enforce to make this blocking)")
-        return 0
-    print("perf gate: OK")
+            failed = True
+        else:
+            print("perf gate: WARN only (set PERF_GATE_ENFORCE=1 or "
+                  "pass --enforce to make this blocking)")
+    if hard_failures:
+        # Memory-footprint regressions in the verification core block
+        # unconditionally — there is no warn-only mode for them.
+        for line in hard_failures:
+            print(f"perf gate: MEMORY REGRESSION: {line}")
+        failed = True
+    if failed:
+        print("perf gate: FAIL")
+        return 1
+    if not regressions:
+        print("perf gate: OK")
     return 0
 
 

@@ -4,8 +4,12 @@
 # lut/ff/dsp) against the checked-in BENCH_baseline.json.
 #
 # Warn-only by default; set PERF_GATE_ENFORCE=1 (or pass --enforce as
-# the second argument) to make regressions fail the gate. Regenerate
-# the baseline after an intentional perf change with:
+# the second argument) to make regressions fail the gate. Exception:
+# verify_resources.peak_bytes_per_state — the verification core's
+# memory footprint per explored state (docs/parallelism.md, "Compact
+# encoding") — FAILS the gate on a >10% regression even without
+# enforcement. Regenerate the baseline after an intentional perf
+# change with:
 #
 #     build/bench/bench_table2 --json BENCH_baseline.json
 #

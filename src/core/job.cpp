@@ -28,6 +28,7 @@ compileOptionsToJson(const CompileOptions& options)
     budget.set("trace_max_inputs",
                options.verify_budget.trace.max_inputs);
     budget.set("seed", options.verify_budget.seed);
+    budget.set("spill_bytes", options.verify_budget.spill_bytes);
     out.set("budget", std::move(budget));
     return out;
 }
@@ -113,9 +114,11 @@ compileOptionsFromJson(const obs::json::Value& v)
         Result<std::size_t> inputs =
             sizeField(*budget, "trace_max_inputs", b.trace.max_inputs);
         Result<std::size_t> seed = sizeField(*budget, "seed", b.seed);
+        Result<std::size_t> spill =
+            sizeField(*budget, "spill_bytes", b.spill_bytes);
         for (const Result<std::size_t>* r :
              {&max_states, &partial, &input_budget, &walks, &steps,
-              &inputs, &seed})
+              &inputs, &seed, &spill})
             if (!r->ok())
                 return r->error().context("options.budget");
         b.max_states = max_states.value();
@@ -125,6 +128,7 @@ compileOptionsFromJson(const obs::json::Value& v)
         b.trace.max_steps = steps.value();
         b.trace.max_inputs = inputs.value();
         b.seed = static_cast<std::uint64_t>(seed.value());
+        b.spill_bytes = spill.value();
     }
     return options;
 }

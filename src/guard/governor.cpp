@@ -133,6 +133,7 @@ Governor::verify(const DenotedModule& impl, const DenotedModule& spec,
         limits.max_states = budget_.max_states;
         limits.input_budget = budget_.input_budget;
         limits.threads = budget_.threads;
+        limits.spill_bytes = budget_.spill_bytes;
         limits.stop = stop_;
         obs_rung(obs::VerifyPhase::Explore, "full");
         Result<StateSpace> impl_space =
@@ -180,6 +181,7 @@ Governor::verify(const DenotedModule& impl, const DenotedModule& spec,
         limits.max_states = budget_.partial_max_states;
         limits.input_budget = budget_.input_budget;
         limits.threads = budget_.threads;
+        limits.spill_bytes = budget_.spill_bytes;
         limits.stop = stop_;
         obs_rung(obs::VerifyPhase::Explore, "bounded-partial");
         Result<StateSpace> impl_space =

@@ -55,11 +55,13 @@ struct VerificationBudget
      */
     double deadline_seconds = 0.0;
     /** Full-exploration state cap (rung 1), per side; 0 skips the
-     * full check entirely. */
-    std::size_t max_states = 200000;
+     * full check entirely. Default raised with the compact state
+     * encoding: bytes/state dropped, so the same memory now buys
+     * more states. */
+    std::size_t max_states = 500000;
     /** Partial-exploration state cap (rung 2), per side — the memory
      * budget of the degraded check; 0 skips the rung. */
-    std::size_t partial_max_states = 20000;
+    std::size_t partial_max_states = 50000;
     /** Input tokens consumed along any explored execution. */
     std::size_t input_budget = 3;
     /** Random walks of the trace-inclusion rung; 0 skips the rung. */
@@ -76,6 +78,15 @@ struct VerificationBudget
      * (seed, walk index).
      */
     std::size_t threads = 1;
+    /**
+     * Frontier spill cap per exploration (ExplorationLimits::
+     * spill_bytes): a parked BoundedPartial frontier larger than this
+     * parks its cold rows on disk instead of pinning them in RAM;
+     * 0 disables spilling. Memory policy only — verdicts are
+     * byte-identical with or without it, so (like threads) it is
+     * excluded from the verify-cache key.
+     */
+    std::size_t spill_bytes = 0;
 };
 
 /** The honest outcome of a governed verification. */

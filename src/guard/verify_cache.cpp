@@ -90,8 +90,10 @@ verificationCacheKey(const ExprHigh& transformed,
     h = fnv1a64Double(h, budget.trace.input_bias);
     h = fnv1a64(h, budget.trace.max_inputs);
     h = fnv1a64(h, budget.seed);
-    // budget.threads deliberately excluded: verdicts are thread-count
-    // independent by construction.
+    // budget.threads and budget.spill_bytes deliberately excluded:
+    // verdicts are thread-count independent by construction, and the
+    // frontier spill tier is pure memory policy — the explored space
+    // is byte-identical with or without it.
     h = fnv1a64(h, tokens.size());
     for (const Token& token : tokens)
         h = fnv1a64(h, token.toString());

@@ -699,8 +699,7 @@ class TaggerComponent : public Component
                 CompState next = state;
                 Token out = next.queues[1][i];
                 out.tag.reset();
-                next.queues[1].erase(next.queues[1].begin() +
-                                     static_cast<std::ptrdiff_t>(i));
+                next.queues[1].eraseAt(i);
                 next.regs[1] += 1;
                 return {{std::move(out), std::move(next)}};
             }

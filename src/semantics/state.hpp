@@ -22,19 +22,111 @@
 
 namespace graphiti {
 
+/**
+ * A FIFO of tokens with an O(1) amortized pop.
+ *
+ * The semantics hot path copies a CompState per successor and then
+ * dequeues from the front; erasing the front of a std::vector made
+ * every dequeue O(n). TokenQueue keeps the same storage but tracks a
+ * head index: popFront() bumps the head, and the consumed prefix is
+ * compacted away only when it grows past a small bound — so the
+ * physical layout may differ between two logically equal queues.
+ *
+ * Every observable operation (equality, hash, toString, size,
+ * iteration, approxBytes) is defined over the *logical* contents, so
+ * the head index is invisible to interning, fingerprints and
+ * counterexample text — the property the encoding-equivalence tests
+ * pin down.
+ */
+class TokenQueue
+{
+  public:
+    TokenQueue() = default;
+
+    /** Logical number of queued tokens. */
+    std::size_t size() const { return items_.size() - head_; }
+    bool empty() const { return head_ == items_.size(); }
+
+    /** The front (next to dequeue); queue must be nonempty. */
+    const Token& front() const { return items_[head_]; }
+
+    /** Logical indexing from the front. */
+    const Token& operator[](std::size_t i) const
+    {
+        return items_[head_ + i];
+    }
+
+    /** Iteration over the logical contents. */
+    const Token* begin() const { return items_.data() + head_; }
+    const Token* end() const { return items_.data() + items_.size(); }
+
+    void push_back(Token t) { items_.push_back(std::move(t)); }
+
+    /** Remove the front in O(1) amortized; queue must be nonempty. */
+    void
+    popFront()
+    {
+        ++head_;
+        if (head_ == items_.size()) {
+            items_.clear();
+            head_ = 0;
+        } else if (head_ >= kCompactAt && head_ * 2 >= items_.size()) {
+            compact();
+        }
+    }
+
+    /** Remove the token at logical index @p i (the Untagger's
+     * out-of-order completion pick). */
+    void
+    eraseAt(std::size_t i)
+    {
+        items_.erase(items_.begin() +
+                     static_cast<std::ptrdiff_t>(head_ + i));
+    }
+
+    /** Logical equality: head offsets never matter. */
+    bool
+    operator==(const TokenQueue& other) const
+    {
+        if (size() != other.size())
+            return false;
+        for (std::size_t i = 0; i < size(); ++i) {
+            if (!((*this)[i] == other[i]))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    /** Consumed-prefix bound before compaction kicks in; keeps the
+     * slack small without compacting on every pop. */
+    static constexpr std::size_t kCompactAt = 16;
+
+    void
+    compact()
+    {
+        items_.erase(items_.begin(),
+                     items_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+    }
+
+    std::vector<Token> items_;
+    std::size_t head_ = 0;
+};
+
 /** The state of one component instance: queues plus scalar registers. */
 struct CompState
 {
-    /** FIFO queues; index 0 is the front (next to dequeue). */
-    std::vector<std::vector<Token>> queues;
+    /** FIFO queues; logical index 0 is the front (next to dequeue). */
+    std::vector<TokenQueue> queues;
     /** Scalar registers (counters, flags). */
     std::vector<std::int64_t> regs;
 
     bool operator==(const CompState&) const = default;
 
-    /** Size-based heap estimate in bytes: a pure function of state
-     * content (no capacity slack), so resource accounting stays
-     * deterministic across runs and thread counts. */
+    /** Size-based heap estimate in bytes: a pure function of logical
+     * state content (no capacity or head-index slack), so resource
+     * accounting stays deterministic across runs and thread counts. */
     std::size_t approxBytes() const;
 
     /** Enqueue @p t on queue @p q. */
@@ -51,11 +143,12 @@ struct CompState
         return queues[q].front();
     }
 
-    /** Remove the front of queue @p q (must be nonempty). */
+    /** Remove the front of queue @p q (must be nonempty); O(1)
+     * amortized via the TokenQueue head index. */
     void
     deq(std::size_t q)
     {
-        queues[q].erase(queues[q].begin());
+        queues[q].popFront();
     }
 
     bool

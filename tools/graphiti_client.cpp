@@ -74,6 +74,8 @@ usage(const char* argv0)
         "  --partial-states N  partial-exploration state cap\n"
         "  --input-budget N input tokens per explored execution\n"
         "  --trace-walks N  trace-inclusion walk count\n"
+        "  --spill-bytes N  frontier spill cap per exploration "
+        "(0 = off)\n"
         "  --stats          service counters, per-verb latency "
         "windows\n"
         "  --jobs           live job table (phase, deadline, rungs)\n"
@@ -181,7 +183,8 @@ main(int argc, char** argv)
                 return usage(argv[0]);
             interval_seconds = std::atof(v);
         } else if (arg == "--max-states" || arg == "--partial-states" ||
-                   arg == "--input-budget" || arg == "--trace-walks") {
+                   arg == "--input-budget" || arg == "--trace-walks" ||
+                   arg == "--spill-bytes") {
             const char* v = value();
             if (v == nullptr)
                 return usage(argv[0]);
@@ -192,6 +195,8 @@ main(int argc, char** argv)
                 budget.partial_max_states = n;
             else if (arg == "--input-budget")
                 budget.input_budget = n;
+            else if (arg == "--spill-bytes")
+                budget.spill_bytes = n;
             else
                 budget.trace_walks = n;
             budget_set = true;
